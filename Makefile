@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain pytest / python underneath.
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	python examples/reproduce_paper.py
+
+examples:
+	python examples/quickstart.py
+	python examples/attack_lab.py
+	python examples/host_ranking.py
+	python examples/spammer_economics.py
+	python examples/evolving_web.py
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

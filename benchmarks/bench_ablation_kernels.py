@@ -1,0 +1,72 @@
+"""Ablation — matvec kernels: scipy CSR vs cache-chunked vs shared-memory
+parallel.
+
+Times a fixed number of transpose matvecs on the uk2002_like page matrix.
+Per the HPC guide ("no optimization without measuring"), this is the
+measurement that justifies scipy as the default kernel at this scale —
+the parallel kernel's per-call IPC overhead only pays off on much larger
+matrices.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.eval import format_table
+from repro.graph import transition_matrix
+from repro.parallel import SharedCsrMatvec, chunked_rmatvec
+
+_REPEATS = 20
+
+
+def _run_kernel_ablation():
+    ds = load_dataset("uk2002_like", with_spam=False)
+    matrix = transition_matrix(ds.graph)
+    n = matrix.shape[0]
+    rng = np.random.default_rng(1)
+    x = rng.random(n)
+    x /= x.sum()
+
+    rows = []
+    reference = matrix.T @ x
+
+    at = matrix.T.tocsr()
+    start = time.perf_counter()
+    for _ in range(_REPEATS):
+        out = at @ x
+    rows.append({"kernel": "scipy", "seconds": time.perf_counter() - start})
+    np.testing.assert_allclose(out, reference, atol=1e-12)
+
+    buf = np.empty(n)
+    start = time.perf_counter()
+    for _ in range(_REPEATS):
+        out = chunked_rmatvec(matrix, x, out=buf)
+    rows.append({"kernel": "chunked", "seconds": time.perf_counter() - start})
+    np.testing.assert_allclose(out, reference, atol=1e-12)
+
+    with SharedCsrMatvec(matrix, n_workers=4) as mv:
+        start = time.perf_counter()
+        for _ in range(_REPEATS):
+            out = mv.rmatvec(x)
+        rows.append({"kernel": "parallel(4)", "seconds": time.perf_counter() - start})
+    np.testing.assert_allclose(out, reference, atol=1e-12)
+
+    for row in rows:
+        row["us_per_matvec"] = 1e6 * row["seconds"] / _REPEATS
+    return rows
+
+
+def test_kernel_ablation(benchmark, record, once):
+    rows = once(benchmark, _run_kernel_ablation)
+    record(
+        "ablation_kernels",
+        format_table(
+            rows,
+            ["kernel", "seconds", "us_per_matvec"],
+            title=f"Ablation: {_REPEATS} transpose matvecs on the uk2002_like page matrix",
+        ),
+    )
+    assert len(rows) == 3

@@ -1,0 +1,69 @@
+"""Ablation — uniform (Section 3.1) vs source-consensus (Section 3.2)
+edge weighting under hijack attacks.
+
+Question: does consensus weighting actually raise the cost of hijacking?
+Protocol: hijack an increasing number of pages of one legitimate source
+to point at a spam target; measure the target source's score
+amplification under both weightings.  Expectation: with few captured
+pages, consensus amplification stays well below uniform amplification
+(a single captured page immediately moves a uniform edge weight to
+1/out-degree; consensus scales it by 1/|pages|).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RankingParams
+from repro.datasets import load_dataset
+from repro.ranking import sourcerank
+from repro.sources import SourceGraph
+from repro.spam import HijackAttack, evaluate_attack
+
+
+def _run_weighting_ablation():
+    ds = load_dataset("tiny", with_spam=False)
+    params = RankingParams()
+    sg = SourceGraph.from_page_graph(ds.graph, ds.assignment)
+    base = sourcerank(sg, params)
+    target_source = int(base.order()[-1])
+    target_page = int(ds.assignment.pages_of(target_source)[0])
+    victim_source = int(np.argmax(ds.assignment.source_sizes))
+    victims_all = ds.assignment.pages_of(victim_source)
+    victims_all = victims_all[victims_all != target_page]
+
+    rows = []
+    for n_captured in (1, 2, len(victims_all) // 2, len(victims_all)):
+        row = {"captured_pages": n_captured}
+        for weighting in ("uniform", "consensus"):
+            ev = evaluate_attack(
+                ds.graph,
+                ds.assignment,
+                HijackAttack(target_page, victims_all[:n_captured]),
+                params=params,
+                weighting=weighting,
+            )
+            row[weighting] = ev.srsr_record.amplification
+        rows.append(row)
+    return rows
+
+
+def test_weighting_ablation_hijack(benchmark, record, once):
+    rows = once(benchmark, _run_weighting_ablation)
+    from repro.eval import format_table
+
+    record(
+        "ablation_weighting",
+        format_table(
+            rows,
+            ["captured_pages", "uniform", "consensus"],
+            title="Ablation: hijack amplification, uniform vs consensus weighting",
+        ),
+    )
+    # With a single captured page, consensus must beat uniform clearly.
+    assert rows[0]["consensus"] < rows[0]["uniform"]
+    # Consensus amplification must grow with captured pages (the paper's
+    # "burden on the hijacker to capture many pages").
+    consensus = [r["consensus"] for r in rows]
+    assert consensus[0] < consensus[-1]

@@ -1,0 +1,24 @@
+"""Fig. 2 — Change in SR-SourceRank score by tuning kappa from a baseline
+value to 1.
+
+Paper calibration (alpha = 0.85): 6.67x at kappa=0, 2x at kappa=0.8,
+1.57x at kappa=0.9, 1x at kappa=1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import run_fig2
+
+
+def test_fig2_self_tuning_boost(benchmark, record, once):
+    result = once(benchmark, run_fig2, (0.80, 0.85, 0.90))
+    record("fig2_self_tuning", result.format())
+    curve = result.curves[0.85]
+    kappas = result.kappas
+    assert curve[np.searchsorted(kappas, 0.0)] == pytest.approx(6.667, rel=1e-3)
+    assert curve[np.searchsorted(kappas, 0.80)] == pytest.approx(2.133, rel=1e-3)
+    assert curve[np.searchsorted(kappas, 0.90)] == pytest.approx(1.567, rel=1e-3)
+    assert curve[-1] == pytest.approx(1.0)

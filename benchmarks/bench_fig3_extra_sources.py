@@ -1,0 +1,41 @@
+"""Fig. 3 — Additional sources needed under throttling factor kappa' to
+equal the impact when kappa = 0.
+
+Paper calibration (alpha = 0.85): 23 % at kappa'=0.6, 60 % at 0.8,
+135 % at 0.9, 1485 % at 0.99.  The empirical series simulates the same
+question on explicit source graphs and must track the closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import run_fig3
+
+
+def test_fig3_analytic_curve(benchmark, record, once):
+    result = once(
+        benchmark,
+        run_fig3,
+        0.85,
+        np.asarray([0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99]),
+    )
+    record("fig3_extra_sources", result.format())
+    pct = dict(zip(np.round(result.kappa_primes, 2), result.analytic_pct))
+    assert pct[0.60] == pytest.approx(22.5, rel=1e-3)
+    assert pct[0.80] == pytest.approx(60.0, rel=1e-3)
+    assert pct[0.90] == pytest.approx(135.0, rel=1e-3)
+    assert pct[0.99] == pytest.approx(1485.0, rel=1e-3)
+
+
+def test_fig3_empirical_validation(benchmark, record, once):
+    result = once(
+        benchmark,
+        run_fig3,
+        0.85,
+        np.asarray([0.4, 0.6, 0.8]),
+        empirical=True,
+    )
+    record("fig3_extra_sources_empirical", result.format())
+    np.testing.assert_allclose(result.empirical_pct, result.analytic_pct, rtol=0.08)

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the substrate layers.
+
+Not a paper artifact — these keep the hot paths honest over time:
+graph construction, compressed-graph encode/decode, the consensus
+quotient, the throttle transform, and one full PageRank solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RankingParams
+from repro.datasets import load_dataset
+from repro.graph import PageGraph, transition_matrix
+from repro.ranking import pagerank
+from repro.sources import SourceGraph, quotient_unique_page_counts
+from repro.throttle import ThrottleVector, throttle_transform
+from repro.webgraph import CompressedGraph
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("uk2002_like", with_spam=False)
+
+
+def test_bench_graph_from_edges(benchmark, dataset):
+    src, dst = dataset.graph.edge_arrays()
+    benchmark(PageGraph.from_edges, src, dst, dataset.graph.n_nodes)
+
+
+def test_bench_compress(benchmark, dataset):
+    compressed = benchmark(CompressedGraph.from_pagegraph, dataset.graph)
+    assert compressed.stats().ratio < 0.6
+
+
+def test_bench_decompress(benchmark, dataset):
+    compressed = CompressedGraph.from_pagegraph(dataset.graph)
+    graph = benchmark(compressed.to_pagegraph)
+    assert graph == dataset.graph
+
+
+def test_bench_consensus_quotient(benchmark, dataset):
+    counts = benchmark(
+        quotient_unique_page_counts, dataset.graph, dataset.assignment
+    )
+    assert counts.nnz > 0
+
+
+def test_bench_source_graph_build(benchmark, dataset):
+    sg = benchmark(
+        SourceGraph.from_page_graph, dataset.graph, dataset.assignment
+    )
+    assert sg.n_sources == dataset.n_sources
+
+
+def test_bench_throttle_transform(benchmark, dataset):
+    sg = SourceGraph.from_page_graph(dataset.graph, dataset.assignment)
+    rng = np.random.default_rng(0)
+    kappa = ThrottleVector(rng.random(sg.n_sources))
+    out = benchmark(throttle_transform, sg.matrix, kappa)
+    assert out.shape == sg.matrix.shape
+
+
+def test_bench_pagerank_full_solve(benchmark, dataset, once):
+    result = once(benchmark, pagerank, dataset.graph, RankingParams())
+    assert result.convergence.converged

@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure) and both
+prints the series (run pytest with ``-s`` to see them inline) and writes
+them under ``benchmarks/results/`` so EXPERIMENTS.md can reference the
+exact rendered output.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Return a callback ``record(name, text)`` that persists and echoes
+    one artifact's rendered series."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        # Echo to the real stdout so -s shows artifacts inline.
+        sys.stdout.write(f"\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def once():
+    """Wrap a heavy driver so ``benchmark`` times exactly one execution.
+
+    Usage::
+
+        result = once(benchmark, run_fig5, "wb2001_like")
+    """
+
+    def _once(benchmark, fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _once

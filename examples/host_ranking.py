@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Host ranking from a raw URL edge list — the downstream-user workflow.
+
+Shows the path a search-engine practitioner would take with their own
+crawl data: parse a URL-pair edge list, group pages into host-level
+sources, rank with Spam-Resilient SourceRank seeded by a blocklist, and
+print the best and worst hosts.
+
+The example synthesizes a tiny crawl inline (a handful of legitimate
+sites plus a link-farm ring hijacking a forum) so it runs without any
+input files; swap ``make_crawl()`` for ``repro.graph.read_labeled_edges``
+on a real TSV to use your own data.
+
+Run:  python examples/host_ranking.py
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro import SpamResilientPipeline, SourceAssignment, ThrottleParams
+from repro.eval import format_table
+from repro.graph import read_labeled_edges
+
+_CRAWL = """\
+# src_url	dst_url
+http://news.example.com/world	http://weather.example.org/today
+http://news.example.com/world	http://uni.edu/physics
+http://news.example.com/sports	http://weather.example.org/today
+http://news.example.com/sports	http://forum.example.net/thread1
+http://uni.edu/physics	http://uni.edu/people
+http://uni.edu/people	http://news.example.com/world
+http://uni.edu/library	http://news.example.com/world
+http://weather.example.org/today	http://news.example.com/world
+http://forum.example.net/thread1	http://forum.example.net/thread2
+http://forum.example.net/thread2	http://news.example.com/sports
+# --- a spam campaign hijacks the forum and builds a farm ring ---
+http://forum.example.net/thread1	http://cheap-pills.test/buy
+http://forum.example.net/thread2	http://cheap-pills.test/buy
+http://farm-a.test/p1	http://cheap-pills.test/buy
+http://farm-a.test/p2	http://cheap-pills.test/buy
+http://farm-b.test/p1	http://cheap-pills.test/buy
+http://farm-b.test/p2	http://farm-a.test/p1
+http://farm-a.test/p1	http://farm-b.test/p1
+http://cheap-pills.test/buy	http://cheap-pills.test/landing
+http://cheap-pills.test/landing	http://cheap-pills.test/buy
+"""
+
+
+def main() -> None:
+    # 1. Parse the crawl: URLs are interned to dense page ids.
+    graph, name_to_id = read_labeled_edges(io.StringIO(_CRAWL))
+    urls = sorted(name_to_id, key=name_to_id.get)
+    print(f"crawl: {graph.n_nodes} pages, {graph.n_edges} links")
+
+    # 2. Host-level source assignment straight from the URLs.
+    assignment = SourceAssignment.from_urls(urls, key="host")
+    print(f"hosts: {assignment.n_sources}")
+
+    # 3. The operator blocklists one known spam host.
+    blocked_host = "cheap-pills.test"
+    blocked = next(
+        s for s in range(assignment.n_sources)
+        if assignment.name_of(s) == blocked_host
+    )
+
+    # 4. Rank.  Spam proximity will throttle the farm ring too, even
+    #    though only cheap-pills.test was blocklisted.  The default
+    #    throttle budget is the paper's ~2.7 % of sources — on a 7-host
+    #    crawl that rounds to zero, so size it to the crawl instead.
+    pipe = SpamResilientPipeline(
+        throttle=ThrottleParams(top_fraction=3 / assignment.n_sources)
+    )
+    result = pipe.rank(graph, assignment, spam_seeds=[blocked])
+    baseline = pipe.baseline_sourcerank(graph, assignment)
+
+    rows = []
+    for s in result.scores.order():
+        rows.append(
+            {
+                "host": assignment.name_of(int(s)),
+                "srsr_score": result.scores.score_of(int(s)),
+                "baseline_score": baseline.score_of(int(s)),
+                "kappa": result.kappa[int(s)],
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            ["host", "srsr_score", "baseline_score", "kappa"],
+            title="Host ranking (best first) — kappa=1 marks throttled hosts",
+        )
+    )
+
+    throttled = {
+        assignment.name_of(int(s)) for s in result.kappa.fully_throttled()
+    }
+    print()
+    print(f"throttled hosts (from 1 blocklist entry): {sorted(throttled)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: rank a synthetic web with Spam-Resilient SourceRank.
+
+Demonstrates the five-step pipeline of the paper on a generated dataset
+with planted spam communities:
+
+1. load a web (page graph + host assignment + ground-truth spam);
+2. tell the defender about a small sample of the spam (the paper uses
+   <10 % of its labeled set);
+3. run the full pipeline: source graph -> spam proximity -> kappa ->
+   Spam-Resilient SourceRank;
+4. compare against the unthrottled SourceRank baseline;
+5. show where the ground-truth spam landed under each ranking.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SpamResilientPipeline, load_dataset, sample_seed_set
+from repro.eval import format_table
+
+
+def main() -> None:
+    # 1. A scaled synthetic analogue of the paper's UK2002 crawl.
+    ds = load_dataset("uk2002_like")
+    print(
+        f"dataset: {ds.spec.name} — {ds.n_pages:,} pages, "
+        f"{ds.n_sources:,} sources, {ds.spam_sources.size} planted spam sources"
+    )
+
+    # 2. The defender only knows a 10 % sample of the spam.
+    rng = np.random.default_rng(42)
+    seeds = sample_seed_set(ds.spam_sources, 0.10, rng)
+    print(f"seeding spam proximity with {seeds.size} known spam sources")
+
+    # 3. The full Spam-Resilient SourceRank pipeline (paper defaults:
+    #    alpha=0.85, L2 tolerance 1e-9, consensus weighting, top-k kappa).
+    pipe = SpamResilientPipeline()
+    result = pipe.rank(ds.graph, ds.assignment, spam_seeds=seeds)
+    print(
+        f"throttled {result.kappa.fully_throttled().size} sources "
+        f"(kappa = 1) out of {ds.n_sources:,}"
+    )
+
+    # 4. Baselines.
+    baseline = pipe.baseline_sourcerank(ds.graph, ds.assignment)
+
+    # 5. Where did the ground-truth spam end up?
+    spam = ds.spam_sources
+    rows = [
+        {
+            "ranking": "SourceRank (baseline)",
+            "mean_spam_percentile": baseline.percentiles()[spam].mean(),
+            "spam_in_top_half": int(
+                (baseline.percentiles()[spam] > 50).sum()
+            ),
+        },
+        {
+            "ranking": "Spam-Resilient SourceRank",
+            "mean_spam_percentile": result.scores.percentiles()[spam].mean(),
+            "spam_in_top_half": int(
+                (result.scores.percentiles()[spam] > 50).sum()
+            ),
+        },
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            ["ranking", "mean_spam_percentile", "spam_in_top_half"],
+            title="Ground-truth spam placement (higher percentile = better ranked)",
+        )
+    )
+    print()
+    print("top 5 sources under SR-SourceRank:", result.top_sources(5).tolist())
+
+
+if __name__ == "__main__":
+    main()

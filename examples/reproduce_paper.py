@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Prints the Table 1 analogue and the Fig. 2–7 series exactly as the
+benchmark harness records them.  This is the end-to-end reproduction
+script referenced by EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py            # full run (~1 min)
+      python examples/reproduce_paper.py --fast     # tiny dataset only
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.config import ExperimentParams, ThrottleParams
+from repro.eval import (
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+)
+from repro.eval.experiments import run_table1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="run Fig. 5/6/7 on the tiny dataset only",
+    )
+    args = parser.parse_args()
+
+    if args.fast:
+        datasets = ["tiny"]
+        params = ExperimentParams(
+            n_targets=2,
+            cases=(1, 10, 100),
+            throttle=ThrottleParams(top_fraction=16 / 128),
+            seed_fraction=0.25,
+            n_buckets=10,
+        )
+    else:
+        datasets = ["uk2002_like", "it2004_like", "wb2001_like"]
+        params = ExperimentParams()
+
+    start = time.perf_counter()
+
+    def show(title: str, text: str) -> None:
+        print("=" * 72)
+        print(text)
+        print()
+
+    if not args.fast:
+        show("table1", run_table1().format())
+    show("fig2", run_fig2().format())
+    show("fig3", run_fig3(empirical=True).format())
+    for scenario in (1, 2, 3):
+        show(f"fig4-{scenario}", run_fig4(scenario, empirical=True).format())
+    show("fig5", run_fig5(datasets[-1], params).format())
+    for ds in datasets:
+        show(f"fig6-{ds}", run_fig6(ds, params).format())
+    for ds in datasets:
+        show(f"fig7-{ds}", run_fig7(ds, params).format())
+
+    print("=" * 72)
+    print(f"done in {time.perf_counter() - start:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Spammer economics: what does a rank actually cost?
+
+Implements the paper's Section 8 future work as a runnable study:
+
+1. closed-form optimal attack plans for a budget-bound spammer, against
+   PageRank and against SR-SourceRank at increasing throttle levels;
+2. a simulated portfolio study — the planted spam communities' modeled
+   traffic share before and after influence throttling.
+
+Run:  python examples/spammer_economics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AttackPlanner,
+    CostModel,
+    ExperimentParams,
+    load_dataset,
+    sample_seed_set,
+    sourcerank,
+    spam_resilient_sourcerank,
+    traffic_share,
+)
+from repro.eval import format_table
+from repro.sources import SourceGraph
+from repro.throttle import assign_kappa, spam_proximity
+
+
+def planning_study() -> None:
+    """Closed-form: the best the spammer can do with a fixed budget."""
+    costs = CostModel(page_cost=1.0, source_cost=50.0)
+    planner = AttackPlanner(costs, n_pages=1_000_000, n_sources=100_000)
+    budget = 100_000.0
+
+    rows = [planner.plan_against_pagerank(budget).as_dict()]
+    for kappa in (0.0, 0.6, 0.9, 0.99):
+        plan = planner.plan_against_srsr(budget, kappa)
+        row = plan.as_dict()
+        row["score_cost_ratio"] = planner.cost_ratio(kappa)
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            ["ranking", "pages", "sources", "score_gain", "score_cost_ratio"],
+            title=f"Optimal plans for a budget of {budget:,.0f} units",
+        )
+    )
+    print(
+        "\nReading: against PageRank the spammer buys 100k cheap pages; "
+        "against SR-SourceRank pages stop paying after the first per "
+        "source, so the same budget buys only ~2k sources — and each "
+        "throttle increment multiplies the per-score cost (last column)."
+    )
+
+
+def portfolio_study() -> None:
+    """Simulated: the spam portfolio's value collapse under throttling."""
+    params = ExperimentParams()
+    ds = load_dataset("uk2002_like")
+    sg = SourceGraph.from_page_graph(ds.graph, ds.assignment)
+    rng = np.random.default_rng(params.seed)
+    seeds = sample_seed_set(ds.spam_sources, params.seed_fraction, rng)
+    proximity = spam_proximity(sg, seeds, params.proximity)
+    kappa = assign_kappa(proximity.scores, params.throttle)
+
+    baseline = sourcerank(sg, params.ranking)
+    throttled = spam_resilient_sourcerank(
+        sg, kappa, params.ranking, full_throttle="dangling"
+    )
+    rows = []
+    for label, ranking in (("baseline SourceRank", baseline),
+                           ("SR-SourceRank (throttled)", throttled)):
+        rows.append(
+            {
+                "ranking": label,
+                "spam_traffic_share_%": 100 * traffic_share(ranking, ds.spam_sources),
+                "best_spam_percentile": ranking.percentiles()[ds.spam_sources].max(),
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            ["ranking", "spam_traffic_share_%", "best_spam_percentile"],
+            title=(
+                f"Portfolio value of {ds.spam_sources.size} spam sources "
+                f"on {ds.spec.name} (seeded with {seeds.size})"
+            ),
+        )
+    )
+
+
+def main() -> None:
+    planning_study()
+    portfolio_study()
+
+
+if __name__ == "__main__":
+    main()

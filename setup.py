@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network access, so PEP 517 editable installs fail; ``pip install -e .
+--no-build-isolation`` (or ``python setup.py develop``) uses this shim
+instead.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Section 4 spam-resilience analysis: closed forms and empirical metrics.
+
+* :mod:`repro.analysis.closed_form` — every formula derived in Section 4
+  (optimal configurations, boost factors, colluding-source equivalences,
+  PageRank's unbounded boost);
+* :mod:`repro.analysis.amplification` — empirical score/rank amplification
+  measured on actual graphs, for validating the closed forms;
+* :mod:`repro.analysis.resilience` — the percentile-change metrics of the
+  Section 6 experiments.
+"""
+
+from .closed_form import (
+    sigma_single_source,
+    optimal_sigma_single_source,
+    self_tuning_boost,
+    colluding_contribution,
+    sigma_with_colluders,
+    equivalent_colluders_ratio,
+    additional_sources_pct,
+    pagerank_boost,
+    pagerank_score,
+    pagerank_amplification,
+    srsr_amplification_scenario1,
+    srsr_amplification_scenario2,
+    srsr_amplification_scenario3,
+)
+from .amplification import score_amplification, measure_amplification
+from .resilience import percentile_increase, resilience_summary, ResilienceRecord
+from .stability import (
+    StabilityReport,
+    adversarial_impact,
+    random_perturbation_stability,
+)
+
+__all__ = [
+    "sigma_single_source",
+    "optimal_sigma_single_source",
+    "self_tuning_boost",
+    "colluding_contribution",
+    "sigma_with_colluders",
+    "equivalent_colluders_ratio",
+    "additional_sources_pct",
+    "pagerank_boost",
+    "pagerank_score",
+    "pagerank_amplification",
+    "srsr_amplification_scenario1",
+    "srsr_amplification_scenario2",
+    "srsr_amplification_scenario3",
+    "score_amplification",
+    "measure_amplification",
+    "percentile_increase",
+    "resilience_summary",
+    "ResilienceRecord",
+    "StabilityReport",
+    "adversarial_impact",
+    "random_perturbation_stability",
+]

@@ -1,0 +1,84 @@
+"""Empirical score amplification: before-vs-after attack measurement.
+
+These helpers quantify a spammer's gain exactly the way Fig. 4 plots it —
+the ratio of the target's score after the attack to its score before —
+and are used by the property tests to validate the Section 4 closed forms
+against real ranking runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError
+from ..ranking.base import RankingResult
+
+__all__ = ["score_amplification", "measure_amplification", "AmplificationRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class AmplificationRecord:
+    """One before/after measurement of an attack's effect on a target."""
+
+    target: int
+    score_before: float
+    score_after: float
+    rank_before: int
+    rank_after: int
+    percentile_before: float
+    percentile_after: float
+
+    @property
+    def amplification(self) -> float:
+        """score_after / score_before (the Fig. 4 y-axis)."""
+        return self.score_after / self.score_before
+
+    @property
+    def percentile_gain(self) -> float:
+        """Percentile-point increase (the Fig. 6/7 y-axis)."""
+        return self.percentile_after - self.percentile_before
+
+
+def score_amplification(
+    before: RankingResult, after: RankingResult, target: int
+) -> float:
+    """Score ratio for a target present in both rankings.
+
+    ``after`` may rank more items than ``before`` (attacks add pages); the
+    target id must refer to the same logical item in both.
+    """
+    target = int(target)
+    if target >= before.n or target >= after.n:
+        raise GraphError(
+            f"target {target} out of range (before n={before.n}, after n={after.n})"
+        )
+    b = before.score_of(target)
+    if b <= 0:
+        raise GraphError(f"target {target} has non-positive score before the attack")
+    return after.score_of(target) / b
+
+
+def measure_amplification(
+    before: RankingResult, after: RankingResult, target: int
+) -> AmplificationRecord:
+    """Full before/after record (scores, ranks, percentiles) for a target."""
+    target = int(target)
+    if target >= before.n or target >= after.n:
+        raise GraphError(
+            f"target {target} out of range (before n={before.n}, after n={after.n})"
+        )
+    ranks_before = before.ranks()
+    ranks_after = after.ranks()
+    pct_before = before.percentiles()
+    pct_after = after.percentiles()
+    return AmplificationRecord(
+        target=target,
+        score_before=before.score_of(target),
+        score_after=after.score_of(target),
+        rank_before=int(ranks_before[target]),
+        rank_after=int(ranks_after[target]),
+        percentile_before=float(pct_before[target]),
+        percentile_after=float(pct_after[target]),
+    )

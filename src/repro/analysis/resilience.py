@@ -1,0 +1,69 @@
+"""Spam-resilience metrics of the Section 6 experiments.
+
+Fig. 6 and Fig. 7 report the *average ranking percentile increase* of the
+target page (under PageRank) and target source (under Spam-Resilient
+SourceRank) across attack cases.  This module aggregates per-target
+:class:`~repro.analysis.amplification.AmplificationRecord` measurements
+into those figures' series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GraphError
+from .amplification import AmplificationRecord
+
+__all__ = ["percentile_increase", "resilience_summary", "ResilienceRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceRecord:
+    """Aggregated attack impact for one (ranking, case) cell of Fig. 6/7."""
+
+    label: str
+    case: int
+    mean_percentile_before: float
+    mean_percentile_after: float
+    mean_percentile_gain: float
+    mean_amplification: float
+    n_targets: int
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Plain-dict view for table rendering."""
+        return {
+            "label": self.label,
+            "case": self.case,
+            "pct_before": self.mean_percentile_before,
+            "pct_after": self.mean_percentile_after,
+            "pct_gain": self.mean_percentile_gain,
+            "amplification": self.mean_amplification,
+            "n_targets": self.n_targets,
+        }
+
+
+def percentile_increase(records: Sequence[AmplificationRecord]) -> float:
+    """Mean percentile-point gain across targets (a Fig. 6/7 data point)."""
+    if not records:
+        raise GraphError("percentile_increase requires at least one record")
+    return float(np.mean([r.percentile_gain for r in records]))
+
+
+def resilience_summary(
+    label: str, case: int, records: Sequence[AmplificationRecord]
+) -> ResilienceRecord:
+    """Aggregate per-target records into one Fig. 6/7 cell."""
+    if not records:
+        raise GraphError("resilience_summary requires at least one record")
+    return ResilienceRecord(
+        label=label,
+        case=int(case),
+        mean_percentile_before=float(np.mean([r.percentile_before for r in records])),
+        mean_percentile_after=float(np.mean([r.percentile_after for r in records])),
+        mean_percentile_gain=percentile_increase(records),
+        mean_amplification=float(np.mean([r.amplification for r in records])),
+        n_targets=len(records),
+    )

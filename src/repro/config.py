@@ -1,0 +1,179 @@
+"""Typed, validated parameter objects shared across the library.
+
+The paper fixes a small set of numeric knobs (mixing parameter ``alpha``,
+L2 convergence threshold ``1e-9``, throttle top-k fraction, seed fraction).
+These are collected here as frozen dataclasses so that experiments can be
+described declaratively and reproduced exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+from .errors import ConfigError
+
+__all__ = [
+    "RankingParams",
+    "ThrottleParams",
+    "SpamProximityParams",
+    "ExperimentParams",
+    "DEFAULT_ALPHA",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_MAX_ITER",
+]
+
+#: Mixing (damping) parameter used throughout the paper (Section 6.1).
+DEFAULT_ALPHA: float = 0.85
+
+#: L2 distance threshold between successive power iterates (Section 6.1).
+DEFAULT_TOLERANCE: float = 1e-9
+
+#: Generous iteration cap; the paper's graphs converge in well under 200.
+DEFAULT_MAX_ITER: int = 1000
+
+
+def _check_unit_interval(name: str, value: float, *, open_right: bool = False) -> float:
+    value = float(value)
+    if not (0.0 <= value <= 1.0) or (open_right and value == 1.0):
+        hi = "1)" if open_right else "1]"
+        raise ConfigError(f"{name} must lie in [0, {hi}, got {value!r}")
+    return value
+
+
+def _check_positive(name: str, value: float) -> float:
+    value = float(value)
+    if not value > 0.0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class RankingParams:
+    """Parameters of a teleporting random-walk ranking computation.
+
+    Parameters
+    ----------
+    alpha:
+        Mixing parameter: probability of following an edge rather than
+        teleporting.  The paper uses ``0.85``.
+    tolerance:
+        Stopping threshold on the norm of successive iterate differences.
+    max_iter:
+        Hard cap on iterations; exceeding it raises
+        :class:`repro.errors.ConvergenceError` unless ``strict`` is False.
+    norm:
+        Which vector norm the stopping rule uses.  The paper measures the
+        L2 distance of successive Power Method iterates.
+    strict:
+        If True (default) a non-converged computation raises; if False it
+        returns the last iterate flagged ``converged=False``.
+    """
+
+    alpha: float = DEFAULT_ALPHA
+    tolerance: float = DEFAULT_TOLERANCE
+    max_iter: int = DEFAULT_MAX_ITER
+    norm: Literal["l1", "l2", "linf"] = "l2"
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        _check_unit_interval("alpha", self.alpha, open_right=True)
+        _check_positive("tolerance", self.tolerance)
+        if int(self.max_iter) < 1:
+            raise ConfigError(f"max_iter must be >= 1, got {self.max_iter!r}")
+        object.__setattr__(self, "max_iter", int(self.max_iter))
+        if self.norm not in ("l1", "l2", "linf"):
+            raise ConfigError(f"norm must be one of 'l1', 'l2', 'linf', got {self.norm!r}")
+
+    def with_(self, **overrides: object) -> "RankingParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class ThrottleParams:
+    """Parameters of throttling-vector assignment (Section 5 / 6.2).
+
+    Parameters
+    ----------
+    strategy:
+        How spam-proximity scores map to kappa values.  ``"top_k"`` is the
+        paper's heuristic: the k highest-proximity sources get ``kappa_high``
+        and everyone else ``kappa_low``.
+    top_fraction:
+        Fraction of sources throttled under ``"top_k"``.  The paper throttles
+        the top 20,000 of 738,626 WB2001 sources (~2.7 %).
+    kappa_high, kappa_low:
+        Throttle levels for flagged / unflagged sources (paper: 1.0 and 0.0).
+    threshold:
+        Score cutoff for the ``"threshold"`` strategy.
+    """
+
+    strategy: Literal["top_k", "threshold", "proportional", "linear"] = "top_k"
+    top_fraction: float = 20_000 / 738_626
+    kappa_high: float = 1.0
+    kappa_low: float = 0.0
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("top_k", "threshold", "proportional", "linear"):
+            raise ConfigError(f"unknown throttle strategy {self.strategy!r}")
+        _check_unit_interval("top_fraction", self.top_fraction)
+        _check_unit_interval("kappa_high", self.kappa_high)
+        _check_unit_interval("kappa_low", self.kappa_low)
+        if self.kappa_low > self.kappa_high:
+            raise ConfigError(
+                f"kappa_low ({self.kappa_low}) must not exceed kappa_high ({self.kappa_high})"
+            )
+        if self.threshold < 0.0:
+            raise ConfigError(f"threshold must be >= 0, got {self.threshold!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class SpamProximityParams:
+    """Parameters of the inverse-walk spam-proximity computation (Section 5)."""
+
+    beta: float = DEFAULT_ALPHA
+    tolerance: float = DEFAULT_TOLERANCE
+    max_iter: int = DEFAULT_MAX_ITER
+
+    def __post_init__(self) -> None:
+        _check_unit_interval("beta", self.beta, open_right=True)
+        _check_positive("tolerance", self.tolerance)
+        if int(self.max_iter) < 1:
+            raise ConfigError(f"max_iter must be >= 1, got {self.max_iter!r}")
+        object.__setattr__(self, "max_iter", int(self.max_iter))
+
+    def as_ranking_params(self) -> RankingParams:
+        """View these parameters as generic :class:`RankingParams`."""
+        return RankingParams(
+            alpha=self.beta, tolerance=self.tolerance, max_iter=self.max_iter
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentParams:
+    """Shared knobs of the Section 6 experimental protocol."""
+
+    seed: int = 2007
+    n_targets: int = 5
+    cases: tuple[int, ...] = (1, 10, 100, 1000)
+    bottom_fraction: float = 0.5
+    seed_fraction: float = 1_000 / 10_315
+    n_buckets: int = 20
+    ranking: RankingParams = field(default_factory=RankingParams)
+    throttle: ThrottleParams = field(default_factory=ThrottleParams)
+    proximity: SpamProximityParams = field(default_factory=SpamProximityParams)
+
+    def __post_init__(self) -> None:
+        if int(self.n_targets) < 1:
+            raise ConfigError(f"n_targets must be >= 1, got {self.n_targets!r}")
+        object.__setattr__(self, "n_targets", int(self.n_targets))
+        if not self.cases or any(int(c) < 1 for c in self.cases):
+            raise ConfigError(f"cases must be positive counts, got {self.cases!r}")
+        object.__setattr__(self, "cases", tuple(int(c) for c in self.cases))
+        _check_unit_interval("bottom_fraction", self.bottom_fraction)
+        _check_unit_interval("seed_fraction", self.seed_fraction)
+        if int(self.n_buckets) < 2:
+            raise ConfigError(f"n_buckets must be >= 2, got {self.n_buckets!r}")
+        object.__setattr__(self, "n_buckets", int(self.n_buckets))

@@ -1,0 +1,5 @@
+"""End-to-end pipeline: the paper's full system in one object."""
+
+from .pipeline import SpamResilientPipeline, PipelineResult
+
+__all__ = ["SpamResilientPipeline", "PipelineResult"]

@@ -1,0 +1,30 @@
+"""Data substrate: synthetic web graphs and planted spam communities.
+
+The paper evaluates on three crawls (WB2001, UK2002, IT2004) that are not
+redistributable and require no-network infrastructure to obtain; per the
+substitution policy in DESIGN.md, this package generates scaled synthetic
+analogues with the ensemble properties the experiments actually exercise —
+heavy-tailed source sizes and in-degrees, strong intra-source link
+locality — plus planted spam communities standing in for the paper's
+manually-labeled pornography sources.
+"""
+
+from .synthetic import SyntheticWebConfig, generate_web
+from .spam_labels import SpamPlantConfig, plant_spam_communities, sample_seed_set
+from .registry import DatasetSpec, DATASETS, load_dataset, LoadedDataset
+from .validation import CheckResult, ValidationReport, validate_dataset
+
+__all__ = [
+    "CheckResult",
+    "ValidationReport",
+    "validate_dataset",
+    "SyntheticWebConfig",
+    "generate_web",
+    "SpamPlantConfig",
+    "plant_spam_communities",
+    "sample_seed_set",
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "LoadedDataset",
+]

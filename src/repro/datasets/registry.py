@@ -1,0 +1,220 @@
+"""Named dataset configurations mirroring the paper's three crawls.
+
+Each :class:`DatasetSpec` couples a synthetic-web config, a spam-plant
+config, and the paper's Table 1 ground truth for shape comparison.  Scales
+are chosen so the full Fig. 5/6/7 sweeps run on a laptop in minutes (the
+``scale`` factor records sources relative to the paper's crawl); pass
+``scale_override`` to :func:`load_dataset` for larger runs.
+
+Source-edge densities (edges per source) in Table 1: UK2002 ≈ 16.5,
+IT2004 ≈ 20.3, WB2001 ≈ 17.0 — the per-dataset generator knobs below are
+tuned so the synthetic source graphs land near those densities, which
+``bench_table1_source_summary`` verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..graph.pagegraph import PageGraph
+from ..sources.assignment import SourceAssignment
+from .spam_labels import SpamPlantConfig, plant_spam_communities
+from .synthetic import SyntheticWebConfig, generate_web
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "LoadedDataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """A named synthetic analogue of one of the paper's crawls."""
+
+    name: str
+    description: str
+    web: SyntheticWebConfig
+    spam: SpamPlantConfig
+    paper_sources: int
+    paper_edges: int
+    paper_pages: str
+    scale: float
+
+
+@dataclass(frozen=True, slots=True)
+class LoadedDataset:
+    """A generated dataset: clean web + planted spam + ground truth."""
+
+    spec: DatasetSpec
+    graph: PageGraph
+    assignment: SourceAssignment
+    spam_sources: np.ndarray
+
+    @property
+    def n_pages(self) -> int:
+        """Total pages including planted spam pages."""
+        return self.graph.n_nodes
+
+    @property
+    def n_sources(self) -> int:
+        """Total sources including planted spam sources."""
+        return self.assignment.n_sources
+
+
+# The paper's spam fraction: 10,315 of 738,626 WB2001 sources ≈ 1.4 %.
+_SPAM_FRACTION = 10_315 / 738_626
+
+DATASETS: dict[str, DatasetSpec] = {
+    "uk2002_like": DatasetSpec(
+        name="uk2002_like",
+        description=(
+            "Synthetic analogue of the 2002 UbiCrawler .uk crawl "
+            "(98,221 sources / 1,625,097 source edges), at ~1/100 scale"
+        ),
+        web=SyntheticWebConfig(
+            n_sources=982,
+            mean_pages_per_source=38.0,
+            size_sigma=1.2,
+            mean_out_degree=8.0,
+            intra_fraction=0.78,
+            mean_targets_per_source=78.0,
+            popularity_noise=1.1,
+            seed=20_02,
+        ),
+        spam=SpamPlantConfig(
+            n_spam_sources=max(2, int(round(982 * _SPAM_FRACTION))),
+            seed=20_02 + 1,
+        ),
+        paper_sources=98_221,
+        paper_edges=1_625_097,
+        paper_pages="18M",
+        scale=1 / 100,
+    ),
+    "it2004_like": DatasetSpec(
+        name="it2004_like",
+        description=(
+            "Synthetic analogue of the 2004 UbiCrawler .it crawl "
+            "(141,103 sources / 2,862,460 source edges), at ~1/100 scale"
+        ),
+        web=SyntheticWebConfig(
+            n_sources=1_411,
+            mean_pages_per_source=42.0,
+            size_sigma=1.25,
+            mean_out_degree=9.5,
+            intra_fraction=0.76,
+            mean_targets_per_source=240.0,
+            popularity_noise=1.1,
+            seed=20_04,
+        ),
+        spam=SpamPlantConfig(
+            n_spam_sources=max(2, int(round(1_411 * _SPAM_FRACTION))),
+            seed=20_04 + 1,
+        ),
+        paper_sources=141_103,
+        paper_edges=2_862_460,
+        paper_pages="40M",
+        scale=1 / 100,
+    ),
+    "wb2001_like": DatasetSpec(
+        name="wb2001_like",
+        description=(
+            "Synthetic analogue of the 2001 Stanford WebBase crawl "
+            "(738,626 sources / 12,554,332 source edges), at ~1/300 scale"
+        ),
+        web=SyntheticWebConfig(
+            n_sources=2_462,
+            mean_pages_per_source=30.0,
+            size_sigma=1.3,
+            mean_out_degree=8.5,
+            intra_fraction=0.78,
+            mean_targets_per_source=68.0,
+            popularity_noise=1.1,
+            seed=20_01,
+        ),
+        spam=SpamPlantConfig(
+            n_spam_sources=max(2, int(round(2_462 * _SPAM_FRACTION))),
+            seed=20_01 + 1,
+        ),
+        paper_sources=738_626,
+        paper_edges=12_554_332,
+        paper_pages="118M",
+        scale=1 / 300,
+    ),
+    # A small config for tests and the quickstart example.
+    "tiny": DatasetSpec(
+        name="tiny",
+        description="Tiny synthetic web for tests and examples",
+        web=SyntheticWebConfig(
+            n_sources=120,
+            mean_pages_per_source=12.0,
+            size_sigma=1.0,
+            mean_out_degree=6.0,
+            intra_fraction=0.75,
+            seed=7,
+        ),
+        spam=SpamPlantConfig(n_spam_sources=8, seed=8),
+        paper_sources=0,
+        paper_edges=0,
+        paper_pages="-",
+        scale=0.0,
+    ),
+}
+
+
+def load_dataset(
+    name: str,
+    *,
+    with_spam: bool = True,
+    scale_override: float | None = None,
+    seed_override: int | None = None,
+) -> LoadedDataset:
+    """Generate a named dataset deterministically.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`DATASETS`.
+    with_spam:
+        When False, skip spam planting (``spam_sources`` comes back
+        empty) — the clean-web path used by Fig. 6/7, whose attacks are
+        injected per-run.
+    scale_override:
+        Multiply source counts by this factor (e.g. ``10.0`` regenerates
+        uk2002_like at 1/10 of the real crawl instead of 1/100).
+    seed_override:
+        Replace the spec's web seed (spam seed is derived as ``seed + 1``).
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    web_cfg = spec.web
+    spam_cfg = spec.spam
+    if scale_override is not None:
+        if scale_override <= 0:
+            raise DatasetError(f"scale_override must be > 0, got {scale_override}")
+        web_cfg = replace(
+            web_cfg, n_sources=max(2, int(round(web_cfg.n_sources * scale_override)))
+        )
+        spam_cfg = replace(
+            spam_cfg,
+            n_spam_sources=max(
+                2, int(round(spam_cfg.n_spam_sources * scale_override))
+            ),
+        )
+    if seed_override is not None:
+        web_cfg = replace(web_cfg, seed=int(seed_override))
+        spam_cfg = replace(spam_cfg, seed=int(seed_override) + 1)
+
+    graph, assignment = generate_web(web_cfg)
+    if with_spam:
+        graph, assignment, spam_sources = plant_spam_communities(
+            graph, assignment, spam_cfg
+        )
+    else:
+        spam_sources = np.empty(0, dtype=np.int64)
+    return LoadedDataset(
+        spec=spec, graph=graph, assignment=assignment, spam_sources=spam_sources
+    )

@@ -1,0 +1,33 @@
+"""Spammer economics — the paper's stated future work, implemented.
+
+Section 8: "In our ongoing research we are developing a model of spammer
+behavior, including new metrics for the effectiveness of link-based
+manipulation.  Our goal is to evaluate the relative impact on the *value*
+of a spammer's portfolio of sources due to link-based manipulation."
+
+This package provides exactly that:
+
+* :class:`~repro.economics.cost.CostModel` — what each attack primitive
+  costs the spammer (pages created, sources registered, pages hijacked,
+  honeypot links induced);
+* :mod:`repro.economics.value` — portfolio-value metrics mapping rank
+  positions to expected traffic/value;
+* :class:`~repro.economics.planner.AttackPlanner` — closed-form optimal
+  attack allocation under a budget, against PageRank and against
+  SR-SourceRank, quantifying how throttling changes the spammer's best
+  strategy and achievable return.
+"""
+
+from .cost import AttackCost, CostModel
+from .value import portfolio_value, rank_value, traffic_share
+from .planner import AttackPlanner, AttackPlan
+
+__all__ = [
+    "CostModel",
+    "AttackCost",
+    "portfolio_value",
+    "rank_value",
+    "traffic_share",
+    "AttackPlanner",
+    "AttackPlan",
+]

@@ -1,0 +1,107 @@
+"""Cost model for link-manipulation primitives.
+
+Prices the four resources a Web spammer spends, in arbitrary currency
+units (the benches only use *ratios*, so the absolute scale never
+matters):
+
+* creating a colluding page (cheap — generated content);
+* registering and operating a fresh source/domain (much dearer —
+  registration, hosting, aging);
+* hijacking a page of a legitimate source (dearer still — finding and
+  exploiting a vulnerable board/wiki, risk of cleanup);
+* inducing a honeypot link (the dearest — real content that earns a
+  genuine citation).
+
+The default ratios (1 : 50 : 20 : 100) follow the qualitative ordering
+the spam-economics literature of the period agrees on; every number is a
+constructor parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..spam.base import SpammedWeb
+
+__all__ = ["CostModel", "AttackCost"]
+
+
+@dataclass(frozen=True, slots=True)
+class AttackCost:
+    """Itemized cost of one attack."""
+
+    pages: int
+    sources: int
+    hijacked: int
+    total: float
+
+    def __add__(self, other: "AttackCost") -> "AttackCost":
+        return AttackCost(
+            pages=self.pages + other.pages,
+            sources=self.sources + other.sources,
+            hijacked=self.hijacked + other.hijacked,
+            total=self.total + other.total,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Unit prices of the spammer's resources.
+
+    Attributes
+    ----------
+    page_cost:
+        Creating one colluding page inside a source the spammer controls.
+    source_cost:
+        Registering and operating one fresh source (domain/host).
+    hijack_cost:
+        Inserting one link into a legitimate page.
+    honeypot_link_cost:
+        Earning one genuine induced link via honeypot content.
+    """
+
+    page_cost: float = 1.0
+    source_cost: float = 50.0
+    hijack_cost: float = 20.0
+    honeypot_link_cost: float = 100.0
+
+    def __post_init__(self) -> None:
+        for name in ("page_cost", "source_cost", "hijack_cost", "honeypot_link_cost"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    # ------------------------------------------------------------------
+    def price(self, spammed: SpammedWeb) -> AttackCost:
+        """Itemize the cost of an executed attack from its provenance."""
+        pages = int(spammed.injected_pages.size)
+        sources = int(spammed.injected_sources.size)
+        hijacked = int(spammed.hijacked_pages.size)
+        total = (
+            pages * self.page_cost
+            + sources * self.source_cost
+            + hijacked * self.hijack_cost
+        )
+        return AttackCost(pages=pages, sources=sources, hijacked=hijacked, total=total)
+
+    def collusion_cost(self, n_pages: int, n_new_sources: int = 0) -> float:
+        """Cost of a collusion structure: pages plus fresh sources."""
+        if n_pages < 0 or n_new_sources < 0:
+            raise ConfigError("counts must be >= 0")
+        return n_pages * self.page_cost + n_new_sources * self.source_cost
+
+    def hijack_campaign_cost(self, n_links: int) -> float:
+        """Cost of hijacking ``n_links`` legitimate pages."""
+        if n_links < 0:
+            raise ConfigError("n_links must be >= 0")
+        return n_links * self.hijack_cost
+
+    def honeypot_cost(self, n_induced_links: int, n_pot_pages: int) -> float:
+        """Cost of a honeypot earning ``n_induced_links`` citations."""
+        if n_induced_links < 0 or n_pot_pages < 0:
+            raise ConfigError("counts must be >= 0")
+        return (
+            n_induced_links * self.honeypot_link_cost
+            + n_pot_pages * self.page_cost
+            + self.source_cost
+        )

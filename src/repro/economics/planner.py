@@ -1,0 +1,160 @@
+"""Optimal attack planning under a budget — closed-form spammer behaviour.
+
+Uses the Section 4 closed forms to answer the spammer's planning
+question: *given a budget B and the defender's throttle level κ, what is
+the best achievable score for my target source, and how should I spend?*
+
+Against **PageRank** every colluding page pays the same
+``Δ = α(1−α)/|P|`` (Eq. Section 4.3), so the optimal plan is simply
+"buy ``B / page_cost`` pages" and the achievable score is linear in the
+budget.
+
+Against **SR-SourceRank** pages inside one source stop paying after the
+first (the self-tuning boost is one-time, Fig. 4a/b), so the spammer
+must buy *sources*; each new colluding source costs ``source_cost + one
+page`` and pays ``α(1−κ)/(1−ακ) · σ_teleport`` (Eq. 5).  The achievable
+score is linear in the number of *sources*, which is
+``source_cost / page_cost``-times dearer per unit — and further shrunk
+by the throttle factor.
+
+:class:`AttackPlanner` exposes both plans plus the *cost ratio* — how
+many times more a unit of score costs under SR-SourceRank — which is the
+paper's "raises the cost of rank manipulation" claim made quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import closed_form as cf
+from ..errors import ConfigError
+from .cost import CostModel
+
+__all__ = ["AttackPlanner", "AttackPlan"]
+
+
+@dataclass(frozen=True, slots=True)
+class AttackPlan:
+    """One optimal spending plan and its predicted outcome."""
+
+    ranking: str
+    budget: float
+    n_pages: int
+    n_sources: int
+    score_gain: float
+    gain_per_unit: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for table rendering."""
+        return {
+            "ranking": self.ranking,
+            "budget": self.budget,
+            "pages": self.n_pages,
+            "sources": self.n_sources,
+            "score_gain": self.score_gain,
+            "gain_per_unit": self.gain_per_unit,
+        }
+
+
+class AttackPlanner:
+    """Closed-form optimal attack allocation for a budget-bound spammer.
+
+    Parameters
+    ----------
+    costs:
+        The spammer's unit prices.
+    alpha:
+        Ranking mixing parameter.
+    n_pages, n_sources:
+        Web scale: total pages (PageRank denominator) and sources
+        (SR-SourceRank denominator).
+    """
+
+    def __init__(
+        self,
+        costs: CostModel | None = None,
+        *,
+        alpha: float = 0.85,
+        n_pages: int = 1_000_000,
+        n_sources: int = 100_000,
+    ) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ConfigError(f"alpha must lie in [0, 1), got {alpha}")
+        if n_pages < 1 or n_sources < 1:
+            raise ConfigError("n_pages and n_sources must be >= 1")
+        self.costs = costs or CostModel()
+        self.alpha = float(alpha)
+        self.n_pages = int(n_pages)
+        self.n_sources = int(n_sources)
+
+    # ------------------------------------------------------------------
+    def plan_against_pagerank(self, budget: float) -> AttackPlan:
+        """Optimal plan vs PageRank: spend everything on colluding pages."""
+        if budget < 0:
+            raise ConfigError(f"budget must be >= 0, got {budget}")
+        n_pages = int(budget // self.costs.page_cost) if self.costs.page_cost > 0 else 0
+        gain = float(cf.pagerank_boost(n_pages, self.alpha, self.n_pages))
+        return AttackPlan(
+            ranking="pagerank",
+            budget=budget,
+            n_pages=n_pages,
+            n_sources=0,
+            score_gain=gain,
+            gain_per_unit=gain / budget if budget > 0 else 0.0,
+        )
+
+    def plan_against_srsr(self, budget: float, kappa: float = 0.0) -> AttackPlan:
+        """Optimal plan vs SR-SourceRank at defender throttle ``kappa``.
+
+        Pages beyond one per colluding source buy nothing (the Fig. 4
+        caps), so the whole budget goes into fresh sources, each holding
+        a single page pointed at the target.
+        """
+        if budget < 0:
+            raise ConfigError(f"budget must be >= 0, got {budget}")
+        if not 0.0 <= kappa < 1.0:
+            raise ConfigError(f"kappa must lie in [0, 1), got {kappa}")
+        unit_cost = self.costs.source_cost + self.costs.page_cost
+        n_sources = int(budget // unit_cost) if unit_cost > 0 else 0
+        gain = float(
+            cf.colluding_contribution(
+                n_sources, kappa, self.alpha, self.n_sources
+            )
+        )
+        return AttackPlan(
+            ranking=f"sr-sourcerank(k={kappa:g})",
+            budget=budget,
+            n_pages=n_sources,
+            n_sources=n_sources,
+            score_gain=gain,
+            gain_per_unit=gain / budget if budget > 0 else 0.0,
+        )
+
+    def cost_ratio(self, kappa: float = 0.0) -> float:
+        """How many times dearer one unit of score is under SR-SourceRank.
+
+        Ratio of per-currency-unit gains (PageRank / SR-SourceRank) at a
+        common budget, with each gain measured in its own web's teleport
+        quanta (``(1-α)/|P|`` vs ``(1-α)/|S|``) so raw web scale cancels
+        and what remains is structure (pay per source, not per page) times
+        cost (sources are dearer) times throttling
+        (``(1-ακ)/(1-κ)`` suppression).
+        """
+        if not 0.0 <= kappa < 1.0:
+            raise ConfigError(f"kappa must lie in [0, 1), got {kappa}")
+        budget = 1e6
+        pr = self.plan_against_pagerank(budget)
+        sr = self.plan_against_srsr(budget, kappa)
+        # Normalize each gain by its own web's teleport quantum so the
+        # ratio reflects structure + cost, not |P| vs |S|.
+        pr_units = pr.score_gain / ((1 - self.alpha) / self.n_pages)
+        sr_units = sr.score_gain / ((1 - self.alpha) / self.n_sources)
+        if sr_units == 0:
+            return float("inf")
+        return pr_units / sr_units
+
+    def sweep_kappa(self, kappas: np.ndarray, budget: float = 1e6) -> list[AttackPlan]:
+        """Optimal SR-SourceRank plans across defender throttle levels."""
+        return [self.plan_against_srsr(budget, float(k)) for k in np.asarray(kappas)]

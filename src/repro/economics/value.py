@@ -1,0 +1,76 @@
+"""Portfolio-value metrics: turning ranks into spammer revenue.
+
+The paper's proposed metric is "the relative impact on the *value* of a
+spammer's portfolio of sources".  We model value through the standard
+rank-to-traffic lens: click-through falls off as a power law of rank
+position (the Zipf-like curve measured in every search-log study), so
+
+.. math::
+
+    \\text{value}(\\text{rank } r) \\propto (r + 1)^{-\\gamma}
+
+with ``gamma ≈ 1``.  A portfolio's value is the sum of its members'
+rank values; the spam-resilience question becomes "how much *value* does
+one currency unit of manipulation buy", which the planner and the
+economics bench answer for PageRank vs SR-SourceRank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..ranking.base import RankingResult
+
+__all__ = ["rank_value", "traffic_share", "portfolio_value"]
+
+#: Default click-through decay exponent.
+DEFAULT_GAMMA = 1.0
+
+
+def rank_value(ranks: np.ndarray, *, gamma: float = DEFAULT_GAMMA) -> np.ndarray:
+    """Value of items at the given 0-based ranks (0 = best).
+
+    Normalized so that rank 0 has value 1.
+    """
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if (ranks < 0).any():
+        raise ConfigError("ranks must be >= 0")
+    if gamma <= 0:
+        raise ConfigError(f"gamma must be > 0, got {gamma}")
+    return (ranks + 1.0) ** (-gamma)
+
+
+def traffic_share(result: RankingResult, members: np.ndarray, *, gamma: float = DEFAULT_GAMMA) -> float:
+    """Fraction of total rank value captured by ``members``.
+
+    This is the portfolio's share of the modeled click traffic — the
+    natural normalized portfolio-value metric.
+    """
+    members = np.unique(np.asarray(members, dtype=np.int64))
+    if members.size and (members[0] < 0 or members[-1] >= result.n):
+        raise ConfigError(
+            f"member ids must lie in [0, {result.n}), got range "
+            f"[{members[0]}, {members[-1]}]"
+        )
+    ranks = result.ranks()
+    all_value = rank_value(ranks, gamma=gamma)
+    total = all_value.sum()
+    return float(all_value[members].sum() / total) if total > 0 else 0.0
+
+
+def portfolio_value(
+    result: RankingResult,
+    members: np.ndarray,
+    *,
+    gamma: float = DEFAULT_GAMMA,
+    market_size: float = 1.0,
+) -> float:
+    """Absolute value of a portfolio under a ranking.
+
+    ``market_size`` scales the metric to a currency (e.g. total ad spend);
+    with the default 1.0 the value equals :func:`traffic_share`.
+    """
+    if market_size < 0:
+        raise ConfigError(f"market_size must be >= 0, got {market_size}")
+    return market_size * traffic_share(result, members, gamma=gamma)

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the failure domain (graph construction, numerical
+convergence, configuration, IO, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "EmptyGraphError",
+    "NodeIndexError",
+    "SourceAssignmentError",
+    "ThrottleError",
+    "ConvergenceError",
+    "ConfigError",
+    "DatasetError",
+    "CodecError",
+    "ScenarioError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or inconsistent graph inputs."""
+
+
+class EmptyGraphError(GraphError):
+    """Raised when an operation requires a non-empty graph."""
+
+
+class NodeIndexError(GraphError, IndexError):
+    """Raised when a node identifier is outside the valid ``[0, n)`` range."""
+
+    def __init__(self, node: int, n_nodes: int) -> None:
+        super().__init__(f"node {node} out of range for graph with {n_nodes} nodes")
+        self.node = int(node)
+        self.n_nodes = int(n_nodes)
+
+
+class SourceAssignmentError(ReproError):
+    """Raised when a page-to-source assignment is malformed or incomplete."""
+
+
+class ThrottleError(ReproError):
+    """Raised for invalid throttling vectors or throttle transforms."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to reach its tolerance.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual norm when iteration stopped.
+    tolerance:
+        The requested stopping tolerance.
+    """
+
+    def __init__(self, iterations: int, residual: float, tolerance: float) -> None:
+        super().__init__(
+            f"solver failed to converge: residual {residual:.3e} > "
+            f"tolerance {tolerance:.3e} after {iterations} iterations"
+        )
+        self.iterations = int(iterations)
+        self.residual = float(residual)
+        self.tolerance = float(tolerance)
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised when a configuration parameter is out of its legal domain."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset generators and the dataset registry."""
+
+
+class CodecError(ReproError):
+    """Raised by the compressed-graph codecs on malformed byte streams."""
+
+
+class ScenarioError(ReproError):
+    """Raised when a spam scenario cannot be assembled on a given graph."""

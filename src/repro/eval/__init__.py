@@ -1,0 +1,46 @@
+"""Evaluation harness: metrics, bucketing, and per-figure experiment drivers.
+
+:mod:`repro.eval.experiments` contains one driver per paper artifact
+(``table1``, ``fig2`` ... ``fig7``); the benchmark files under
+``benchmarks/`` are thin timed wrappers around these drivers, and the
+integration tests assert the drivers' directional claims.
+"""
+
+from .percentile import percentile_of, percentile_gain
+from .buckets import bucket_counts, spam_bucket_distribution
+from .correlation import spearman_rho, kendall_tau, top_k_overlap
+from .reporting import format_table, format_series, to_json, from_json
+from .experiments import (
+    run_table1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+)
+from .manifest import ArtifactRecord, ReproductionManifest, run_all
+
+__all__ = [
+    "percentile_of",
+    "percentile_gain",
+    "bucket_counts",
+    "spam_bucket_distribution",
+    "spearman_rho",
+    "kendall_tau",
+    "top_k_overlap",
+    "format_table",
+    "format_series",
+    "to_json",
+    "from_json",
+    "run_table1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_all",
+    "ArtifactRecord",
+    "ReproductionManifest",
+]

@@ -1,0 +1,67 @@
+"""Equal-size rank bucketing (the Fig. 5 protocol).
+
+"We sorted the sources in decreasing order of scores and divided the
+sources into 20 buckets of equal number of sources ... we plot the number
+of actual spam sources in each bucket."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from ..ranking.base import RankingResult
+
+__all__ = ["bucket_counts", "spam_bucket_distribution", "bucket_assignment"]
+
+
+def bucket_assignment(result: RankingResult, n_buckets: int) -> np.ndarray:
+    """Bucket index per item: 0 = top-ranked bucket, ``n_buckets - 1`` = worst.
+
+    Buckets differ in size by at most one item.
+    """
+    n_buckets = int(n_buckets)
+    if n_buckets < 1:
+        raise GraphError(f"n_buckets must be >= 1, got {n_buckets}")
+    if n_buckets > result.n:
+        raise GraphError(
+            f"cannot split {result.n} items into {n_buckets} non-empty buckets"
+        )
+    ranks = result.ranks()  # 0 = best
+    # Positions [0, n) mapped to buckets of near-equal size.
+    return (ranks * n_buckets) // result.n
+
+
+def bucket_counts(
+    result: RankingResult, members: np.ndarray, n_buckets: int = 20
+) -> np.ndarray:
+    """Count how many of ``members`` fall into each rank bucket.
+
+    Returns an ``int64`` array of length ``n_buckets``; index 0 is the
+    bucket of top-ranked items (Fig. 5's x-axis runs 1..20 the same way).
+    """
+    members = np.unique(np.asarray(members, dtype=np.int64))
+    if members.size and (members[0] < 0 or members[-1] >= result.n):
+        raise GraphError(
+            f"member ids must lie in [0, {result.n}), got range "
+            f"[{members[0]}, {members[-1]}]"
+        )
+    buckets = bucket_assignment(result, n_buckets)
+    return np.bincount(buckets[members], minlength=n_buckets).astype(np.int64)
+
+
+def spam_bucket_distribution(
+    baseline: RankingResult,
+    throttled: RankingResult,
+    spam_sources: np.ndarray,
+    n_buckets: int = 20,
+) -> dict[str, np.ndarray]:
+    """Fig. 5's two series: spam counts per bucket under both rankings."""
+    if baseline.n != throttled.n:
+        raise GraphError(
+            f"rankings cover different item counts: {baseline.n} vs {throttled.n}"
+        )
+    return {
+        "baseline": bucket_counts(baseline, spam_sources, n_buckets),
+        "throttled": bucket_counts(throttled, spam_sources, n_buckets),
+    }

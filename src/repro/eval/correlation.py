@@ -1,0 +1,48 @@
+"""Rank-agreement metrics between two rankings.
+
+Used by the weighting/κ-strategy ablations to quantify how much a defence
+perturbs the ranking of *legitimate* sources (a defence that scrambles the
+whole ranking is useless even if it demotes spam).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from ..errors import GraphError
+from ..ranking.base import RankingResult
+
+__all__ = ["spearman_rho", "kendall_tau", "top_k_overlap"]
+
+
+def _paired_scores(a: RankingResult, b: RankingResult) -> tuple[np.ndarray, np.ndarray]:
+    if a.n != b.n:
+        raise GraphError(f"rankings cover different item counts: {a.n} vs {b.n}")
+    return a.scores, b.scores
+
+
+def spearman_rho(a: RankingResult, b: RankingResult) -> float:
+    """Spearman rank correlation of two rankings over the same items."""
+    x, y = _paired_scores(a, b)
+    rho, _ = stats.spearmanr(x, y)
+    return float(rho)
+
+
+def kendall_tau(a: RankingResult, b: RankingResult) -> float:
+    """Kendall tau-b rank correlation of two rankings over the same items."""
+    x, y = _paired_scores(a, b)
+    tau, _ = stats.kendalltau(x, y)
+    return float(tau)
+
+
+def top_k_overlap(a: RankingResult, b: RankingResult, k: int) -> float:
+    """Jaccard overlap of the two rankings' top-k sets (in [0, 1])."""
+    if a.n != b.n:
+        raise GraphError(f"rankings cover different item counts: {a.n} vs {b.n}")
+    k = int(k)
+    if not 1 <= k <= a.n:
+        raise GraphError(f"k must lie in [1, {a.n}], got {k}")
+    sa = set(a.top(k).tolist())
+    sb = set(b.top(k).tolist())
+    return len(sa & sb) / len(sa | sb)

@@ -1,0 +1,188 @@
+"""Run-everything manifest: all paper artifacts in one call, persisted.
+
+:func:`run_all` executes every experiment driver (Table 1, Fig. 2–7),
+renders each artifact's series, writes both the text and a JSON form
+under an output directory, and returns a :class:`ReproductionManifest`
+summarizing what was produced — the machine-readable companion to
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..config import ExperimentParams
+from ..errors import ConfigError
+from .experiments import (
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_table1,
+)
+from .reporting import to_json
+
+__all__ = ["ArtifactRecord", "ReproductionManifest", "run_all"]
+
+
+@dataclass(frozen=True, slots=True)
+class ArtifactRecord:
+    """One regenerated paper artifact."""
+
+    artifact: str
+    seconds: float
+    text_path: str
+    json_path: str
+
+
+@dataclass(frozen=True, slots=True)
+class ReproductionManifest:
+    """Everything one :func:`run_all` invocation produced."""
+
+    out_dir: str
+    seed: int
+    records: tuple[ArtifactRecord, ...] = field(default_factory=tuple)
+
+    @property
+    def artifacts(self) -> tuple[str, ...]:
+        """Names of the regenerated artifacts, in run order."""
+        return tuple(r.artifact for r in self.records)
+
+    def total_seconds(self) -> float:
+        """Wall time across all artifacts."""
+        return sum(r.seconds for r in self.records)
+
+
+def _rows_of(result: object) -> list[dict[str, object]]:
+    """Extract JSON-able rows from a driver result (duck-typed)."""
+    if hasattr(result, "rows"):  # Table1Result
+        return [dict(r) for r in result.rows]  # type: ignore[attr-defined]
+    if hasattr(result, "curves"):  # Fig2Result
+        rows = []
+        for i, kappa in enumerate(result.kappas):  # type: ignore[attr-defined]
+            row: dict[str, object] = {"kappa": float(kappa)}
+            for alpha, curve in result.curves.items():  # type: ignore[attr-defined]
+                row[f"alpha_{alpha:g}"] = float(curve[i])
+            rows.append(row)
+        return rows
+    if hasattr(result, "analytic_pct"):  # Fig3Result
+        rows = []
+        for i, kp in enumerate(result.kappa_primes):  # type: ignore[attr-defined]
+            row = {"kappa_prime": float(kp), "analytic_pct": float(result.analytic_pct[i])}  # type: ignore[attr-defined]
+            if result.empirical_pct is not None:  # type: ignore[attr-defined]
+                row["empirical_pct"] = float(result.empirical_pct[i])  # type: ignore[attr-defined]
+            rows.append(row)
+        return rows
+    if hasattr(result, "srsr_curves"):  # Fig4Result
+        rows = []
+        for i, tau in enumerate(result.taus):  # type: ignore[attr-defined]
+            row = {"tau": int(tau), "pagerank": float(result.pagerank_curve[i])}  # type: ignore[attr-defined]
+            for kappa, curve in result.srsr_curves.items():  # type: ignore[attr-defined]
+                row[f"srsr_k{kappa:g}"] = float(curve[i])
+            rows.append(row)
+        return rows
+    if hasattr(result, "baseline_counts"):  # Fig5Result
+        return [
+            {
+                "bucket": i + 1,
+                "baseline": int(result.baseline_counts[i]),  # type: ignore[attr-defined]
+                "throttled": int(result.throttled_counts[i]),  # type: ignore[attr-defined]
+            }
+            for i in range(result.n_buckets)  # type: ignore[attr-defined]
+        ]
+    if hasattr(result, "pagerank_records"):  # Fig67Result
+        return [
+            {
+                "case": pr.case,
+                "pagerank_pct_gain": pr.mean_percentile_gain,
+                "srsr_pct_gain": sr.mean_percentile_gain,
+            }
+            for pr, sr in zip(result.pagerank_records, result.srsr_records)  # type: ignore[attr-defined]
+        ]
+    raise ConfigError(f"unknown driver result type: {type(result).__name__}")
+
+
+def run_all(
+    out_dir: str | Path,
+    *,
+    params: ExperimentParams | None = None,
+    datasets: tuple[str, ...] = ("uk2002_like", "it2004_like", "wb2001_like"),
+    fig5_dataset: str | None = None,
+    empirical: bool = True,
+) -> ReproductionManifest:
+    """Regenerate every paper artifact and persist text + JSON forms.
+
+    Parameters
+    ----------
+    out_dir:
+        Directory for the artifact files (created if missing).
+    params:
+        Experiment protocol knobs (paper defaults when omitted).
+    datasets:
+        Datasets for the Fig. 6/7 sweeps (Table 1 always uses the three
+        paper analogues unless you shrink this tuple).
+    fig5_dataset:
+        Dataset for Fig. 5 (defaults to the last entry of ``datasets``,
+        the paper's WB2001 role).
+    empirical:
+        Also run the Fig. 3/4 attack simulations.
+    """
+    params = params or ExperimentParams()
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    fig5_dataset = fig5_dataset or datasets[-1]
+
+    jobs: list[tuple[str, object]] = []
+
+    def run(name: str, fn, *args, **kwargs) -> None:
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        jobs.append((name, (result, time.perf_counter() - start)))
+
+    run("table1", run_table1, tuple(datasets))
+    run("fig2", run_fig2)
+    run("fig3", run_fig3, empirical=empirical)
+    for scenario in (1, 2, 3):
+        run(f"fig4_scenario{scenario}", run_fig4, scenario, empirical=empirical)
+    run("fig5", run_fig5, fig5_dataset, params)
+    for ds in datasets:
+        run(f"fig6_{ds}", run_fig6, ds, params)
+    for ds in datasets:
+        run(f"fig7_{ds}", run_fig7, ds, params)
+
+    records = []
+    for name, (result, seconds) in jobs:
+        text_path = out / f"{name}.txt"
+        text_path.write_text(result.format() + "\n", encoding="utf-8")  # type: ignore[attr-defined]
+        json_path = out / f"{name}.json"
+        to_json(
+            _rows_of(result),
+            json_path,
+            meta={"artifact": name, "seed": params.seed, "seconds": seconds},
+        )
+        records.append(
+            ArtifactRecord(
+                artifact=name,
+                seconds=seconds,
+                text_path=str(text_path),
+                json_path=str(json_path),
+            )
+        )
+    manifest = ReproductionManifest(
+        out_dir=str(out), seed=params.seed, records=tuple(records)
+    )
+    to_json(
+        [
+            {"artifact": r.artifact, "seconds": r.seconds, "json": r.json_path}
+            for r in records
+        ],
+        out / "manifest.json",
+        meta={"seed": params.seed, "total_seconds": manifest.total_seconds()},
+    )
+    return manifest

@@ -1,0 +1,26 @@
+"""Percentile-rank helpers (the Fig. 6/7 metric).
+
+Thin wrappers around :meth:`repro.ranking.base.RankingResult.percentiles`
+for single items, so experiment code reads like the paper's prose ("the
+PageRank of the target page jumped 80 percentile points").
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..ranking.base import RankingResult
+
+__all__ = ["percentile_of", "percentile_gain"]
+
+
+def percentile_of(result: RankingResult, item: int) -> float:
+    """Ranking percentile of one item (100 = best, tie-averaged)."""
+    item = int(item)
+    if not 0 <= item < result.n:
+        raise GraphError(f"item {item} out of range for {result.n} ranked items")
+    return float(result.percentiles()[item])
+
+
+def percentile_gain(before: RankingResult, after: RankingResult, item: int) -> float:
+    """Percentile-point change of ``item`` between two rankings."""
+    return percentile_of(after, item) - percentile_of(before, item)

@@ -1,0 +1,122 @@
+"""Fixed-width table and series rendering for experiment output.
+
+The benchmark harness prints "the same rows/series the paper reports";
+these helpers keep that output aligned and dependency-free.
+:func:`to_json` / :func:`from_json` additionally persist result rows in a
+machine-readable form so downstream plotting can consume the artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "to_json", "from_json"]
+
+
+def _fmt_cell(value: object, width: int) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            text = f"{value:.3e}"
+        else:
+            text = f"{value:,.3f}".rstrip("0").rstrip(".")
+    elif isinstance(value, (int, np.integer)):
+        text = f"{value:,}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str = "",
+) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    >>> print(format_table([{"a": 1, "b": 2.5}], title="demo"))
+    demo
+    a    b
+    -  ---
+    1  2.5
+    """
+    if not rows:
+        return title
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        c: max(len(c), *(len(_fmt_cell(r.get(c, ""), 0).strip()) for r in rows))
+        for c in columns
+    }
+    header = "  ".join(c.rjust(widths[c]) for c in columns)
+    rule = "  ".join("-" * widths[c] for c in columns)
+    body = "\n".join(
+        "  ".join(_fmt_cell(r.get(c, ""), widths[c]) for c in columns) for r in rows
+    )
+    parts = [title, header, rule, body] if title else [header, rule, body]
+    return "\n".join(parts)
+
+
+def format_series(
+    x: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_name: str = "x",
+    title: str = "",
+) -> str:
+    """Render aligned x/series columns (one figure's plotted data)."""
+    rows = []
+    for i, xi in enumerate(x):
+        row: dict[str, object] = {x_name: xi}
+        for name, values in series.items():
+            row[name] = values[i]
+        rows.append(row)
+    return format_table(rows, [x_name, *series.keys()], title=title)
+
+
+class _ResultEncoder(json.JSONEncoder):
+    """JSON encoder that understands NumPy scalars and arrays."""
+
+    def default(self, obj):  # noqa: D102 - stdlib override
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def to_json(
+    rows: Sequence[Mapping[str, object]],
+    path: str | Path | None = None,
+    *,
+    meta: Mapping[str, object] | None = None,
+) -> str:
+    """Serialize result rows (plus optional metadata) to JSON.
+
+    Returns the JSON text; also writes it to ``path`` when given.
+    """
+    payload = {"meta": dict(meta or {}), "rows": [dict(r) for r in rows]}
+    text = json.dumps(payload, indent=2, cls=_ResultEncoder, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n", encoding="utf-8")
+    return text
+
+
+def from_json(source: str | Path) -> tuple[list[dict[str, object]], dict[str, object]]:
+    """Load rows + metadata written by :func:`to_json`.
+
+    ``source`` may be a path or raw JSON text.
+    """
+    text = source
+    if isinstance(source, Path) or (
+        isinstance(source, str) and "\n" not in source and source.endswith(".json")
+    ):
+        text = Path(source).read_text(encoding="utf-8")
+    payload = json.loads(text)
+    return list(payload.get("rows", [])), dict(payload.get("meta", {}))

@@ -1,0 +1,114 @@
+"""Row-stochastic transition matrices over page and source graphs.
+
+The paper's page-level transition matrix is
+
+.. math::
+
+    M_{ij} = 1 / o(p_i) \\text{ if } (p_i, p_j) \\in L_P, \\text{ else } 0
+
+Dangling rows (``o(p_i) = 0``) are all-zero in this definition; the ranking
+engines handle the missing probability mass explicitly via a dangling
+strategy (see :mod:`repro.ranking.dangling`).  This module provides the
+vectorized assembly and normalization kernels used everywhere else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import GraphError
+from .pagegraph import PageGraph
+
+__all__ = [
+    "transition_matrix",
+    "row_normalize",
+    "row_sums",
+    "is_row_stochastic",
+]
+
+
+def transition_matrix(graph: PageGraph, dtype: np.dtype | type = np.float64) -> sp.csr_matrix:
+    """Build the uniform transition matrix ``M`` of a graph.
+
+    Each existing edge ``(i, j)`` gets probability ``1 / out_degree(i)``;
+    dangling rows are left all-zero (substochastic), matching the paper's
+    definition of ``M``.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph.
+    dtype:
+        Floating dtype of the result (default ``float64``).
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        A ``(n, n)`` row-(sub)stochastic matrix.
+    """
+    out = graph.out_degrees
+    # Per-edge inverse out-degree, expanded to CSR data layout without a
+    # Python loop: repeat each row's 1/deg across its nnz slots.
+    with np.errstate(divide="ignore"):
+        inv = np.where(out > 0, 1.0 / np.maximum(out, 1), 0.0)
+    data = np.repeat(inv, out).astype(dtype, copy=False)
+    return sp.csr_matrix(
+        (data, graph.indices.copy(), graph.indptr.copy()),
+        shape=(graph.n_nodes, graph.n_nodes),
+    )
+
+
+def row_sums(matrix: sp.spmatrix | sp.sparray) -> np.ndarray:
+    """Dense 1-D array of row sums of a sparse matrix."""
+    return np.asarray(matrix.sum(axis=1)).ravel()
+
+
+def row_normalize(matrix: sp.spmatrix | sp.sparray, *, copy: bool = True) -> sp.csr_matrix:
+    """Scale each nonzero row of ``matrix`` to sum to one.
+
+    All-zero rows are left all-zero (substochastic), mirroring the dangling
+    convention of :func:`transition_matrix`.  Negative entries are rejected
+    because transition probabilities must be non-negative.
+
+    Parameters
+    ----------
+    matrix:
+        Any scipy sparse matrix with non-negative entries.
+    copy:
+        If False and ``matrix`` is already CSR, normalize its data in place.
+    """
+    csr = sp.csr_matrix(matrix, copy=copy) if copy or not sp.issparse(matrix) else matrix.tocsr()
+    if csr.nnz and csr.data.min() < 0:
+        raise GraphError("transition weights must be non-negative")
+    sums = row_sums(csr)
+    with np.errstate(divide="ignore"):
+        scale = np.where(sums > 0, 1.0 / np.where(sums > 0, sums, 1.0), 0.0)
+    # Expand the per-row scale to per-nonzero entries via indptr differences.
+    nnz_per_row = np.diff(csr.indptr)
+    csr.data *= np.repeat(scale, nnz_per_row)
+    return csr
+
+
+def is_row_stochastic(
+    matrix: sp.spmatrix | sp.sparray,
+    *,
+    atol: float = 1e-10,
+    allow_zero_rows: bool = True,
+) -> bool:
+    """Check whether every row of ``matrix`` sums to one (within ``atol``).
+
+    Parameters
+    ----------
+    allow_zero_rows:
+        When True (default), all-zero rows — dangling nodes — also pass.
+    """
+    sums = row_sums(matrix)
+    ok = np.abs(sums - 1.0) <= atol
+    if allow_zero_rows:
+        ok |= sums == 0.0
+    nonneg = True
+    if sp.issparse(matrix):
+        coo = matrix.tocoo()
+        nonneg = bool(coo.data.size == 0 or coo.data.min() >= -atol)
+    return bool(ok.all() and nonneg)

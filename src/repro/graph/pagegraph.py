@@ -1,0 +1,298 @@
+"""Immutable CSR representation of a directed page graph.
+
+:class:`PageGraph` is the central substrate type of the library.  It stores a
+directed graph in compressed-sparse-row (CSR) form — one ``indptr`` array of
+length ``n + 1`` and one ``indices`` array holding the concatenated, sorted,
+de-duplicated successor lists.  All downstream machinery (transition
+matrices, source quotients, spam scenarios, the compressed on-disk codec)
+works off these two arrays, which keeps hot loops vectorized and memory
+contiguous per the HPC guidance for this project.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import EmptyGraphError, GraphError, NodeIndexError
+
+__all__ = ["PageGraph"]
+
+
+def _as_index_array(values: np.ndarray | list[int], name: str) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise GraphError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    return arr.astype(np.int64, copy=False)
+
+
+class PageGraph:
+    """A directed graph over ``n`` integer-labelled nodes in CSR form.
+
+    Instances are immutable: the underlying arrays are flagged read-only and
+    every transform returns a new graph.  Construct instances either from raw
+    CSR arrays (:meth:`__init__`), from an edge list
+    (:meth:`from_edges`), or from a scipy sparse matrix
+    (:meth:`from_scipy`).
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n_nodes + 1``; row ``i``'s successors are
+        ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        ``int64`` array of successor node ids, sorted and de-duplicated
+        within each row.
+    n_nodes:
+        Number of nodes.  May exceed ``indices.max() + 1`` to represent
+        isolated trailing nodes.
+    validate:
+        When True (default) the CSR invariants are checked; disable only for
+        arrays produced by trusted internal code on hot paths.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_n_nodes", "_out_degrees")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        n_nodes: int | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        indptr = _as_index_array(indptr, "indptr")
+        indices = _as_index_array(indices, "indices")
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphError("indptr and indices must be one-dimensional")
+        if indptr.size == 0:
+            raise GraphError("indptr must have at least one entry")
+        inferred_n = indptr.size - 1
+        if n_nodes is None:
+            n_nodes = inferred_n
+        elif int(n_nodes) != inferred_n:
+            raise GraphError(
+                f"n_nodes={n_nodes} inconsistent with indptr of length {indptr.size}"
+            )
+        n_nodes = int(n_nodes)
+
+        if validate:
+            if indptr[0] != 0 or indptr[-1] != indices.size:
+                raise GraphError(
+                    "indptr must start at 0 and end at len(indices) "
+                    f"(got {indptr[0]}..{indptr[-1]}, len(indices)={indices.size})"
+                )
+            if np.any(np.diff(indptr) < 0):
+                raise GraphError("indptr must be non-decreasing")
+            if indices.size:
+                if indices.min() < 0 or indices.max() >= n_nodes:
+                    raise GraphError(
+                        f"edge targets must lie in [0, {n_nodes}); "
+                        f"got range [{indices.min()}, {indices.max()}]"
+                    )
+                # Rows must be strictly increasing => sorted and de-duplicated.
+                row_starts = indptr[:-1]
+                diffs = np.diff(indices)
+                # Positions where a new row begins (the diff there is allowed
+                # to be anything).
+                boundary = np.zeros(indices.size - 1, dtype=bool) if indices.size > 1 else None
+                if boundary is not None:
+                    interior_starts = row_starts[(row_starts > 0) & (row_starts < indices.size)]
+                    boundary[interior_starts - 1] = True
+                    if np.any((diffs <= 0) & ~boundary):
+                        raise GraphError(
+                            "successor lists must be sorted and de-duplicated within rows"
+                        )
+
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        self._indptr = indptr
+        self._indices = indices
+        self._n_nodes = n_nodes
+        out = np.diff(indptr).astype(np.int64)
+        out.setflags(write=False)
+        self._out_degrees = out
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        src: np.ndarray | list[int],
+        dst: np.ndarray | list[int],
+        n_nodes: int | None = None,
+    ) -> "PageGraph":
+        """Build a graph from parallel source/target arrays.
+
+        Duplicate edges are collapsed (the paper's transition matrices are
+        0/1 on the page level) and successor lists are sorted.
+        """
+        src = _as_index_array(src, "src")
+        dst = _as_index_array(dst, "dst")
+        if src.shape != dst.shape:
+            raise GraphError(
+                f"src and dst must have equal length, got {src.size} and {dst.size}"
+            )
+        if src.size:
+            lo = min(src.min(), dst.min())
+            if lo < 0:
+                raise GraphError("node ids must be non-negative")
+            hi = int(max(src.max(), dst.max())) + 1
+        else:
+            hi = 0
+        if n_nodes is None:
+            n_nodes = hi
+        elif n_nodes < hi:
+            raise GraphError(f"n_nodes={n_nodes} smaller than max node id {hi - 1}")
+        n_nodes = int(n_nodes)
+        if src.size == 0:
+            return cls(np.zeros(n_nodes + 1, dtype=np.int64), np.empty(0, dtype=np.int64), n_nodes, validate=False)
+
+        # Sort by (src, dst) then collapse duplicates — fully vectorized.
+        order = np.lexsort((dst, src))
+        src_sorted = src[order]
+        dst_sorted = dst[order]
+        keep = np.ones(src_sorted.size, dtype=bool)
+        keep[1:] = (src_sorted[1:] != src_sorted[:-1]) | (dst_sorted[1:] != dst_sorted[:-1])
+        src_u = src_sorted[keep]
+        dst_u = dst_sorted[keep]
+        counts = np.bincount(src_u, minlength=n_nodes)
+        indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst_u.astype(np.int64, copy=False), n_nodes, validate=False)
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix | sp.sparray) -> "PageGraph":
+        """Build a graph from any scipy sparse matrix (nonzeros = edges)."""
+        csr = sp.csr_matrix(matrix)
+        if csr.shape[0] != csr.shape[1]:
+            raise GraphError(f"adjacency matrix must be square, got {csr.shape}")
+        csr.sum_duplicates()
+        csr.sort_indices()
+        csr.eliminate_zeros()
+        return cls(
+            csr.indptr.astype(np.int64),
+            csr.indices.astype(np.int64),
+            csr.shape[0],
+            validate=False,
+        )
+
+    @classmethod
+    def empty(cls, n_nodes: int) -> "PageGraph":
+        """An edgeless graph over ``n_nodes`` nodes."""
+        if n_nodes < 0:
+            raise GraphError(f"n_nodes must be >= 0, got {n_nodes}")
+        return cls(
+            np.zeros(int(n_nodes) + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            int(n_nodes),
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        """Number of (de-duplicated) directed edges."""
+        return int(self._indices.size)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only CSR row-pointer array of length ``n_nodes + 1``."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only CSR column-index array (concatenated successor lists)."""
+        return self._indices
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Read-only ``int64`` array of out-degrees."""
+        return self._out_degrees
+
+    def in_degrees(self) -> np.ndarray:
+        """Compute the in-degree of every node (O(edges))."""
+        return np.bincount(self._indices, minlength=self._n_nodes).astype(np.int64)
+
+    def successors(self, node: int) -> np.ndarray:
+        """Sorted successor ids of ``node`` (read-only view, O(1))."""
+        node = int(node)
+        if not 0 <= node < self._n_nodes:
+            raise NodeIndexError(node, self._n_nodes)
+        return self._indices[self._indptr[node] : self._indptr[node + 1]]
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """True if the directed edge ``(src, dst)`` exists (O(log deg))."""
+        row = self.successors(src)
+        dst = int(dst)
+        if not 0 <= dst < self._n_nodes:
+            raise NodeIndexError(dst, self._n_nodes)
+        pos = np.searchsorted(row, dst)
+        return bool(pos < row.size and row[pos] == dst)
+
+    def dangling_mask(self) -> np.ndarray:
+        """Boolean mask of nodes with no out-edges."""
+        return self._out_degrees == 0
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(src, dst)`` parallel edge arrays (copies)."""
+        src = np.repeat(np.arange(self._n_nodes, dtype=np.int64), self._out_degrees)
+        return src, self._indices.copy()
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges as Python int pairs (slow path; tests/IO only)."""
+        src, dst = self.edge_arrays()
+        for s, d in zip(src.tolist(), dst.tolist()):
+            yield s, d
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_scipy(self, dtype: np.dtype | type = np.float64) -> sp.csr_matrix:
+        """Return the adjacency matrix as a scipy CSR matrix of ones."""
+        return sp.csr_matrix(
+            (
+                np.ones(self._indices.size, dtype=dtype),
+                self._indices.astype(np.int32)
+                if self._n_nodes < np.iinfo(np.int32).max
+                else self._indices,
+                self._indptr,
+            ),
+            shape=(self._n_nodes, self._n_nodes),
+        )
+
+    def require_nonempty(self) -> None:
+        """Raise :class:`EmptyGraphError` if the graph has no nodes."""
+        if self._n_nodes == 0:
+            raise EmptyGraphError("operation requires a graph with at least one node")
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PageGraph):
+            return NotImplemented
+        return (
+            self._n_nodes == other._n_nodes
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash for sets
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"PageGraph(n_nodes={self._n_nodes}, n_edges={self.n_edges})"

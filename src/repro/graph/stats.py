@@ -1,0 +1,150 @@
+"""Graph statistics: degree distributions, link locality, summary records.
+
+The synthetic dataset generators are validated against these statistics —
+in particular :func:`intra_host_locality`, the fraction of page edges that
+stay inside their source, which the link-locality literature the paper cites
+([7, 13, 14, 23]) reports at roughly 75–80 % for real crawls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError
+from .pagegraph import PageGraph
+
+__all__ = [
+    "GraphStats",
+    "compute_stats",
+    "degree_histogram",
+    "intra_host_locality",
+    "gini_coefficient",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GraphStats:
+    """Summary statistics of a directed graph."""
+
+    n_nodes: int
+    n_edges: int
+    n_dangling: int
+    n_isolated: int
+    max_out_degree: int
+    max_in_degree: int
+    mean_degree: float
+    out_degree_gini: float
+    in_degree_gini: float
+    self_loops: int
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-dict view for table rendering."""
+        return {
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "n_dangling": self.n_dangling,
+            "n_isolated": self.n_isolated,
+            "max_out_degree": self.max_out_degree,
+            "max_in_degree": self.max_in_degree,
+            "mean_degree": self.mean_degree,
+            "out_degree_gini": self.out_degree_gini,
+            "in_degree_gini": self.in_degree_gini,
+            "self_loops": self.self_loops,
+        }
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = uniform, →1 = skewed).
+
+    Used to characterize degree inequality of synthetic vs paper graphs.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise GraphError("gini_coefficient requires a non-empty sample")
+    if values.min() < 0:
+        raise GraphError("gini_coefficient requires non-negative values")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    sorted_vals = np.sort(values)
+    n = sorted_vals.size
+    # Standard O(n log n) formulation via the Lorenz-curve identity.
+    coef = (2.0 * np.sum((np.arange(1, n + 1)) * sorted_vals) - (n + 1) * total) / (
+        n * total
+    )
+    return float(coef)
+
+
+def compute_stats(graph: PageGraph) -> GraphStats:
+    """Compute a :class:`GraphStats` record in a single vectorized pass."""
+    out = graph.out_degrees
+    indeg = graph.in_degrees()
+    src, dst = graph.edge_arrays()
+    self_loops = int(np.count_nonzero(src == dst)) if graph.n_edges else 0
+    n = graph.n_nodes
+    return GraphStats(
+        n_nodes=n,
+        n_edges=graph.n_edges,
+        n_dangling=int(np.count_nonzero(out == 0)),
+        n_isolated=int(np.count_nonzero((out == 0) & (indeg == 0))),
+        max_out_degree=int(out.max()) if n else 0,
+        max_in_degree=int(indeg.max()) if n else 0,
+        mean_degree=float(graph.n_edges / n) if n else 0.0,
+        out_degree_gini=gini_coefficient(out) if n else 0.0,
+        in_degree_gini=gini_coefficient(indeg) if n else 0.0,
+        self_loops=self_loops,
+    )
+
+
+def degree_histogram(degrees: np.ndarray, *, log_bins: bool = False, n_bins: int = 32) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of a degree array.
+
+    Parameters
+    ----------
+    log_bins:
+        When True, use logarithmically spaced bins (standard for
+        heavy-tailed web degree distributions).
+
+    Returns
+    -------
+    (bin_edges, counts)
+    """
+    degrees = np.asarray(degrees)
+    if degrees.size == 0:
+        raise GraphError("degree_histogram requires a non-empty degree array")
+    max_deg = int(degrees.max())
+    if log_bins:
+        upper = max(max_deg, 1)
+        edges = np.unique(
+            np.concatenate(
+                [[0.0], np.logspace(0, np.log10(upper + 1), num=n_bins)]
+            )
+        )
+    else:
+        edges = np.arange(max_deg + 2, dtype=np.float64)
+    counts, edges = np.histogram(degrees, bins=edges)
+    return edges, counts
+
+
+def intra_host_locality(graph: PageGraph, assignment: np.ndarray) -> float:
+    """Fraction of edges whose endpoints share a source.
+
+    Parameters
+    ----------
+    graph:
+        The page graph.
+    assignment:
+        ``int`` array mapping page id to source id (length ``n_nodes``).
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.n_nodes,):
+        raise GraphError(
+            f"assignment must have shape ({graph.n_nodes},), got {assignment.shape}"
+        )
+    if graph.n_edges == 0:
+        return 0.0
+    src, dst = graph.edge_arrays()
+    same = assignment[src] == assignment[dst]
+    return float(np.count_nonzero(same) / graph.n_edges)

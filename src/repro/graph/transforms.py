@@ -1,0 +1,112 @@
+"""Structural graph transforms: reverse, subgraph, relabel, edge overlay.
+
+All transforms are pure — they return new :class:`PageGraph` instances — and
+vectorized, operating directly on the CSR arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .pagegraph import PageGraph
+
+__all__ = [
+    "reverse_graph",
+    "induced_subgraph",
+    "relabel_graph",
+    "add_edges",
+    "remove_self_loops",
+]
+
+
+def reverse_graph(graph: PageGraph) -> PageGraph:
+    """Return the graph with every edge direction flipped.
+
+    Used by the spam-proximity computation (Section 5), which runs a biased
+    random walk on the *inverted* source graph ``G'_S``.
+    """
+    src, dst = graph.edge_arrays()
+    return PageGraph.from_edges(dst, src, graph.n_nodes)
+
+
+def induced_subgraph(graph: PageGraph, nodes: np.ndarray | list[int]) -> tuple[PageGraph, np.ndarray]:
+    """Restrict the graph to ``nodes`` and relabel them densely.
+
+    Returns ``(subgraph, kept)`` where ``kept`` is the sorted array of
+    original node ids; node ``kept[i]`` becomes node ``i`` of the subgraph.
+    """
+    keep = np.unique(np.asarray(nodes, dtype=np.int64))
+    if keep.size and (keep[0] < 0 or keep[-1] >= graph.n_nodes):
+        raise GraphError(
+            f"subgraph nodes must lie in [0, {graph.n_nodes}), got range "
+            f"[{keep[0]}, {keep[-1]}]"
+        )
+    # Dense old->new map; -1 marks dropped nodes.
+    remap = np.full(graph.n_nodes, -1, dtype=np.int64)
+    remap[keep] = np.arange(keep.size, dtype=np.int64)
+    src, dst = graph.edge_arrays()
+    mask = (remap[src] >= 0) & (remap[dst] >= 0)
+    sub = PageGraph.from_edges(remap[src[mask]], remap[dst[mask]], keep.size)
+    return sub, keep
+
+
+def relabel_graph(graph: PageGraph, mapping: np.ndarray) -> PageGraph:
+    """Apply a node permutation: new id of node ``i`` is ``mapping[i]``.
+
+    ``mapping`` must be a permutation of ``range(n_nodes)``.
+    """
+    mapping = np.asarray(mapping, dtype=np.int64)
+    if mapping.shape != (graph.n_nodes,):
+        raise GraphError(
+            f"mapping must have shape ({graph.n_nodes},), got {mapping.shape}"
+        )
+    seen = np.zeros(graph.n_nodes, dtype=bool)
+    valid = (mapping >= 0) & (mapping < graph.n_nodes)
+    if not valid.all():
+        raise GraphError("mapping values out of range")
+    seen[mapping] = True
+    if not seen.all():
+        raise GraphError("mapping must be a permutation (has repeats/gaps)")
+    src, dst = graph.edge_arrays()
+    return PageGraph.from_edges(mapping[src], mapping[dst], graph.n_nodes)
+
+
+def add_edges(
+    graph: PageGraph,
+    src: np.ndarray | list[int],
+    dst: np.ndarray | list[int],
+    n_nodes: int | None = None,
+) -> PageGraph:
+    """Overlay new edges (and possibly new nodes) onto an existing graph.
+
+    This is the primitive the spam scenarios use to inject attack pages: the
+    original graph is untouched and a new graph with the union edge set is
+    returned.  ``n_nodes`` may exceed the current node count to create fresh
+    spam pages.
+    """
+    new_src = np.asarray(src, dtype=np.int64)
+    new_dst = np.asarray(dst, dtype=np.int64)
+    if new_src.shape != new_dst.shape:
+        raise GraphError("src and dst must have equal length")
+    base_src, base_dst = graph.edge_arrays()
+    all_src = np.concatenate([base_src, new_src])
+    all_dst = np.concatenate([base_dst, new_dst])
+    if n_nodes is None:
+        hi = graph.n_nodes
+        if new_src.size:
+            hi = max(hi, int(new_src.max()) + 1, int(new_dst.max()) + 1)
+        n_nodes = hi
+    return PageGraph.from_edges(all_src, all_dst, int(n_nodes))
+
+
+def remove_self_loops(graph: PageGraph) -> PageGraph:
+    """Drop every ``(i, i)`` edge.
+
+    The page graph conventionally has no self-loops; the *source* graph, by
+    contrast, requires them (Section 3.3) — this helper is for the page
+    level and for tests.
+    """
+    src, dst = graph.edge_arrays()
+    mask = src != dst
+    return PageGraph.from_edges(src[mask], dst[mask], graph.n_nodes)

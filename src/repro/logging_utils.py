@@ -1,0 +1,67 @@
+"""Library logging helpers.
+
+The library never configures the root logger; it logs under the ``"repro"``
+namespace and stays silent unless the host application opts in (standard
+library-logging etiquette).  :func:`enable_console_logging` is a convenience
+for scripts and benchmarks.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["get_logger", "enable_console_logging", "log_duration"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger in the library namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix under ``"repro"``; ``None`` returns the library root
+        logger.  Passing a fully-qualified module ``__name__`` that already
+        starts with ``repro`` is also accepted.
+    """
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the library root logger.
+
+    Returns the handler so callers can detach it again.  Calling this twice
+    does not duplicate handlers.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_console", False):
+            logger.setLevel(level)
+            return handler
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    handler._repro_console = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler
+
+
+@contextmanager
+def log_duration(logger: logging.Logger, label: str) -> Iterator[None]:
+    """Log the wall-clock duration of the enclosed block at DEBUG level."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        logger.debug("%s took %.3f s", label, elapsed)

@@ -1,0 +1,28 @@
+"""HPC kernels: cache-blocked and multiprocessing-parallel sparse matvec.
+
+The ranking engines spend essentially all their time in the transpose
+matvec ``x <- T^T x`` (one per power iteration).  This package provides
+three interchangeable kernels:
+
+* :func:`~repro.parallel.chunked.chunked_rmatvec` — row-chunk streaming over
+  the CSR arrays, keeping the working set inside cache for very large
+  matrices;
+* :class:`~repro.parallel.shared.SharedCsrMatvec` — a multiprocessing pool
+  over shared-memory CSR blocks (no pickling of matrix data per call);
+* plain ``scipy`` (``matrix.T @ x``) as the baseline.
+
+``benchmarks/bench_ablation_kernels.py`` compares the three, per the HPC
+guide's "no optimization without measuring" rule.
+"""
+
+from .chunked import chunked_rmatvec, chunked_matvec
+from .shared import SharedCsrMatvec
+from .executor import WorkerPool, effective_workers
+
+__all__ = [
+    "chunked_rmatvec",
+    "chunked_matvec",
+    "SharedCsrMatvec",
+    "WorkerPool",
+    "effective_workers",
+]

@@ -1,0 +1,126 @@
+"""Cache-blocked CSR matrix-vector kernels.
+
+A CSR transpose-matvec (``y = A^T x``) visits ``indices`` sequentially but
+scatters into ``y`` at arbitrary positions.  Processing the matrix in row
+chunks bounds the scatter working set per chunk and lets NumPy reuse hot
+cache lines — the "beware of cache effects" idiom from the HPC guide.  For
+the forward matvec the same chunking bounds the *gather* set.
+
+These kernels operate on raw CSR arrays so they can also serve the
+shared-memory parallel path without re-wrapping scipy objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import GraphError
+
+__all__ = ["chunked_rmatvec", "chunked_matvec", "DEFAULT_CHUNK_ROWS"]
+
+#: Default rows per chunk: ~64k rows keeps indptr/data slices comfortably
+#: inside L2 for typical web-graph densities (10-20 nnz/row).
+DEFAULT_CHUNK_ROWS = 65_536
+
+
+def _check_inputs(matrix: sp.csr_matrix, x: np.ndarray) -> np.ndarray:
+    if not sp.issparse(matrix) or matrix.format != "csr":
+        raise GraphError("kernel requires a scipy CSR matrix")
+    x = np.asarray(x, dtype=np.float64).ravel()
+    if x.size != matrix.shape[0] and x.size != matrix.shape[1]:
+        raise GraphError(
+            f"vector length {x.size} incompatible with matrix shape {matrix.shape}"
+        )
+    return x
+
+
+def chunked_rmatvec(
+    matrix: sp.csr_matrix,
+    x: np.ndarray,
+    *,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute ``y = matrix.T @ x`` in row chunks.
+
+    Parameters
+    ----------
+    matrix:
+        CSR matrix of shape ``(m, n)``.
+    x:
+        Dense vector of length ``m``.
+    chunk_rows:
+        Rows processed per block.
+    out:
+        Optional preallocated output of length ``n`` (zeroed in place) —
+        the in-place-operations idiom: reuse buffers across power
+        iterations instead of allocating per call.
+    """
+    x = _check_inputs(matrix, x)
+    m, n = matrix.shape
+    if x.size != m:
+        raise GraphError(f"rmatvec needs len(x) == {m}, got {x.size}")
+    if out is None:
+        out = np.zeros(n, dtype=np.float64)
+    else:
+        if out.size != n:
+            raise GraphError(f"out must have length {n}, got {out.size}")
+        out[:] = 0.0
+    if chunk_rows < 1:
+        raise GraphError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    for start in range(0, m, chunk_rows):
+        stop = min(start + chunk_rows, m)
+        lo, hi = indptr[start], indptr[stop]
+        if lo == hi:
+            continue
+        rows = np.repeat(
+            np.arange(start, stop, dtype=np.int64),
+            np.diff(indptr[start : stop + 1]),
+        )
+        # Scatter-add the chunk's contributions: y[j] += A[i, j] * x[i].
+        np.add.at(out, indices[lo:hi], data[lo:hi] * x[rows])
+    return out
+
+
+def chunked_matvec(
+    matrix: sp.csr_matrix,
+    x: np.ndarray,
+    *,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute ``y = matrix @ x`` in row chunks (gather form).
+
+    Each chunk reduces its gathered products with
+    :func:`numpy.add.reduceat` over the chunk-local ``indptr`` — no Python
+    loop over rows.
+    """
+    x = _check_inputs(matrix, x)
+    m, n = matrix.shape
+    if x.size != n:
+        raise GraphError(f"matvec needs len(x) == {n}, got {x.size}")
+    if out is None:
+        out = np.zeros(m, dtype=np.float64)
+    else:
+        if out.size != m:
+            raise GraphError(f"out must have length {m}, got {out.size}")
+        out[:] = 0.0
+    if chunk_rows < 1:
+        raise GraphError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    for start in range(0, m, chunk_rows):
+        stop = min(start + chunk_rows, m)
+        lo, hi = int(indptr[start]), int(indptr[stop])
+        if lo == hi:
+            continue
+        local_ptr = (indptr[start : stop + 1] - lo).astype(np.int64)
+        products = data[lo:hi] * x[indices[lo:hi]]
+        nonempty = np.diff(local_ptr) > 0
+        # reduceat needs strictly valid segment starts; empty rows yield 0.
+        seg_starts = local_ptr[:-1][nonempty]
+        sums = np.add.reduceat(products, seg_starts) if seg_starts.size else np.empty(0)
+        row_ids = np.arange(start, stop, dtype=np.int64)[nonempty]
+        out[row_ids] = sums
+    return out

@@ -1,0 +1,65 @@
+"""Worker-pool lifecycle helpers for the shared-memory kernels."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable
+
+from ..errors import ConfigError
+
+__all__ = ["effective_workers", "WorkerPool"]
+
+
+def effective_workers(requested: int | None = None) -> int:
+    """Resolve a worker count: ``None`` → ``min(cpu_count, 8)``, floor 1.
+
+    The cap avoids oversubscription on many-core boxes where the matvec is
+    memory-bandwidth bound long before it is core bound.
+    """
+    available = os.cpu_count() or 1
+    if requested is None:
+        return max(1, min(available, 8))
+    requested = int(requested)
+    if requested < 1:
+        raise ConfigError(f"worker count must be >= 1, got {requested}")
+    return requested
+
+
+class WorkerPool:
+    """Thin context-managed wrapper around :class:`ProcessPoolExecutor`.
+
+    Uses the ``fork`` start method where available so shared, read-only
+    NumPy arrays in the parent are inherited copy-on-write by workers —
+    matrix data is never pickled per task (the mpi4py guide's "communicate
+    buffers, not pickles" principle translated to multiprocessing).
+    """
+
+    def __init__(self, n_workers: int | None = None, initializer: Callable[..., None] | None = None, initargs: tuple = ()) -> None:
+        self.n_workers = effective_workers(n_workers)
+        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=ctx,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def map(self, fn: Callable, iterable, chunksize: int = 1):
+        """Parallel map preserving input order."""
+        return self._executor.map(fn, iterable, chunksize=chunksize)
+
+    def submit(self, fn: Callable, *args, **kwargs):
+        """Submit a single task; returns a future."""
+        return self._executor.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        """Shut the pool down, waiting for in-flight tasks."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -1,0 +1,165 @@
+"""BlockRank-style two-level PageRank acceleration (Kamvar et al. [23]).
+
+The paper's source view is motivated by the same block structure of the
+Web that Kamvar et al. exploit *computationally*: pages link mostly
+within their host, so the global PageRank is well-approximated by
+stitching together per-source local PageRanks weighted by a source-level
+ranking — and that approximation is an excellent warm start for the
+global power iteration.
+
+Algorithm:
+
+1. for each source, compute the local PageRank of its induced page
+   subgraph (all sources solved simultaneously: the block-diagonal
+   system is one big sparse matrix, so one power iteration drives every
+   block at once);
+2. aggregate the page transition matrix into a source-level chain
+   weighted by the local mass
+   (``B_ij = sum_{p in i} local[p] * M[p, pages of j]`` — Kamvar et
+   al.'s BlockRank matrix, *not* the paper's consensus weighting, which
+   approximates a different quantity) and rank the sources on it;
+3. initial global vector: ``x0[p] = local[p] * block_score[s(p)]``;
+4. finish with the standard global power iteration.
+
+``bench_ablation_blockrank.py`` measures the iteration savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..config import RankingParams
+from ..errors import SourceAssignmentError
+from ..graph.matrix import row_normalize, transition_matrix
+from ..graph.pagegraph import PageGraph
+from ..sources.assignment import SourceAssignment
+from .base import RankingResult
+from .power import power_iteration
+
+__all__ = ["blockrank", "BlockRankResult", "local_pagerank"]
+
+
+@dataclass(frozen=True, slots=True)
+class BlockRankResult:
+    """Global PageRank plus the intermediate two-level artifacts."""
+
+    global_ranking: RankingResult
+    local_scores: np.ndarray
+    source_ranking: RankingResult
+    warm_start_iterations: int
+    cold_iterations: int | None = None
+
+
+def local_pagerank(
+    graph: PageGraph,
+    assignment: SourceAssignment,
+    params: RankingParams,
+) -> np.ndarray:
+    """Per-source local PageRank of every page, all blocks at once.
+
+    The intra-source subgraph of every source is extracted into a single
+    block-diagonal transition matrix (edges crossing sources are simply
+    dropped), and one teleporting power iteration over it converges every
+    block simultaneously.  The result is normalized to sum to one
+    *within each source*.
+    """
+    if assignment.n_pages != graph.n_nodes:
+        raise SourceAssignmentError(
+            f"assignment covers {assignment.n_pages} pages, graph has "
+            f"{graph.n_nodes}"
+        )
+    src, dst = graph.edge_arrays()
+    a = assignment.page_to_source
+    mask = a[src] == a[dst]
+    intra = sp.csr_matrix(
+        (np.ones(int(mask.sum())), (src[mask], dst[mask])),
+        shape=(graph.n_nodes, graph.n_nodes),
+    )
+    intra = row_normalize(intra, copy=False)
+    # Per-block teleportation: uniform within each source.
+    sizes = assignment.source_sizes.astype(np.float64)
+    teleport = 1.0 / sizes[a]
+    teleport /= teleport.sum()
+    local = power_iteration(
+        intra,
+        params,
+        teleport=teleport,
+        dangling="teleport",
+        label="local-pagerank",
+    ).scores.copy()
+    # Renormalize within each source so each block is a distribution.
+    block_mass = np.bincount(a, weights=local, minlength=assignment.n_sources)
+    local /= block_mass[a]
+    return local
+
+
+def blockrank(
+    graph: PageGraph,
+    assignment: SourceAssignment,
+    params: RankingParams | None = None,
+    *,
+    measure_cold: bool = False,
+) -> BlockRankResult:
+    """Two-level (BlockRank-style) global PageRank.
+
+    Parameters
+    ----------
+    graph, assignment:
+        The page graph and its page→source map.
+    params:
+        Mixing parameter and stopping rule for every stage.
+    measure_cold:
+        When True, also run the cold-start global iteration and record
+        its iteration count for comparison (used by the ablation bench).
+
+    Returns
+    -------
+    BlockRankResult
+        The global ranking (identical fixed point to plain
+        :func:`~repro.ranking.pagerank.pagerank`) plus stage artifacts.
+    """
+    params = params or RankingParams()
+    local = local_pagerank(graph, assignment, params)
+
+    # Kamvar et al.'s aggregation: B = S^T diag(local) M S where S is the
+    # page->source indicator.  Fully sparse; dangling page mass simply
+    # leaks (linear semantics) as in the global iteration.
+    a = assignment.page_to_source
+    n_s = assignment.n_sources
+    matrix = transition_matrix(graph)
+    scaled = sp.diags(local) @ matrix
+    indicator = sp.csr_matrix(
+        (np.ones(graph.n_nodes), (np.arange(graph.n_nodes), a)),
+        shape=(graph.n_nodes, n_s),
+    )
+    block = (indicator.T @ scaled @ indicator).tocsr()
+    # Aggregated teleport: a uniform page teleport lands in source i with
+    # probability size_i / n.
+    agg_teleport = assignment.source_sizes.astype(np.float64)
+    agg_teleport /= agg_teleport.sum()
+    source_ranking = power_iteration(
+        block, params, teleport=agg_teleport, label="blockrank-aggregate"
+    )
+    x0 = local * source_ranking.scores[a]
+    x0 /= x0.sum()
+
+
+    warm = power_iteration(
+        matrix, params, x0=x0, dangling="teleport", label="blockrank"
+    )
+    cold_iters = None
+    if measure_cold:
+        cold = power_iteration(
+            matrix, params, dangling="teleport", label="pagerank-cold"
+        )
+        cold_iters = cold.convergence.iterations
+    return BlockRankResult(
+        global_ranking=warm,
+        local_scores=local,
+        source_ranking=source_ranking,
+        warm_start_iterations=warm.convergence.iterations,
+        cold_iterations=cold_iters,
+    )

@@ -1,0 +1,50 @@
+"""Dangling-node strategies.
+
+The paper's page matrix ``M`` leaves dangling rows all-zero, and its linear
+formulation (Eq. 3) simply lets that probability mass leak, renormalizing
+``σ/||σ||`` at the end.  Alternative conventions from the PageRank
+literature are also provided because the solver ablation compares them:
+
+* ``"linear"`` — leak + final renormalization (paper semantics, default);
+* ``"teleport"`` — redistribute dangling mass by the teleport vector each
+  iteration (strongly-preferred in Langville & Meyer [25]);
+* ``"self"`` — give each dangling node a self-loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ConfigError
+
+__all__ = ["DANGLING_STRATEGIES", "dangling_vector", "apply_self_loops"]
+
+DANGLING_STRATEGIES = ("linear", "teleport", "self")
+
+
+def dangling_vector(matrix: sp.csr_matrix, *, atol: float = 1e-12) -> np.ndarray:
+    """Boolean mask of rows whose transition mass is (numerically) zero."""
+    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    return sums <= atol
+
+
+def apply_self_loops(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Return a copy of ``matrix`` with unit self-loops on dangling rows."""
+    mask = dangling_vector(matrix)
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return matrix
+    fix = sp.coo_matrix(
+        (np.ones(idx.size), (idx, idx)), shape=matrix.shape
+    ).tocsr()
+    return (matrix + fix).tocsr()
+
+
+def check_strategy(strategy: str) -> str:
+    """Validate a dangling-strategy name."""
+    if strategy not in DANGLING_STRATEGIES:
+        raise ConfigError(
+            f"dangling strategy must be one of {DANGLING_STRATEGIES}, got {strategy!r}"
+        )
+    return strategy

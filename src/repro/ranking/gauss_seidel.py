@@ -1,0 +1,95 @@
+"""Gauss–Seidel linear-system solver for teleporting-walk rankings.
+
+Solves ``(I - alpha A^T) x = (1 - alpha) c`` with the standard splitting
+``A_sys = Lw + Up`` (lower-with-diagonal / strict-upper):
+
+.. math::
+
+    Lw \\, x_{k+1} = b - Up \\, x_k
+
+Each sweep uses :func:`scipy.sparse.linalg.spsolve_triangular`, so Python
+never loops over rows.  Gauss–Seidel typically halves the iteration count
+versus Jacobi on these systems (Gleich et al. [18] report the same), at a
+higher per-sweep cost — quantified in ``bench_ablation_solvers``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import spsolve_triangular
+
+from ..config import RankingParams
+from ..errors import ConvergenceError, GraphError
+from ..logging_utils import get_logger
+from .base import ConvergenceInfo, RankingResult
+from .power import residual_norm
+from .teleport import uniform_teleport
+
+__all__ = ["gauss_seidel_solve"]
+
+_logger = get_logger(__name__)
+
+
+def gauss_seidel_solve(
+    matrix: sp.csr_matrix,
+    params: RankingParams,
+    *,
+    teleport: np.ndarray | None = None,
+    x0: np.ndarray | None = None,
+    label: str = "",
+) -> RankingResult:
+    """Solve the ranking linear system with Gauss–Seidel sweeps.
+
+    Parameters mirror :func:`repro.ranking.power.power_iteration`; dangling
+    mass follows the paper's "linear" semantics.
+    """
+    if not sp.issparse(matrix):
+        raise GraphError("gauss_seidel_solve requires a scipy sparse matrix")
+    matrix = matrix.tocsr()
+    n = matrix.shape[0]
+    if matrix.shape[0] != matrix.shape[1]:
+        raise GraphError(f"transition matrix must be square, got {matrix.shape}")
+    c = uniform_teleport(n) if teleport is None else np.asarray(teleport, dtype=np.float64).ravel()
+    if c.size != n:
+        raise GraphError(f"teleport length {c.size} != matrix order {n}")
+    b = (1.0 - params.alpha) * c
+
+    system = (sp.identity(n, format="csr") - params.alpha * matrix.T.tocsr()).tocsr()
+    lower = sp.tril(system, k=0, format="csr")
+    upper = sp.triu(system, k=1, format="csr")
+    if (lower.diagonal() <= 0).any():
+        raise GraphError("Gauss–Seidel needs a positive system diagonal")
+
+    x = c.copy() if x0 is None else np.asarray(x0, dtype=np.float64).ravel().copy()
+    if x.size != n:
+        raise GraphError(f"x0 length {x.size} != matrix order {n}")
+
+    history: list[float] = []
+    residual = np.inf
+    iterations = 0
+    for iterations in range(1, params.max_iter + 1):
+        rhs = b - upper @ x
+        x_next = spsolve_triangular(lower, rhs, lower=True)
+        residual = residual_norm(x_next - x, params.norm)
+        history.append(residual)
+        x = x_next
+        if residual < params.tolerance:
+            break
+    converged = residual < params.tolerance
+    if not converged:
+        if params.strict:
+            raise ConvergenceError(iterations, residual, params.tolerance)
+        _logger.warning(
+            "Gauss–Seidel did not converge: residual %.3e after %d iterations",
+            residual,
+            iterations,
+        )
+    info = ConvergenceInfo(
+        converged=converged,
+        iterations=iterations,
+        residual=float(residual),
+        tolerance=params.tolerance,
+        residual_history=tuple(history),
+    )
+    return RankingResult(x, info, label=label)

@@ -1,0 +1,111 @@
+"""HITS (Kleinberg [24]) — the other classic link-analysis baseline.
+
+Section 2 names HITS alongside PageRank as a link-based algorithm whose
+"fundamental assumption that a link ... is an authentic conferral of
+authority" spammers exploit.  We implement the standard mutual-
+reinforcement iteration
+
+.. math::
+
+    a \\gets A^{T} h / ||A^{T} h||_2, \\qquad
+    h \\gets A a / ||A a||_2
+
+so the attack benches can show that hijacking corrupts HITS authorities
+just as it corrupts PageRank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import RankingParams
+from ..errors import ConvergenceError, EmptyGraphError
+from ..graph.pagegraph import PageGraph
+from .base import ConvergenceInfo, RankingResult
+from .power import residual_norm
+
+__all__ = ["hits", "HitsResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class HitsResult:
+    """Paired authority and hub rankings from one HITS run."""
+
+    authorities: RankingResult
+    hubs: RankingResult
+
+
+def hits(
+    graph: PageGraph,
+    params: RankingParams | None = None,
+) -> HitsResult:
+    """Run HITS to convergence on a page graph.
+
+    Parameters
+    ----------
+    graph:
+        The directed page graph (typically a query-focused subgraph in
+        Kleinberg's setting; the benches run it on whole synthetic webs).
+    params:
+        Stopping rule; ``alpha`` is unused (HITS has no teleportation —
+        which is precisely why isolated spam structures can capture it).
+
+    Returns
+    -------
+    HitsResult
+        L1-normalized authority and hub score vectors.
+
+    Raises
+    ------
+    ConvergenceError
+        If ``params.strict`` and the iteration fails to converge.
+    """
+    graph.require_nonempty()
+    if graph.n_edges == 0:
+        raise EmptyGraphError("HITS requires at least one edge")
+    params = params or RankingParams()
+    adjacency = graph.to_scipy()
+    at = adjacency.T.tocsr()
+
+    n = graph.n_nodes
+    a = np.full(n, 1.0 / np.sqrt(n))
+    h = np.full(n, 1.0 / np.sqrt(n))
+    history: list[float] = []
+    residual = np.inf
+    iterations = 0
+    for iterations in range(1, params.max_iter + 1):
+        a_next = at @ h
+        norm_a = np.linalg.norm(a_next)
+        if norm_a > 0:
+            a_next /= norm_a
+        h_next = adjacency @ a_next
+        norm_h = np.linalg.norm(h_next)
+        if norm_h > 0:
+            h_next /= norm_h
+        residual = max(
+            residual_norm(a_next - a, params.norm),
+            residual_norm(h_next - h, params.norm),
+        )
+        history.append(residual)
+        a, h = a_next, h_next
+        if residual < params.tolerance:
+            break
+    converged = residual < params.tolerance
+    if not converged and params.strict:
+        raise ConvergenceError(iterations, residual, params.tolerance)
+    info = ConvergenceInfo(
+        converged=converged,
+        iterations=iterations,
+        residual=float(residual),
+        tolerance=params.tolerance,
+        residual_history=tuple(history),
+    )
+    # Nodes with zero authority/hub mass are legal (e.g. pure hubs); add
+    # nothing — RankingResult L1-normalizes the non-negative vectors.
+    eps = 0.0
+    return HitsResult(
+        authorities=RankingResult(a + eps, info, label="hits-authority"),
+        hubs=RankingResult(h + eps, info, label="hits-hub"),
+    )

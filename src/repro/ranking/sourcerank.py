@@ -1,0 +1,57 @@
+"""Baseline SourceRank: PageRank-style walk on the source graph.
+
+This is the "no throttling information" baseline of Fig. 5 — a teleporting
+random walk over the (consensus- or uniform-weighted) source transition
+matrix ``T'``, with no influence-throttle transform applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RankingParams
+from ..errors import ConfigError
+from ..sources.sourcegraph import SourceGraph
+from .base import RankingResult
+from .gauss_seidel import gauss_seidel_solve
+from .jacobi import jacobi_solve
+from .power import power_iteration
+
+__all__ = ["sourcerank"]
+
+
+def sourcerank(
+    source_graph: SourceGraph,
+    params: RankingParams | None = None,
+    *,
+    teleport: np.ndarray | None = None,
+    x0: np.ndarray | None = None,
+    solver: str = "power",
+    kernel: str = "scipy",
+) -> RankingResult:
+    """Compute the baseline (unthrottled) SourceRank vector.
+
+    Parameters mirror :func:`repro.ranking.pagerank.pagerank`, operating on
+    a :class:`~repro.sources.sourcegraph.SourceGraph` whose matrix is
+    already row-stochastic (so there is no dangling mass by construction).
+    """
+    params = params or RankingParams()
+    matrix = source_graph.matrix
+    if solver == "power":
+        return power_iteration(
+            matrix,
+            params,
+            teleport=teleport,
+            x0=x0,
+            kernel=kernel,  # type: ignore[arg-type]
+            label="sourcerank",
+        )
+    if solver == "jacobi":
+        return jacobi_solve(matrix, params, teleport=teleport, x0=x0, label="sourcerank")
+    if solver == "gauss_seidel":
+        return gauss_seidel_solve(
+            matrix, params, teleport=teleport, x0=x0, label="sourcerank"
+        )
+    raise ConfigError(
+        f"solver must be 'power', 'jacobi', or 'gauss_seidel', got {solver!r}"
+    )

@@ -1,0 +1,94 @@
+"""Spam-Resilient SourceRank (Eq. 3 — the paper's contribution).
+
+The selective random walk of Section 3.4: at source ``s_i`` the walker
+
+* follows the self-edge with probability ``α κ_i``;
+* follows an out-edge with probability ``α (1 − κ_i)``;
+* teleports with probability ``1 − α``.
+
+Equivalently, the stationary distribution of
+``σᵀ = α σᵀ T'' + (1 − α) cᵀ`` where ``T''`` is the influence-throttled
+transition matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RankingParams
+from ..errors import ConfigError
+from ..sources.sourcegraph import SourceGraph
+from ..throttle.transform import throttle_transform
+from ..throttle.vector import ThrottleVector
+from .base import RankingResult
+from .gauss_seidel import gauss_seidel_solve
+from .jacobi import jacobi_solve
+from .power import power_iteration
+
+__all__ = ["spam_resilient_sourcerank"]
+
+
+def spam_resilient_sourcerank(
+    source_graph: SourceGraph,
+    kappa: ThrottleVector | np.ndarray | None = None,
+    params: RankingParams | None = None,
+    *,
+    teleport: np.ndarray | None = None,
+    x0: np.ndarray | None = None,
+    solver: str = "power",
+    kernel: str = "scipy",
+    full_throttle: str = "self",
+) -> RankingResult:
+    """Compute the Spam-Resilient SourceRank vector σ.
+
+    Parameters
+    ----------
+    source_graph:
+        The weighted source graph (consensus weighting for the paper's
+        model).
+    kappa:
+        Throttling vector; ``None`` or all-zeros degrades gracefully to
+        baseline SourceRank (the κ=0 walk is the unthrottled walk).
+    params:
+        Mixing parameter and stopping rule (paper defaults when omitted).
+    teleport, x0, solver, kernel:
+        As in :func:`repro.ranking.pagerank.pagerank`.
+    full_throttle:
+        How κ = 1 sources behave: ``"self"`` (literal Section 3.3
+        transform) or ``"dangling"`` (complete muting — the reading
+        Fig. 5 needs; see :mod:`repro.throttle.transform`).
+
+    Returns
+    -------
+    RankingResult
+        L1-normalized σ plus convergence info.
+    """
+    params = params or RankingParams()
+    n = source_graph.n_sources
+    if kappa is None:
+        kappa = ThrottleVector.zeros(n)
+    elif not isinstance(kappa, ThrottleVector):
+        kappa = ThrottleVector(kappa)
+    matrix = throttle_transform(
+        source_graph.matrix, kappa, full_throttle=full_throttle
+    )
+    if solver == "power":
+        return power_iteration(
+            matrix,
+            params,
+            teleport=teleport,
+            x0=x0,
+            kernel=kernel,  # type: ignore[arg-type]
+            label="sr-sourcerank",
+        )
+    if solver == "jacobi":
+        return jacobi_solve(
+            matrix, params, teleport=teleport, x0=x0, label="sr-sourcerank"
+        )
+    if solver == "gauss_seidel":
+        return gauss_seidel_solve(
+            matrix, params, teleport=teleport, x0=x0, label="sr-sourcerank"
+        )
+    raise ConfigError(
+        f"solver must be 'power', 'jacobi', or 'gauss_seidel', got {solver!r}"
+    )

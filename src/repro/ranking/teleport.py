@@ -1,0 +1,56 @@
+"""Teleportation distributions.
+
+The paper's PageRank uses the uniform static score vector
+``e = (1/n, ..., 1/n)``; the spam-proximity computation of Section 5 uses a
+distribution ``d`` concentrated on pre-labeled spam sources.  All helpers
+return L1-normalized dense float64 vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["uniform_teleport", "seeded_teleport", "personalized_teleport"]
+
+
+def uniform_teleport(n: int) -> np.ndarray:
+    """The uniform distribution over ``n`` items."""
+    n = int(n)
+    if n < 1:
+        raise ConfigError(f"teleport vector needs n >= 1, got {n}")
+    return np.full(n, 1.0 / n, dtype=np.float64)
+
+
+def seeded_teleport(n: int, seeds: np.ndarray | list[int]) -> np.ndarray:
+    """Uniform distribution over a seed set (Section 5's vector ``d``).
+
+    Entries are ``1/|seeds|`` on seed items and 0 elsewhere.
+    """
+    n = int(n)
+    if n < 1:
+        raise ConfigError(f"teleport vector needs n >= 1, got {n}")
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    if seeds.size == 0:
+        raise ConfigError("seed set must be non-empty")
+    if seeds[0] < 0 or seeds[-1] >= n:
+        raise ConfigError(
+            f"seed ids must lie in [0, {n}), got range [{seeds[0]}, {seeds[-1]}]"
+        )
+    vec = np.zeros(n, dtype=np.float64)
+    vec[seeds] = 1.0 / seeds.size
+    return vec
+
+
+def personalized_teleport(weights: np.ndarray) -> np.ndarray:
+    """Normalize arbitrary non-negative weights into a teleport vector."""
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if weights.size == 0:
+        raise ConfigError("teleport weights must be non-empty")
+    if not np.isfinite(weights).all() or weights.min() < 0:
+        raise ConfigError("teleport weights must be finite and non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ConfigError("teleport weights must have positive mass")
+    return weights / total

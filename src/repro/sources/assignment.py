@@ -1,0 +1,223 @@
+"""Page-to-source assignment.
+
+A :class:`SourceAssignment` is a dense ``int64`` array mapping each page id
+to a source id in ``[0, n_sources)``.  The paper's default grouping key is
+the URL host (Section 6.1); registered-domain grouping and arbitrary
+expert-provided maps (as in [11]) are also supported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import SourceAssignmentError
+from ..graph.urls import extract_host, extract_registered_domain
+
+__all__ = ["SourceAssignment"]
+
+
+class SourceAssignment:
+    """Immutable mapping from page ids to dense source ids.
+
+    Parameters
+    ----------
+    page_to_source:
+        Integer array of length ``n_pages``; entry ``p`` is the source id of
+        page ``p``.  Source ids must form a dense range ``[0, n_sources)``.
+    source_names:
+        Optional sequence of length ``n_sources`` giving a human-readable
+        name (e.g. the host) per source.
+    """
+
+    __slots__ = ("_page_to_source", "_n_sources", "_source_names", "_source_sizes")
+
+    def __init__(
+        self,
+        page_to_source: np.ndarray | Sequence[int],
+        source_names: Sequence[str] | None = None,
+    ) -> None:
+        arr = np.asarray(page_to_source)
+        if arr.ndim != 1:
+            raise SourceAssignmentError("page_to_source must be one-dimensional")
+        if arr.size and not np.issubdtype(arr.dtype, np.integer):
+            raise SourceAssignmentError(
+                f"page_to_source must be integral, got dtype {arr.dtype}"
+            )
+        arr = arr.astype(np.int64, copy=True)
+        if arr.size:
+            if arr.min() < 0:
+                raise SourceAssignmentError("source ids must be non-negative")
+            n_sources = int(arr.max()) + 1
+            present = np.zeros(n_sources, dtype=bool)
+            present[arr] = True
+            if not present.all():
+                missing = int(np.flatnonzero(~present)[0])
+                raise SourceAssignmentError(
+                    f"source ids must be dense; id {missing} has no pages"
+                )
+        else:
+            n_sources = 0
+        if source_names is not None and len(source_names) != n_sources:
+            raise SourceAssignmentError(
+                f"source_names has length {len(source_names)}, expected {n_sources}"
+            )
+        arr.setflags(write=False)
+        self._page_to_source = arr
+        self._n_sources = n_sources
+        self._source_names = tuple(source_names) if source_names is not None else None
+        sizes = np.bincount(arr, minlength=n_sources).astype(np.int64)
+        sizes.setflags(write=False)
+        self._source_sizes = sizes
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_keys(cls, keys: Iterable[object]) -> "SourceAssignment":
+        """Group pages by arbitrary hashable keys, in first-seen order.
+
+        >>> a = SourceAssignment.from_keys(["h1", "h2", "h1"])
+        >>> a.page_to_source.tolist()
+        [0, 1, 0]
+        """
+        mapping: dict[object, int] = {}
+        ids: list[int] = []
+        for key in keys:
+            sid = mapping.get(key)
+            if sid is None:
+                sid = len(mapping)
+                mapping[key] = sid
+            ids.append(sid)
+        names = [str(k) for k in mapping]
+        return cls(np.asarray(ids, dtype=np.int64), names)
+
+    @classmethod
+    def from_urls(
+        cls,
+        urls: Sequence[str],
+        *,
+        key: str | Callable[[str], str] = "host",
+    ) -> "SourceAssignment":
+        """Group pages by a URL-derived key.
+
+        Parameters
+        ----------
+        urls:
+            One URL per page, index-aligned with page ids.
+        key:
+            ``"host"`` (paper default), ``"domain"`` (registered domain), or
+            a callable ``url -> group_key``.
+        """
+        if callable(key):
+            key_fn = key
+        elif key == "host":
+            key_fn = extract_host
+        elif key == "domain":
+            key_fn = extract_registered_domain
+        else:
+            raise SourceAssignmentError(
+                f"key must be 'host', 'domain', or callable, got {key!r}"
+            )
+        return cls.from_keys(key_fn(url) for url in urls)
+
+    @classmethod
+    def identity(cls, n_pages: int) -> "SourceAssignment":
+        """Each page is its own source (degenerates SourceRank to PageRank
+        structure, useful for differential testing)."""
+        return cls(np.arange(int(n_pages), dtype=np.int64))
+
+    @classmethod
+    def single_source(cls, n_pages: int) -> "SourceAssignment":
+        """All pages in one source (the other degenerate extreme)."""
+        return cls(np.zeros(int(n_pages), dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def page_to_source(self) -> np.ndarray:
+        """Read-only page→source id array."""
+        return self._page_to_source
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages covered."""
+        return int(self._page_to_source.size)
+
+    @property
+    def n_sources(self) -> int:
+        """Number of distinct sources."""
+        return self._n_sources
+
+    @property
+    def source_sizes(self) -> np.ndarray:
+        """Read-only array: number of pages per source."""
+        return self._source_sizes
+
+    def source_of(self, page: int) -> int:
+        """Source id of one page."""
+        page = int(page)
+        if not 0 <= page < self.n_pages:
+            raise SourceAssignmentError(
+                f"page {page} out of range for {self.n_pages} pages"
+            )
+        return int(self._page_to_source[page])
+
+    def pages_of(self, source: int) -> np.ndarray:
+        """All page ids belonging to ``source`` (O(n_pages))."""
+        source = int(source)
+        if not 0 <= source < self._n_sources:
+            raise SourceAssignmentError(
+                f"source {source} out of range for {self._n_sources} sources"
+            )
+        return np.flatnonzero(self._page_to_source == source)
+
+    def name_of(self, source: int) -> str:
+        """Human-readable name of ``source`` (host/domain/key)."""
+        if self._source_names is None:
+            raise SourceAssignmentError("this assignment carries no source names")
+        source = int(source)
+        if not 0 <= source < self._n_sources:
+            raise SourceAssignmentError(
+                f"source {source} out of range for {self._n_sources} sources"
+            )
+        return self._source_names[source]
+
+    def extended(self, extra_pages: int, source_ids: np.ndarray | Sequence[int]) -> "SourceAssignment":
+        """Return a new assignment with ``extra_pages`` appended.
+
+        Spam scenarios use this to place injected pages into target or
+        colluding sources.  ``source_ids`` may reference existing sources or
+        introduce new dense ids at the end.
+        """
+        extra = np.asarray(source_ids, dtype=np.int64)
+        if extra.shape != (int(extra_pages),):
+            raise SourceAssignmentError(
+                f"source_ids must have shape ({extra_pages},), got {extra.shape}"
+            )
+        combined = np.concatenate([self._page_to_source, extra])
+        names = None
+        if self._source_names is not None:
+            n_new = int(combined.max()) + 1 - self._n_sources if combined.size else 0
+            if n_new > 0:
+                names = list(self._source_names) + [
+                    f"spam-source-{i}" for i in range(n_new)
+                ]
+            else:
+                names = list(self._source_names)
+        return SourceAssignment(combined, names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceAssignment):
+            return NotImplemented
+        return np.array_equal(self._page_to_source, other._page_to_source)
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SourceAssignment(n_pages={self.n_pages}, n_sources={self._n_sources})"
+        )

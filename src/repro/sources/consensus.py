@@ -1,0 +1,65 @@
+"""Source-edge weighting schemes (Section 3.1 vs Section 3.2).
+
+Two schemes are implemented:
+
+* :func:`uniform_weights` — the naive Section 3.1 matrix
+  ``T_ij = 1 / o(s_i)``: every out-edge of a source counts the same.
+* :func:`consensus_weights` — the Section 3.2 *source consensus* weighting:
+  the raw weight of ``(s_i, s_j)`` is the number of unique pages of ``s_i``
+  linking into ``s_j``, then each row is normalized to sum to one.  This is
+  the spam-resilient choice: a hijacker must capture many pages of a
+  legitimate source to move its outgoing weights.
+
+Both return **normalized** CSR matrices; rows with no edges are all-zero
+(resolved later by self-edge augmentation in
+:class:`~repro.sources.sourcegraph.SourceGraph`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.matrix import row_normalize
+from ..graph.pagegraph import PageGraph
+from .assignment import SourceAssignment
+from .quotient import quotient_edge_counts, quotient_unique_page_counts
+
+__all__ = ["uniform_weights", "consensus_weights"]
+
+
+def uniform_weights(
+    graph: PageGraph,
+    assignment: SourceAssignment,
+    *,
+    include_intra: bool = True,
+) -> sp.csr_matrix:
+    """Uniform source transition weights ``T_ij = 1 / o(s_i)``.
+
+    ``o(s_i)`` counts distinct out-neighbour sources (Section 3.1's edge
+    count), including the self-edge when intra-source links exist and
+    ``include_intra`` is True.
+    """
+    counts = quotient_edge_counts(graph, assignment, include_intra=include_intra)
+    # Binarize: an edge either exists or not; weight is 1/out-degree.
+    binary = counts.copy()
+    binary.data = np.ones_like(binary.data, dtype=np.float64)
+    return row_normalize(binary.astype(np.float64), copy=False)
+
+
+def consensus_weights(
+    graph: PageGraph,
+    assignment: SourceAssignment,
+    *,
+    include_intra: bool = True,
+) -> sp.csr_matrix:
+    """Source-consensus transition weights (Section 3.2), row-normalized.
+
+    Raw entry ``(i, j)`` counts unique pages of ``s_i`` linking into
+    ``s_j``; rows are scaled to sum to one as the paper requires
+    ("the outgoing edge weights for any source sum to 1").
+    """
+    counts = quotient_unique_page_counts(
+        graph, assignment, include_intra=include_intra
+    )
+    return row_normalize(counts.astype(np.float64), copy=False)

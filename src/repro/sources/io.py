@@ -1,0 +1,96 @@
+"""Persistence for source-level artifacts.
+
+Saves/loads a :class:`~repro.sources.assignment.SourceAssignment` and a
+weighted :class:`~repro.sources.sourcegraph.SourceGraph` in ``.npz``
+containers, so the expensive quotient step of a large web can be done
+once and reused across experiments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import SourceAssignmentError
+from .assignment import SourceAssignment
+from .sourcegraph import SourceGraph
+
+__all__ = [
+    "save_assignment",
+    "load_assignment",
+    "save_source_graph",
+    "load_source_graph",
+]
+
+_ASSIGNMENT_VERSION = 1
+_SOURCEGRAPH_VERSION = 1
+
+
+def save_assignment(assignment: SourceAssignment, path: str | Path) -> None:
+    """Serialize an assignment (ids plus names, when present)."""
+    fields: dict[str, object] = {
+        "format_version": np.int64(_ASSIGNMENT_VERSION),
+        "page_to_source": assignment.page_to_source,
+    }
+    try:
+        names = [assignment.name_of(s) for s in range(assignment.n_sources)]
+        fields["source_names"] = np.asarray(names, dtype=object)
+    except SourceAssignmentError:
+        pass
+    np.savez_compressed(path, **fields)  # type: ignore[arg-type]
+
+
+def load_assignment(path: str | Path) -> SourceAssignment:
+    """Load an assignment written by :func:`save_assignment`."""
+    with np.load(path, allow_pickle=True) as data:
+        try:
+            version = int(data["format_version"])
+            ids = data["page_to_source"]
+        except KeyError as exc:
+            raise SourceAssignmentError(f"{path}: missing field {exc}") from exc
+        names = (
+            [str(n) for n in data["source_names"]]
+            if "source_names" in data
+            else None
+        )
+    if version != _ASSIGNMENT_VERSION:
+        raise SourceAssignmentError(
+            f"{path}: unsupported assignment format version {version}"
+        )
+    return SourceAssignment(ids, names)
+
+
+def save_source_graph(source_graph: SourceGraph, path: str | Path) -> None:
+    """Serialize a source graph's weighted CSR matrix (assignment is
+    saved separately when needed — it is page-level data)."""
+    m = source_graph.matrix
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_SOURCEGRAPH_VERSION),
+        n_sources=np.int64(source_graph.n_sources),
+        weighting=np.asarray(source_graph.weighting),
+        data=m.data,
+        indices=m.indices,
+        indptr=m.indptr,
+    )
+
+
+def load_source_graph(path: str | Path) -> SourceGraph:
+    """Load a source graph written by :func:`save_source_graph`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["format_version"])
+            n = int(data["n_sources"])
+            matrix = sp.csr_matrix(
+                (data["data"], data["indices"], data["indptr"]), shape=(n, n)
+            )
+            weighting = str(data["weighting"])
+        except KeyError as exc:
+            raise SourceAssignmentError(f"{path}: missing field {exc}") from exc
+    if version != _SOURCEGRAPH_VERSION:
+        raise SourceAssignmentError(
+            f"{path}: unsupported source-graph format version {version}"
+        )
+    return SourceGraph(matrix, None, weighting)

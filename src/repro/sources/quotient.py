@@ -1,0 +1,110 @@
+"""Vectorized quotient-graph kernels (page graph → source graph).
+
+Two aggregation semantics are needed by the paper:
+
+* :func:`quotient_edge_counts` — raw page-edge multiplicity between source
+  pairs (the naive quotient, used for uniform weighting and statistics);
+* :func:`quotient_unique_page_counts` — the *source consensus* count of
+  Section 3.2: the number of **unique pages** of the origin source that
+  link to *any* page of the target source (a page linking to five pages of
+  the same target source counts once).
+
+Both run in O(edges log edges) with no Python-level loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import SourceAssignmentError
+from ..graph.pagegraph import PageGraph
+from .assignment import SourceAssignment
+
+__all__ = ["quotient_edge_counts", "quotient_unique_page_counts"]
+
+
+def _check(graph: PageGraph, assignment: SourceAssignment) -> None:
+    if assignment.n_pages != graph.n_nodes:
+        raise SourceAssignmentError(
+            f"assignment covers {assignment.n_pages} pages but graph has "
+            f"{graph.n_nodes} nodes"
+        )
+
+
+def quotient_edge_counts(
+    graph: PageGraph,
+    assignment: SourceAssignment,
+    *,
+    include_intra: bool = True,
+) -> sp.csr_matrix:
+    """Source-pair edge multiplicities.
+
+    Entry ``(i, j)`` counts page edges from source ``i`` to source ``j``
+    (including ``i == j`` diagonal entries unless ``include_intra=False``).
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix of int64, shape ``(n_sources, n_sources)``.
+    """
+    _check(graph, assignment)
+    n_s = assignment.n_sources
+    if graph.n_edges == 0 or n_s == 0:
+        return sp.csr_matrix((n_s, n_s), dtype=np.int64)
+    src, dst = graph.edge_arrays()
+    a = assignment.page_to_source
+    s_src = a[src]
+    s_dst = a[dst]
+    if not include_intra:
+        mask = s_src != s_dst
+        s_src, s_dst = s_src[mask], s_dst[mask]
+    mat = sp.coo_matrix(
+        (np.ones(s_src.size, dtype=np.int64), (s_src, s_dst)), shape=(n_s, n_s)
+    ).tocsr()
+    mat.sum_duplicates()
+    return mat
+
+
+def quotient_unique_page_counts(
+    graph: PageGraph,
+    assignment: SourceAssignment,
+    *,
+    include_intra: bool = True,
+) -> sp.csr_matrix:
+    """Source-consensus counts ``w(s_i, s_j)`` of Section 3.2 (unnormalized).
+
+    Entry ``(i, j)`` is the number of distinct pages in source ``i`` that
+    have at least one hyperlink to some page in source ``j``:
+
+    .. math::
+
+        w(s_i, s_j) = \\sum_{p \\in s_i}
+            \\bigvee_{q \\in s_j} I[(p, q) \\in L_P]
+
+    Implementation: map each page edge to the pair ``(page, target_source)``,
+    de-duplicate the pairs, then count pairs per ``(source(page), target
+    source)``.  All steps are vectorized sorts/uniques.
+    """
+    _check(graph, assignment)
+    n_s = assignment.n_sources
+    if graph.n_edges == 0 or n_s == 0:
+        return sp.csr_matrix((n_s, n_s), dtype=np.int64)
+    src, dst = graph.edge_arrays()
+    a = assignment.page_to_source
+    s_dst = a[dst]
+    if not include_intra:
+        mask = a[src] != s_dst
+        src, s_dst = src[mask], s_dst[mask]
+        if src.size == 0:
+            return sp.csr_matrix((n_s, n_s), dtype=np.int64)
+    # De-duplicate (page, target_source) pairs with a single fused key.
+    key = src * np.int64(n_s) + s_dst
+    unique_keys = np.unique(key)
+    u_page = unique_keys // n_s
+    u_sdst = unique_keys % n_s
+    s_src = a[u_page]
+    mat = sp.coo_matrix(
+        (np.ones(u_page.size, dtype=np.int64), (s_src, u_sdst)), shape=(n_s, n_s)
+    ).tocsr()
+    mat.sum_duplicates()
+    return mat

@@ -1,0 +1,176 @@
+"""The weighted source graph ``G_S`` with mandatory self-edges.
+
+:class:`SourceGraph` bundles the pieces Sections 3.1–3.3 need downstream:
+
+* the row-normalized transition matrix ``T'`` (uniform or consensus
+  weighting);
+* structural self-edges on every source (Section 3.3 requires
+  ``(s_i, s_i) ∈ L_S`` for all ``i``, even when the underlying page graph
+  has no intra-source links — the throttle transform must be able to raise
+  the self-weight);
+* the page→source assignment used to build it.
+
+A source with no outgoing weight at all receives self-weight 1 (it keeps
+its random walker until teleportation), which is the source-level analogue
+of the standard dangling-node self-loop fix and keeps ``T'`` row-stochastic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import GraphError, SourceAssignmentError
+from ..graph.matrix import is_row_stochastic, row_normalize
+from ..graph.pagegraph import PageGraph
+from .assignment import SourceAssignment
+from .consensus import consensus_weights, uniform_weights
+
+__all__ = ["SourceGraph"]
+
+_WEIGHTINGS = ("consensus", "uniform")
+
+
+def _with_structural_diagonal(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Ensure every diagonal entry is structurally present.
+
+    scipy drops explicit zeros on many operations, so instead of inserting
+    zero diagonals we give empty rows self-weight 1.0 and leave non-empty
+    rows untouched; the throttle transform inserts/raises diagonals itself
+    from the (dense) diagonal vector.
+    """
+    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    empty = np.flatnonzero(sums == 0)
+    if empty.size == 0:
+        return matrix
+    fix = sp.coo_matrix(
+        (np.ones(empty.size), (empty, empty)), shape=matrix.shape
+    ).tocsr()
+    return (matrix + fix).tocsr()
+
+
+class SourceGraph:
+    """Weighted, row-stochastic source graph.
+
+    Build with :meth:`from_page_graph` (the normal path) or
+    :meth:`from_weight_matrix` (source-level analytical experiments that
+    never materialize a page graph).
+    """
+
+    __slots__ = ("_matrix", "_assignment", "_weighting")
+
+    def __init__(
+        self,
+        matrix: sp.csr_matrix,
+        assignment: SourceAssignment | None = None,
+        weighting: str = "custom",
+    ) -> None:
+        if matrix.shape[0] != matrix.shape[1]:
+            raise GraphError(f"source matrix must be square, got {matrix.shape}")
+        if assignment is not None and assignment.n_sources != matrix.shape[0]:
+            raise SourceAssignmentError(
+                f"assignment has {assignment.n_sources} sources but matrix is "
+                f"{matrix.shape[0]}x{matrix.shape[1]}"
+            )
+        matrix = matrix.tocsr()
+        matrix.sort_indices()
+        if not is_row_stochastic(matrix, atol=1e-8, allow_zero_rows=False):
+            raise GraphError(
+                "source transition matrix must be row-stochastic "
+                "(normalize and fix empty rows before constructing SourceGraph)"
+            )
+        self._matrix = matrix
+        self._assignment = assignment
+        self._weighting = weighting
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_page_graph(
+        cls,
+        graph: PageGraph,
+        assignment: SourceAssignment,
+        *,
+        weighting: str = "consensus",
+    ) -> "SourceGraph":
+        """Quotient a page graph into a weighted source graph.
+
+        Parameters
+        ----------
+        weighting:
+            ``"consensus"`` (Section 3.2, the paper's choice) or
+            ``"uniform"`` (Section 3.1 baseline).
+        """
+        if weighting not in _WEIGHTINGS:
+            raise GraphError(
+                f"weighting must be one of {_WEIGHTINGS}, got {weighting!r}"
+            )
+        if weighting == "consensus":
+            normalized = consensus_weights(graph, assignment, include_intra=True)
+        else:
+            normalized = uniform_weights(graph, assignment, include_intra=True)
+        normalized = _with_structural_diagonal(normalized)
+        return cls(normalized, assignment, weighting)
+
+    @classmethod
+    def from_weight_matrix(
+        cls,
+        weights: sp.spmatrix | sp.sparray | np.ndarray,
+        assignment: SourceAssignment | None = None,
+    ) -> "SourceGraph":
+        """Build from raw non-negative weights (rows are normalized here)."""
+        if not sp.issparse(weights):
+            weights = sp.csr_matrix(np.asarray(weights, dtype=np.float64))
+        normalized = row_normalize(weights.astype(np.float64))
+        normalized = _with_structural_diagonal(normalized)
+        return cls(normalized, assignment, "custom")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_sources(self) -> int:
+        """Number of sources."""
+        return int(self._matrix.shape[0])
+
+    @property
+    def matrix(self) -> sp.csr_matrix:
+        """The row-stochastic transition matrix ``T'`` (do not mutate)."""
+        return self._matrix
+
+    @property
+    def assignment(self) -> SourceAssignment | None:
+        """The page→source assignment, when built from a page graph."""
+        return self._assignment
+
+    @property
+    def weighting(self) -> str:
+        """Weighting scheme used: ``"consensus"``, ``"uniform"``, ``"custom"``."""
+        return self._weighting
+
+    def n_edges(self, *, count_self: bool = True) -> int:
+        """Number of source edges (optionally excluding self-edges).
+
+        Note: Table 1 of the paper counts source edges *excluding* the
+        structural self-edges we add (they are a Section 3.3 augmentation,
+        not part of the crawled source graph).
+        """
+        if count_self:
+            return int(self._matrix.nnz)
+        diag_present = int(np.count_nonzero(self._matrix.diagonal() != 0))
+        return int(self._matrix.nnz) - diag_present
+
+    def self_weights(self) -> np.ndarray:
+        """Dense vector of current self-edge weights ``T'_ii``."""
+        return np.asarray(self._matrix.diagonal()).ravel()
+
+    def out_weight_sums(self) -> np.ndarray:
+        """Row sums (all ~1 by construction; exposed for invariants tests)."""
+        return np.asarray(self._matrix.sum(axis=1)).ravel()
+
+    def __repr__(self) -> str:
+        return (
+            f"SourceGraph(n_sources={self.n_sources}, "
+            f"n_edges={self.n_edges()}, weighting={self._weighting!r})"
+        )

@@ -1,0 +1,49 @@
+"""Attack models: the link-based vulnerabilities of Section 2.
+
+Each attack is a pure transform on a ``(PageGraph, SourceAssignment)``
+pair, returning a :class:`~repro.spam.base.SpammedWeb` with the modified
+graph, the extended assignment, and bookkeeping about what was injected.
+
+* :class:`~repro.spam.intra_source.IntraSourceAttack` — colluding pages
+  inside the target source (Fig. 6's protocol, Fig. 4 Scenario 1);
+* :class:`~repro.spam.cross_source.CrossSourceAttack` — colluding pages in
+  other source(s) linking to the target (Fig. 7, Fig. 4 Scenarios 2–3);
+* :class:`~repro.spam.link_farm.LinkFarmAttack` — fresh spam sources built
+  solely to point at the target;
+* :class:`~repro.spam.link_exchange.LinkExchangeAttack` — a ring of spam
+  sources trading links;
+* :class:`~repro.spam.hijack.HijackAttack` — spam links inserted into
+  existing legitimate pages;
+* :class:`~repro.spam.honeypot.HoneypotAttack` — a quality-looking source
+  that accumulates legitimate in-links and forwards its authority.
+"""
+
+from .base import Attack, SpammedWeb
+from .intra_source import IntraSourceAttack
+from .cross_source import CrossSourceAttack
+from .link_farm import LinkFarmAttack
+from .link_exchange import LinkExchangeAttack
+from .hijack import HijackAttack
+from .honeypot import HoneypotAttack
+from .composite import CompositeAttack, full_campaign
+from .detection import OutlierSpamDetector, SourceFeatures, source_features
+from .scenario import AttackEvaluation, evaluate_attack, pick_targets
+
+__all__ = [
+    "Attack",
+    "SpammedWeb",
+    "IntraSourceAttack",
+    "CrossSourceAttack",
+    "LinkFarmAttack",
+    "LinkExchangeAttack",
+    "HijackAttack",
+    "HoneypotAttack",
+    "CompositeAttack",
+    "full_campaign",
+    "OutlierSpamDetector",
+    "SourceFeatures",
+    "source_features",
+    "AttackEvaluation",
+    "evaluate_attack",
+    "pick_targets",
+]

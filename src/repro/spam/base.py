@@ -1,0 +1,102 @@
+"""Attack abstraction and the spammed-web result record."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ScenarioError
+from ..graph.pagegraph import PageGraph
+from ..sources.assignment import SourceAssignment
+
+__all__ = ["Attack", "SpammedWeb"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpammedWeb:
+    """A web after a spam attack, with provenance bookkeeping.
+
+    Attributes
+    ----------
+    graph:
+        The attacked page graph (original pages keep their ids; injected
+        pages are appended).
+    assignment:
+        Page→source assignment covering the injected pages (original
+        sources keep their ids; injected sources are appended).
+    target_page:
+        The page whose rank the spammer promotes.
+    target_source:
+        The source containing the target page.
+    injected_pages:
+        Ids of pages created by the attack.
+    injected_sources:
+        Ids of sources created by the attack (empty for attacks confined
+        to existing sources).
+    hijacked_pages:
+        Ids of pre-existing legitimate pages the attack modified.
+    description:
+        Human-readable attack summary.
+    """
+
+    graph: PageGraph
+    assignment: SourceAssignment
+    target_page: int
+    target_source: int
+    injected_pages: np.ndarray
+    injected_sources: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    hijacked_pages: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.assignment.n_pages != self.graph.n_nodes:
+            raise ScenarioError(
+                f"assignment covers {self.assignment.n_pages} pages but the "
+                f"attacked graph has {self.graph.n_nodes}"
+            )
+        if not 0 <= self.target_page < self.graph.n_nodes:
+            raise ScenarioError(
+                f"target page {self.target_page} out of range"
+            )
+        if self.assignment.source_of(self.target_page) != self.target_source:
+            raise ScenarioError(
+                f"target page {self.target_page} does not live in target "
+                f"source {self.target_source}"
+            )
+
+
+class Attack(abc.ABC):
+    """A pure transform injecting a spam structure into a web.
+
+    Subclasses implement :meth:`apply`; they must never mutate their
+    inputs (both :class:`~repro.graph.pagegraph.PageGraph` and
+    :class:`~repro.sources.assignment.SourceAssignment` are immutable, so
+    violating this is hard by construction).
+    """
+
+    @abc.abstractmethod
+    def apply(self, graph: PageGraph, assignment: SourceAssignment) -> SpammedWeb:
+        """Run the attack and return the spammed web."""
+
+    @staticmethod
+    def _check_page(graph: PageGraph, page: int, role: str) -> int:
+        page = int(page)
+        if not 0 <= page < graph.n_nodes:
+            raise ScenarioError(
+                f"{role} page {page} out of range for graph with "
+                f"{graph.n_nodes} pages"
+            )
+        return page
+
+    @staticmethod
+    def _check_count(n: int, what: str) -> int:
+        n = int(n)
+        if n < 1:
+            raise ScenarioError(f"{what} must be >= 1, got {n}")
+        return n

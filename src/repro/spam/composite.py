@@ -1,0 +1,111 @@
+"""Composite attacks: combinations of the basic strategies.
+
+Section 2: "In practice, Web spammers rely on combinations of these basic
+strategies to create more complex attacks on link-based ranking systems.
+This complexity can make the total attack both more effective (since
+multiple attack vectors are combined) and more difficult to detect
+(since simple pattern-based arrangements are masked)."
+
+:class:`CompositeAttack` chains any sequence of attacks against the same
+target page, threading the evolving web through each stage and merging
+the provenance bookkeeping.  The pre-built
+:func:`full_campaign` reproduces the archetypal combined campaign the
+paper's introduction describes: a link farm for raw volume, a hijack for
+legitimacy, and a honeypot for high-value in-links.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ScenarioError
+from ..graph.pagegraph import PageGraph
+from ..sources.assignment import SourceAssignment
+from .base import Attack, SpammedWeb
+from .hijack import HijackAttack
+from .honeypot import HoneypotAttack
+from .link_farm import LinkFarmAttack
+
+__all__ = ["CompositeAttack", "full_campaign"]
+
+
+class CompositeAttack(Attack):
+    """Apply several attacks in sequence against one target.
+
+    Parameters
+    ----------
+    attacks:
+        Attacks to apply in order.  Every stage must promote the same
+        target page (checked at :meth:`apply` time); stages see the web
+        as modified by earlier stages, so e.g. a hijack can victimize
+        pages created by an earlier honeypot.
+    """
+
+    def __init__(self, *attacks: Attack) -> None:
+        if not attacks:
+            raise ScenarioError("CompositeAttack needs at least one stage")
+        self.attacks = tuple(attacks)
+
+    def apply(self, graph: PageGraph, assignment: SourceAssignment) -> SpammedWeb:
+        current_graph = graph
+        current_assignment = assignment
+        target_page: int | None = None
+        injected_pages: list[np.ndarray] = []
+        injected_sources: list[np.ndarray] = []
+        hijacked: list[np.ndarray] = []
+        descriptions: list[str] = []
+        for stage in self.attacks:
+            result = stage.apply(current_graph, current_assignment)
+            if target_page is None:
+                target_page = result.target_page
+            elif result.target_page != target_page:
+                raise ScenarioError(
+                    f"composite stages disagree on the target: "
+                    f"{target_page} vs {result.target_page}"
+                )
+            current_graph = result.graph
+            current_assignment = result.assignment
+            injected_pages.append(result.injected_pages)
+            injected_sources.append(result.injected_sources)
+            hijacked.append(result.hijacked_pages)
+            descriptions.append(result.description)
+        assert target_page is not None
+        return SpammedWeb(
+            graph=current_graph,
+            assignment=current_assignment,
+            target_page=target_page,
+            target_source=current_assignment.source_of(target_page),
+            injected_pages=np.concatenate(injected_pages),
+            injected_sources=np.concatenate(injected_sources),
+            hijacked_pages=np.unique(np.concatenate(hijacked)),
+            description=" + ".join(descriptions),
+        )
+
+
+def full_campaign(
+    target_page: int,
+    *,
+    farm_pages: int = 50,
+    farm_sources: int = 5,
+    victim_pages: np.ndarray | list[int],
+    honeypot_pages: int = 5,
+    inducer_pages: np.ndarray | list[int],
+) -> CompositeAttack:
+    """The archetypal combined campaign: farm + hijack + honeypot.
+
+    Parameters
+    ----------
+    target_page:
+        The page all three vectors promote.
+    farm_pages, farm_sources:
+        Size of the link-farm stage.
+    victim_pages:
+        Legitimate pages the hijack stage captures.
+    honeypot_pages, inducer_pages:
+        Honeypot size and the legitimate pages induced to link to it.
+    """
+    return CompositeAttack(
+        LinkFarmAttack(target_page, farm_pages, n_sources=farm_sources, interlink=True),
+        HijackAttack(target_page, victim_pages),
+        HoneypotAttack(target_page, honeypot_pages, inducer_pages),
+    )

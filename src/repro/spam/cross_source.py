@@ -1,0 +1,95 @@
+"""Cross-source collusion: pages in colluding source(s) link to the target.
+
+This is the Fig. 7 protocol ("spam links are added to pages in a colluding
+source that point to the target page in a different source") and Fig. 4's
+Scenarios 2 (one colluding source) and 3 (many colluding sources).
+
+Optionally the colluding sources can be configured *optimally* per the
+Section 4.2 analysis: colluders carry no edges to sources outside the
+spammer's sphere of influence, and the target source keeps only its
+self-edge.  The default (non-optimal) form just injects pages, matching the
+experimental protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ScenarioError
+from ..graph.pagegraph import PageGraph
+from ..graph.transforms import add_edges
+from ..sources.assignment import SourceAssignment
+from .base import Attack, SpammedWeb
+
+__all__ = ["CrossSourceAttack"]
+
+
+class CrossSourceAttack(Attack):
+    """Inject colluding pages into one or more *existing* sources, each
+    linking to the target page in a different source.
+
+    Parameters
+    ----------
+    target_page:
+        The page to promote.
+    colluding_sources:
+        Source id(s) that will host the injected pages.  Must not include
+        the target's own source (that would be
+        :class:`~repro.spam.intra_source.IntraSourceAttack`).
+    n_pages:
+        Total number of injected pages, distributed round-robin over the
+        colluding sources.
+    """
+
+    def __init__(
+        self,
+        target_page: int,
+        colluding_sources: int | np.ndarray | list[int],
+        n_pages: int,
+    ) -> None:
+        self.target_page = int(target_page)
+        sources = np.atleast_1d(np.asarray(colluding_sources, dtype=np.int64))
+        if sources.size == 0:
+            raise ScenarioError("need at least one colluding source")
+        self.colluding_sources = sources
+        self.n_pages = self._check_count(n_pages, "n_pages")
+
+    def apply(self, graph: PageGraph, assignment: SourceAssignment) -> SpammedWeb:
+        target = self._check_page(graph, self.target_page, "target")
+        target_source = assignment.source_of(target)
+        for s in self.colluding_sources:
+            if not 0 <= s < assignment.n_sources:
+                raise ScenarioError(
+                    f"colluding source {int(s)} out of range for "
+                    f"{assignment.n_sources} sources"
+                )
+            if int(s) == target_source:
+                raise ScenarioError(
+                    f"colluding source {int(s)} is the target's own source; "
+                    "use IntraSourceAttack for intra-source collusion"
+                )
+        first_new = graph.n_nodes
+        new_pages = np.arange(first_new, first_new + self.n_pages, dtype=np.int64)
+        # Round-robin page placement over the colluding sources.
+        hosts = self.colluding_sources[
+            np.arange(self.n_pages, dtype=np.int64) % self.colluding_sources.size
+        ]
+        spammed = add_edges(
+            graph,
+            new_pages,
+            np.full(self.n_pages, target, dtype=np.int64),
+            n_nodes=first_new + self.n_pages,
+        )
+        new_assignment = assignment.extended(self.n_pages, hosts)
+        return SpammedWeb(
+            graph=spammed,
+            assignment=new_assignment,
+            target_page=target,
+            target_source=target_source,
+            injected_pages=new_pages,
+            description=(
+                f"cross-source: {self.n_pages} colluding pages in "
+                f"{self.colluding_sources.size} source(s) -> page {target} "
+                f"(source {target_source})"
+            ),
+        )

@@ -1,0 +1,71 @@
+"""Hijack attacks: spam links inserted into existing legitimate pages.
+
+"Spammers insert links into legitimate pages that point to a
+spammer-controlled page ... public message boards, openly editable wikis,
+and legitimate weblogs" (Section 2).  The attack adds an edge from each
+victim page to the target page; no new pages are created.  Under the
+source-consensus weighting (Section 3.2) a hijacker must capture *many*
+pages of the same legitimate source before the source-level edge weight
+moves — the property the weighting ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ScenarioError
+from ..graph.pagegraph import PageGraph
+from ..graph.transforms import add_edges
+from ..sources.assignment import SourceAssignment
+from .base import Attack, SpammedWeb
+
+__all__ = ["HijackAttack"]
+
+
+class HijackAttack(Attack):
+    """Insert a link to the target page into each victim page.
+
+    Parameters
+    ----------
+    target_page:
+        The spammer-controlled page being promoted.
+    victim_pages:
+        Existing legitimate pages to hijack.  Must not include the target
+        itself.
+    """
+
+    def __init__(
+        self, target_page: int, victim_pages: np.ndarray | list[int]
+    ) -> None:
+        self.target_page = int(target_page)
+        victims = np.unique(np.asarray(victim_pages, dtype=np.int64))
+        if victims.size == 0:
+            raise ScenarioError("hijack needs at least one victim page")
+        if (victims == self.target_page).any():
+            raise ScenarioError("the target page cannot be its own victim")
+        self.victim_pages = victims
+
+    def apply(self, graph: PageGraph, assignment: SourceAssignment) -> SpammedWeb:
+        target = self._check_page(graph, self.target_page, "target")
+        if self.victim_pages[-1] >= graph.n_nodes or self.victim_pages[0] < 0:
+            raise ScenarioError(
+                f"victim pages out of range for graph with {graph.n_nodes} pages"
+            )
+        target_source = assignment.source_of(target)
+        spammed = add_edges(
+            graph,
+            self.victim_pages,
+            np.full(self.victim_pages.size, target, dtype=np.int64),
+            n_nodes=graph.n_nodes,
+        )
+        return SpammedWeb(
+            graph=spammed,
+            assignment=assignment,
+            target_page=target,
+            target_source=target_source,
+            injected_pages=np.empty(0, dtype=np.int64),
+            hijacked_pages=self.victim_pages,
+            description=(
+                f"hijack: {self.victim_pages.size} victim pages -> page {target}"
+            ),
+        )

@@ -1,0 +1,97 @@
+"""Honeypot attacks: induce legitimate links, then forward the authority.
+
+"Rather than risking exposure by hijacking a link, a honeypot *induces*
+links, so that it can pass along its accumulated authority by linking to a
+spam target page" (Section 2).  The attack creates a fresh honeypot source
+with quality-looking pages, adds links from the given legitimate *inducer*
+pages to honeypot pages (modelling the organic links the honeypot content
+attracted), and links every honeypot page to the target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ScenarioError
+from ..graph.pagegraph import PageGraph
+from ..graph.transforms import add_edges
+from ..sources.assignment import SourceAssignment
+from .base import Attack, SpammedWeb
+
+__all__ = ["HoneypotAttack"]
+
+
+class HoneypotAttack(Attack):
+    """Create a honeypot source that collects in-links and forwards them.
+
+    Parameters
+    ----------
+    target_page:
+        The spam page the honeypot promotes.
+    n_honeypot_pages:
+        Pages in the honeypot source.
+    inducer_pages:
+        Legitimate pages that link *into* the honeypot (spread round-robin
+        over honeypot pages).  These model induced links, so unlike
+        hijacking the legitimate pages link to the *honeypot*, not the
+        target.
+    """
+
+    def __init__(
+        self,
+        target_page: int,
+        n_honeypot_pages: int,
+        inducer_pages: np.ndarray | list[int],
+    ) -> None:
+        self.target_page = int(target_page)
+        self.n_honeypot_pages = self._check_count(
+            n_honeypot_pages, "n_honeypot_pages"
+        )
+        inducers = np.unique(np.asarray(inducer_pages, dtype=np.int64))
+        if inducers.size == 0:
+            raise ScenarioError("honeypot needs at least one inducer page")
+        self.inducer_pages = inducers
+
+    def apply(self, graph: PageGraph, assignment: SourceAssignment) -> SpammedWeb:
+        target = self._check_page(graph, self.target_page, "target")
+        if self.inducer_pages[-1] >= graph.n_nodes or self.inducer_pages[0] < 0:
+            raise ScenarioError(
+                f"inducer pages out of range for graph with {graph.n_nodes} pages"
+            )
+        if (self.inducer_pages == target).any():
+            raise ScenarioError("the target page cannot induce its own honeypot")
+        target_source = assignment.source_of(target)
+        first_page = graph.n_nodes
+        honeypot_source = assignment.n_sources
+        pot_pages = np.arange(
+            first_page, first_page + self.n_honeypot_pages, dtype=np.int64
+        )
+        # Induced links: each inducer links to one honeypot page.
+        induced_dst = pot_pages[
+            np.arange(self.inducer_pages.size, dtype=np.int64)
+            % self.n_honeypot_pages
+        ]
+        src = np.concatenate([self.inducer_pages, pot_pages])
+        dst = np.concatenate(
+            [induced_dst, np.full(self.n_honeypot_pages, target, dtype=np.int64)]
+        )
+        spammed = add_edges(
+            graph, src, dst, n_nodes=first_page + self.n_honeypot_pages
+        )
+        new_assignment = assignment.extended(
+            self.n_honeypot_pages,
+            np.full(self.n_honeypot_pages, honeypot_source, dtype=np.int64),
+        )
+        return SpammedWeb(
+            graph=spammed,
+            assignment=new_assignment,
+            target_page=target,
+            target_source=target_source,
+            injected_pages=pot_pages,
+            injected_sources=np.asarray([honeypot_source], dtype=np.int64),
+            hijacked_pages=self.inducer_pages,
+            description=(
+                f"honeypot: {self.n_honeypot_pages} pages inducing "
+                f"{self.inducer_pages.size} legitimate links -> page {target}"
+            ),
+        )

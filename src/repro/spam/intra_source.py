@@ -1,0 +1,63 @@
+"""Intra-source collusion: spam pages injected inside the target source.
+
+This is the Fig. 6 protocol ("we added a single new spam page within the
+same source with a link to the target page ... repeated for 10, 100, and
+1,000 pages") and Fig. 4's Scenario 1.  On the source level all injected
+links collapse onto the target source's self-edge, which is exactly the
+structure influence throttling caps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.pagegraph import PageGraph
+from ..graph.transforms import add_edges
+from ..sources.assignment import SourceAssignment
+from .base import Attack, SpammedWeb
+
+__all__ = ["IntraSourceAttack"]
+
+
+class IntraSourceAttack(Attack):
+    """Inject ``n_pages`` new pages into the target's source, each linking
+    to the target page.
+
+    Parameters
+    ----------
+    target_page:
+        The page to promote.
+    n_pages:
+        Number of colluding pages to create (the paper's cases A–D use
+        1/10/100/1000).
+    """
+
+    def __init__(self, target_page: int, n_pages: int) -> None:
+        self.target_page = int(target_page)
+        self.n_pages = self._check_count(n_pages, "n_pages")
+
+    def apply(self, graph: PageGraph, assignment: SourceAssignment) -> SpammedWeb:
+        target = self._check_page(graph, self.target_page, "target")
+        target_source = assignment.source_of(target)
+        first_new = graph.n_nodes
+        new_pages = np.arange(first_new, first_new + self.n_pages, dtype=np.int64)
+        spammed = add_edges(
+            graph,
+            new_pages,
+            np.full(self.n_pages, target, dtype=np.int64),
+            n_nodes=first_new + self.n_pages,
+        )
+        new_assignment = assignment.extended(
+            self.n_pages, np.full(self.n_pages, target_source, dtype=np.int64)
+        )
+        return SpammedWeb(
+            graph=spammed,
+            assignment=new_assignment,
+            target_page=target,
+            target_source=target_source,
+            injected_pages=new_pages,
+            description=(
+                f"intra-source: {self.n_pages} colluding pages inside source "
+                f"{target_source} -> page {target}"
+            ),
+        )

@@ -1,0 +1,96 @@
+"""Link exchanges: spam sources trading links for mutual promotion.
+
+"In a link exchange, multiple spammers trade links to pool their collective
+resources for mutual page promotion" (Section 2).  The attack creates a
+ring of ``n_members`` fresh sources whose pages all link to each member's
+designated *hub* page in both ring directions, and every member hub links
+to the target page.  Used by the planted-spam-community dataset generator
+and by the hijack/honeypot composite tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.pagegraph import PageGraph
+from ..graph.transforms import add_edges
+from ..sources.assignment import SourceAssignment
+from .base import Attack, SpammedWeb
+
+__all__ = ["LinkExchangeAttack"]
+
+
+class LinkExchangeAttack(Attack):
+    """A ring of ``n_members`` fresh spam sources with ``pages_per_member``
+    pages each, exchanging links and all promoting the target.
+
+    Parameters
+    ----------
+    target_page:
+        The page all member hubs promote.
+    n_members:
+        Sources in the exchange (>= 2 for an actual exchange).
+    pages_per_member:
+        Pages per member source; page 0 of each member is its hub.
+    """
+
+    def __init__(
+        self, target_page: int, n_members: int, pages_per_member: int = 1
+    ) -> None:
+        self.target_page = int(target_page)
+        self.n_members = self._check_count(n_members, "n_members")
+        self.pages_per_member = self._check_count(
+            pages_per_member, "pages_per_member"
+        )
+
+    def apply(self, graph: PageGraph, assignment: SourceAssignment) -> SpammedWeb:
+        target = self._check_page(graph, self.target_page, "target")
+        target_source = assignment.source_of(target)
+        first_page = graph.n_nodes
+        first_source = assignment.n_sources
+        n_pages = self.n_members * self.pages_per_member
+        new_pages = np.arange(first_page, first_page + n_pages, dtype=np.int64)
+        new_sources = np.arange(
+            first_source, first_source + self.n_members, dtype=np.int64
+        )
+        # Pages laid out member-major: member m owns pages
+        # [m * ppm, (m + 1) * ppm); its hub is the first of them.
+        member_of = np.repeat(
+            np.arange(self.n_members, dtype=np.int64), self.pages_per_member
+        )
+        hubs = first_page + np.arange(self.n_members, dtype=np.int64) * self.pages_per_member
+
+        src_list = []
+        dst_list = []
+        # Every page links to the next member's hub (the "exchange").
+        next_hub = hubs[(member_of + 1) % self.n_members]
+        src_list.append(new_pages)
+        dst_list.append(next_hub)
+        # And to the previous member's hub (trades go both ways).
+        if self.n_members > 1:
+            prev_hub = hubs[(member_of - 1) % self.n_members]
+            src_list.append(new_pages)
+            dst_list.append(prev_hub)
+        # Every hub promotes the target.
+        src_list.append(hubs)
+        dst_list.append(np.full(self.n_members, target, dtype=np.int64))
+
+        spammed = add_edges(
+            graph,
+            np.concatenate(src_list),
+            np.concatenate(dst_list),
+            n_nodes=first_page + n_pages,
+        )
+        new_assignment = assignment.extended(n_pages, first_source + member_of)
+        return SpammedWeb(
+            graph=spammed,
+            assignment=new_assignment,
+            target_page=target,
+            target_source=target_source,
+            injected_pages=new_pages,
+            injected_sources=new_sources,
+            description=(
+                f"link exchange: ring of {self.n_members} sources x "
+                f"{self.pages_per_member} pages -> page {target}"
+            ),
+        )

@@ -1,0 +1,92 @@
+"""Link farms: fresh spammer-controlled sources pointing at one target.
+
+"A link farm [is one] in which a Web spammer generates a large number of
+colluding pages that point to a single target page" (Section 2).  Unlike
+:class:`~repro.spam.cross_source.CrossSourceAttack`, the farm creates *new*
+sources, so it also exercises the ranking model's behaviour on previously
+unseen (and therefore unthrottled, unless spam-proximity catches them)
+sources — the Fig. 4 Scenario 3 structure with x fresh colluders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.pagegraph import PageGraph
+from ..graph.transforms import add_edges
+from ..sources.assignment import SourceAssignment
+from .base import Attack, SpammedWeb
+
+__all__ = ["LinkFarmAttack"]
+
+
+class LinkFarmAttack(Attack):
+    """Create ``n_sources`` fresh spam sources holding ``n_pages`` farm
+    pages in total, every page linking to the target.
+
+    Parameters
+    ----------
+    target_page:
+        The page to promote.
+    n_pages:
+        Total farm pages, distributed round-robin across the new sources.
+    n_sources:
+        Number of fresh sources hosting the farm (Scenario 2 when 1,
+        Scenario 3 when larger).
+    interlink:
+        When True, each farm page also links to one page of the next farm
+        source (making the farm itself a ring, a common obfuscation that
+        complicates pattern-based detection).
+    """
+
+    def __init__(
+        self,
+        target_page: int,
+        n_pages: int,
+        n_sources: int = 1,
+        *,
+        interlink: bool = False,
+    ) -> None:
+        self.target_page = int(target_page)
+        self.n_pages = self._check_count(n_pages, "n_pages")
+        self.n_sources = self._check_count(n_sources, "n_sources")
+        if self.n_sources > self.n_pages:
+            self.n_sources = self.n_pages  # a source needs at least one page
+        self.interlink = bool(interlink)
+
+    def apply(self, graph: PageGraph, assignment: SourceAssignment) -> SpammedWeb:
+        target = self._check_page(graph, self.target_page, "target")
+        target_source = assignment.source_of(target)
+        first_page = graph.n_nodes
+        first_source = assignment.n_sources
+        new_pages = np.arange(first_page, first_page + self.n_pages, dtype=np.int64)
+        new_sources = np.arange(
+            first_source, first_source + self.n_sources, dtype=np.int64
+        )
+        hosts = new_sources[np.arange(self.n_pages, dtype=np.int64) % self.n_sources]
+
+        src = new_pages
+        dst = np.full(self.n_pages, target, dtype=np.int64)
+        if self.interlink and self.n_sources > 1:
+            # Each page links to the first page of the next farm source;
+            # the first page of source k is page index k (round-robin order).
+            next_source_page = new_pages[
+                (np.arange(self.n_pages, dtype=np.int64) + 1) % self.n_sources
+            ]
+            src = np.concatenate([src, new_pages])
+            dst = np.concatenate([dst, next_source_page])
+
+        spammed = add_edges(graph, src, dst, n_nodes=first_page + self.n_pages)
+        new_assignment = assignment.extended(self.n_pages, hosts)
+        return SpammedWeb(
+            graph=spammed,
+            assignment=new_assignment,
+            target_page=target,
+            target_source=target_source,
+            injected_pages=new_pages,
+            injected_sources=new_sources,
+            description=(
+                f"link farm: {self.n_pages} pages across {self.n_sources} fresh "
+                f"source(s) -> page {target}"
+            ),
+        )

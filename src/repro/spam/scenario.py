@@ -1,0 +1,184 @@
+"""Scenario assembly: run an attack and measure both rankings' reactions.
+
+This is the driver behind the Fig. 6 / Fig. 7 experiments: it computes
+PageRank (page level, target page) and Spam-Resilient SourceRank (source
+level, target source) before and after an attack, re-using the clean
+rankings as warm starts for the spammed recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.amplification import AmplificationRecord, measure_amplification
+from ..config import RankingParams
+from ..errors import ScenarioError
+from ..graph.pagegraph import PageGraph
+from ..ranking.base import RankingResult
+from ..ranking.pagerank import pagerank
+from ..ranking.srsourcerank import spam_resilient_sourcerank
+from ..sources.assignment import SourceAssignment
+from ..sources.sourcegraph import SourceGraph
+from ..throttle.vector import ThrottleVector
+from .base import Attack, SpammedWeb
+
+__all__ = ["AttackEvaluation", "evaluate_attack", "pick_targets"]
+
+
+@dataclass(frozen=True, slots=True)
+class AttackEvaluation:
+    """Before/after measurements of one attack under both rankings."""
+
+    spammed: SpammedWeb
+    pagerank_record: AmplificationRecord
+    srsr_record: AmplificationRecord
+    pagerank_before: RankingResult
+    pagerank_after: RankingResult
+    srsr_before: RankingResult
+    srsr_after: RankingResult
+
+
+def _extend_kappa(kappa: ThrottleVector | None, n_sources: int) -> ThrottleVector | None:
+    """Pad a throttle vector with κ=0 entries for attack-created sources.
+
+    New spam sources are unknown to the throttling side by construction
+    (worst case for the defender); spam-proximity-aware evaluations rebuild
+    κ from scratch instead of using this padding.
+    """
+    if kappa is None:
+        return None
+    if kappa.n == n_sources:
+        return kappa
+    if kappa.n > n_sources:
+        raise ScenarioError(
+            f"throttle vector covers {kappa.n} sources, graph has {n_sources}"
+        )
+    padded = np.zeros(n_sources, dtype=np.float64)
+    padded[: kappa.n] = kappa.kappa
+    return ThrottleVector(padded)
+
+
+def evaluate_attack(
+    graph: PageGraph,
+    assignment: SourceAssignment,
+    attack: Attack,
+    *,
+    kappa: ThrottleVector | None = None,
+    params: RankingParams | None = None,
+    weighting: str = "consensus",
+    pagerank_before: RankingResult | None = None,
+    srsr_before: RankingResult | None = None,
+) -> AttackEvaluation:
+    """Run ``attack`` on a clean web and measure both rankings' movement.
+
+    Parameters
+    ----------
+    graph, assignment:
+        The clean web.
+    attack:
+        Any :class:`~repro.spam.base.Attack`.
+    kappa:
+        Throttling vector for the *clean* sources; attack-created sources
+        are padded with κ=0 (the defender has never seen them).
+    params:
+        Ranking parameters (paper defaults when omitted).
+    weighting:
+        Source-edge weighting scheme.
+    pagerank_before, srsr_before:
+        Optional precomputed clean rankings — pass them when evaluating
+        many attacks against the same clean web (the Fig. 6/7 sweeps do)
+        to avoid recomputing the expensive baseline each time.
+
+    Returns
+    -------
+    AttackEvaluation
+        Records for the target page (PageRank) and target source
+        (Spam-Resilient SourceRank).
+    """
+    params = params or RankingParams()
+    spammed = attack.apply(graph, assignment)
+
+    if pagerank_before is None:
+        pagerank_before = pagerank(graph, params)
+    if srsr_before is None:
+        clean_sg = SourceGraph.from_page_graph(graph, assignment, weighting=weighting)
+        srsr_before = spam_resilient_sourcerank(
+            clean_sg, _extend_kappa(kappa, clean_sg.n_sources), params
+        )
+
+    # Warm-start the spammed recomputations from the clean vectors (padded
+    # uniformly for injected pages/sources) — the incremental path.
+    pr_x0 = np.full(spammed.graph.n_nodes, 1.0 / spammed.graph.n_nodes)
+    pr_x0[: pagerank_before.n] = pagerank_before.scores
+    pagerank_after = pagerank(spammed.graph, params, x0=pr_x0)
+
+    spam_sg = SourceGraph.from_page_graph(
+        spammed.graph, spammed.assignment, weighting=weighting
+    )
+    sr_x0 = np.full(spam_sg.n_sources, 1.0 / spam_sg.n_sources)
+    sr_x0[: srsr_before.n] = srsr_before.scores
+    srsr_after = spam_resilient_sourcerank(
+        spam_sg, _extend_kappa(kappa, spam_sg.n_sources), params, x0=sr_x0
+    )
+
+    return AttackEvaluation(
+        spammed=spammed,
+        pagerank_record=measure_amplification(
+            pagerank_before, pagerank_after, spammed.target_page
+        ),
+        srsr_record=measure_amplification(
+            srsr_before, srsr_after, spammed.target_source
+        ),
+        pagerank_before=pagerank_before,
+        pagerank_after=pagerank_after,
+        srsr_before=srsr_before,
+        srsr_after=srsr_after,
+    )
+
+
+def pick_targets(
+    srsr_result: RankingResult,
+    assignment: SourceAssignment,
+    rng: np.random.Generator,
+    *,
+    n_targets: int = 5,
+    bottom_fraction: float = 0.5,
+    exclude_sources: np.ndarray | None = None,
+) -> list[tuple[int, int]]:
+    """Sample (target_source, target_page) pairs per the Fig. 6/7 protocol.
+
+    "We randomly selected five sources from the bottom 50 % of all sources
+    that have not been throttled ... for each source, we randomly selected
+    a target page within the source."
+
+    Parameters
+    ----------
+    srsr_result:
+        A clean source ranking used to find the bottom fraction.
+    assignment:
+        Page→source map (to sample a page inside each chosen source).
+    rng:
+        Seeded generator (experiments record their seeds).
+    exclude_sources:
+        Sources ineligible as targets (e.g. throttled or known-spam ones).
+    """
+    n_sources = srsr_result.n
+    order = srsr_result.order()  # best -> worst
+    cutoff = int(np.ceil(n_sources * (1.0 - bottom_fraction)))
+    bottom = order[cutoff:]
+    if exclude_sources is not None and exclude_sources.size:
+        mask = ~np.isin(bottom, exclude_sources)
+        bottom = bottom[mask]
+    if bottom.size < n_targets:
+        raise ScenarioError(
+            f"only {bottom.size} eligible bottom sources, need {n_targets}"
+        )
+    chosen = rng.choice(bottom, size=n_targets, replace=False)
+    pairs: list[tuple[int, int]] = []
+    for source in chosen.tolist():
+        pages = assignment.pages_of(int(source))
+        page = int(rng.choice(pages))
+        pairs.append((int(source), page))
+    return pairs

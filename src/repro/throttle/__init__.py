@@ -1,0 +1,22 @@
+"""Influence throttling (Sections 3.3 and 5).
+
+* :class:`~repro.throttle.vector.ThrottleVector` — the validated κ vector;
+* :func:`~repro.throttle.transform.throttle_transform` — the ``T' → T''``
+  matrix transform that enforces minimum self-edge weights;
+* :func:`~repro.throttle.spam_proximity.spam_proximity` — the BadRank-style
+  inverse-walk score of Section 5;
+* :mod:`repro.throttle.strategies` — κ-assignment strategies (the paper's
+  top-k heuristic plus threshold / proportional / linear extensions).
+"""
+
+from .vector import ThrottleVector
+from .transform import throttle_transform
+from .spam_proximity import spam_proximity
+from .strategies import assign_kappa
+
+__all__ = [
+    "ThrottleVector",
+    "throttle_transform",
+    "spam_proximity",
+    "assign_kappa",
+]

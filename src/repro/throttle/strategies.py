@@ -1,0 +1,87 @@
+"""κ-assignment strategies: spam-proximity scores → throttling vector.
+
+The paper (Section 5) uses the **top-k** heuristic — the k sources with the
+highest spam-proximity scores are throttled completely (κ=1) and everyone
+else not at all (κ=0) — and notes that "there are a number of possible ways
+to assign these throttling values ... we are exploring this topic in our
+ongoing research."  Three such extensions are implemented here and compared
+in ``bench_ablation_kappa``:
+
+* ``"threshold"`` — κ_high wherever the score exceeds a cutoff;
+* ``"proportional"`` — κ scales linearly with the score, κ_high at the max;
+* ``"linear"`` — κ interpolates with the score's *rank* (robust to the
+  heavy-tailed score distribution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ThrottleParams
+from ..errors import ThrottleError
+from .vector import ThrottleVector
+
+__all__ = ["assign_kappa", "top_k_flags"]
+
+
+def top_k_flags(scores: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask of the ``k`` highest-scored items (ties by lower id)."""
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    k = int(k)
+    if not 0 <= k <= scores.size:
+        raise ThrottleError(f"k must be in [0, {scores.size}], got {k}")
+    flags = np.zeros(scores.size, dtype=bool)
+    if k:
+        order = np.argsort(-scores, kind="stable")
+        flags[order[:k]] = True
+    return flags
+
+
+def assign_kappa(
+    scores: np.ndarray,
+    params: ThrottleParams | None = None,
+) -> ThrottleVector:
+    """Map spam-proximity scores to a :class:`ThrottleVector`.
+
+    Parameters
+    ----------
+    scores:
+        Spam-proximity scores, one per source (higher = closer to spam).
+    params:
+        Strategy and its knobs; paper defaults when omitted (top-k at the
+        WB2001 fraction, κ ∈ {0, 1}).
+    """
+    params = params or ThrottleParams()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if scores.size == 0:
+        raise ThrottleError("assign_kappa requires a non-empty score vector")
+    if not np.isfinite(scores).all() or scores.min() < 0:
+        raise ThrottleError("scores must be finite and non-negative")
+
+    lo, hi = params.kappa_low, params.kappa_high
+    if params.strategy == "top_k":
+        k = int(round(params.top_fraction * scores.size))
+        return ThrottleVector.from_flags(
+            top_k_flags(scores, k), kappa_high=hi, kappa_low=lo
+        )
+    if params.strategy == "threshold":
+        return ThrottleVector.from_flags(
+            scores > params.threshold, kappa_high=hi, kappa_low=lo
+        )
+    if params.strategy == "proportional":
+        peak = scores.max()
+        if peak <= 0:
+            return ThrottleVector.constant(scores.size, lo)
+        return ThrottleVector(lo + (hi - lo) * (scores / peak))
+    if params.strategy == "linear":
+        # Rank-based interpolation: the worst (highest-score) source gets
+        # kappa_high, the best gets kappa_low; zero-score sources stay at
+        # kappa_low regardless of rank.
+        order = np.argsort(scores, kind="stable")
+        ranks = np.empty(scores.size, dtype=np.float64)
+        ranks[order] = np.arange(scores.size, dtype=np.float64)
+        denom = max(scores.size - 1, 1)
+        kappa = lo + (hi - lo) * (ranks / denom)
+        kappa[scores == 0] = lo
+        return ThrottleVector(kappa)
+    raise ThrottleError(f"unknown strategy {params.strategy!r}")

@@ -1,0 +1,132 @@
+"""The influence-throttle matrix transform ``T' → T''`` (Section 3.3).
+
+For each source ``i`` whose current self-weight falls short of its
+throttling factor (``T'_ii < κ_i``):
+
+* the self-edge weight is raised to ``T''_ii = κ_i``;
+* every off-diagonal weight is rescaled by
+  ``(1 − κ_i) / Σ_{k≠i} T'_ik`` so the off-diagonal mass becomes exactly
+  ``1 − κ_i``.
+
+Rows already meeting their threshold are untouched.  The result is
+row-stochastic whenever the input is.  Fully vectorized: diagonal
+extraction, per-row scale computation, and a CSR data multiply — no Python
+loop over sources.
+
+Two interpretations of **complete** throttling (κ = 1) are provided,
+because the paper is internally inconsistent about it:
+
+* ``full_throttle="self"`` — the literal Section 3.3 transform:
+  ``T''_ii = 1``, all out-edges zero.  This is what the Section 4 closed
+  forms analyze, but the mandatory self-loop *amplifies* the source's own
+  incoming score by ``1/(1 − α)`` (Eq. 4), so a fully-throttled source can
+  never rank below the "no in-links" level of ``1/|S|`` — it cannot land
+  in the bottom Fig. 5 buckets.
+* ``full_throttle="dangling"`` — "their influence was completely
+  throttled" (Section 6.2) taken at face value: a κ = 1 row passes
+  nothing to anyone, *including itself* (all-zero row; the paper's linear
+  formulation lets the mass leak and renormalizes ``σ/||σ||``).  The
+  source keeps only its direct in-flow ``αz + (1 − α)/|S|``, which is what
+  actually demotes z-starved spam to the bottom buckets.  This is the mode
+  the Fig. 5 driver uses; EXPERIMENTS.md records the discrepancy.
+
+Partial throttling (κ < 1) is identical under both modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ThrottleError
+from .vector import ThrottleVector
+
+__all__ = ["throttle_transform"]
+
+
+_FULL_THROTTLE_MODES = ("self", "dangling")
+
+
+def throttle_transform(
+    matrix: sp.csr_matrix,
+    kappa: ThrottleVector | np.ndarray,
+    *,
+    full_throttle: str = "self",
+) -> sp.csr_matrix:
+    """Apply influence throttling to a row-stochastic source matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The source transition matrix ``T'`` (row-stochastic CSR; rows with
+        zero off-diagonal mass must carry their mass on the diagonal, which
+        :class:`~repro.sources.sourcegraph.SourceGraph` guarantees).
+    kappa:
+        Throttling factors, one per source.
+    full_throttle:
+        How κ = 1 rows behave: ``"self"`` (the literal Section 3.3
+        transform, self-loop retained) or ``"dangling"`` (the row passes
+        nothing at all — see the module docstring for why Fig. 5 needs
+        this reading).
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        The influence-throttled matrix ``T''`` of Eq. 2/3.
+    """
+    if full_throttle not in _FULL_THROTTLE_MODES:
+        raise ThrottleError(
+            f"full_throttle must be one of {_FULL_THROTTLE_MODES}, got "
+            f"{full_throttle!r}"
+        )
+    if not isinstance(kappa, ThrottleVector):
+        kappa = ThrottleVector(kappa)
+    matrix = matrix.tocsr()
+    n = matrix.shape[0]
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ThrottleError(f"source matrix must be square, got {matrix.shape}")
+    if kappa.n != n:
+        raise ThrottleError(
+            f"throttle vector covers {kappa.n} sources but matrix is {n}x{n}"
+        )
+    k = kappa.kappa
+    diag = matrix.diagonal()
+    full = (k >= 1.0) if full_throttle == "dangling" else np.zeros(n, dtype=bool)
+    needs = (diag < k) & ~full  # rows where the self-weight must be raised
+    if not needs.any() and not full.any():
+        return matrix.copy()
+
+    off_mass = np.asarray(matrix.sum(axis=1)).ravel() - diag
+    # A row can only need boosting with zero off-diagonal mass if its total
+    # mass was below kappa — i.e. the input was not row-stochastic.
+    bad = needs & (off_mass <= 0)
+    if bad.any():
+        raise ThrottleError(
+            f"{int(bad.sum())} rows need throttling but have no off-diagonal "
+            "mass to rescale; is the input row-stochastic?"
+        )
+
+    # Per-row off-diagonal scale: (1 - kappa) / off_mass on boosted rows,
+    # 0 on dangling fully-throttled rows, 1 elsewhere.
+    scale = np.ones(n, dtype=np.float64)
+    scale[needs] = (1.0 - k[needs]) / off_mass[needs]
+    scale[full] = 0.0
+
+    out = matrix.copy().astype(np.float64)
+    nnz_per_row = np.diff(out.indptr)
+    out.data *= np.repeat(scale, nnz_per_row)
+    # The diagonal of boosted rows was scaled along with everything else;
+    # overwrite it with exactly kappa.  Diagonal entries may be structurally
+    # absent (T'_ii == 0 rows), so add the correction as a sparse diagonal.
+    new_diag = np.where(needs, k, diag)
+    new_diag[full] = 0.0  # dangling rows keep nothing, not even themselves
+    current_diag = out.diagonal()
+    correction = new_diag - current_diag
+    nz = np.flatnonzero(np.abs(correction) > 0)
+    if nz.size:
+        out = (out + sp.coo_matrix(
+            (correction[nz], (nz, nz)), shape=(n, n)
+        ).tocsr()).tocsr()
+    out.eliminate_zeros()  # fully-throttled rows zero out their off-diagonals
+    out.sort_indices()
+    return out

@@ -1,0 +1,118 @@
+"""The throttling vector κ (Section 3.3).
+
+Each source ``s_i`` carries a throttling factor ``κ_i ∈ [0, 1]``: the
+minimum fraction of its influence that must stay on its own self-edge.
+``κ_i = 1`` throttles the source completely (its out-edges carry nothing);
+``κ_i = 0`` leaves it untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ThrottleError
+
+__all__ = ["ThrottleVector"]
+
+
+class ThrottleVector:
+    """Immutable, validated per-source throttling factors.
+
+    Parameters
+    ----------
+    kappa:
+        Array of ``κ_i`` values in ``[0, 1]``, one per source.
+    """
+
+    __slots__ = ("_kappa",)
+
+    def __init__(self, kappa: np.ndarray | list[float]) -> None:
+        arr = np.asarray(kappa, dtype=np.float64).ravel().copy()
+        if arr.size == 0:
+            raise ThrottleError("throttle vector must be non-empty")
+        if not np.isfinite(arr).all():
+            raise ThrottleError("throttle vector contains non-finite values")
+        if arr.min() < 0.0 or arr.max() > 1.0:
+            raise ThrottleError(
+                f"throttle values must lie in [0, 1], got range "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        arr.setflags(write=False)
+        self._kappa = arr
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, n: int) -> "ThrottleVector":
+        """No throttling anywhere (baseline SourceRank behaviour)."""
+        return cls(np.zeros(int(n), dtype=np.float64))
+
+    @classmethod
+    def constant(cls, n: int, kappa: float) -> "ThrottleVector":
+        """The same throttle level for every source."""
+        return cls(np.full(int(n), float(kappa), dtype=np.float64))
+
+    @classmethod
+    def from_flags(
+        cls,
+        flags: np.ndarray | list[bool],
+        *,
+        kappa_high: float = 1.0,
+        kappa_low: float = 0.0,
+    ) -> "ThrottleVector":
+        """``kappa_high`` where flagged, ``kappa_low`` elsewhere.
+
+        This is the paper's Section 6.2 assignment: flagged (top-k
+        spam-proximity) sources get κ=1, the rest κ=0.
+        """
+        flags = np.asarray(flags, dtype=bool).ravel()
+        arr = np.where(flags, float(kappa_high), float(kappa_low))
+        return cls(arr)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def kappa(self) -> np.ndarray:
+        """Read-only κ array."""
+        return self._kappa
+
+    @property
+    def n(self) -> int:
+        """Number of sources covered."""
+        return int(self._kappa.size)
+
+    def throttled_mask(self, *, above: float = 0.0) -> np.ndarray:
+        """Boolean mask of sources with ``κ_i > above``."""
+        return self._kappa > float(above)
+
+    def fully_throttled(self) -> np.ndarray:
+        """Ids of completely throttled sources (``κ_i == 1``)."""
+        return np.flatnonzero(self._kappa >= 1.0)
+
+    def updated(self, ids: np.ndarray | list[int], value: float) -> "ThrottleVector":
+        """Return a copy with ``κ[ids] = value``."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n):
+            raise ThrottleError(
+                f"ids must lie in [0, {self.n}), got range [{ids.min()}, {ids.max()}]"
+            )
+        arr = self._kappa.copy()
+        arr[ids] = float(value)
+        return ThrottleVector(arr)
+
+    def __getitem__(self, source: int) -> float:
+        return float(self._kappa[int(source)])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ThrottleVector):
+            return NotImplemented
+        return np.array_equal(self._kappa, other._kappa)
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        n_throttled = int(np.count_nonzero(self._kappa > 0))
+        return f"ThrottleVector(n={self.n}, throttled={n_throttled})"

@@ -1,0 +1,201 @@
+"""Compressed in-memory graph: gap transform + varint coding + offsets.
+
+:class:`CompressedGraph` stores a directed graph as a single varint byte
+stream of gap-transformed successor lists plus a per-node byte-offset
+index, mirroring the layout of the Boldi–Vigna WebGraph framework the paper
+used as its data-management substrate.  Typical web graphs compress to
+~30–50 % of their CSR int64 footprint with this scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import CodecError, NodeIndexError
+from ..graph.pagegraph import PageGraph
+from .gaps import from_gaps, to_gaps
+from .varint import decode_varints, encode_varints, varint_length
+
+__all__ = ["CompressedGraph", "CompressionStats"]
+
+_FILE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class CompressionStats:
+    """Size accounting of a :class:`CompressedGraph`."""
+
+    n_nodes: int
+    n_edges: int
+    payload_bytes: int
+    offset_bytes: int
+    csr_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload plus offset index."""
+        return self.payload_bytes + self.offset_bytes
+
+    @property
+    def ratio(self) -> float:
+        """Compressed size / CSR int64 size (lower is better)."""
+        return self.total_bytes / self.csr_bytes if self.csr_bytes else 0.0
+
+    @property
+    def bits_per_edge(self) -> float:
+        """Payload bits per edge (the WebGraph headline metric)."""
+        return 8.0 * self.payload_bytes / self.n_edges if self.n_edges else 0.0
+
+
+class CompressedGraph:
+    """Gap + varint compressed directed graph with random row access."""
+
+    __slots__ = ("_payload", "_offsets", "_counts", "_n_nodes", "_n_edges")
+
+    def __init__(
+        self,
+        payload: bytes,
+        offsets: np.ndarray,
+        counts: np.ndarray,
+        n_nodes: int,
+    ) -> None:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        n_nodes = int(n_nodes)
+        if offsets.shape != (n_nodes + 1,):
+            raise CodecError(
+                f"offsets must have length n_nodes + 1 = {n_nodes + 1}, got {offsets.size}"
+            )
+        if counts.shape != (n_nodes,):
+            raise CodecError(f"counts must have length {n_nodes}, got {counts.size}")
+        if offsets[0] != 0 or offsets[-1] != len(payload):
+            raise CodecError("offsets must span the payload exactly")
+        self._payload = bytes(payload)
+        offsets.setflags(write=False)
+        counts.setflags(write=False)
+        self._offsets = offsets
+        self._counts = counts
+        self._n_nodes = n_nodes
+        self._n_edges = int(counts.sum())
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pagegraph(cls, graph: PageGraph) -> "CompressedGraph":
+        """Compress a :class:`PageGraph` (single vectorized pass)."""
+        gaps = to_gaps(graph.indptr, graph.indices)
+        counts = graph.out_degrees.copy()
+        # Encode the full stream once, then compute per-node byte offsets
+        # from the per-value varint lengths (vectorized).
+        payload = encode_varints(gaps)
+        lengths = varint_length(gaps) if gaps.size else np.empty(0, dtype=np.int64)
+        per_node_bytes = np.zeros(graph.n_nodes, dtype=np.int64)
+        if gaps.size:
+            row_of = np.repeat(np.arange(graph.n_nodes, dtype=np.int64), counts)
+            np.add.at(per_node_bytes, row_of, lengths)
+        offsets = np.zeros(graph.n_nodes + 1, dtype=np.int64)
+        np.cumsum(per_node_bytes, out=offsets[1:])
+        return cls(payload, offsets, counts, graph.n_nodes)
+
+    def to_pagegraph(self) -> PageGraph:
+        """Decompress back to CSR form (exact round trip)."""
+        indptr = np.zeros(self._n_nodes + 1, dtype=np.int64)
+        np.cumsum(self._counts, out=indptr[1:])
+        gaps = decode_varints(self._payload, count=self._n_edges)
+        indices = from_gaps(indptr, gaps)
+        return PageGraph(indptr, indices, self._n_nodes)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges."""
+        return self._n_edges
+
+    def out_degree(self, node: int) -> int:
+        """Out-degree of ``node`` (O(1))."""
+        node = int(node)
+        if not 0 <= node < self._n_nodes:
+            raise NodeIndexError(node, self._n_nodes)
+        return int(self._counts[node])
+
+    def successors(self, node: int) -> np.ndarray:
+        """Decode the successor list of one node (random access).
+
+        Only the node's own byte slice is decoded — O(out-degree), not
+        O(edges) — which is the property that made WebGraph usable as a
+        rank-computation substrate.
+        """
+        node = int(node)
+        if not 0 <= node < self._n_nodes:
+            raise NodeIndexError(node, self._n_nodes)
+        lo, hi = int(self._offsets[node]), int(self._offsets[node + 1])
+        if lo == hi:
+            return np.empty(0, dtype=np.int64)
+        gaps = decode_varints(self._payload[lo:hi], count=int(self._counts[node]))
+        # Reconstruct absolutes: first is zigzag-relative to node, rest are
+        # +1 gaps.
+        local_indptr = np.array([0, gaps.size], dtype=np.int64)
+        # from_gaps expects row ids starting at 0; offset afterwards.
+        values = from_gaps(local_indptr, gaps)
+        # from_gaps decoded first entry relative to row id 0; shift by node.
+        values += node
+        return values
+
+    def stats(self) -> CompressionStats:
+        """Size accounting relative to the CSR int64 representation."""
+        csr_bytes = 8 * (self._n_nodes + 1) + 8 * self._n_edges
+        return CompressionStats(
+            n_nodes=self._n_nodes,
+            n_edges=self._n_edges,
+            payload_bytes=len(self._payload),
+            offset_bytes=int(self._offsets.nbytes),
+            csr_bytes=csr_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the compressed graph to an ``.npz`` container."""
+        np.savez_compressed(
+            path,
+            format_version=np.int64(_FILE_FORMAT_VERSION),
+            n_nodes=np.int64(self._n_nodes),
+            payload=np.frombuffer(self._payload, dtype=np.uint8),
+            offsets=self._offsets,
+            counts=self._counts,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CompressedGraph":
+        """Load a compressed graph written by :meth:`save`."""
+        with np.load(path) as data:
+            try:
+                version = int(data["format_version"])
+                n_nodes = int(data["n_nodes"])
+                payload = data["payload"].tobytes()
+                offsets = data["offsets"]
+                counts = data["counts"]
+            except KeyError as exc:
+                raise CodecError(f"{path}: missing field {exc}") from exc
+        if version != _FILE_FORMAT_VERSION:
+            raise CodecError(f"{path}: unsupported format version {version}")
+        return cls(payload, offsets, counts, n_nodes)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"CompressedGraph(n_nodes={self._n_nodes}, n_edges={self._n_edges}, "
+            f"bits_per_edge={stats.bits_per_edge:.2f})"
+        )

@@ -1,0 +1,85 @@
+"""Delta-gap transform for sorted successor lists.
+
+WebGraph's key observation: successor lists of web pages are sorted and
+locally clustered, so storing *gaps* between consecutive successors (and the
+first successor relative to the owning node) yields small integers that
+varint-code compactly.  We use the signed-first-gap scheme: the first entry
+of row ``i`` is stored as ``zigzag(first - i)`` and subsequent entries as
+``gap - 1`` (gaps are >= 1 in a strictly increasing list).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+
+__all__ = ["to_gaps", "from_gaps", "zigzag_encode", "zigzag_decode"]
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed ints to unsigned: 0,-1,1,-2,2 → 0,1,2,3,4."""
+    values = np.asarray(values, dtype=np.int64)
+    return ((values << 1) ^ (values >> 63)).astype(np.int64)
+
+
+def zigzag_decode(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    values = np.asarray(values, dtype=np.int64)
+    return ((values >> 1) ^ -(values & 1)).astype(np.int64)
+
+
+def to_gaps(indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Transform CSR successor lists to the gap domain.
+
+    Parameters
+    ----------
+    indptr, indices:
+        CSR arrays with sorted, strictly increasing rows (the
+        :class:`~repro.graph.pagegraph.PageGraph` invariant).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array, same length as ``indices``: per-row first entry is
+        ``zigzag(indices[start] - row)``, the rest are ``diff - 1``.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    n = indptr.size - 1
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    gaps = np.empty(indices.size, dtype=np.int64)
+    # Default: gap to the previous entry, minus one.
+    gaps[1:] = indices[1:] - indices[:-1] - 1
+    gaps[0] = 0  # placeholder, overwritten below (row start)
+    starts = indptr[:-1][np.diff(indptr) > 0]
+    gaps[starts] = zigzag_encode(indices[starts] - row_of[starts])
+    if (np.delete(gaps, starts) < 0).any():
+        raise CodecError("successor lists must be strictly increasing within rows")
+    return gaps
+
+
+def from_gaps(indptr: np.ndarray, gaps: np.ndarray) -> np.ndarray:
+    """Invert :func:`to_gaps`, reconstructing the CSR ``indices`` array."""
+    indptr = np.asarray(indptr, dtype=np.int64)
+    gaps = np.asarray(gaps, dtype=np.int64)
+    if gaps.size == 0:
+        return np.empty(0, dtype=np.int64)
+    n = indptr.size - 1
+    counts = np.diff(indptr)
+    row_of = np.repeat(np.arange(n, dtype=np.int64), counts)
+    starts = indptr[:-1][counts > 0]
+    # Rebuild per-row: value[k] = first + sum(gap_j + 1 for j in 1..k).
+    addends = gaps + 1
+    addends[starts] = zigzag_decode(gaps[starts]) + row_of[starts]
+    # Segmented cumulative sum: global cumsum minus the cumsum at each row
+    # start (vectorized segment trick).  Each position's row start is found
+    # by a maximum-accumulate over start positions.
+    csum = np.cumsum(addends)
+    base_at = np.zeros(gaps.size, dtype=np.int64)
+    base_at[starts] = starts
+    np.maximum.accumulate(base_at, out=base_at)
+    indices = csum - csum[base_at] + addends[base_at]
+    return indices.astype(np.int64)

@@ -1,0 +1,169 @@
+"""Interval-augmented successor coding (the second Boldi–Vigna idea).
+
+Real successor lists contain long runs of consecutive ids (a navigation
+bar linking to ``/page1 .. /pageK`` on the same host).  WebGraph encodes
+such runs as *intervals* ``(start, length)`` and only gap-codes the
+residual ids.  This module provides the split/merge transforms:
+
+* :func:`split_intervals` — extract maximal runs of length >=
+  ``min_interval`` from a sorted list, returning interval pairs and
+  residuals;
+* :func:`merge_intervals` — exact inverse.
+
+:func:`encode_row` / :func:`decode_row` produce a self-delimiting byte
+payload for one successor list (interval count, then zigzag/gap-coded
+interval starts + lengths, then gap-coded residuals), measured against
+plain gap coding in ``bench_substrates.py``-style tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+from .gaps import zigzag_decode, zigzag_encode
+from .varint import decode_varints, encode_varints
+
+__all__ = [
+    "split_intervals",
+    "merge_intervals",
+    "encode_row",
+    "decode_row",
+    "DEFAULT_MIN_INTERVAL",
+]
+
+#: Minimum run length worth encoding as an interval (WebGraph's default).
+DEFAULT_MIN_INTERVAL = 4
+
+
+def split_intervals(
+    successors: np.ndarray, *, min_interval: int = DEFAULT_MIN_INTERVAL
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extract maximal consecutive runs from a sorted successor list.
+
+    Returns ``(starts, lengths, residuals)``: runs of at least
+    ``min_interval`` consecutive ids become ``(start, length)`` pairs;
+    everything else stays in ``residuals`` (still sorted).
+    """
+    successors = np.asarray(successors, dtype=np.int64)
+    if min_interval < 2:
+        raise CodecError(f"min_interval must be >= 2, got {min_interval}")
+    n = successors.size
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    if n > 1 and (np.diff(successors) <= 0).any():
+        raise CodecError("successor list must be strictly increasing")
+    # Run boundaries: positions where the consecutive chain breaks.
+    breaks = np.flatnonzero(np.diff(successors) != 1)
+    run_starts = np.concatenate([[0], breaks + 1])
+    run_ends = np.concatenate([breaks, [n - 1]])  # inclusive
+    run_lengths = run_ends - run_starts + 1
+    is_interval = run_lengths >= min_interval
+    starts = successors[run_starts[is_interval]]
+    lengths = run_lengths[is_interval]
+    # Residuals: members of short runs, preserved in order.
+    keep = np.ones(n, dtype=bool)
+    for s, ln in zip(run_starts[is_interval], lengths):
+        keep[s : s + ln] = False
+    residuals = successors[keep]
+    return starts.astype(np.int64), lengths.astype(np.int64), residuals
+
+
+def merge_intervals(
+    starts: np.ndarray, lengths: np.ndarray, residuals: np.ndarray
+) -> np.ndarray:
+    """Inverse of :func:`split_intervals` (returns the sorted union)."""
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    residuals = np.asarray(residuals, dtype=np.int64)
+    if starts.shape != lengths.shape:
+        raise CodecError("starts and lengths must have equal shape")
+    if (lengths < 0).any():
+        raise CodecError("interval lengths must be >= 0")
+    if starts.size == 0:
+        return residuals.copy()
+    expanded = np.concatenate(
+        [np.arange(s, s + ln, dtype=np.int64) for s, ln in zip(starts, lengths)]
+    )
+    merged = np.concatenate([expanded, residuals])
+    merged.sort(kind="stable")
+    if merged.size > 1 and (np.diff(merged) == 0).any():
+        raise CodecError("intervals and residuals overlap")
+    return merged
+
+
+def encode_row(
+    node: int,
+    successors: np.ndarray,
+    *,
+    min_interval: int = DEFAULT_MIN_INTERVAL,
+) -> bytes:
+    """Encode one successor list with interval extraction.
+
+    Layout (all varints): ``n_intervals``, interval starts (first
+    zigzag-relative to ``node``, then gaps-1 between interval ends and
+    next starts), interval ``length - min_interval`` values, then the
+    residuals in the standard first-zigzag/gap-1 scheme.
+    """
+    starts, lengths, residuals = split_intervals(
+        successors, min_interval=min_interval
+    )
+    parts: list[np.ndarray] = [np.asarray([starts.size], dtype=np.int64)]
+    if starts.size:
+        ends = starts + lengths  # exclusive ends
+        start_codes = np.empty(starts.size, dtype=np.int64)
+        start_codes[0] = zigzag_encode(np.asarray([starts[0] - node]))[0]
+        if starts.size > 1:
+            start_codes[1:] = starts[1:] - ends[:-1]  # gap >= 1, store raw
+        parts.append(start_codes)
+        parts.append(lengths - min_interval)
+    parts.append(np.asarray([residuals.size], dtype=np.int64))
+    if residuals.size:
+        res_codes = np.empty(residuals.size, dtype=np.int64)
+        res_codes[0] = zigzag_encode(np.asarray([residuals[0] - node]))[0]
+        if residuals.size > 1:
+            res_codes[1:] = np.diff(residuals) - 1
+        parts.append(res_codes)
+    return encode_varints(np.concatenate(parts))
+
+
+def decode_row(
+    node: int,
+    payload: bytes,
+    *,
+    min_interval: int = DEFAULT_MIN_INTERVAL,
+) -> np.ndarray:
+    """Decode one successor list written by :func:`encode_row`."""
+    values = decode_varints(payload)
+    pos = 0
+
+    def take(k: int) -> np.ndarray:
+        nonlocal pos
+        if pos + k > values.size:
+            raise CodecError("truncated interval row payload")
+        out = values[pos : pos + k]
+        pos += k
+        return out
+
+    n_intervals = int(take(1)[0])
+    starts = np.empty(n_intervals, dtype=np.int64)
+    lengths = np.empty(0, dtype=np.int64)
+    if n_intervals:
+        start_codes = take(n_intervals)
+        lengths = take(n_intervals) + min_interval
+        starts[0] = zigzag_decode(start_codes[:1])[0] + node
+        for i in range(1, n_intervals):
+            starts[i] = starts[i - 1] + lengths[i - 1] + start_codes[i]
+    n_residuals = int(take(1)[0])
+    residuals = np.empty(0, dtype=np.int64)
+    if n_residuals:
+        res_codes = take(n_residuals)
+        residuals = np.empty(n_residuals, dtype=np.int64)
+        residuals[0] = zigzag_decode(res_codes[:1])[0] + node
+        if n_residuals > 1:
+            residuals[1:] = res_codes[1:] + 1
+            np.cumsum(residuals, out=residuals)
+    if pos != values.size:
+        raise CodecError("trailing bytes after interval row payload")
+    return merge_intervals(starts, lengths, residuals)

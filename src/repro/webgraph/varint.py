@@ -1,0 +1,132 @@
+"""Vectorized LEB128 (base-128) varint codec.
+
+Encodes arrays of non-negative integers into the classic little-endian
+base-128 representation: seven payload bits per byte, the high bit set on
+every byte except the last of each value.  Both directions are fully
+vectorized — no per-value Python loop — which is what makes compressing
+multi-million-edge graphs tractable in pure NumPy (HPC guide idiom:
+vectorize the hot loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+
+__all__ = ["encode_varints", "decode_varints", "varint_length"]
+
+#: Largest value encodable (we cap at 63-bit to stay inside int64).
+_MAX_VALUE = np.int64(2**63 - 1)
+_MAX_BYTES = 9  # ceil(63 / 7)
+
+
+def varint_length(values: np.ndarray) -> np.ndarray:
+    """Per-value encoded length in bytes.
+
+    >>> varint_length(np.array([0, 127, 128, 16383, 16384]))
+    array([1, 1, 2, 2, 3])
+    """
+    values = _check_values(values)
+    # bit_length(v) == 64 - clz; number of 7-bit groups, minimum 1.
+    nbits = np.zeros(values.shape, dtype=np.int64)
+    nonzero = values > 0
+    # np.log2 is unsafe at the int64 edge; use frexp-free integer approach:
+    # repeatedly compare against powers of 2^7.
+    v = values[nonzero]
+    if v.size:
+        # bit length via float is exact for < 2^53; handle the tail exactly.
+        small = v < (1 << 53)
+        bl = np.empty(v.shape, dtype=np.int64)
+        bl[small] = np.floor(np.log2(v[small].astype(np.float64))).astype(np.int64) + 1
+        if (~small).any():
+            big = v[~small]
+            # For >= 2^53 compute exactly with right-shifts (few values).
+            out = np.zeros(big.shape, dtype=np.int64)
+            work = big.copy()
+            while (work > 0).any():
+                out += (work > 0).astype(np.int64)
+                work >>= 1
+            bl[~small] = out
+        nbits[nonzero] = bl
+    return np.maximum((nbits + 6) // 7, 1)
+
+
+def _check_values(values: np.ndarray) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise CodecError(f"varint codec expects a 1-D array, got ndim={arr.ndim}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise CodecError(f"varint codec expects integers, got dtype {arr.dtype}")
+    arr = arr.astype(np.int64, copy=False)
+    if arr.size and arr.min() < 0:
+        raise CodecError("varint codec requires non-negative values")
+    return arr
+
+
+def encode_varints(values: np.ndarray) -> bytes:
+    """Encode a 1-D array of non-negative ints into a varint byte stream."""
+    values = _check_values(values)
+    if values.size == 0:
+        return b""
+    lengths = varint_length(values)
+    total = int(lengths.sum())
+    out = np.empty(total, dtype=np.uint8)
+    # Offsets of the first byte of each value.
+    starts = np.zeros(values.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    # Emit byte-plane by byte-plane: plane k holds bits [7k, 7k+7) of the
+    # values still long enough to need a k-th byte.
+    work = values.astype(np.uint64)
+    for plane in range(_MAX_BYTES):
+        active = lengths > plane
+        if not active.any():
+            break
+        idx = starts[active] + plane
+        payload = (work[active] >> np.uint64(7 * plane)) & np.uint64(0x7F)
+        cont = (lengths[active] - 1 > plane).astype(np.uint8) << 7
+        out[idx] = payload.astype(np.uint8) | cont
+    return out.tobytes()
+
+
+def decode_varints(data: bytes | np.ndarray, count: int | None = None) -> np.ndarray:
+    """Decode a varint byte stream back into an ``int64`` array.
+
+    Parameters
+    ----------
+    data:
+        The encoded byte stream.
+    count:
+        Optional expected number of values; a mismatch raises
+        :class:`~repro.errors.CodecError`.
+    """
+    buf = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray, memoryview)) else np.asarray(data, dtype=np.uint8)
+    if buf.size == 0:
+        result = np.empty(0, dtype=np.int64)
+        if count not in (None, 0):
+            raise CodecError(f"expected {count} values, stream is empty")
+        return result
+    is_last = (buf & 0x80) == 0
+    n_values = int(np.count_nonzero(is_last))
+    if not is_last[-1]:
+        raise CodecError("truncated varint stream (continuation bit set on final byte)")
+    if count is not None and n_values != count:
+        raise CodecError(f"expected {count} values, stream holds {n_values}")
+    # Value id of each byte = number of completed values before it.
+    value_id = np.zeros(buf.size, dtype=np.int64)
+    np.cumsum(is_last[:-1], out=value_id[1:])
+    # Byte position within its value = offset from the value's first byte.
+    ends = np.flatnonzero(is_last)
+    starts = np.empty(n_values, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    within = np.arange(buf.size, dtype=np.int64) - starts[value_id]
+    if (within >= _MAX_BYTES).any():
+        raise CodecError("varint value exceeds 63-bit limit")
+    payload = (buf & 0x7F).astype(np.uint64) << (7 * within).astype(np.uint64)
+    result = np.zeros(n_values, dtype=np.uint64)
+    np.add.at(result, value_id, payload)
+    out = result.astype(np.int64)
+    if (out < 0).any():
+        raise CodecError("decoded value overflows int64")
+    return out

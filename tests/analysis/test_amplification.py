@@ -1,0 +1,83 @@
+"""Unit tests for empirical amplification and resilience metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ResilienceRecord,
+    measure_amplification,
+    percentile_increase,
+    resilience_summary,
+    score_amplification,
+)
+from repro.errors import GraphError
+from repro.ranking.base import ConvergenceInfo, RankingResult
+
+_INFO = ConvergenceInfo(True, 1, 0.0, 1e-9)
+
+
+def _result(scores):
+    return RankingResult(np.asarray(scores, dtype=np.float64), _INFO)
+
+
+class TestScoreAmplification:
+    def test_basic(self):
+        before = _result([1.0, 1.0, 2.0])
+        after = _result([2.0, 1.0, 1.0])
+        # before normalized: 0.25; after normalized: 0.5.
+        assert score_amplification(before, after, 0) == pytest.approx(2.0)
+
+    def test_after_may_have_more_items(self):
+        before = _result([1.0, 1.0])
+        after = _result([1.0, 1.0, 2.0])
+        assert score_amplification(before, after, 0) == pytest.approx(0.5)
+
+    def test_out_of_range_target(self):
+        with pytest.raises(GraphError):
+            score_amplification(_result([1.0]), _result([1.0]), 5)
+
+
+class TestMeasureAmplification:
+    def test_record_fields(self):
+        before = _result([1.0, 2.0, 4.0])
+        after = _result([4.0, 2.0, 1.0])
+        rec = measure_amplification(before, after, 0)
+        assert rec.rank_before == 2
+        assert rec.rank_after == 0
+        assert rec.percentile_before == pytest.approx(0.0)
+        assert rec.percentile_after == pytest.approx(100.0)
+        assert rec.percentile_gain == pytest.approx(100.0)
+        assert rec.amplification == pytest.approx(
+            (4 / 7) / (1 / 7)
+        )
+
+
+class TestResilience:
+    def _records(self):
+        before = _result([1.0, 2.0, 4.0])
+        after = _result([4.0, 2.0, 1.0])
+        return [
+            measure_amplification(before, after, 0),
+            measure_amplification(before, after, 1),
+        ]
+
+    def test_percentile_increase_mean(self):
+        recs = self._records()
+        # target 0: +100; target 1: 0.
+        assert percentile_increase(recs) == pytest.approx(50.0)
+
+    def test_summary_record(self):
+        rec = resilience_summary("pagerank", 10, self._records())
+        assert isinstance(rec, ResilienceRecord)
+        assert rec.case == 10
+        assert rec.n_targets == 2
+        assert rec.mean_percentile_gain == pytest.approx(50.0)
+        assert rec.as_dict()["label"] == "pagerank"
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            percentile_increase([])
+        with pytest.raises(GraphError):
+            resilience_summary("x", 1, [])

@@ -1,0 +1,186 @@
+"""Tests for the Section 4 closed forms — including the paper's own
+calibration numbers and agreement with simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import closed_form as cf
+from repro.config import RankingParams
+from repro.errors import ConfigError
+from repro.ranking import spam_resilient_sourcerank
+from repro.sources import SourceGraph
+
+
+class TestSelfTuningBoost:
+    def test_paper_values_fig2(self):
+        """Fig. 2's quoted points at alpha=0.85."""
+        assert cf.self_tuning_boost(0.0, 0.85) == pytest.approx(1 / 0.15, rel=1e-9)
+        assert cf.self_tuning_boost(0.80, 0.85) == pytest.approx(320 / 150, rel=1e-3)
+        assert cf.self_tuning_boost(0.90, 0.85) == pytest.approx(1.5666, rel=1e-3)
+        assert cf.self_tuning_boost(1.0, 0.85) == pytest.approx(1.0)
+
+    def test_range_5_to_10_for_typical_alpha(self):
+        """'For typical values of alpha — from 0.80 to 0.90 — a source may
+        increase its score from 5 to 10 times.'"""
+        assert cf.self_tuning_boost(0.0, 0.80) == pytest.approx(5.0)
+        assert cf.self_tuning_boost(0.0, 0.90) == pytest.approx(10.0)
+
+    def test_monotone_decreasing_in_kappa(self):
+        k = np.linspace(0, 1, 11)
+        b = cf.self_tuning_boost(k, 0.85)
+        assert (np.diff(b) < 0).all()
+
+    def test_rejects_bad_kappa(self):
+        with pytest.raises(ConfigError):
+            cf.self_tuning_boost(1.5, 0.85)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigError):
+            cf.self_tuning_boost(0.5, 1.0)
+
+
+class TestSigmaSingleSource:
+    def test_maximized_at_self_weight_one(self):
+        w = np.linspace(0, 1, 21)
+        sigma = cf.sigma_single_source(w, z=0.001, alpha=0.85, n_sources=1000)
+        assert sigma.argmax() == 20
+
+    def test_optimal_matches_formula(self):
+        opt = cf.optimal_sigma_single_source(z=0.001, alpha=0.85, n_sources=1000)
+        assert opt == pytest.approx(
+            float(cf.sigma_single_source(1.0, 0.001, 0.85, 1000))
+        )
+
+    def test_simulation_agreement(self):
+        """The closed form must match an actual SR-SourceRank run on the
+        Figure 1(a) configuration."""
+        alpha = 0.85
+        n = 50
+        # Source 0: self-weight w, rest spread to a background ring.
+        for w in (0.0, 0.4, 0.9):
+            rows, cols, vals = [0, 0], [0, 1], [w, 1.0 - w]
+            if w == 1.0:
+                rows, cols, vals = [0], [0], [1.0]
+            for j in range(1, n):
+                rows.append(j)
+                cols.append(1 + (j % (n - 1)))
+                vals.append(1.0)
+            m = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+            sg = SourceGraph.from_weight_matrix(m)
+            result = spam_resilient_sourcerank(sg, None, RankingParams(alpha=alpha))
+            # z = 0: nothing links to source 0.  The simulation returns the
+            # L1-normalized sigma, so rescale the closed form by the exact
+            # total mass of the unnormalized linear-form solution.
+            predicted = cf.sigma_single_source(w, z=0.0, alpha=alpha, n_sources=n)
+            assert result.score_of(0) == pytest.approx(
+                float(predicted) / _total_mass(m, alpha, n), rel=1e-4
+            )
+
+
+def _total_mass(m: sp.csr_matrix, alpha: float, n: int) -> float:
+    """Unnormalized total stationary mass of the linear-form solution."""
+    import scipy.sparse.linalg as spla
+
+    b = np.full(n, (1 - alpha) / n)
+    x = spla.spsolve(sp.identity(n, format="csc") - alpha * m.T.tocsc(), b)
+    return float(x.sum())
+
+
+class TestColluders:
+    def test_eq5_linear_in_x(self):
+        x = np.array([1, 2, 4, 8])
+        d = cf.colluding_contribution(x, kappa=0.5, alpha=0.85, n_sources=1000)
+        np.testing.assert_allclose(d / x, d[0], rtol=1e-12)
+
+    def test_higher_kappa_contributes_less(self):
+        lo = cf.colluding_contribution(10, 0.1, 0.85, 1000)
+        hi = cf.colluding_contribution(10, 0.9, 0.85, 1000)
+        assert hi < lo
+
+    def test_sigma_with_colluders_baseline(self):
+        """x=0 must reduce to the no-attack optimal score."""
+        s0 = cf.sigma_with_colluders(0, 0.5, 0.85, 1000)
+        expected = cf.optimal_sigma_single_source(0.0, 0.85, 1000)
+        assert float(s0) == pytest.approx(expected)
+
+    def test_equivalence_identity(self):
+        """x'(kappa -> kappa) must be exactly x."""
+        assert float(cf.equivalent_colluders_ratio(0.3, 0.3, 0.85)) == pytest.approx(1.0)
+
+    def test_equivalence_consistency_with_sigma(self):
+        """sigma(x, kappa) == sigma(x * ratio, kappa') by construction."""
+        alpha, kappa, kp = 0.85, 0.2, 0.7
+        ratio = float(cf.equivalent_colluders_ratio(kappa, kp, alpha))
+        s1 = float(cf.sigma_with_colluders(12.0, kappa, alpha, 1000))
+        s2 = float(cf.sigma_with_colluders(12.0 * ratio, kp, alpha, 1000))
+        assert s1 == pytest.approx(s2, rel=1e-12)
+
+    def test_paper_values_fig3(self):
+        """'23% more sources at kappa'=0.6, 60% at 0.8, 135% at 0.9,
+        1485% at 0.99' (alpha = 0.85)."""
+        pct = cf.additional_sources_pct(np.array([0.6, 0.8, 0.9, 0.99]), 0.85)
+        np.testing.assert_allclose(pct, [22.5, 60.0, 135.0, 1485.0], rtol=1e-3)
+
+    def test_fully_throttled_rejected(self):
+        with pytest.raises(ConfigError):
+            cf.equivalent_colluders_ratio(0.0, 1.0, 0.85)
+
+
+class TestPageRankSide:
+    def test_boost_linear_in_tau(self):
+        tau = np.array([1, 10, 100])
+        d = cf.pagerank_boost(tau, 0.85, 10_000)
+        np.testing.assert_allclose(d / tau, d[0], rtol=1e-12)
+
+    def test_amplification_is_1_plus_tau_alpha(self):
+        """With z=0: pi(tau)/pi(0) = 1 + tau * alpha."""
+        amp = cf.pagerank_amplification(np.array([100]), 0.85, 10**6)
+        assert amp[0] == pytest.approx(86.0)
+
+    def test_paper_claim_factor_100_at_tau_100(self):
+        """'the PageRank score of the target page jumps by a factor of
+        nearly 100 times with only 100 colluding pages'."""
+        amp = float(cf.pagerank_amplification(np.array([100]), 0.85, 10**6)[0])
+        assert 80 <= amp <= 100
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ConfigError):
+            cf.pagerank_boost(np.array([-1]), 0.85, 100)
+
+
+class TestScenarioAmplifications:
+    def test_scenario1_flat_in_tau(self):
+        amp = cf.srsr_amplification_scenario1(np.array([1, 10, 1000]), 0.0, 0.85)
+        assert (amp == amp[0]).all()
+        assert amp[0] == pytest.approx(1 / 0.15, rel=1e-9)
+
+    def test_scenario1_tau_zero_is_one(self):
+        assert cf.srsr_amplification_scenario1(np.array([0]), 0.5, 0.85)[0] == 1.0
+
+    def test_scenario2_capped_at_two(self):
+        """'the maximum influence ... is capped at 2 times the original
+        score for several values of kappa'."""
+        for kappa in (0.0, 0.3, 0.6, 0.9):
+            amp = float(
+                cf.srsr_amplification_scenario2(
+                    np.array([10**6]), kappa, 0.85, 10_000
+                )[0]
+            )
+            assert 1.0 < amp <= 2.0
+
+    def test_scenario3_grows_but_suppressed_by_kappa(self):
+        x = np.array([1, 10, 100])
+        lo = cf.srsr_amplification_scenario3(x, 0.0, 0.85, 10_000)
+        hi = cf.srsr_amplification_scenario3(x, 0.99, 0.85, 10_000)
+        assert (np.diff(lo) > 0).all()
+        assert (hi < lo).all()
+
+    def test_scenario3_vs_pagerank_shape(self):
+        """PageRank amplification dominates SR-SourceRank at every tau."""
+        tau = np.array([1, 10, 100, 1000])
+        pr = cf.pagerank_amplification(tau, 0.85, 10**5)
+        sr = cf.srsr_amplification_scenario3(tau, 0.9, 0.85, 10**4)
+        assert (pr[1:] > sr[1:]).all()

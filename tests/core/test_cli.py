@@ -1,0 +1,129 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def crawl_file(tmp_path):
+    path = tmp_path / "crawl.tsv"
+    path.write_text(
+        "http://a.com/1\thttp://b.org/1\n"
+        "http://a.com/2\thttp://b.org/1\n"
+        "http://b.org/1\thttp://a.com/1\n"
+        "http://spam.test/x\thttp://spam.test/y\n"
+        "http://spam.test/y\thttp://spam.test/x\n"
+        "http://a.com/1\thttp://spam.test/x\n"
+    )
+    return path
+
+
+@pytest.fixture()
+def edge_file(tmp_path):
+    path = tmp_path / "edges.tsv"
+    path.write_text("0 1\n1 2\n2 0\n3 0\n")
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rank_requires_input(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rank"])
+
+    def test_rank_inputs_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["rank", "--edges", "x", "--dataset", "tiny"]
+            )
+
+
+class TestRankCommand:
+    def test_rank_crawl(self, crawl_file, capsys):
+        code = main(["rank", "--edges", str(crawl_file), "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top 3 sources" in out
+
+    def test_rank_with_blocklist(self, crawl_file, tmp_path, capsys):
+        blocklist = tmp_path / "bad.txt"
+        blocklist.write_text("spam.test\n# comment\n")
+        code = main(
+            ["rank", "--edges", str(crawl_file), "--blocklist", str(blocklist)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 blocklisted" in out
+        assert "throttled sources" in out
+
+    def test_rank_blocklist_warns_on_missing_host(self, crawl_file, tmp_path, capsys):
+        blocklist = tmp_path / "bad.txt"
+        blocklist.write_text("not-in-crawl.example\nspam.test\n")
+        main(["rank", "--edges", str(crawl_file), "--blocklist", str(blocklist)])
+        err = capsys.readouterr().err
+        assert "not-in-crawl.example" in err
+
+    def test_rank_dataset(self, capsys):
+        code = main(["rank", "--dataset", "tiny", "--top", "5"])
+        assert code == 0
+        assert "dataset tiny" in capsys.readouterr().out
+
+
+class TestFiguresCommand:
+    def test_fast_subset(self, capsys):
+        code = main(["figures", "fig2", "fig3", "--fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 2" in out
+        assert "Fig 3" in out
+        assert "Fig 5" not in out
+
+
+class TestDatasetCommand:
+    def test_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "ds"
+        code = main(["dataset", "tiny", str(out_dir)])
+        assert code == 0
+        assert (out_dir / "edges.tsv").exists()
+        assert (out_dir / "page_to_source.txt").exists()
+        spam = np.loadtxt(out_dir / "spam_sources.txt", dtype=np.int64)
+        assert spam.size == 8
+
+
+class TestStatsCommand:
+    def test_prints_stats(self, edge_file, capsys):
+        code = main(["stats", str(edge_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n_nodes" in out
+        assert "weak components" in out
+
+
+class TestCompressCommand:
+    def test_writes_container(self, edge_file, tmp_path, capsys):
+        out = tmp_path / "g.npz"
+        code = main(["compress", str(edge_file), str(out)])
+        assert code == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "bits/edge" in text
+
+        from repro.graph import read_edge_list
+        from repro.webgraph import CompressedGraph
+
+        assert CompressedGraph.load(out).to_pagegraph() == read_edge_list(edge_file)
+
+    def test_interval_codec_reports(self, edge_file, tmp_path, capsys):
+        out = tmp_path / "g.npz"
+        code = main(
+            ["compress", str(edge_file), str(out), "--codec", "intervals"]
+        )
+        assert code == 0
+        assert "interval codec" in capsys.readouterr().out

@@ -1,0 +1,64 @@
+"""Unit tests for the dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASETS, load_dataset
+from repro.errors import DatasetError
+from repro.sources import SourceGraph
+
+
+class TestRegistry:
+    def test_expected_names(self):
+        assert {"uk2002_like", "it2004_like", "wb2001_like", "tiny"} <= set(DATASETS)
+
+    def test_specs_carry_paper_ground_truth(self):
+        spec = DATASETS["uk2002_like"]
+        assert spec.paper_sources == 98_221
+        assert spec.paper_edges == 1_625_097
+
+    def test_load_tiny_with_spam(self):
+        ds = load_dataset("tiny")
+        assert ds.spam_sources.size == DATASETS["tiny"].spam.n_spam_sources
+        assert ds.n_sources == ds.assignment.n_sources
+
+    def test_load_without_spam(self):
+        ds = load_dataset("tiny", with_spam=False)
+        assert ds.spam_sources.size == 0
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_determinism(self):
+        a = load_dataset("tiny")
+        b = load_dataset("tiny")
+        assert a.graph == b.graph
+        np.testing.assert_array_equal(a.spam_sources, b.spam_sources)
+
+    def test_seed_override_changes_graph(self):
+        a = load_dataset("tiny")
+        b = load_dataset("tiny", seed_override=999)
+        assert a.graph != b.graph
+
+    def test_scale_override(self):
+        base = load_dataset("tiny", with_spam=False)
+        bigger = load_dataset("tiny", with_spam=False, scale_override=2.0)
+        assert bigger.n_sources == pytest.approx(2 * base.n_sources, rel=0.05)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("tiny", scale_override=0.0)
+
+    def test_edge_density_matches_paper_shape(self):
+        """The synthetic source graphs must land within 25 % of the
+        paper's Table 1 edges-per-source ratios."""
+        for name in ("uk2002_like", "wb2001_like"):
+            ds = load_dataset(name, with_spam=False)
+            sg = SourceGraph.from_page_graph(ds.graph, ds.assignment)
+            ours = sg.n_edges(count_self=False) / ds.n_sources
+            spec = ds.spec
+            paper = spec.paper_edges / spec.paper_sources
+            assert abs(ours - paper) / paper < 0.25, name

@@ -1,0 +1,116 @@
+"""Unit tests for spam-community planting and seed sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SpamPlantConfig,
+    SyntheticWebConfig,
+    generate_web,
+    plant_spam_communities,
+    sample_seed_set,
+)
+from repro.errors import DatasetError
+from repro.sources import SourceGraph
+
+
+@pytest.fixture(scope="module")
+def planted():
+    graph, assignment = generate_web(
+        SyntheticWebConfig(n_sources=150, mean_pages_per_source=10.0, seed=21)
+    )
+    cfg = SpamPlantConfig(n_spam_sources=12, seed=22)
+    g2, a2, spam = plant_spam_communities(graph, assignment, cfg)
+    return graph, assignment, g2, a2, spam
+
+
+class TestPlanting:
+    def test_spam_sources_appended(self, planted):
+        graph, assignment, g2, a2, spam = planted
+        assert spam.size == 12
+        assert spam.min() == assignment.n_sources
+        assert a2.n_sources == assignment.n_sources + 12
+
+    def test_original_pages_unchanged(self, planted):
+        graph, assignment, g2, a2, spam = planted
+        np.testing.assert_array_equal(
+            a2.page_to_source[: assignment.n_pages], assignment.page_to_source
+        )
+
+    def test_spam_interlinked(self, planted):
+        """Every spam source must have source edges to other spam sources
+        (the exchange ring)."""
+        _, _, g2, a2, spam = planted
+        sg = SourceGraph.from_page_graph(g2, a2)
+        m = sg.matrix
+        for s in spam:
+            row = m[int(s)].tocoo().col
+            others = np.setdiff1d(np.intersect1d(row, spam), [s])
+            assert others.size >= 1
+
+    def test_hijacked_links_exist(self, planted):
+        """Some legitimate source must link into spam."""
+        _, assignment, g2, a2, spam = planted
+        sg = SourceGraph.from_page_graph(g2, a2)
+        into_spam = sg.matrix[:, spam].sum(axis=1)
+        legit = np.asarray(into_spam).ravel()[: assignment.n_sources]
+        assert (legit > 0).any()
+
+    def test_victim_pool_bounds_in_neighbourhood(self):
+        graph, assignment = generate_web(
+            SyntheticWebConfig(n_sources=200, mean_pages_per_source=10.0, seed=31)
+        )
+        cfg = SpamPlantConfig(
+            n_spam_sources=10, hijacked_per_source=5, victim_pool_sources=4, seed=32
+        )
+        g2, a2, spam = plant_spam_communities(graph, assignment, cfg)
+        sg = SourceGraph.from_page_graph(g2, a2)
+        into_spam = np.asarray(sg.matrix[:, spam].sum(axis=1)).ravel()
+        legit_linkers = np.flatnonzero(into_spam[: assignment.n_sources] > 0)
+        assert legit_linkers.size <= 4
+
+    def test_determinism(self):
+        graph, assignment = generate_web(SyntheticWebConfig(n_sources=80, seed=41))
+        cfg = SpamPlantConfig(n_spam_sources=5, seed=42)
+        g_a, _, _ = plant_spam_communities(graph, assignment, cfg)
+        g_b, _, _ = plant_spam_communities(graph, assignment, cfg)
+        assert g_a == g_b
+
+    def test_config_validation(self):
+        with pytest.raises(DatasetError):
+            SpamPlantConfig(n_spam_sources=1)
+        with pytest.raises(DatasetError):
+            SpamPlantConfig(pages_per_source=0)
+        with pytest.raises(DatasetError):
+            SpamPlantConfig(ring_chords=-1)
+
+
+class TestSeedSampling:
+    def test_fraction(self, rng):
+        spam = np.arange(100, 200)
+        seeds = sample_seed_set(spam, 0.1, np.random.default_rng(5))
+        assert seeds.size == 10
+        assert np.isin(seeds, spam).all()
+
+    def test_at_least_one(self):
+        seeds = sample_seed_set(np.array([7, 8]), 0.01, np.random.default_rng(5))
+        assert seeds.size == 1
+
+    def test_full_fraction(self):
+        spam = np.arange(5)
+        seeds = sample_seed_set(spam, 1.0, np.random.default_rng(5))
+        np.testing.assert_array_equal(seeds, spam)
+
+    def test_sorted_output(self):
+        seeds = sample_seed_set(np.arange(50), 0.5, np.random.default_rng(6))
+        assert (np.diff(seeds) > 0).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            sample_seed_set(np.array([], dtype=np.int64), 0.5, np.random.default_rng(0))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(DatasetError):
+            sample_seed_set(np.arange(5), 0.0, np.random.default_rng(0))

@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic web-graph generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticWebConfig, generate_web
+from repro.errors import DatasetError
+from repro.graph.stats import compute_stats, gini_coefficient, intra_host_locality
+
+
+@pytest.fixture(scope="module")
+def web():
+    cfg = SyntheticWebConfig(n_sources=300, mean_pages_per_source=20.0, seed=5)
+    return cfg, *generate_web(cfg)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SyntheticWebConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_sources", 1),
+            ("mean_pages_per_source", 0.0),
+            ("size_sigma", 0.0),
+            ("mean_out_degree", 0.0),
+            ("intra_fraction", 1.5),
+            ("hub_bias", -0.1),
+            ("popularity_noise", 0.0),
+            ("mean_targets_per_source", 0.0),
+            ("targets_sigma", 0.0),
+        ],
+    )
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(DatasetError):
+            SyntheticWebConfig(**{field: value})
+
+
+class TestGeneratedShape:
+    def test_determinism(self):
+        cfg = SyntheticWebConfig(n_sources=100, seed=9)
+        g1, a1 = generate_web(cfg)
+        g2, a2 = generate_web(cfg)
+        assert g1 == g2
+        assert a1 == a2
+
+    def test_seed_changes_graph(self):
+        cfg1 = SyntheticWebConfig(n_sources=100, seed=1)
+        cfg2 = SyntheticWebConfig(n_sources=100, seed=2)
+        assert generate_web(cfg1)[0] != generate_web(cfg2)[0]
+
+    def test_source_count(self, web):
+        cfg, graph, assignment = web
+        assert assignment.n_sources == cfg.n_sources
+
+    def test_pages_contiguous_by_source(self, web):
+        _, _, assignment = web
+        # page_to_source must be non-decreasing (source-major layout).
+        diffs = np.diff(assignment.page_to_source)
+        assert (diffs >= 0).all()
+
+    def test_mean_source_size_near_target(self, web):
+        cfg, _, assignment = web
+        mean = assignment.source_sizes.mean()
+        assert 0.5 * cfg.mean_pages_per_source < mean < 2.0 * cfg.mean_pages_per_source
+
+    def test_locality_near_target(self, web):
+        cfg, graph, assignment = web
+        loc = intra_host_locality(graph, assignment.page_to_source)
+        assert abs(loc - cfg.intra_fraction) < 0.08
+
+    def test_mean_out_degree_near_target(self, web):
+        cfg, graph, _ = web
+        mean_deg = graph.n_edges / graph.n_nodes
+        # Dedup and self-link drops push the mean below the target a bit.
+        assert 0.5 * cfg.mean_out_degree < mean_deg <= cfg.mean_out_degree
+
+    def test_no_self_loops(self, web):
+        _, graph, _ = web
+        assert compute_stats(graph).self_loops == 0
+
+    def test_heavy_tailed_source_sizes(self, web):
+        _, _, assignment = web
+        assert gini_coefficient(assignment.source_sizes) > 0.3
+
+    def test_hub_bias_concentrates_in_links(self):
+        """Home pages must receive more in-links than other pages."""
+        cfg = SyntheticWebConfig(n_sources=200, hub_bias=0.9, seed=3)
+        graph, assignment = generate_web(cfg)
+        indeg = graph.in_degrees()
+        offsets = np.concatenate([[0], np.cumsum(assignment.source_sizes)[:-1]])
+        hub_mean = indeg[offsets].mean()
+        assert hub_mean > 2 * indeg.mean()
+
+    def test_zero_intra_fraction(self):
+        cfg = SyntheticWebConfig(n_sources=50, intra_fraction=0.0, seed=4)
+        graph, assignment = generate_web(cfg)
+        assert intra_host_locality(graph, assignment.page_to_source) == pytest.approx(
+            0.0
+        )
+
+    def test_full_intra_fraction(self):
+        cfg = SyntheticWebConfig(n_sources=50, intra_fraction=1.0, seed=4)
+        graph, assignment = generate_web(cfg)
+        assert intra_host_locality(graph, assignment.page_to_source) == pytest.approx(
+            1.0
+        )

@@ -1,0 +1,67 @@
+"""Unit tests for the dataset validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, validate_dataset
+from repro.datasets.validation import CheckResult, ValidationReport
+
+
+class TestValidateDataset:
+    @pytest.mark.parametrize("name", ["uk2002_like", "wb2001_like"])
+    def test_shipped_analogues_pass(self, name):
+        report = validate_dataset(load_dataset(name))
+        assert report.passed, report.failures()
+
+    def test_tiny_passes(self):
+        # Toy specs skip the paper-anchored spam-fraction check entirely
+        # (they deliberately over-plant spam so small tests have signal).
+        report = validate_dataset(load_dataset("tiny"))
+        assert report.passed, report.failures()
+        assert "spam_fraction" not in {c.name for c in report.checks}
+
+    def test_check_names_present(self):
+        report = validate_dataset(load_dataset("uk2002_like"))
+        names = {c.name for c in report.checks}
+        assert {
+            "intra_source_locality",
+            "source_edge_density",
+            "source_size_gini",
+            "giant_component_fraction",
+            "spam_fraction",
+        } <= names
+
+    def test_clean_dataset_skips_spam_check(self):
+        report = validate_dataset(load_dataset("uk2002_like", with_spam=False))
+        assert "spam_fraction" not in {c.name for c in report.checks}
+
+    def test_tight_bands_fail(self):
+        report = validate_dataset(
+            load_dataset("uk2002_like"),
+            locality_band=(0.99, 1.0),
+        )
+        assert not report.passed
+        failed = {c.name for c in report.failures()}
+        assert "intra_source_locality" in failed
+
+    def test_format_marks_failures(self):
+        report = ValidationReport(
+            dataset="x",
+            checks=(
+                CheckResult("good", True, 1.0, ">= 0"),
+                CheckResult("bad", False, 0.0, ">= 1"),
+            ),
+        )
+        text = report.format()
+        assert "NO" in text
+        assert "yes" in text
+
+    def test_dataset_cli_prints_validation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["dataset", "uk2002_like", str(tmp_path / "out")])
+        out = capsys.readouterr().out
+        assert "dataset validation" in out
+        assert code == 0

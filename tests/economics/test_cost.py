@@ -1,0 +1,76 @@
+"""Unit tests for the spammer cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.economics import AttackCost, CostModel
+from repro.errors import ConfigError
+from repro.graph import PageGraph
+from repro.sources import SourceAssignment
+from repro.spam import HijackAttack, IntraSourceAttack, LinkFarmAttack
+
+
+@pytest.fixture()
+def web():
+    g = PageGraph.from_edges(np.array([0, 1]), np.array([1, 0]), 4)
+    a = SourceAssignment(np.array([0, 0, 1, 1]))
+    return g, a
+
+
+class TestCostModel:
+    def test_defaults_ordered(self):
+        m = CostModel()
+        assert m.page_cost < m.hijack_cost < m.source_cost < m.honeypot_link_cost
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(page_cost=-1)
+
+    def test_price_intra_source_attack(self, web):
+        g, a = web
+        spammed = IntraSourceAttack(0, 10).apply(g, a)
+        cost = CostModel().price(spammed)
+        assert cost.pages == 10
+        assert cost.sources == 0
+        assert cost.hijacked == 0
+        assert cost.total == pytest.approx(10 * CostModel().page_cost)
+
+    def test_price_link_farm(self, web):
+        g, a = web
+        spammed = LinkFarmAttack(0, n_pages=6, n_sources=3).apply(g, a)
+        m = CostModel()
+        cost = m.price(spammed)
+        assert cost.sources == 3
+        assert cost.total == pytest.approx(6 * m.page_cost + 3 * m.source_cost)
+
+    def test_price_hijack(self, web):
+        g, a = web
+        spammed = HijackAttack(0, [2, 3]).apply(g, a)
+        m = CostModel()
+        cost = m.price(spammed)
+        assert cost.hijacked == 2
+        assert cost.total == pytest.approx(2 * m.hijack_cost)
+
+    def test_cost_addition(self):
+        a = AttackCost(pages=1, sources=0, hijacked=2, total=41.0)
+        b = AttackCost(pages=3, sources=1, hijacked=0, total=53.0)
+        c = a + b
+        assert c.pages == 4
+        assert c.total == pytest.approx(94.0)
+
+    def test_helper_formulas(self):
+        m = CostModel(page_cost=2, source_cost=10, hijack_cost=5, honeypot_link_cost=20)
+        assert m.collusion_cost(5, 2) == pytest.approx(30)
+        assert m.hijack_campaign_cost(4) == pytest.approx(20)
+        assert m.honeypot_cost(3, 2) == pytest.approx(60 + 4 + 10)
+
+    def test_helper_validation(self):
+        m = CostModel()
+        with pytest.raises(ConfigError):
+            m.collusion_cost(-1)
+        with pytest.raises(ConfigError):
+            m.hijack_campaign_cost(-1)
+        with pytest.raises(ConfigError):
+            m.honeypot_cost(-1, 0)

@@ -1,0 +1,88 @@
+"""Unit tests for the closed-form attack planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.economics import AttackPlanner, CostModel
+from repro.errors import ConfigError
+
+
+class TestPlanner:
+    def test_pagerank_plan_buys_pages(self):
+        planner = AttackPlanner(CostModel(page_cost=2.0))
+        plan = planner.plan_against_pagerank(100.0)
+        assert plan.n_pages == 50
+        assert plan.n_sources == 0
+        assert plan.score_gain > 0
+
+    def test_pagerank_gain_linear_in_budget(self):
+        planner = AttackPlanner()
+        g1 = planner.plan_against_pagerank(1000.0).score_gain
+        g2 = planner.plan_against_pagerank(2000.0).score_gain
+        assert g2 == pytest.approx(2 * g1)
+
+    def test_srsr_plan_buys_sources(self):
+        m = CostModel(page_cost=1.0, source_cost=49.0)
+        planner = AttackPlanner(m)
+        plan = planner.plan_against_srsr(500.0)
+        assert plan.n_sources == 10  # 500 / (49 + 1)
+        assert plan.n_pages == plan.n_sources
+
+    def test_throttling_cuts_srsr_gain(self):
+        planner = AttackPlanner()
+        open_ = planner.plan_against_srsr(1e5, kappa=0.0).score_gain
+        # Per-source payoff shrinks by (1-k)/(1-ak): 0.425x at k=0.9,
+        # 0.063x at k=0.99.
+        assert planner.plan_against_srsr(1e5, kappa=0.9).score_gain < 0.5 * open_
+        assert planner.plan_against_srsr(1e5, kappa=0.99).score_gain < 0.1 * open_
+
+    def test_cost_ratio_exceeds_one(self):
+        """SR-SourceRank must make score strictly dearer than PageRank
+        even with no throttling (sources cost more than pages)."""
+        planner = AttackPlanner()
+        assert planner.cost_ratio(0.0) > 1.0
+
+    def test_cost_ratio_grows_with_kappa(self):
+        planner = AttackPlanner()
+        ratios = [planner.cost_ratio(k) for k in (0.0, 0.5, 0.9, 0.99)]
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+
+    def test_cost_ratio_matches_closed_form(self):
+        """ratio = (source+page)/page * (1-a) * (1 - a k)/(1 - k).
+
+        The (1-a) factor: a colluding source's contribution reaches the
+        target through its optimal self-loop amplification a/(1-a)
+        (Eq. 5), so per teleport quantum it delivers a/(1-a) * (1-k)/(1-ak)
+        units, vs a flat alpha per colluding page under PageRank.
+        """
+        m = CostModel(page_cost=1.0, source_cost=49.0)
+        planner = AttackPlanner(m, alpha=0.85)
+        for kappa in (0.0, 0.5, 0.9):
+            expected = 50.0 * 0.15 * (1 - 0.85 * kappa) / (1 - kappa)
+            assert planner.cost_ratio(kappa) == pytest.approx(expected, rel=1e-2)
+
+    def test_sweep(self):
+        planner = AttackPlanner()
+        plans = planner.sweep_kappa(np.array([0.0, 0.5, 0.9]))
+        assert len(plans) == 3
+        gains = [p.score_gain for p in plans]
+        assert gains[0] > gains[1] > gains[2]
+
+    def test_validation(self):
+        planner = AttackPlanner()
+        with pytest.raises(ConfigError):
+            planner.plan_against_pagerank(-1.0)
+        with pytest.raises(ConfigError):
+            planner.plan_against_srsr(1.0, kappa=1.0)
+        with pytest.raises(ConfigError):
+            AttackPlanner(alpha=1.0)
+        with pytest.raises(ConfigError):
+            AttackPlanner(n_pages=0)
+
+    def test_plan_as_dict(self):
+        plan = AttackPlanner().plan_against_pagerank(10.0)
+        d = plan.as_dict()
+        assert d["ranking"] == "pagerank"
+        assert d["pages"] == plan.n_pages

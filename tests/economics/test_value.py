@@ -1,0 +1,83 @@
+"""Unit tests for portfolio-value metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.economics import portfolio_value, traffic_share
+from repro.economics.value import rank_value
+from repro.errors import ConfigError
+from repro.ranking.base import ConvergenceInfo, RankingResult
+
+_INFO = ConvergenceInfo(True, 1, 0.0, 1e-9)
+
+
+def _result(scores):
+    return RankingResult(np.asarray(scores, dtype=np.float64), _INFO)
+
+
+class TestRankValue:
+    def test_rank_zero_is_one(self):
+        assert rank_value(np.array([0]))[0] == pytest.approx(1.0)
+
+    def test_power_law_decay(self):
+        v = rank_value(np.array([0, 1, 9]), gamma=1.0)
+        assert v[1] == pytest.approx(0.5)
+        assert v[2] == pytest.approx(0.1)
+
+    def test_gamma_controls_steepness(self):
+        shallow = rank_value(np.array([9]), gamma=0.5)
+        steep = rank_value(np.array([9]), gamma=2.0)
+        assert steep < shallow
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            rank_value(np.array([-1]))
+        with pytest.raises(ConfigError):
+            rank_value(np.array([0]), gamma=0.0)
+
+
+class TestTrafficShare:
+    def test_top_item_dominates(self):
+        r = _result(np.arange(1, 11, dtype=np.float64))
+        top = traffic_share(r, np.array([9]))     # best-ranked item
+        bottom = traffic_share(r, np.array([0]))  # worst-ranked item
+        assert top > bottom
+        assert top > 0.3  # rank 0 holds 1/H_10 ~ 0.34 of the value
+
+    def test_full_membership_is_one(self):
+        r = _result(np.arange(1, 6, dtype=np.float64))
+        assert traffic_share(r, np.arange(5)) == pytest.approx(1.0)
+
+    def test_empty_membership_is_zero(self):
+        r = _result(np.arange(1, 6, dtype=np.float64))
+        assert traffic_share(r, np.array([], dtype=np.int64)) == 0.0
+
+    def test_range_check(self):
+        r = _result(np.ones(3))
+        with pytest.raises(ConfigError):
+            traffic_share(r, np.array([5]))
+
+    def test_demotion_reduces_share(self):
+        """The paper's portfolio-value question: demoting a portfolio's
+        members must cut its traffic share."""
+        before = _result([10.0, 1.0, 1.0, 1.0])   # member 0 on top
+        after = _result([0.1, 1.0, 1.0, 1.0])     # member 0 demoted
+        assert traffic_share(after, np.array([0])) < traffic_share(
+            before, np.array([0])
+        )
+
+
+class TestPortfolioValue:
+    def test_market_scaling(self):
+        r = _result(np.arange(1, 6, dtype=np.float64))
+        share = traffic_share(r, np.array([4]))
+        assert portfolio_value(r, np.array([4]), market_size=1000.0) == pytest.approx(
+            1000.0 * share
+        )
+
+    def test_negative_market_rejected(self):
+        r = _result(np.ones(2))
+        with pytest.raises(ConfigError):
+            portfolio_value(r, np.array([0]), market_size=-1.0)

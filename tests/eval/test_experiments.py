@@ -1,0 +1,133 @@
+"""Tests for the per-figure experiment drivers (small/fast configurations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ExperimentParams,
+    RankingParams,
+    SpamProximityParams,
+    ThrottleParams,
+)
+from repro.errors import ConfigError
+from repro.eval import run_fig2, run_fig3, run_fig4, run_fig5
+from repro.eval.experiments import run_table1
+
+
+@pytest.fixture(scope="module")
+def tiny_params():
+    """Experiment params scaled for the tiny dataset."""
+    return ExperimentParams(
+        seed=11,
+        n_targets=2,
+        cases=(1, 10),
+        # Tiny has 8 spam of ~128 sources; throttle budget 2x spam count.
+        throttle=ThrottleParams(top_fraction=16 / 128),
+        seed_fraction=0.25,
+        n_buckets=10,
+    )
+
+
+class TestFig2:
+    def test_curves_cover_alphas(self):
+        r = run_fig2(alphas=(0.80, 0.85))
+        assert set(r.curves) == {0.80, 0.85}
+
+    def test_kappa_zero_endpoint(self):
+        r = run_fig2(alphas=(0.85,))
+        assert r.curves[0.85][0] == pytest.approx(1 / 0.15)
+
+    def test_kappa_one_endpoint(self):
+        r = run_fig2(alphas=(0.85,))
+        assert r.curves[0.85][-1] == pytest.approx(1.0)
+
+    def test_format_output(self):
+        text = run_fig2().format()
+        assert "Fig 2" in text
+        assert "alpha=0.85" in text
+
+
+class TestFig3:
+    def test_analytic_paper_points(self):
+        r = run_fig3(kappa_primes=np.array([0.6, 0.8, 0.9, 0.99]))
+        np.testing.assert_allclose(
+            r.analytic_pct, [22.5, 60.0, 135.0, 1485.0], rtol=1e-3
+        )
+
+    def test_empirical_matches_analytic(self):
+        """The simulated extra-source percentages must track the closed
+        form within a few percent."""
+        r = run_fig3(
+            kappa_primes=np.array([0.4, 0.8]),
+            empirical=True,
+            params=RankingParams(tolerance=1e-12),
+        )
+        assert r.empirical_pct is not None
+        np.testing.assert_allclose(r.empirical_pct, r.analytic_pct, rtol=0.08)
+
+    def test_format_mentions_alpha(self):
+        assert "alpha=0.85" in run_fig3().format()
+
+
+class TestFig4:
+    def test_scenario_validation(self):
+        with pytest.raises(ConfigError):
+            run_fig4(7)
+
+    def test_pagerank_unbounded_sr_capped_scenario1(self):
+        r = run_fig4(1, taus=np.array([0, 1, 10, 100, 1000]))
+        assert r.pagerank_curve[-1] > 100
+        for curve in r.srsr_curves.values():
+            assert curve.max() <= 1 / 0.15 + 1e-9
+
+    def test_scenario2_cap(self):
+        r = run_fig4(2, kappas=(0.0, 0.5, 0.9))
+        for curve in r.srsr_curves.values():
+            assert curve.max() <= 2.0
+
+    def test_scenario3_kappa_ordering(self):
+        r = run_fig4(3, kappas=(0.0, 0.99))
+        # Higher kappa => strictly weaker amplification for tau > 0.
+        assert (r.srsr_curves[0.99][1:] < r.srsr_curves[0.0][1:]).all()
+
+    def test_empirical_directional(self):
+        """Simulated attacks: PageRank amplification must dominate
+        SR-SourceRank amplification at every tau."""
+        r = run_fig4(1, taus=np.array([10, 100]), empirical=True)
+        assert r.empirical is not None
+        for tau in (10, 100):
+            assert r.empirical["pagerank"][tau] > r.empirical["srsr"][tau]
+
+    def test_format_lists_series(self):
+        text = run_fig4(1).format()
+        assert "pagerank" in text and "srsr(k=0)" in text
+
+
+class TestFig5:
+    def test_tiny_run_demotes_spam(self, tiny_params):
+        r = run_fig5("tiny", tiny_params)
+        base_mean, throttled_mean = r.mass_weighted_bucket()
+        assert throttled_mean > base_mean
+        assert r.baseline_counts.sum() == r.n_spam
+        assert r.throttled_counts.sum() == r.n_spam
+
+    def test_format(self, tiny_params):
+        text = run_fig5("tiny", tiny_params).format()
+        assert "Fig 5" in text and "baseline_sourcerank" in text
+
+
+class TestTable1:
+    def test_rows_for_requested_datasets(self):
+        r = run_table1(names=("uk2002_like",))
+        assert len(r.rows) == 1
+        row = r.rows[0]
+        assert row["dataset"] == "uk2002_like"
+        assert row["paper_sources"] == 98_221
+        assert row["sources"] > 0
+        assert row["edges"] > 0
+
+    def test_format(self):
+        text = run_table1(names=("uk2002_like",)).format()
+        assert "Table 1" in text

@@ -1,0 +1,76 @@
+"""Tests for the Fig. 6/7 drivers on the tiny dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExperimentParams, ThrottleParams
+from repro.eval import run_fig6, run_fig7
+
+
+@pytest.fixture(scope="module")
+def tiny_params():
+    return ExperimentParams(
+        seed=23,
+        n_targets=2,
+        cases=(1, 50),
+        throttle=ThrottleParams(top_fraction=16 / 128),
+        seed_fraction=0.25,
+        n_buckets=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig6(tiny_params):
+    return run_fig6("tiny", tiny_params)
+
+
+@pytest.fixture(scope="module")
+def fig7(tiny_params):
+    return run_fig7("tiny", tiny_params)
+
+
+class TestFig6Driver:
+    def test_cases_covered(self, fig6, tiny_params):
+        assert fig6.cases == tiny_params.cases
+        assert len(fig6.pagerank_records) == len(tiny_params.cases)
+        assert len(fig6.srsr_records) == len(tiny_params.cases)
+
+    def test_pagerank_dominates(self, fig6):
+        for pr, sr in zip(fig6.pagerank_records, fig6.srsr_records):
+            assert pr.mean_percentile_gain > sr.mean_percentile_gain
+
+    def test_gains_grow_with_effort(self, fig6):
+        pr = [r.mean_percentile_gain for r in fig6.pagerank_records]
+        assert pr[-1] > pr[0]
+
+    def test_records_carry_target_counts(self, fig6, tiny_params):
+        for rec in fig6.pagerank_records:
+            assert rec.n_targets == tiny_params.n_targets
+
+    def test_format(self, fig6):
+        text = fig6.format()
+        assert "Fig 6" in text
+        assert "pagerank_pct_gain" in text
+        assert "A(1)" in text
+
+    def test_deterministic(self, tiny_params):
+        again = run_fig6("tiny", tiny_params)
+        for a, b in zip(again.pagerank_records, run_fig6("tiny", tiny_params).pagerank_records):
+            assert a.mean_percentile_gain == b.mean_percentile_gain
+
+
+class TestFig7Driver:
+    def test_pagerank_dominates(self, fig7):
+        for pr, sr in zip(fig7.pagerank_records, fig7.srsr_records):
+            assert pr.mean_percentile_gain > sr.mean_percentile_gain
+
+    def test_cross_source_weaker_or_similar_to_intra(self, fig6, fig7):
+        """Section 4.2: at high effort, cross-source collusion buys the
+        spammer no more than intra-source self-tuning."""
+        sr6 = fig6.srsr_records[-1].mean_percentile_gain
+        sr7 = fig7.srsr_records[-1].mean_percentile_gain
+        assert sr7 <= sr6 + 5  # small-sample slack
+
+    def test_format(self, fig7):
+        assert "Fig 7" in fig7.format()

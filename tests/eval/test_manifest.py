@@ -1,0 +1,82 @@
+"""Tests for the run-everything manifest (tiny configuration)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import ExperimentParams, ThrottleParams
+from repro.eval import from_json, run_all
+
+
+@pytest.fixture(scope="module")
+def manifest(tmp_path_factory):
+    out = tmp_path_factory.mktemp("artifacts")
+    params = ExperimentParams(
+        seed=31,
+        n_targets=2,
+        cases=(1, 20),
+        throttle=ThrottleParams(top_fraction=16 / 128),
+        seed_fraction=0.25,
+        n_buckets=10,
+    )
+    return run_all(
+        out,
+        params=params,
+        datasets=("tiny",),
+        empirical=False,
+    )
+
+
+class TestRunAll:
+    def test_all_artifacts_present(self, manifest):
+        expected = {
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4_scenario1",
+            "fig4_scenario2",
+            "fig4_scenario3",
+            "fig5",
+            "fig6_tiny",
+            "fig7_tiny",
+        }
+        assert set(manifest.artifacts) == expected
+
+    def test_files_written(self, manifest):
+        from pathlib import Path
+
+        for record in manifest.records:
+            assert Path(record.text_path).exists()
+            assert Path(record.json_path).exists()
+
+    def test_json_rows_loadable(self, manifest):
+        for record in manifest.records:
+            rows, meta = from_json(record.json_path)
+            assert rows, record.artifact
+            assert meta["artifact"] == record.artifact
+            assert meta["seed"] == manifest.seed
+
+    def test_manifest_file(self, manifest):
+        from pathlib import Path
+
+        rows, meta = from_json(Path(manifest.out_dir) / "manifest.json")
+        assert len(rows) == len(manifest.records)
+        assert meta["total_seconds"] == pytest.approx(
+            manifest.total_seconds(), rel=1e-6
+        )
+
+    def test_fig5_rows_shape(self, manifest):
+        record = next(r for r in manifest.records if r.artifact == "fig5")
+        rows, _ = from_json(record.json_path)
+        assert len(rows) == 10  # n_buckets
+        assert set(rows[0]) == {"bucket", "baseline", "throttled"}
+
+    def test_fig67_rows_shape(self, manifest):
+        record = next(r for r in manifest.records if r.artifact == "fig6_tiny")
+        rows, _ = from_json(record.json_path)
+        assert [r["case"] for r in rows] == [1, 20]
+        assert all(
+            r["pagerank_pct_gain"] > r["srsr_pct_gain"] for r in rows
+        )

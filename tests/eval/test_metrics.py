@@ -1,0 +1,141 @@
+"""Unit tests for eval metrics: percentiles, buckets, correlation, tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.eval import (
+    bucket_counts,
+    format_series,
+    format_table,
+    kendall_tau,
+    percentile_gain,
+    percentile_of,
+    spam_bucket_distribution,
+    spearman_rho,
+    top_k_overlap,
+)
+from repro.eval.buckets import bucket_assignment
+from repro.ranking.base import ConvergenceInfo, RankingResult
+
+_INFO = ConvergenceInfo(True, 1, 0.0, 1e-9)
+
+
+def _result(scores):
+    return RankingResult(np.asarray(scores, dtype=np.float64), _INFO)
+
+
+class TestPercentile:
+    def test_best_item(self):
+        r = _result([1.0, 5.0, 3.0])
+        assert percentile_of(r, 1) == pytest.approx(100.0)
+
+    def test_gain(self):
+        before = _result([1.0, 5.0, 3.0])
+        after = _result([5.0, 1.0, 3.0])
+        assert percentile_gain(before, after, 0) == pytest.approx(100.0)
+
+    def test_range_check(self):
+        with pytest.raises(GraphError):
+            percentile_of(_result([1.0]), 5)
+
+
+class TestBuckets:
+    def test_assignment_balanced(self):
+        r = _result(np.arange(1, 101, dtype=np.float64))
+        buckets = bucket_assignment(r, 20)
+        counts = np.bincount(buckets)
+        assert (counts == 5).all()
+
+    def test_top_item_in_bucket_zero(self):
+        scores = np.arange(1, 101, dtype=np.float64)
+        r = _result(scores)
+        buckets = bucket_assignment(r, 20)
+        assert buckets[99] == 0  # highest score
+        assert buckets[0] == 19  # lowest score
+
+    def test_uneven_split(self):
+        r = _result(np.arange(1, 8, dtype=np.float64))
+        buckets = bucket_assignment(r, 3)
+        counts = np.bincount(buckets)
+        assert counts.sum() == 7
+        assert counts.max() - counts.min() <= 1
+
+    def test_too_many_buckets_rejected(self):
+        with pytest.raises(GraphError):
+            bucket_assignment(_result([1.0, 2.0]), 5)
+
+    def test_bucket_counts(self):
+        r = _result(np.arange(1, 101, dtype=np.float64))
+        counts = bucket_counts(r, members=np.array([99, 98, 0]), n_buckets=20)
+        assert counts[0] == 2  # two top scorers
+        assert counts[19] == 1  # the worst item
+        assert counts.sum() == 3
+
+    def test_member_range_check(self):
+        with pytest.raises(GraphError):
+            bucket_counts(_result(np.ones(10)), np.array([50]), 2)
+
+    def test_distribution_requires_same_n(self):
+        with pytest.raises(GraphError):
+            spam_bucket_distribution(
+                _result(np.ones(10)), _result(np.ones(12)), np.array([0]), 2
+            )
+
+    def test_distribution_keys(self):
+        r = _result(np.arange(1, 41, dtype=np.float64))
+        d = spam_bucket_distribution(r, r, np.array([0, 1]), 4)
+        assert set(d) == {"baseline", "throttled"}
+        np.testing.assert_array_equal(d["baseline"], d["throttled"])
+
+
+class TestCorrelation:
+    def test_identical_rankings(self):
+        r = _result(np.arange(1, 21, dtype=np.float64))
+        assert spearman_rho(r, r) == pytest.approx(1.0)
+        assert kendall_tau(r, r) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        a = _result(np.arange(1, 21, dtype=np.float64))
+        b = _result(np.arange(20, 0, -1, dtype=np.float64))
+        assert spearman_rho(a, b) == pytest.approx(-1.0)
+        assert kendall_tau(a, b) == pytest.approx(-1.0)
+
+    def test_top_k_overlap(self):
+        a = _result([4.0, 3.0, 2.0, 1.0])
+        b = _result([4.0, 3.0, 1.0, 2.0])
+        assert top_k_overlap(a, b, 2) == pytest.approx(1.0)
+        assert top_k_overlap(a, b, 3) == pytest.approx(0.5)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(GraphError):
+            spearman_rho(_result([1.0]), _result([1.0, 2.0]))
+
+    def test_top_k_range(self):
+        with pytest.raises(GraphError):
+            top_k_overlap(_result([1.0]), _result([1.0]), 5)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": 2.5}, {"a": 100, "b": 0.125}], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_format_table_empty(self):
+        assert format_table([], title="t") == "t"
+
+    def test_format_series(self):
+        text = format_series([1, 2], {"y": [0.5, 0.6]}, x_name="x")
+        assert "x" in text and "y" in text
+        assert "0.5" in text
+
+    def test_large_and_tiny_floats_use_scientific(self):
+        text = format_table([{"v": 1e-9}])
+        assert "e-09" in text

@@ -1,0 +1,49 @@
+"""Unit tests for the JSON result serialization."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.eval import from_json, to_json
+
+
+class TestToJson:
+    def test_roundtrip_plain(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 2, "b": 0.5}]
+        path = tmp_path / "r.json"
+        to_json(rows, path, meta={"seed": 2007})
+        loaded, meta = from_json(path)
+        assert loaded == rows
+        assert meta == {"seed": 2007}
+
+    def test_numpy_types_serialized(self):
+        rows = [
+            {
+                "i": np.int64(3),
+                "f": np.float64(1.5),
+                "arr": np.array([1, 2, 3]),
+            }
+        ]
+        text = to_json(rows)
+        payload = json.loads(text)
+        assert payload["rows"][0] == {"i": 3, "f": 1.5, "arr": [1, 2, 3]}
+
+    def test_from_json_accepts_raw_text(self):
+        text = to_json([{"x": 1}])
+        rows, meta = from_json(text)
+        assert rows == [{"x": 1}]
+        assert meta == {}
+
+    def test_empty_rows(self, tmp_path):
+        path = tmp_path / "empty.json"
+        to_json([], path)
+        rows, meta = from_json(path)
+        assert rows == []
+
+    def test_deterministic_output(self):
+        rows = [{"b": 2, "a": 1}]
+        assert to_json(rows) == to_json([{"a": 1, "b": 2}])

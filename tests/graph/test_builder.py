@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.graph.builder`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_single_edges(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edge(1, 2)
+        g = b.build()
+        assert g.n_nodes == 3
+        assert g.n_edges == 2
+
+    def test_batch_edges(self):
+        b = GraphBuilder()
+        b.add_edges([0, 1, 2], [1, 2, 0])
+        assert b.n_pending_edges == 3
+        assert b.build().n_edges == 3
+
+    def test_empty_batch_is_noop(self):
+        b = GraphBuilder()
+        b.add_edges([], [])
+        assert b.n_pending_edges == 0
+
+    def test_growth_beyond_initial_capacity(self):
+        b = GraphBuilder(n_nodes_hint=4)
+        n = 5000
+        b.add_edges(np.arange(n), np.arange(n)[::-1])
+        assert b.build().n_edges == n  # permutation edges, no dups
+
+    def test_duplicates_collapse_on_build(self):
+        b = GraphBuilder()
+        for _ in range(10):
+            b.add_edge(3, 4)
+        assert b.build().n_edges == 1
+
+    def test_build_with_explicit_n_nodes(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        g = b.build(n_nodes=10)
+        assert g.n_nodes == 10
+
+    def test_build_rejects_too_small_n_nodes(self):
+        b = GraphBuilder()
+        b.add_edge(0, 9)
+        with pytest.raises(GraphError):
+            b.build(n_nodes=5)
+
+    def test_builder_reusable_after_build(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        g1 = b.build()
+        b.add_edge(1, 0)
+        g2 = b.build()
+        assert g1.n_edges == 1
+        assert g2.n_edges == 2
+
+    def test_negative_ids_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.add_edge(-1, 0)
+        with pytest.raises(GraphError):
+            b.add_edges([0], [-2])
+
+    def test_mismatched_batch_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.add_edges([0, 1], [2])
+
+
+class TestNamedNodes:
+    def test_intern_is_stable(self):
+        b = GraphBuilder()
+        assert b.intern("a") == 0
+        assert b.intern("b") == 1
+        assert b.intern("a") == 0
+
+    def test_named_edges(self):
+        b = GraphBuilder()
+        b.add_named_edge("x.com", "y.org")
+        b.add_named_edge("y.org", "x.com")
+        g = b.build()
+        assert g.n_nodes == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_named_edges_batch(self):
+        b = GraphBuilder()
+        b.add_named_edges([("a", "b"), ("b", "c")])
+        assert b.build().n_nodes == 3
+
+    def test_name_of_roundtrip(self):
+        b = GraphBuilder()
+        b.add_named_edge("u", "v")
+        assert b.name_of(0) == "u"
+        assert b.name_of(1) == "v"
+
+    def test_name_of_unknown_raises(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.name_of(0)
+
+    def test_mixed_named_and_numeric(self):
+        b = GraphBuilder()
+        name_id = b.intern("home")
+        b.add_edge(name_id, 5)
+        g = b.build()
+        assert g.has_edge(0, 5)
+        assert b.max_node == 5

@@ -1,0 +1,93 @@
+"""Unit tests for connectivity analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyGraphError, NodeIndexError
+from repro.graph import (
+    PageGraph,
+    component_summary,
+    reachable_from,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+
+class TestComponents:
+    def test_weak_two_islands(self):
+        g = PageGraph.from_edges([0, 2], [1, 3], 4)
+        n, labels = weakly_connected_components(g)
+        assert n == 2
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_strong_vs_weak(self):
+        # 0 -> 1 -> 2 (a path): weakly one component, strongly three.
+        g = PageGraph.from_edges([0, 1], [1, 2], 3)
+        assert weakly_connected_components(g)[0] == 1
+        assert strongly_connected_components(g)[0] == 3
+
+    def test_cycle_is_strongly_connected(self, triangle_graph):
+        assert strongly_connected_components(triangle_graph)[0] == 1
+
+    def test_summary(self):
+        g = PageGraph.from_edges([0, 1, 3], [1, 0, 4], 6)  # {0,1}, {3,4}, {2}, {5}
+        s = component_summary(g)
+        assert s.n_components == 4
+        assert s.giant_size == 2
+        assert s.giant_fraction == pytest.approx(2 / 6)
+        np.testing.assert_array_equal(s.sizes, [2, 2, 1, 1])
+
+    def test_synthetic_webs_have_giant_component(self, tiny_dataset):
+        s = component_summary(tiny_dataset.graph)
+        assert s.giant_fraction > 0.95
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            component_summary(PageGraph.empty(0))
+
+
+class TestReachability:
+    def test_chain(self):
+        g = PageGraph.from_edges([0, 1], [1, 2], 4)
+        np.testing.assert_array_equal(
+            reachable_from(g, [0]), [True, True, True, False]
+        )
+
+    def test_multi_source(self):
+        g = PageGraph.from_edges([0, 2], [1, 3], 4)
+        np.testing.assert_array_equal(
+            reachable_from(g, [0, 2]), [True, True, True, True]
+        )
+
+    def test_direction_respected(self):
+        g = PageGraph.from_edges([0], [1], 2)
+        np.testing.assert_array_equal(reachable_from(g, [1]), [False, True])
+
+    def test_matches_proximity_support(self, tiny_dataset):
+        """Exactly the sources reaching a seed (reversed) carry nonzero
+        spam proximity."""
+        from repro.graph.transforms import reverse_graph
+        from repro.sources import SourceGraph
+        from repro.throttle import spam_proximity
+        from repro.throttle.spam_proximity import inverse_transition_matrix
+
+        ds = tiny_dataset
+        sg = SourceGraph.from_page_graph(ds.graph, ds.assignment)
+        seeds = ds.spam_sources[:1]
+        prox = spam_proximity(sg, seeds)
+        inv = inverse_transition_matrix(sg.matrix)
+        inv_graph = PageGraph.from_scipy(inv)
+        support = reachable_from(inv_graph, seeds)
+        nonzero = prox.scores > 1e-15
+        np.testing.assert_array_equal(nonzero, support)
+
+    def test_validation(self):
+        g = PageGraph.from_edges([0], [1], 2)
+        with pytest.raises(EmptyGraphError):
+            reachable_from(g, [])
+        with pytest.raises(NodeIndexError):
+            reachable_from(g, [9])

@@ -1,0 +1,90 @@
+"""Unit tests for :mod:`repro.graph.matrix`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph import (
+    PageGraph,
+    is_row_stochastic,
+    row_normalize,
+    row_sums,
+    transition_matrix,
+)
+
+
+class TestTransitionMatrix:
+    def test_uniform_rows(self):
+        g = PageGraph.from_edges([0, 0, 1], [1, 2, 0], 3)
+        m = transition_matrix(g)
+        assert m[0, 1] == pytest.approx(0.5)
+        assert m[0, 2] == pytest.approx(0.5)
+        assert m[1, 0] == pytest.approx(1.0)
+
+    def test_dangling_rows_are_zero(self):
+        g = PageGraph.from_edges([0], [1], 3)
+        m = transition_matrix(g)
+        assert row_sums(m)[1] == 0.0
+        assert row_sums(m)[2] == 0.0
+
+    def test_is_row_stochastic_with_dangling(self, small_graph):
+        m = transition_matrix(small_graph)
+        assert is_row_stochastic(m)
+
+    def test_paper_definition_matches(self, small_graph):
+        """M_ij = 1/o(p_i) exactly for every edge."""
+        m = transition_matrix(small_graph).tocoo()
+        out = small_graph.out_degrees
+        np.testing.assert_allclose(m.data, 1.0 / out[m.row])
+
+    def test_dtype_option(self, small_graph):
+        m = transition_matrix(small_graph, dtype=np.float32)
+        assert m.dtype == np.float32
+
+
+class TestRowNormalize:
+    def test_basic(self):
+        m = sp.csr_matrix(np.array([[2.0, 2.0], [0.0, 5.0]]))
+        r = row_normalize(m)
+        np.testing.assert_allclose(row_sums(r), [1.0, 1.0])
+
+    def test_zero_rows_stay_zero(self):
+        m = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        r = row_normalize(m)
+        assert row_sums(r)[0] == 0.0
+
+    def test_rejects_negative(self):
+        m = sp.csr_matrix(np.array([[1.0, -1.0]]))
+        with pytest.raises(GraphError, match="non-negative"):
+            row_normalize(m)
+
+    def test_does_not_mutate_input_by_default(self):
+        m = sp.csr_matrix(np.array([[2.0, 2.0]]))
+        row_normalize(m)
+        assert m[0, 0] == 2.0
+
+    def test_dense_input_accepted(self):
+        r = row_normalize(sp.csr_matrix(np.array([[3.0, 1.0]])))
+        assert r[0, 0] == pytest.approx(0.75)
+
+
+class TestIsRowStochastic:
+    def test_accepts_stochastic(self):
+        m = sp.csr_matrix(np.array([[0.5, 0.5], [1.0, 0.0]]))
+        assert is_row_stochastic(m)
+
+    def test_rejects_superstochastic(self):
+        m = sp.csr_matrix(np.array([[0.7, 0.7]]))
+        assert not is_row_stochastic(m)
+
+    def test_zero_rows_toggle(self):
+        m = sp.csr_matrix(np.array([[0.0, 0.0], [0.5, 0.5]]))
+        assert is_row_stochastic(m, allow_zero_rows=True)
+        assert not is_row_stochastic(m, allow_zero_rows=False)
+
+    def test_rejects_negative_entries(self):
+        m = sp.csr_matrix(np.array([[1.5, -0.5]]))
+        assert not is_row_stochastic(m)

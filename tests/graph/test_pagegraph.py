@@ -1,0 +1,148 @@
+"""Unit tests for :mod:`repro.graph.pagegraph`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyGraphError, GraphError, NodeIndexError
+from repro.graph import PageGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = PageGraph.from_edges([0, 1, 2], [1, 2, 0], 3)
+        assert g.n_nodes == 3
+        assert g.n_edges == 3
+        assert list(g.successors(0)) == [1]
+
+    def test_from_edges_deduplicates(self):
+        g = PageGraph.from_edges([0, 0, 0], [1, 1, 1], 2)
+        assert g.n_edges == 1
+
+    def test_from_edges_sorts_successors(self):
+        g = PageGraph.from_edges([0, 0, 0], [5, 2, 9], 10)
+        assert list(g.successors(0)) == [2, 5, 9]
+
+    def test_from_edges_isolated_trailing_nodes(self):
+        g = PageGraph.from_edges([0], [1], 10)
+        assert g.n_nodes == 10
+        assert g.out_degrees[9] == 0
+
+    def test_from_edges_infers_n_nodes(self):
+        g = PageGraph.from_edges([0, 7], [3, 1])
+        assert g.n_nodes == 8
+
+    def test_from_edges_rejects_mismatched_lengths(self):
+        with pytest.raises(GraphError, match="equal length"):
+            PageGraph.from_edges([0, 1], [2])
+
+    def test_from_edges_rejects_negative_ids(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            PageGraph.from_edges([-1], [0])
+
+    def test_from_edges_rejects_small_n_nodes(self):
+        with pytest.raises(GraphError, match="smaller than max"):
+            PageGraph.from_edges([0], [5], n_nodes=3)
+
+    def test_empty_graph(self):
+        g = PageGraph.empty(5)
+        assert g.n_nodes == 5
+        assert g.n_edges == 0
+
+    def test_empty_zero_nodes(self):
+        g = PageGraph.empty(0)
+        assert g.n_nodes == 0
+        with pytest.raises(EmptyGraphError):
+            g.require_nonempty()
+
+    def test_csr_validation_rejects_bad_indptr(self):
+        with pytest.raises(GraphError):
+            PageGraph(np.array([1, 2]), np.array([0, 1]), 1)
+
+    def test_csr_validation_rejects_unsorted_rows(self):
+        # Row 0 has successors [2, 1] — not sorted.
+        with pytest.raises(GraphError, match="sorted"):
+            PageGraph(np.array([0, 2, 2, 2]), np.array([2, 1]), 3)
+
+    def test_csr_validation_rejects_duplicate_in_row(self):
+        with pytest.raises(GraphError, match="sorted"):
+            PageGraph(np.array([0, 2, 2]), np.array([1, 1]), 2)
+
+    def test_csr_validation_rejects_out_of_range_targets(self):
+        with pytest.raises(GraphError, match="edge targets"):
+            PageGraph(np.array([0, 1]), np.array([5]), 1)
+
+    def test_from_scipy_roundtrip(self, small_graph):
+        again = PageGraph.from_scipy(small_graph.to_scipy())
+        assert again == small_graph
+
+    def test_from_scipy_rejects_rectangular(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(GraphError, match="square"):
+            PageGraph.from_scipy(sp.csr_matrix((2, 3)))
+
+    def test_non_integer_arrays_rejected(self):
+        with pytest.raises(GraphError, match="integer"):
+            PageGraph.from_edges(np.array([0.5]), np.array([1.0]))
+
+
+class TestAccessors:
+    def test_out_degrees(self):
+        g = PageGraph.from_edges([0, 0, 1], [1, 2, 2], 3)
+        assert list(g.out_degrees) == [2, 1, 0]
+
+    def test_in_degrees(self):
+        g = PageGraph.from_edges([0, 0, 1], [1, 2, 2], 3)
+        assert list(g.in_degrees()) == [0, 1, 2]
+
+    def test_dangling_mask(self):
+        g = PageGraph.from_edges([0], [1], 3)
+        assert list(g.dangling_mask()) == [False, True, True]
+
+    def test_has_edge(self):
+        g = PageGraph.from_edges([0, 1], [1, 2], 3)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_has_edge_range_check(self):
+        g = PageGraph.from_edges([0], [1], 2)
+        with pytest.raises(NodeIndexError):
+            g.has_edge(0, 99)
+
+    def test_successors_range_check(self):
+        g = PageGraph.empty(2)
+        with pytest.raises(NodeIndexError):
+            g.successors(2)
+
+    def test_edge_arrays_roundtrip(self, small_graph):
+        src, dst = small_graph.edge_arrays()
+        again = PageGraph.from_edges(src, dst, small_graph.n_nodes)
+        assert again == small_graph
+
+    def test_iter_edges_matches_edge_arrays(self):
+        g = PageGraph.from_edges([0, 1, 2], [1, 2, 0], 3)
+        assert sorted(g.iter_edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_len_is_node_count(self, small_graph):
+        assert len(small_graph) == small_graph.n_nodes
+
+    def test_immutability(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.indices[0] = 99
+        with pytest.raises(ValueError):
+            small_graph.out_degrees[0] = 99
+
+    def test_equality_and_repr(self):
+        a = PageGraph.from_edges([0], [1], 2)
+        b = PageGraph.from_edges([0], [1], 2)
+        c = PageGraph.from_edges([1], [0], 2)
+        assert a == b
+        assert a != c
+        assert "n_nodes=2" in repr(a)
+
+    def test_to_scipy_values_are_ones(self, small_graph):
+        m = small_graph.to_scipy()
+        assert m.nnz == small_graph.n_edges
+        assert (m.data == 1.0).all()

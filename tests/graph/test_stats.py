@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.graph.stats`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    GraphStats,
+    PageGraph,
+    compute_stats,
+    degree_histogram,
+    intra_host_locality,
+)
+from repro.graph.stats import gini_coefficient
+
+
+class TestComputeStats:
+    def test_counts(self):
+        g = PageGraph.from_edges([0, 0, 1], [1, 1, 1], 4)  # dup collapses
+        s = compute_stats(g)
+        assert s.n_nodes == 4
+        assert s.n_edges == 2
+        assert s.n_dangling == 2  # nodes 2, 3 (node 1 keeps its self-loop)
+        assert s.n_isolated == 2  # nodes 2, 3
+        assert s.max_out_degree == 1
+        assert s.max_in_degree == 2
+
+    def test_self_loops_counted(self):
+        g = PageGraph.from_edges([0, 1], [0, 2], 3)
+        assert compute_stats(g).self_loops == 1
+
+    def test_as_dict_keys(self, small_graph):
+        d = compute_stats(small_graph).as_dict()
+        assert set(d) >= {"n_nodes", "n_edges", "mean_degree", "in_degree_gini"}
+
+    def test_is_dataclass_record(self, small_graph):
+        assert isinstance(compute_stats(small_graph), GraphStats)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 1.0
+        assert gini_coefficient(values) == pytest.approx(0.99, abs=0.001)
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(GraphError):
+            gini_coefficient(np.array([-1.0, 1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            gini_coefficient(np.array([]))
+
+    def test_scale_invariant(self, rng):
+        x = rng.random(500)
+        assert gini_coefficient(x) == pytest.approx(gini_coefficient(10 * x))
+
+
+class TestDegreeHistogram:
+    def test_linear_bins_count_everything(self, small_graph):
+        edges, counts = degree_histogram(small_graph.out_degrees)
+        assert counts.sum() == small_graph.n_nodes
+
+    def test_log_bins_count_everything(self, small_graph):
+        edges, counts = degree_histogram(small_graph.in_degrees(), log_bins=True)
+        assert counts.sum() == small_graph.n_nodes
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            degree_histogram(np.array([], dtype=np.int64))
+
+
+class TestLocality:
+    def test_all_intra(self):
+        g = PageGraph.from_edges([0, 1], [1, 0], 2)
+        assert intra_host_locality(g, np.array([0, 0])) == 1.0
+
+    def test_all_inter(self):
+        g = PageGraph.from_edges([0, 1], [1, 0], 2)
+        assert intra_host_locality(g, np.array([0, 1])) == 0.0
+
+    def test_mixed(self):
+        g = PageGraph.from_edges([0, 0], [1, 2], 3)
+        assert intra_host_locality(g, np.array([0, 0, 1])) == pytest.approx(0.5)
+
+    def test_empty_graph(self):
+        g = PageGraph.empty(3)
+        assert intra_host_locality(g, np.zeros(3, dtype=np.int64)) == 0.0
+
+    def test_shape_mismatch_rejected(self, small_graph):
+        with pytest.raises(GraphError):
+            intra_host_locality(small_graph, np.zeros(3, dtype=np.int64))

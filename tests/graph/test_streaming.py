@@ -1,0 +1,108 @@
+"""Unit tests for the two-pass streaming builder."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import PageGraph
+from repro.graph.streaming import StreamingBuilder, stream_edge_chunks
+
+
+def _build_from_text(text: str, chunk_edges: int = 4) -> PageGraph:
+    builder = StreamingBuilder()
+    for src, dst in stream_edge_chunks(io.StringIO(text), chunk_edges=chunk_edges):
+        builder.count(src, dst)
+    builder.finish_counting()
+    for src, dst in stream_edge_chunks(io.StringIO(text), chunk_edges=chunk_edges):
+        builder.fill(src, dst)
+    return builder.build()
+
+
+class TestStreamChunks:
+    def test_chunking(self):
+        text = "\n".join(f"{i} {i + 1}" for i in range(10))
+        chunks = list(stream_edge_chunks(io.StringIO(text), chunk_edges=3))
+        assert [c[0].size for c in chunks] == [3, 3, 3, 1]
+
+    def test_comments_skipped(self):
+        chunks = list(stream_edge_chunks(io.StringIO("# x\n\n0 1\n")))
+        assert chunks[0][0].size == 1
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphError, match="line 2"):
+            list(stream_edge_chunks(io.StringIO("0 1\nbad\n")))
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(GraphError):
+            list(stream_edge_chunks(io.StringIO("0 1\n"), chunk_edges=0))
+
+    def test_file_path_input(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 2\n")
+        chunks = list(stream_edge_chunks(path))
+        assert chunks[0][0].size == 2
+
+
+class TestStreamingBuilder:
+    def test_matches_direct_construction(self, rng):
+        n = 300
+        src = rng.integers(0, n, 5000)
+        dst = rng.integers(0, n, 5000)
+        text = "\n".join(f"{s} {d}" for s, d in zip(src, dst))
+        streamed = _build_from_text(text, chunk_edges=137)
+        direct = PageGraph.from_edges(src, dst, n)
+        # Node count may differ if the top ids were never drawn; compare
+        # on the common prefix.
+        assert streamed.n_nodes == direct.n_nodes or streamed.n_nodes == int(max(src.max(), dst.max())) + 1
+        assert streamed == direct
+
+    def test_deduplicates(self):
+        g = _build_from_text("0 1\n0 1\n0 1\n")
+        assert g.n_edges == 1
+
+    def test_rows_sorted(self):
+        g = _build_from_text("0 9\n0 2\n0 5\n")
+        np.testing.assert_array_equal(g.successors(0), [2, 5, 9])
+
+    def test_protocol_enforced(self):
+        b = StreamingBuilder()
+        with pytest.raises(GraphError, match="finish_counting"):
+            b.fill(np.array([0]), np.array([1]))
+        b.count(np.array([0]), np.array([1]))
+        b.finish_counting()
+        with pytest.raises(GraphError, match="after finish_counting"):
+            b.count(np.array([0]), np.array([1]))
+        with pytest.raises(GraphError, match="twice"):
+            b.finish_counting()
+
+    def test_incomplete_fill_rejected(self):
+        b = StreamingBuilder()
+        b.count(np.array([0, 1]), np.array([1, 0]))
+        b.finish_counting()
+        b.fill(np.array([0]), np.array([1]))
+        with pytest.raises(GraphError, match="incomplete"):
+            b.build()
+
+    def test_overflow_fill_rejected(self):
+        b = StreamingBuilder()
+        b.count(np.array([0]), np.array([1]))
+        b.finish_counting()
+        b.fill(np.array([0]), np.array([1]))
+        with pytest.raises(GraphError, match="overflow|never seen"):
+            b.fill(np.array([0]), np.array([1]))
+
+    def test_unseen_node_rejected(self):
+        b = StreamingBuilder()
+        b.count(np.array([0]), np.array([1]))
+        b.finish_counting()
+        with pytest.raises(GraphError, match="never seen"):
+            b.fill(np.array([7]), np.array([0]))
+
+    def test_negative_ids_rejected(self):
+        b = StreamingBuilder()
+        with pytest.raises(GraphError):
+            b.count(np.array([-1]), np.array([0]))

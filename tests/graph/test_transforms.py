@@ -1,0 +1,131 @@
+"""Unit tests for :mod:`repro.graph.transforms`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    PageGraph,
+    add_edges,
+    induced_subgraph,
+    relabel_graph,
+    remove_self_loops,
+    reverse_graph,
+)
+
+
+class TestReverse:
+    def test_reverse_small(self):
+        g = PageGraph.from_edges([0, 1], [1, 2], 3)
+        r = reverse_graph(g)
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert not r.has_edge(0, 1)
+
+    def test_double_reverse_is_identity(self, small_graph):
+        assert reverse_graph(reverse_graph(small_graph)) == small_graph
+
+    def test_reverse_preserves_edge_count(self, small_graph):
+        assert reverse_graph(small_graph).n_edges == small_graph.n_edges
+
+    def test_in_degrees_become_out_degrees(self, small_graph):
+        r = reverse_graph(small_graph)
+        np.testing.assert_array_equal(r.out_degrees, small_graph.in_degrees())
+
+
+class TestInducedSubgraph:
+    def test_basic(self):
+        g = PageGraph.from_edges([0, 1, 2], [1, 2, 0], 3)
+        sub, kept = induced_subgraph(g, [0, 1])
+        assert sub.n_nodes == 2
+        assert sub.n_edges == 1  # only 0->1 survives
+        np.testing.assert_array_equal(kept, [0, 1])
+
+    def test_relabeling_is_dense(self):
+        g = PageGraph.from_edges([5, 7], [7, 9], 10)
+        sub, kept = induced_subgraph(g, [5, 7, 9])
+        assert sub.n_nodes == 3
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+
+    def test_out_of_range_rejected(self):
+        g = PageGraph.empty(3)
+        with pytest.raises(GraphError):
+            induced_subgraph(g, [5])
+
+    def test_duplicate_nodes_collapsed(self):
+        g = PageGraph.from_edges([0], [1], 2)
+        sub, kept = induced_subgraph(g, [0, 0, 1])
+        assert sub.n_nodes == 2
+
+
+class TestRelabel:
+    def test_identity_permutation(self, small_graph):
+        mapping = np.arange(small_graph.n_nodes)
+        assert relabel_graph(small_graph, mapping) == small_graph
+
+    def test_swap(self):
+        g = PageGraph.from_edges([0], [1], 2)
+        r = relabel_graph(g, np.array([1, 0]))
+        assert r.has_edge(1, 0)
+
+    def test_rejects_non_permutation(self):
+        g = PageGraph.empty(3)
+        with pytest.raises(GraphError, match="permutation"):
+            relabel_graph(g, np.array([0, 0, 1]))
+
+    def test_rejects_wrong_shape(self):
+        g = PageGraph.empty(3)
+        with pytest.raises(GraphError):
+            relabel_graph(g, np.array([0, 1]))
+
+    def test_degree_multiset_invariant(self, small_graph, rng):
+        mapping = rng.permutation(small_graph.n_nodes)
+        r = relabel_graph(small_graph, mapping)
+        assert sorted(r.out_degrees) == sorted(small_graph.out_degrees)
+
+
+class TestAddEdges:
+    def test_overlay_existing_nodes(self):
+        g = PageGraph.from_edges([0], [1], 3)
+        g2 = add_edges(g, [1], [2])
+        assert g2.has_edge(0, 1)
+        assert g2.has_edge(1, 2)
+        assert g.n_edges == 1  # original untouched
+
+    def test_overlay_new_nodes(self):
+        g = PageGraph.from_edges([0], [1], 2)
+        g2 = add_edges(g, [5], [0])
+        assert g2.n_nodes == 6
+        assert g2.has_edge(5, 0)
+
+    def test_explicit_n_nodes(self):
+        g = PageGraph.empty(2)
+        g2 = add_edges(g, [0], [1], n_nodes=10)
+        assert g2.n_nodes == 10
+
+    def test_duplicate_overlay_collapses(self):
+        g = PageGraph.from_edges([0], [1], 2)
+        g2 = add_edges(g, [0], [1])
+        assert g2.n_edges == 1
+
+    def test_mismatched_arrays_rejected(self):
+        g = PageGraph.empty(2)
+        with pytest.raises(GraphError):
+            add_edges(g, [0, 1], [0])
+
+
+class TestRemoveSelfLoops:
+    def test_removes_loops_only(self):
+        g = PageGraph.from_edges([0, 1, 1], [0, 1, 2], 3)
+        clean = remove_self_loops(g)
+        assert clean.n_edges == 1
+        assert clean.has_edge(1, 2)
+
+    def test_noop_without_loops(self, small_graph):
+        src, dst = small_graph.edge_arrays()
+        if (src == dst).any():  # pragma: no cover - generator may emit loops
+            small_graph = remove_self_loops(small_graph)
+        assert remove_self_loops(small_graph) == small_graph

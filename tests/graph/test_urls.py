@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.graph.urls`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import extract_host, extract_registered_domain, normalize_url
+
+
+class TestNormalizeUrl:
+    def test_lowercases_scheme_and_host(self):
+        assert normalize_url("HTTP://Example.COM/Path") == "http://example.com/Path"
+
+    def test_preserves_path_case(self):
+        assert normalize_url("http://a.com/CaseSensitive") == "http://a.com/CaseSensitive"
+
+    def test_strips_default_port(self):
+        assert normalize_url("http://a.com:80/x") == "http://a.com/x"
+        assert normalize_url("https://a.com:443/x") == "https://a.com/x"
+
+    def test_keeps_nonstandard_port(self):
+        assert normalize_url("http://a.com:8080/x") == "http://a.com:8080/x"
+
+    def test_strips_fragment(self):
+        assert normalize_url("http://a.com/x#section") == "http://a.com/x"
+
+    def test_adds_scheme_when_missing(self):
+        assert normalize_url("a.com/x") == "http://a.com/x"
+
+    def test_ensures_root_path(self):
+        assert normalize_url("http://a.com") == "http://a.com/"
+
+    def test_strips_trailing_slash_on_paths(self):
+        assert normalize_url("http://a.com/x/") == "http://a.com/x"
+
+    def test_strips_userinfo(self):
+        assert normalize_url("http://user:pw@a.com/x") == "http://a.com/x"
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            normalize_url("   ")
+
+
+class TestExtractHost:
+    def test_basic(self):
+        assert extract_host("http://www.example.com/p.html") == "www.example.com"
+
+    def test_case_insensitive(self):
+        assert extract_host("http://WWW.EXAMPLE.com/") == "www.example.com"
+
+    def test_drops_port(self):
+        assert extract_host("http://a.com:8080/x") == "a.com"
+
+    def test_schemeless(self):
+        assert extract_host("example.org/page") == "example.org"
+
+    def test_no_host_rejected(self):
+        with pytest.raises(GraphError):
+            extract_host("http:///path-only")
+
+
+class TestRegisteredDomain:
+    def test_simple_com(self):
+        assert extract_registered_domain("http://www.example.com/x") == "example.com"
+
+    def test_deep_subdomains(self):
+        assert extract_registered_domain("http://a.b.c.example.com/") == "example.com"
+
+    def test_co_uk(self):
+        assert extract_registered_domain("http://news.bbc.co.uk/x") == "bbc.co.uk"
+
+    def test_gov_it(self):
+        assert extract_registered_domain("http://www.roma.gov.it/") == "roma.gov.it"
+
+    def test_bare_domain_unchanged(self):
+        assert extract_registered_domain("http://example.com/") == "example.com"
+
+    def test_single_label_host(self):
+        assert extract_registered_domain("http://localhost/") == "localhost"
+
+    def test_ip_address_unchanged(self):
+        assert extract_registered_domain("http://192.168.10.1/x") == "192.168.10.1"

@@ -1,0 +1,131 @@
+"""Cross-cutting invariants: properties that must hold for *any* input.
+
+These are the deep correctness checks — relabeling equivariance, walk
+semantics, and throttle monotonicity — that catch subtle indexing or
+normalization bugs no example-based test would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RankingParams
+from repro.graph import PageGraph, relabel_graph, transition_matrix
+from repro.ranking import pagerank, sourcerank, spam_resilient_sourcerank
+from repro.sources import SourceAssignment, SourceGraph
+from repro.throttle import ThrottleVector
+
+
+def _random_web(seed: int, n_min: int = 10, n_max: int = 60):
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(n_min, n_max))
+    m = int(gen.integers(n, 5 * n))
+    graph = PageGraph.from_edges(gen.integers(0, n, m), gen.integers(0, n, m), n)
+    k = int(gen.integers(2, max(3, n // 3)))
+    ids = gen.integers(0, k, n)
+    ids[:k] = np.arange(k)
+    return graph, SourceAssignment(ids.astype(np.int64)), gen
+
+
+class TestRelabelEquivariance:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_pagerank_permutes_with_nodes(self, seed):
+        """Renaming nodes must permute scores identically — rankings are
+        functions of structure, not of ids."""
+        graph, _, gen = _random_web(seed)
+        perm = gen.permutation(graph.n_nodes)
+        relabeled = relabel_graph(graph, perm)
+        base = pagerank(graph, RankingParams())
+        moved = pagerank(relabeled, RankingParams())
+        np.testing.assert_allclose(
+            moved.scores[perm], base.scores, atol=1e-9
+        )
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_sourcerank_invariant_to_page_relabeling(self, seed):
+        """Permuting *pages* (keeping their sources) must not change
+        source scores at all."""
+        graph, assignment, gen = _random_web(seed)
+        perm = gen.permutation(graph.n_nodes)
+        relabeled = relabel_graph(graph, perm)
+        moved_ids = np.empty(graph.n_nodes, dtype=np.int64)
+        moved_ids[perm] = assignment.page_to_source
+        moved_assignment = SourceAssignment(moved_ids)
+        base = sourcerank(SourceGraph.from_page_graph(graph, assignment))
+        moved = sourcerank(SourceGraph.from_page_graph(relabeled, moved_assignment))
+        np.testing.assert_allclose(moved.scores, base.scores, atol=1e-9)
+
+
+class TestWalkSemantics:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_srsr_satisfies_selective_walk_equation(self, seed):
+        """Section 3.4's walk: sigma must satisfy
+        sigma = alpha * sigma T'' + (1-alpha) c after renormalization."""
+        graph, assignment, gen = _random_web(seed)
+        sg = SourceGraph.from_page_graph(graph, assignment)
+        kappa = ThrottleVector(gen.random(sg.n_sources) * 0.95)
+        params = RankingParams()
+        result = spam_resilient_sourcerank(sg, kappa, params)
+        from repro.throttle import throttle_transform
+
+        t2 = throttle_transform(sg.matrix, kappa)
+        x = result.scores
+        c = np.full(sg.n_sources, 1.0 / sg.n_sources)
+        y = params.alpha * (t2.T @ x) + (1 - params.alpha) * c
+        # The walk is stochastic here, so the fixed point needs no
+        # renormalization.
+        np.testing.assert_allclose(y, x, atol=1e-7)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_total_rank_mass_conserved(self, seed):
+        graph, assignment, _ = _random_web(seed)
+        sg = SourceGraph.from_page_graph(graph, assignment)
+        result = sourcerank(sg)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert (result.scores >= 0).all()
+
+
+class TestThrottleMonotonicity:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_raising_kappa_never_helps_beneficiaries(self, seed):
+        """Raising one source's throttle must not increase the total
+        score share of the sources it points to."""
+        graph, assignment, gen = _random_web(seed)
+        sg = SourceGraph.from_page_graph(graph, assignment)
+        n = sg.n_sources
+        m = sg.matrix.copy()
+        m.setdiag(0)
+        m.eliminate_zeros()
+        out_mass = np.asarray(m.sum(axis=1)).ravel()
+        if out_mass.max() == 0:
+            return  # no inter-source edges in this draw
+        s = int(np.argmax(out_mass))
+        beneficiaries = m[s].tocoo().col
+        lo = spam_resilient_sourcerank(sg, ThrottleVector.zeros(n))
+        hi = spam_resilient_sourcerank(
+            sg, ThrottleVector.zeros(n).updated([s], 0.95)
+        )
+        assert (
+            hi.scores[beneficiaries].sum()
+            <= lo.scores[beneficiaries].sum() + 1e-9
+        )
+
+    def test_global_kappa_shrinks_score_spread(self, small_source_graph):
+        """Uniform throttling pushes the walk toward teleportation, so the
+        score distribution must flatten (smaller max, larger min)."""
+        n = small_source_graph.n_sources
+        spread = {}
+        for kappa_val in (0.0, 0.5, 0.95):
+            r = spam_resilient_sourcerank(
+                small_source_graph, ThrottleVector.constant(n, kappa_val)
+            )
+            spread[kappa_val] = r.scores.max() - r.scores.min()
+        assert spread[0.95] < spread[0.5] < spread[0.0]

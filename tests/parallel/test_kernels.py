@@ -1,0 +1,99 @@
+"""Unit + property tests for the HPC matvec kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, GraphError
+from repro.parallel import chunked_matvec, chunked_rmatvec, effective_workers
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    gen = np.random.default_rng(3)
+    return sp.random(400, 400, density=0.02, random_state=3, format="csr")
+
+
+class TestChunkedRmatvec:
+    def test_matches_scipy(self, matrix, rng):
+        x = rng.random(matrix.shape[0])
+        expected = matrix.T @ x
+        np.testing.assert_allclose(chunked_rmatvec(matrix, x), expected, atol=1e-12)
+
+    def test_small_chunks(self, matrix, rng):
+        x = rng.random(matrix.shape[0])
+        out = chunked_rmatvec(matrix, x, chunk_rows=7)
+        np.testing.assert_allclose(out, matrix.T @ x, atol=1e-12)
+
+    def test_out_buffer_reused(self, matrix, rng):
+        x = rng.random(matrix.shape[0])
+        buf = np.full(matrix.shape[1], 99.0)
+        out = chunked_rmatvec(matrix, x, out=buf)
+        assert out is buf
+        np.testing.assert_allclose(buf, matrix.T @ x, atol=1e-12)
+
+    def test_rejects_bad_vector_length(self, matrix):
+        with pytest.raises(GraphError):
+            chunked_rmatvec(matrix, np.zeros(5))
+
+    def test_rejects_bad_out_length(self, matrix, rng):
+        with pytest.raises(GraphError):
+            chunked_rmatvec(matrix, rng.random(400), out=np.zeros(3))
+
+    def test_rejects_bad_chunk(self, matrix, rng):
+        with pytest.raises(GraphError):
+            chunked_rmatvec(matrix, rng.random(400), chunk_rows=0)
+
+    def test_rejects_non_csr(self, rng):
+        with pytest.raises(GraphError):
+            chunked_rmatvec(sp.random(4, 4, format="coo"), rng.random(4))
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_chunk_size_invariance(self, chunk_rows):
+        gen = np.random.default_rng(chunk_rows)
+        m = sp.random(60, 60, density=0.1, random_state=chunk_rows, format="csr")
+        x = gen.random(60)
+        np.testing.assert_allclose(
+            chunked_rmatvec(m, x, chunk_rows=chunk_rows), m.T @ x, atol=1e-12
+        )
+
+
+class TestChunkedMatvec:
+    def test_matches_scipy(self, matrix, rng):
+        x = rng.random(matrix.shape[1])
+        np.testing.assert_allclose(
+            chunked_matvec(matrix, x), matrix @ x, atol=1e-12
+        )
+
+    def test_small_chunks(self, matrix, rng):
+        x = rng.random(matrix.shape[1])
+        np.testing.assert_allclose(
+            chunked_matvec(matrix, x, chunk_rows=13), matrix @ x, atol=1e-12
+        )
+
+    def test_rectangular(self, rng):
+        m = sp.random(30, 50, density=0.1, random_state=1, format="csr")
+        x = rng.random(50)
+        np.testing.assert_allclose(chunked_matvec(m, x), m @ x, atol=1e-12)
+
+    def test_empty_rows_give_zero(self):
+        m = sp.csr_matrix((3, 3))
+        out = chunked_matvec(m, np.ones(3))
+        np.testing.assert_array_equal(out, 0.0)
+
+
+class TestEffectiveWorkers:
+    def test_default_bounded(self):
+        assert 1 <= effective_workers(None) <= 8
+
+    def test_explicit(self):
+        assert effective_workers(3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            effective_workers(0)

@@ -1,0 +1,74 @@
+"""Unit tests for teleport distributions and dangling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ConfigError
+from repro.ranking import dangling_vector, personalized_teleport, seeded_teleport, uniform_teleport
+from repro.ranking.dangling import apply_self_loops
+
+
+class TestUniform:
+    def test_values(self):
+        np.testing.assert_allclose(uniform_teleport(4), 0.25)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            uniform_teleport(0)
+
+
+class TestSeeded:
+    def test_mass_on_seeds_only(self):
+        v = seeded_teleport(5, [1, 3])
+        assert v[1] == pytest.approx(0.5)
+        assert v[3] == pytest.approx(0.5)
+        assert v[[0, 2, 4]].sum() == 0.0
+
+    def test_duplicate_seeds_collapse(self):
+        v = seeded_teleport(5, [1, 1, 3])
+        assert v[1] == pytest.approx(0.5)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigError):
+            seeded_teleport(5, [])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            seeded_teleport(5, [7])
+
+
+class TestPersonalized:
+    def test_normalizes(self):
+        v = personalized_teleport(np.array([1.0, 3.0]))
+        np.testing.assert_allclose(v, [0.25, 0.75])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            personalized_teleport(np.array([1.0, -1.0]))
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ConfigError):
+            personalized_teleport(np.zeros(3))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigError):
+            personalized_teleport(np.array([np.nan]))
+
+
+class TestDanglingHelpers:
+    def test_dangling_vector(self):
+        m = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        np.testing.assert_array_equal(dangling_vector(m), [True, False])
+
+    def test_apply_self_loops(self):
+        m = sp.csr_matrix(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        fixed = apply_self_loops(m)
+        assert fixed[0, 0] == 1.0
+        assert fixed[1, 1] == 0.0
+
+    def test_apply_self_loops_noop(self):
+        m = sp.csr_matrix(np.array([[0.5, 0.5]]))
+        assert apply_self_loops(m) is m

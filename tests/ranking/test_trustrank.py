@@ -1,0 +1,80 @@
+"""Unit tests for the TrustRank comparator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RankingParams
+from repro.errors import ConfigError
+from repro.graph import PageGraph
+from repro.ranking import pagerank, select_trust_seeds, trustrank
+
+
+class TestTrustRank:
+    def test_trust_flows_from_seeds(self):
+        """Chain 0 -> 1 -> 2: seeding 0 gives monotone decaying trust."""
+        g = PageGraph.from_edges([0, 1], [1, 2], 3)
+        result = trustrank(g, [0])
+        s = result.scores
+        assert s[0] > s[1] > s[2] > 0
+
+    def test_unreachable_pages_get_zero(self):
+        g = PageGraph.from_edges([0, 2], [1, 3], 4)
+        result = trustrank(g, [0])
+        assert result.score_of(2) == pytest.approx(0.0, abs=1e-12)
+        assert result.score_of(3) == pytest.approx(0.0, abs=1e-12)
+
+    def test_uniform_seeds_equal_pagerank(self, small_graph):
+        """Seeding every page reduces TrustRank to PageRank exactly."""
+        all_pages = np.arange(small_graph.n_nodes)
+        t = trustrank(small_graph, all_pages)
+        p = pagerank(small_graph)
+        np.testing.assert_allclose(t.scores, p.scores, atol=1e-9)
+
+    def test_empty_seeds_rejected(self, small_graph):
+        with pytest.raises(ConfigError):
+            trustrank(small_graph, [])
+
+    def test_out_of_range_seeds_rejected(self, small_graph):
+        with pytest.raises(ConfigError):
+            trustrank(small_graph, [10_000])
+
+    def test_honeypot_vulnerability(self):
+        """The paper's Section 7 critique: a honeypot that earns links
+        from trusted pages inherits their trust directly."""
+        # Trusted core: ring 0-1-2.  Honeypot page 3 induces a link from
+        # trusted page 0, then forwards to spam target 4.
+        g = PageGraph.from_edges(
+            np.array([0, 1, 2, 0, 3]), np.array([1, 2, 0, 3, 4]), 5
+        )
+        result = trustrank(g, [0, 1, 2])
+        # The spam target earns substantial trust — comparable to a
+        # trusted-core member.
+        assert result.score_of(4) > 0.3 * result.score_of(2)
+
+
+class TestSeedSelection:
+    def test_inverse_pagerank_picks_broadcasters(self):
+        """A page that links to everything is the top inverse-PR seed."""
+        n = 12
+        src = [0] * (n - 1) + list(range(1, n - 1))
+        dst = list(range(1, n)) + [n - 1] * (n - 2)
+        g = PageGraph.from_edges(np.array(src), np.array(dst), n)
+        seeds = select_trust_seeds(g, 1)
+        assert seeds[0] == 0
+
+    def test_exclusion_models_inspection(self, small_graph):
+        first = select_trust_seeds(small_graph, 5)
+        excluded = select_trust_seeds(small_graph, 5, exclude=first)
+        assert not set(first.tolist()) & set(excluded.tolist())
+
+    def test_range_validation(self, small_graph):
+        with pytest.raises(ConfigError):
+            select_trust_seeds(small_graph, 0)
+        with pytest.raises(ConfigError):
+            select_trust_seeds(small_graph, small_graph.n_nodes + 1)
+
+    def test_sorted_output(self, small_graph):
+        seeds = select_trust_seeds(small_graph, 10)
+        assert (np.diff(seeds) > 0).all()

@@ -1,0 +1,137 @@
+"""Unit tests for :mod:`repro.sources.assignment`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SourceAssignmentError
+from repro.sources import SourceAssignment
+
+
+class TestConstruction:
+    def test_basic(self):
+        a = SourceAssignment(np.array([0, 1, 0, 2]))
+        assert a.n_pages == 4
+        assert a.n_sources == 3
+
+    def test_dense_requirement(self):
+        with pytest.raises(SourceAssignmentError, match="dense"):
+            SourceAssignment(np.array([0, 2]))  # id 1 missing
+
+    def test_negative_rejected(self):
+        with pytest.raises(SourceAssignmentError):
+            SourceAssignment(np.array([0, -1]))
+
+    def test_float_rejected(self):
+        with pytest.raises(SourceAssignmentError, match="integral"):
+            SourceAssignment(np.array([0.0, 1.0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(SourceAssignmentError):
+            SourceAssignment(np.zeros((2, 2), dtype=np.int64))
+
+    def test_names_length_checked(self):
+        with pytest.raises(SourceAssignmentError, match="source_names"):
+            SourceAssignment(np.array([0, 1]), source_names=["only-one"])
+
+    def test_empty_assignment(self):
+        a = SourceAssignment(np.array([], dtype=np.int64))
+        assert a.n_pages == 0
+        assert a.n_sources == 0
+
+
+class TestConstructors:
+    def test_from_keys_first_seen_order(self):
+        a = SourceAssignment.from_keys(["b.com", "a.com", "b.com"])
+        assert list(a.page_to_source) == [0, 1, 0]
+        assert a.name_of(0) == "b.com"
+
+    def test_from_urls_host(self):
+        urls = ["http://a.com/1", "http://a.com/2", "http://b.org/x"]
+        a = SourceAssignment.from_urls(urls)
+        assert a.n_sources == 2
+        assert a.source_of(0) == a.source_of(1)
+
+    def test_from_urls_domain(self):
+        urls = ["http://x.a.com/1", "http://y.a.com/2"]
+        by_host = SourceAssignment.from_urls(urls, key="host")
+        by_domain = SourceAssignment.from_urls(urls, key="domain")
+        assert by_host.n_sources == 2
+        assert by_domain.n_sources == 1
+
+    def test_from_urls_callable(self):
+        a = SourceAssignment.from_urls(["u1", "u2"], key=lambda u: "same")
+        assert a.n_sources == 1
+
+    def test_from_urls_bad_key(self):
+        with pytest.raises(SourceAssignmentError):
+            SourceAssignment.from_urls(["u"], key="bogus")
+
+    def test_identity(self):
+        a = SourceAssignment.identity(5)
+        assert a.n_sources == 5
+        assert a.source_of(3) == 3
+
+    def test_single_source(self):
+        a = SourceAssignment.single_source(5)
+        assert a.n_sources == 1
+
+
+class TestAccessors:
+    def test_source_sizes(self):
+        a = SourceAssignment(np.array([0, 0, 1]))
+        assert list(a.source_sizes) == [2, 1]
+
+    def test_pages_of(self):
+        a = SourceAssignment(np.array([0, 1, 0]))
+        np.testing.assert_array_equal(a.pages_of(0), [0, 2])
+
+    def test_pages_of_range_check(self):
+        a = SourceAssignment(np.array([0]))
+        with pytest.raises(SourceAssignmentError):
+            a.pages_of(5)
+
+    def test_source_of_range_check(self):
+        a = SourceAssignment(np.array([0]))
+        with pytest.raises(SourceAssignmentError):
+            a.source_of(5)
+
+    def test_name_of_without_names(self):
+        a = SourceAssignment(np.array([0]))
+        with pytest.raises(SourceAssignmentError, match="no source names"):
+            a.name_of(0)
+
+    def test_immutability(self):
+        a = SourceAssignment(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            a.page_to_source[0] = 1
+
+
+class TestExtended:
+    def test_extend_existing_sources(self):
+        a = SourceAssignment(np.array([0, 1]))
+        b = a.extended(2, [1, 0])
+        assert b.n_pages == 4
+        assert b.source_of(2) == 1
+
+    def test_extend_new_sources(self):
+        a = SourceAssignment(np.array([0, 1]))
+        b = a.extended(1, [2])
+        assert b.n_sources == 3
+
+    def test_extend_names_propagate(self):
+        a = SourceAssignment.from_keys(["x"])
+        b = a.extended(1, [1])
+        assert b.name_of(0) == "x"
+        assert "spam" in b.name_of(1)
+
+    def test_extend_shape_check(self):
+        a = SourceAssignment(np.array([0]))
+        with pytest.raises(SourceAssignmentError):
+            a.extended(2, [0])
+
+    def test_original_untouched(self):
+        a = SourceAssignment(np.array([0]))
+        a.extended(1, [0])
+        assert a.n_pages == 1

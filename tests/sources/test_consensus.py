@@ -1,0 +1,77 @@
+"""Unit tests for the source-edge weighting schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import PageGraph, is_row_stochastic
+from repro.sources import SourceAssignment, consensus_weights, uniform_weights
+
+
+def _hijack_web(n_captured: int):
+    """A legitimate source (pages 0..9) plus a spam source (page 10).
+
+    ``n_captured`` legit pages are hijacked to link to the spam page; the
+    rest link to a second legit source (page 11).
+    """
+    src, dst = [], []
+    for p in range(10):
+        if p < n_captured:
+            src.append(p)
+            dst.append(10)
+        src.append(p)
+        dst.append(11)
+    g = PageGraph.from_edges(np.array(src), np.array(dst), 12)
+    a = SourceAssignment(np.array([0] * 10 + [1, 2]))
+    return g, a
+
+
+class TestUniformWeights:
+    def test_rows_stochastic(self, small_graph, small_assignment):
+        w = uniform_weights(small_graph, small_assignment)
+        assert is_row_stochastic(w)
+
+    def test_equal_weights_per_target(self):
+        g, a = _hijack_web(5)
+        w = uniform_weights(g, a)
+        # Source 0 links to sources 1 and 2 (no intra edges): uniform = 1/2
+        assert w[0, 1] == pytest.approx(0.5)
+        assert w[0, 2] == pytest.approx(0.5)
+
+    def test_uniform_ignores_page_multiplicity(self):
+        """1 captured page or 9: uniform weight does not move."""
+        w1 = uniform_weights(*_hijack_web(1))
+        w9 = uniform_weights(*_hijack_web(9))
+        assert w1[0, 1] == pytest.approx(w9[0, 1])
+
+
+class TestConsensusWeights:
+    def test_rows_stochastic(self, small_graph, small_assignment):
+        w = consensus_weights(small_graph, small_assignment)
+        assert is_row_stochastic(w)
+
+    def test_hijack_resistance_scaling(self):
+        """Section 3.2's core claim: capturing few pages moves w little."""
+        w1 = consensus_weights(*_hijack_web(1))
+        w5 = consensus_weights(*_hijack_web(5))
+        w9 = consensus_weights(*_hijack_web(9))
+        # 1 captured page of 10: w(legit, spam) = 1/11
+        assert w1[0, 1] == pytest.approx(1 / 11)
+        # Monotone in captured pages, far below 1 until most are captured.
+        assert w1[0, 1] < w5[0, 1] < w9[0, 1]
+        assert w1[0, 1] < 0.1
+
+    def test_consensus_vs_uniform_on_hijack(self):
+        """Consensus weighting gives the hijacker strictly less influence
+        than uniform weighting when few pages are captured."""
+        g, a = _hijack_web(1)
+        wu = uniform_weights(g, a)
+        wc = consensus_weights(g, a)
+        assert wc[0, 1] < wu[0, 1]
+
+    def test_intra_diagonal_present(self):
+        g = PageGraph.from_edges([0, 1], [1, 2], 3)
+        a = SourceAssignment(np.array([0, 0, 1]))
+        w = consensus_weights(g, a)
+        assert w[0, 0] > 0  # page 0 -> page 1 is intra-source

@@ -1,0 +1,76 @@
+"""Unit tests for source-level persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SourceAssignmentError
+from repro.sources import (
+    SourceAssignment,
+    SourceGraph,
+    load_assignment,
+    load_source_graph,
+    save_assignment,
+    save_source_graph,
+)
+
+
+class TestAssignmentIO:
+    def test_roundtrip_plain(self, small_assignment, tmp_path):
+        path = tmp_path / "a.npz"
+        save_assignment(small_assignment, path)
+        assert load_assignment(path) == small_assignment
+
+    def test_roundtrip_with_names(self, tmp_path):
+        a = SourceAssignment.from_keys(["x.com", "y.org", "x.com"])
+        path = tmp_path / "a.npz"
+        save_assignment(a, path)
+        loaded = load_assignment(path)
+        assert loaded == a
+        assert loaded.name_of(0) == "x.com"
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez_compressed(path, unrelated=np.arange(2))
+        with pytest.raises(SourceAssignmentError, match="missing field"):
+            load_assignment(path)
+
+    def test_bad_version(self, tmp_path, small_assignment):
+        path = tmp_path / "a.npz"
+        np.savez_compressed(
+            path,
+            format_version=np.int64(99),
+            page_to_source=small_assignment.page_to_source,
+        )
+        with pytest.raises(SourceAssignmentError, match="version"):
+            load_assignment(path)
+
+
+class TestSourceGraphIO:
+    def test_roundtrip(self, small_source_graph, tmp_path):
+        path = tmp_path / "sg.npz"
+        save_source_graph(small_source_graph, path)
+        loaded = load_source_graph(path)
+        assert loaded.n_sources == small_source_graph.n_sources
+        assert loaded.weighting == small_source_graph.weighting
+        diff = (loaded.matrix - small_source_graph.matrix).tocoo()
+        assert diff.nnz == 0 or np.abs(diff.data).max() < 1e-15
+
+    def test_loaded_graph_ranks_identically(self, small_source_graph, tmp_path):
+        from repro.ranking import sourcerank
+
+        path = tmp_path / "sg.npz"
+        save_source_graph(small_source_graph, path)
+        loaded = load_source_graph(path)
+        np.testing.assert_allclose(
+            sourcerank(loaded).scores,
+            sourcerank(small_source_graph).scores,
+            atol=1e-12,
+        )
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez_compressed(path, unrelated=np.arange(2))
+        with pytest.raises(SourceAssignmentError, match="missing field"):
+            load_source_graph(path)

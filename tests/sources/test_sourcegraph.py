@@ -1,0 +1,94 @@
+"""Unit tests for :class:`repro.sources.SourceGraph`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError, SourceAssignmentError
+from repro.graph import PageGraph
+from repro.sources import SourceAssignment, SourceGraph
+
+
+class TestFromPageGraph:
+    def test_consensus_default(self, small_graph, small_assignment):
+        sg = SourceGraph.from_page_graph(small_graph, small_assignment)
+        assert sg.weighting == "consensus"
+        assert sg.n_sources == small_assignment.n_sources
+
+    def test_rows_sum_to_one(self, small_source_graph):
+        np.testing.assert_allclose(
+            small_source_graph.out_weight_sums(), 1.0, atol=1e-12
+        )
+
+    def test_uniform_weighting(self, small_graph, small_assignment):
+        sg = SourceGraph.from_page_graph(
+            small_graph, small_assignment, weighting="uniform"
+        )
+        assert sg.weighting == "uniform"
+        np.testing.assert_allclose(sg.out_weight_sums(), 1.0, atol=1e-12)
+
+    def test_unknown_weighting_rejected(self, small_graph, small_assignment):
+        with pytest.raises(GraphError, match="weighting"):
+            SourceGraph.from_page_graph(
+                small_graph, small_assignment, weighting="bogus"
+            )
+
+    def test_isolated_source_gets_self_edge(self):
+        """A source with no out-links at all keeps its walker (Section 3.3
+        self-edge augmentation + dangling fix)."""
+        g = PageGraph.from_edges([0], [1], 3)  # page 2 isolated
+        a = SourceAssignment(np.array([0, 0, 1]))  # source 1 = {page 2}
+        sg = SourceGraph.from_page_graph(g, a)
+        assert sg.self_weights()[1] == pytest.approx(1.0)
+
+    def test_assignment_attached(self, small_graph, small_assignment):
+        sg = SourceGraph.from_page_graph(small_graph, small_assignment)
+        assert sg.assignment is small_assignment
+
+
+class TestFromWeightMatrix:
+    def test_normalizes(self):
+        w = np.array([[2.0, 2.0], [1.0, 0.0]])
+        sg = SourceGraph.from_weight_matrix(w)
+        assert sg.matrix[0, 0] == pytest.approx(0.5)
+
+    def test_fixes_empty_rows(self):
+        w = np.array([[0.0, 0.0], [1.0, 1.0]])
+        sg = SourceGraph.from_weight_matrix(w)
+        assert sg.matrix[0, 0] == pytest.approx(1.0)
+
+    def test_sparse_input(self):
+        sg = SourceGraph.from_weight_matrix(sp.eye(4, format="csr"))
+        assert sg.n_sources == 4
+
+    def test_weighting_label(self):
+        sg = SourceGraph.from_weight_matrix(np.eye(2))
+        assert sg.weighting == "custom"
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphError, match="square"):
+            SourceGraph(sp.csr_matrix((2, 3)))
+
+    def test_rejects_substochastic(self):
+        m = sp.csr_matrix(np.array([[0.5, 0.0], [0.0, 1.0]]))
+        with pytest.raises(GraphError, match="row-stochastic"):
+            SourceGraph(m)
+
+    def test_rejects_assignment_mismatch(self):
+        m = sp.csr_matrix(np.eye(2))
+        with pytest.raises(SourceAssignmentError):
+            SourceGraph(m, SourceAssignment(np.array([0, 1, 2])))
+
+
+class TestEdgeCounting:
+    def test_self_edges_excluded_from_table1_count(self):
+        sg = SourceGraph.from_weight_matrix(np.array([[0.5, 0.5], [0.0, 1.0]]))
+        assert sg.n_edges(count_self=True) == 3
+        assert sg.n_edges(count_self=False) == 1
+
+    def test_repr(self, small_source_graph):
+        assert "SourceGraph" in repr(small_source_graph)

@@ -1,0 +1,191 @@
+"""Unit tests for the attack models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.graph import PageGraph
+from repro.sources import SourceAssignment
+from repro.spam import (
+    CrossSourceAttack,
+    HijackAttack,
+    HoneypotAttack,
+    IntraSourceAttack,
+    LinkExchangeAttack,
+    LinkFarmAttack,
+)
+
+
+@pytest.fixture()
+def web():
+    """Six pages in three sources; a small ring of inter-source links."""
+    g = PageGraph.from_edges(
+        np.array([0, 1, 2, 3, 4, 5]), np.array([2, 3, 4, 5, 0, 1]), 6
+    )
+    a = SourceAssignment(np.array([0, 0, 1, 1, 2, 2]))
+    return g, a
+
+
+class TestIntraSource:
+    def test_pages_added_to_target_source(self, web):
+        g, a = web
+        out = IntraSourceAttack(target_page=0, n_pages=5).apply(g, a)
+        assert out.graph.n_nodes == 11
+        assert out.injected_pages.size == 5
+        assert (out.assignment.page_to_source[6:] == 0).all()
+        assert out.target_source == 0
+
+    def test_each_injected_page_links_to_target(self, web):
+        g, a = web
+        out = IntraSourceAttack(0, 3).apply(g, a)
+        for page in out.injected_pages:
+            assert out.graph.has_edge(int(page), 0)
+
+    def test_original_untouched(self, web):
+        g, a = web
+        IntraSourceAttack(0, 3).apply(g, a)
+        assert g.n_nodes == 6
+
+    def test_bad_target_rejected(self, web):
+        g, a = web
+        with pytest.raises(ScenarioError):
+            IntraSourceAttack(99, 1).apply(g, a)
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(ScenarioError):
+            IntraSourceAttack(0, 0)
+
+
+class TestCrossSource:
+    def test_pages_go_to_colluding_source(self, web):
+        g, a = web
+        out = CrossSourceAttack(0, colluding_sources=1, n_pages=4).apply(g, a)
+        assert (out.assignment.page_to_source[6:] == 1).all()
+        assert out.target_source == 0
+
+    def test_round_robin_over_sources(self, web):
+        g, a = web
+        out = CrossSourceAttack(0, colluding_sources=[1, 2], n_pages=4).apply(g, a)
+        hosts = out.assignment.page_to_source[6:]
+        np.testing.assert_array_equal(hosts, [1, 2, 1, 2])
+
+    def test_rejects_target_own_source(self, web):
+        g, a = web
+        with pytest.raises(ScenarioError, match="own source"):
+            CrossSourceAttack(0, colluding_sources=0, n_pages=1).apply(g, a)
+
+    def test_rejects_unknown_source(self, web):
+        g, a = web
+        with pytest.raises(ScenarioError, match="out of range"):
+            CrossSourceAttack(0, colluding_sources=9, n_pages=1).apply(g, a)
+
+
+class TestLinkFarm:
+    def test_creates_fresh_sources(self, web):
+        g, a = web
+        out = LinkFarmAttack(0, n_pages=6, n_sources=3).apply(g, a)
+        assert out.injected_sources.size == 3
+        assert out.assignment.n_sources == 6
+        # Every farm page links to the target.
+        for page in out.injected_pages:
+            assert out.graph.has_edge(int(page), 0)
+
+    def test_sources_capped_by_pages(self, web):
+        g, a = web
+        attack = LinkFarmAttack(0, n_pages=2, n_sources=10)
+        assert attack.n_sources == 2
+
+    def test_interlink_ring(self, web):
+        g, a = web
+        out = LinkFarmAttack(0, n_pages=4, n_sources=2, interlink=True).apply(g, a)
+        first = int(out.injected_pages[0])
+        # Page 0 of the farm links to page 1 (first page of source 1).
+        assert out.graph.has_edge(first, first + 1)
+
+
+class TestLinkExchange:
+    def test_ring_structure(self, web):
+        g, a = web
+        out = LinkExchangeAttack(0, n_members=3, pages_per_member=2).apply(g, a)
+        assert out.injected_pages.size == 6
+        assert out.injected_sources.size == 3
+        base = int(out.injected_pages[0])
+        hubs = [base, base + 2, base + 4]
+        # Every hub promotes the target.
+        for hub in hubs:
+            assert out.graph.has_edge(hub, 0)
+        # Ring: member 0's pages link to member 1's hub.
+        assert out.graph.has_edge(base, hubs[1])
+        assert out.graph.has_edge(base + 1, hubs[1])
+        # And backwards to member 2's hub.
+        assert out.graph.has_edge(base, hubs[2])
+
+    def test_member_assignment(self, web):
+        g, a = web
+        out = LinkExchangeAttack(0, 2, 3).apply(g, a)
+        hosts = out.assignment.page_to_source[6:]
+        np.testing.assert_array_equal(hosts, [3, 3, 3, 4, 4, 4])
+
+
+class TestHijack:
+    def test_adds_links_no_pages(self, web):
+        g, a = web
+        out = HijackAttack(0, victim_pages=[2, 4]).apply(g, a)
+        assert out.graph.n_nodes == 6
+        assert out.injected_pages.size == 0
+        np.testing.assert_array_equal(out.hijacked_pages, [2, 4])
+        assert out.graph.has_edge(2, 0)
+        assert out.graph.has_edge(4, 0)
+
+    def test_rejects_self_victim(self):
+        with pytest.raises(ScenarioError, match="own victim"):
+            HijackAttack(0, victim_pages=[0, 1])
+
+    def test_rejects_empty_victims(self):
+        with pytest.raises(ScenarioError):
+            HijackAttack(0, victim_pages=[])
+
+    def test_rejects_out_of_range_victims(self, web):
+        g, a = web
+        with pytest.raises(ScenarioError, match="out of range"):
+            HijackAttack(0, victim_pages=[50]).apply(g, a)
+
+
+class TestHoneypot:
+    def test_structure(self, web):
+        g, a = web
+        out = HoneypotAttack(0, n_honeypot_pages=2, inducer_pages=[2, 3, 4]).apply(
+            g, a
+        )
+        assert out.injected_pages.size == 2
+        assert out.injected_sources.size == 1
+        pot = out.injected_pages
+        # Inducers link into honeypot pages (round-robin).
+        assert out.graph.has_edge(2, int(pot[0]))
+        assert out.graph.has_edge(3, int(pot[1]))
+        assert out.graph.has_edge(4, int(pot[0]))
+        # Honeypot pages forward to the target.
+        assert out.graph.has_edge(int(pot[0]), 0)
+        assert out.graph.has_edge(int(pot[1]), 0)
+
+    def test_rejects_target_as_inducer(self, web):
+        g, a = web
+        with pytest.raises(ScenarioError, match="induce"):
+            HoneypotAttack(0, 1, inducer_pages=[0]).apply(g, a)
+
+
+class TestSpammedWebValidation:
+    def test_target_source_consistency_enforced(self, web):
+        g, a = web
+        from repro.spam.base import SpammedWeb
+
+        with pytest.raises(ScenarioError):
+            SpammedWeb(
+                graph=g,
+                assignment=a,
+                target_page=0,
+                target_source=2,  # page 0 lives in source 0
+                injected_pages=np.empty(0, dtype=np.int64),
+            )

@@ -1,0 +1,105 @@
+"""Unit tests for composite attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.graph import PageGraph
+from repro.sources import SourceAssignment
+from repro.spam import (
+    CompositeAttack,
+    HijackAttack,
+    IntraSourceAttack,
+    LinkFarmAttack,
+    full_campaign,
+)
+
+
+@pytest.fixture()
+def web():
+    g = PageGraph.from_edges(
+        np.array([0, 1, 2, 3]), np.array([1, 2, 3, 0]), 8
+    )
+    a = SourceAssignment(np.array([0, 0, 1, 1, 2, 2, 3, 3]))
+    return g, a
+
+
+class TestCompositeAttack:
+    def test_stages_accumulate(self, web):
+        g, a = web
+        composite = CompositeAttack(
+            IntraSourceAttack(0, 3),
+            LinkFarmAttack(0, 4, n_sources=2),
+        )
+        out = composite.apply(g, a)
+        assert out.injected_pages.size == 7
+        assert out.injected_sources.size == 2
+        assert out.graph.n_nodes == 8 + 7
+        assert "intra-source" in out.description
+        assert "link farm" in out.description
+
+    def test_stage_sees_previous_stage_output(self, web):
+        """A hijack can victimize pages created by an earlier stage."""
+        g, a = web
+        farm_first_page = g.n_nodes  # first page the farm will create
+        composite = CompositeAttack(
+            LinkFarmAttack(0, 3, n_sources=1),
+            HijackAttack(0, [farm_first_page]),
+        )
+        out = composite.apply(g, a)
+        assert out.graph.has_edge(farm_first_page, 0)
+        assert farm_first_page in out.hijacked_pages
+
+    def test_mismatched_targets_rejected(self, web):
+        g, a = web
+        composite = CompositeAttack(
+            IntraSourceAttack(0, 1),
+            IntraSourceAttack(5, 1),
+        )
+        with pytest.raises(ScenarioError, match="disagree"):
+            composite.apply(g, a)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ScenarioError):
+            CompositeAttack()
+
+    def test_composite_stronger_than_parts(self, tiny_dataset):
+        """Combining vectors must promote the target at least as much as
+        the strongest single vector (Section 2's 'more effective')."""
+        from repro.spam import evaluate_attack
+
+        ds = tiny_dataset
+        target = int(ds.assignment.pages_of(3)[0])
+        victims = ds.assignment.pages_of(5)[:3]
+        victims = victims[victims != target]
+        farm = LinkFarmAttack(target, 20, n_sources=2)
+        hijack = HijackAttack(target, victims)
+        both = CompositeAttack(farm, hijack)
+        amp = {
+            name: evaluate_attack(
+                ds.graph, ds.assignment, attack
+            ).pagerank_record.amplification
+            for name, attack in (("farm", farm), ("hijack", hijack), ("both", both))
+        }
+        assert amp["both"] >= max(amp["farm"], amp["hijack"]) - 1e-9
+
+
+class TestFullCampaign:
+    def test_builds_three_stages(self, web):
+        g, a = web
+        campaign = full_campaign(
+            0,
+            farm_pages=6,
+            farm_sources=2,
+            victim_pages=[2, 3],
+            honeypot_pages=2,
+            inducer_pages=[4, 5],
+        )
+        out = campaign.apply(g, a)
+        # farm: 6 pages/2 sources; honeypot: 2 pages/1 source.
+        assert out.injected_pages.size == 8
+        assert out.injected_sources.size == 3
+        assert out.hijacked_pages.size == 4  # 2 victims + 2 inducers
+        assert out.target_page == 0

@@ -1,0 +1,87 @@
+"""Unit tests for the statistical spam detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.spam import OutlierSpamDetector, source_features
+from repro.spam.detection import SourceFeatures
+
+
+class TestSourceFeatures:
+    def test_shape_and_names(self, tiny_dataset):
+        ds = tiny_dataset
+        feats = source_features(ds.graph, ds.assignment)
+        assert feats.values.shape == (ds.n_sources, len(feats.names))
+        assert "reciprocity" in feats.names
+
+    def test_reciprocity_of_exchange(self, tiny_dataset):
+        """Planted spam sources (a reciprocal exchange ring) must show
+        higher reciprocity than the median legit source."""
+        ds = tiny_dataset
+        feats = source_features(ds.graph, ds.assignment)
+        idx = feats.names.index("reciprocity")
+        spam_rec = feats.values[ds.spam_sources, idx].mean()
+        legit_rec = np.median(
+            np.delete(feats.values[:, idx], ds.spam_sources)
+        )
+        assert spam_rec > legit_rec
+
+    def test_values_finite(self, tiny_dataset):
+        ds = tiny_dataset
+        feats = source_features(ds.graph, ds.assignment)
+        assert np.isfinite(feats.values).all()
+
+
+class TestOutlierDetector:
+    def test_scores_flag_planted_spam(self, tiny_dataset):
+        """Unsupervised detection must beat chance clearly on the planted
+        communities."""
+        ds = tiny_dataset
+        detector = OutlierSpamDetector()
+        fraction = 2 * ds.spam_sources.size / ds.n_sources
+        _, flagged = detector.detect(
+            ds.graph, ds.assignment, top_fraction=fraction
+        )
+        hits = np.isin(ds.spam_sources, flagged).mean()
+        chance = fraction
+        assert hits > 3 * chance
+
+    def test_scores_shape(self, tiny_dataset):
+        ds = tiny_dataset
+        scores = OutlierSpamDetector().score(
+            source_features(ds.graph, ds.assignment)
+        )
+        assert scores.shape == (ds.n_sources,)
+        assert (scores >= 0).all()
+
+    def test_constant_feature_carries_no_signal(self):
+        feats = SourceFeatures(
+            names=("const", "varying"),
+            values=np.column_stack(
+                [np.ones(10), np.concatenate([np.zeros(9), [100.0]])]
+            ),
+        )
+        scores = OutlierSpamDetector().score(feats)
+        # Only the varying feature should matter; item 9 is the outlier.
+        assert scores.argmax() == 9
+        assert scores[:9].max() < scores[9]
+
+    def test_clip_bounds_scores(self):
+        feats = SourceFeatures(
+            names=("f",),
+            values=np.concatenate([np.zeros(20), [1e9]]).reshape(-1, 1),
+        )
+        scores = OutlierSpamDetector(clip=5.0).score(feats)
+        assert scores.max() <= 5.0
+
+    def test_validation(self, tiny_dataset):
+        with pytest.raises(ScenarioError):
+            OutlierSpamDetector(clip=0.0)
+        ds = tiny_dataset
+        with pytest.raises(ScenarioError):
+            OutlierSpamDetector().detect(
+                ds.graph, ds.assignment, top_fraction=0.0
+            )

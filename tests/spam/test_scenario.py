@@ -1,0 +1,113 @@
+"""Unit tests for attack evaluation and target selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RankingParams
+from repro.errors import ScenarioError
+from repro.ranking import sourcerank
+from repro.sources import SourceGraph
+from repro.spam import IntraSourceAttack, LinkFarmAttack, evaluate_attack, pick_targets
+from repro.throttle import ThrottleVector
+
+
+@pytest.fixture(scope="module")
+def clean(tiny_dataset):
+    return tiny_dataset
+
+
+class TestEvaluateAttack:
+    def test_records_cover_page_and_source(self, clean):
+        ev = evaluate_attack(
+            clean.graph,
+            clean.assignment,
+            IntraSourceAttack(0, 10),
+        )
+        assert ev.pagerank_record.target == 0
+        assert ev.srsr_record.target == clean.assignment.source_of(0)
+        assert ev.pagerank_after.n == clean.graph.n_nodes + 10
+
+    def test_pagerank_boost_positive(self, clean):
+        ev = evaluate_attack(clean.graph, clean.assignment, IntraSourceAttack(0, 50))
+        assert ev.pagerank_record.amplification > 1.0
+
+    def test_precomputed_baselines_reused(self, clean):
+        from repro.ranking import pagerank, spam_resilient_sourcerank
+
+        params = RankingParams()
+        pr = pagerank(clean.graph, params)
+        sg = SourceGraph.from_page_graph(clean.graph, clean.assignment)
+        sr = spam_resilient_sourcerank(sg, None, params)
+        ev = evaluate_attack(
+            clean.graph,
+            clean.assignment,
+            IntraSourceAttack(0, 5),
+            pagerank_before=pr,
+            srsr_before=sr,
+        )
+        assert ev.pagerank_before is pr
+        assert ev.srsr_before is sr
+
+    def test_kappa_padded_for_new_sources(self, clean):
+        kappa = ThrottleVector.zeros(clean.n_sources)
+        ev = evaluate_attack(
+            clean.graph,
+            clean.assignment,
+            LinkFarmAttack(0, n_pages=4, n_sources=2),
+            kappa=kappa,
+        )
+        assert ev.srsr_after.n == clean.n_sources + 2
+
+    def test_oversized_kappa_rejected(self, clean):
+        kappa = ThrottleVector.zeros(clean.n_sources + 100)
+        with pytest.raises(ScenarioError):
+            evaluate_attack(
+                clean.graph, clean.assignment, IntraSourceAttack(0, 1), kappa=kappa
+            )
+
+
+class TestPickTargets:
+    def test_protocol(self, clean, rng):
+        sg = SourceGraph.from_page_graph(clean.graph, clean.assignment)
+        sr = sourcerank(sg)
+        pairs = pick_targets(sr, clean.assignment, np.random.default_rng(1), n_targets=5)
+        assert len(pairs) == 5
+        pct = sr.percentiles()
+        for source, page in pairs:
+            assert clean.assignment.source_of(page) == source
+            assert pct[source] <= 50.0 + 1e-9  # bottom half only
+
+    def test_exclusions_respected(self, clean):
+        sg = SourceGraph.from_page_graph(clean.graph, clean.assignment)
+        sr = sourcerank(sg)
+        excluded = sr.order()[sr.n // 2 :][:30]  # exclude most of the bottom
+        pairs = pick_targets(
+            sr,
+            clean.assignment,
+            np.random.default_rng(2),
+            n_targets=3,
+            exclude_sources=np.asarray(excluded),
+        )
+        chosen = {s for s, _ in pairs}
+        assert not chosen & set(int(e) for e in excluded)
+
+    def test_deterministic_given_seed(self, clean):
+        sg = SourceGraph.from_page_graph(clean.graph, clean.assignment)
+        sr = sourcerank(sg)
+        a = pick_targets(sr, clean.assignment, np.random.default_rng(7), n_targets=4)
+        b = pick_targets(sr, clean.assignment, np.random.default_rng(7), n_targets=4)
+        assert a == b
+
+    def test_insufficient_pool_rejected(self, clean):
+        sg = SourceGraph.from_page_graph(clean.graph, clean.assignment)
+        sr = sourcerank(sg)
+        with pytest.raises(ScenarioError, match="eligible"):
+            pick_targets(
+                sr,
+                clean.assignment,
+                np.random.default_rng(3),
+                n_targets=10,
+                bottom_fraction=0.01,
+            )

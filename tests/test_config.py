@@ -1,0 +1,119 @@
+"""Unit tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    DEFAULT_ALPHA,
+    DEFAULT_TOLERANCE,
+    ExperimentParams,
+    RankingParams,
+    SpamProximityParams,
+    ThrottleParams,
+)
+from repro.errors import ConfigError
+
+
+class TestRankingParams:
+    def test_paper_defaults(self):
+        p = RankingParams()
+        assert p.alpha == 0.85 == DEFAULT_ALPHA
+        assert p.tolerance == 1e-9 == DEFAULT_TOLERANCE
+        assert p.norm == "l2"
+        assert p.strict
+
+    def test_with_override(self):
+        p = RankingParams().with_(alpha=0.5)
+        assert p.alpha == 0.5
+        assert p.tolerance == DEFAULT_TOLERANCE
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 1.0},
+            {"alpha": -0.1},
+            {"tolerance": 0.0},
+            {"max_iter": 0},
+            {"norm": "l7"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            RankingParams(**kwargs)
+
+    def test_frozen(self):
+        p = RankingParams()
+        with pytest.raises(AttributeError):
+            p.alpha = 0.5  # type: ignore[misc]
+
+
+class TestThrottleParams:
+    def test_paper_default_fraction(self):
+        p = ThrottleParams()
+        assert p.top_fraction == pytest.approx(20_000 / 738_626)
+        assert p.kappa_high == 1.0
+        assert p.kappa_low == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"strategy": "bogus"},
+            {"top_fraction": 1.5},
+            {"kappa_high": 2.0},
+            {"kappa_low": 0.9, "kappa_high": 0.5},
+            {"threshold": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            ThrottleParams(**kwargs)
+
+
+class TestSpamProximityParams:
+    def test_defaults_mirror_alpha(self):
+        p = SpamProximityParams()
+        assert p.beta == DEFAULT_ALPHA
+
+    def test_as_ranking_params(self):
+        p = SpamProximityParams(beta=0.7, tolerance=1e-6, max_iter=50)
+        r = p.as_ranking_params()
+        assert r.alpha == 0.7
+        assert r.tolerance == 1e-6
+        assert r.max_iter == 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpamProximityParams(beta=1.0)
+        with pytest.raises(ConfigError):
+            SpamProximityParams(max_iter=0)
+
+
+class TestExperimentParams:
+    def test_paper_protocol_defaults(self):
+        p = ExperimentParams()
+        assert p.cases == (1, 10, 100, 1000)
+        assert p.n_targets == 5
+        assert p.bottom_fraction == 0.5
+        assert p.seed_fraction == pytest.approx(1_000 / 10_315)
+        assert p.n_buckets == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_targets": 0},
+            {"cases": ()},
+            {"cases": (0,)},
+            {"bottom_fraction": 2.0},
+            {"seed_fraction": -0.1},
+            {"n_buckets": 1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            ExperimentParams(**kwargs)
+
+    def test_nested_defaults(self):
+        p = ExperimentParams()
+        assert p.ranking.alpha == DEFAULT_ALPHA
+        assert p.throttle.strategy == "top_k"

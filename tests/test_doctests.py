@@ -1,0 +1,28 @@
+"""Run the library's docstring examples as tests.
+
+Every ``>>>`` example in a public docstring must stay executable — the
+examples are part of the API contract.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+_MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", _MODULES)
+def test_module_doctests(module_name: str) -> None:
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failures"

@@ -1,0 +1,76 @@
+"""Unit tests for logging helpers and the error hierarchy."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro import errors
+from repro.logging_utils import enable_console_logging, get_logger, log_duration
+
+
+class TestGetLogger:
+    def test_namespace_rooting(self):
+        assert get_logger().name == "repro"
+        assert get_logger("graph").name == "repro.graph"
+        assert get_logger("repro.ranking.power").name == "repro.ranking.power"
+
+
+class TestConsoleLogging:
+    def test_idempotent(self):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        try:
+            h1 = enable_console_logging()
+            h2 = enable_console_logging()
+            assert h1 is h2
+            added = [h for h in logger.handlers if h not in before]
+            assert len(added) <= 1
+        finally:
+            for h in list(logger.handlers):
+                if getattr(h, "_repro_console", False):
+                    logger.removeHandler(h)
+
+    def test_level_applied(self):
+        logger = logging.getLogger("repro")
+        try:
+            enable_console_logging(logging.DEBUG)
+            assert logger.level == logging.DEBUG
+        finally:
+            for h in list(logger.handlers):
+                if getattr(h, "_repro_console", False):
+                    logger.removeHandler(h)
+            logger.setLevel(logging.NOTSET)
+
+
+class TestLogDuration:
+    def test_emits_debug_record(self, caplog):
+        logger = get_logger("test")
+        with caplog.at_level(logging.DEBUG, logger="repro.test"):
+            with log_duration(logger, "unit-of-work"):
+                pass
+        assert any("unit-of-work took" in r.message for r in caplog.records)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_convergence_error_fields(self):
+        err = errors.ConvergenceError(10, 0.5, 1e-9)
+        assert err.iterations == 10
+        assert err.residual == 0.5
+        assert err.tolerance == 1e-9
+        assert "10 iterations" in str(err)
+
+    def test_node_index_error_is_index_error(self):
+        err = errors.NodeIndexError(5, 3)
+        assert isinstance(err, IndexError)
+        assert err.node == 5
+        assert err.n_nodes == 3
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(errors.ConfigError, ValueError)

@@ -1,0 +1,90 @@
+"""Unit tests for kappa-assignment strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ThrottleParams
+from repro.errors import ThrottleError
+from repro.throttle import assign_kappa
+from repro.throttle.strategies import top_k_flags
+
+
+class TestTopKFlags:
+    def test_basic(self):
+        flags = top_k_flags(np.array([0.1, 0.9, 0.5]), 2)
+        np.testing.assert_array_equal(flags, [False, True, True])
+
+    def test_zero_k(self):
+        assert not top_k_flags(np.array([1.0, 2.0]), 0).any()
+
+    def test_all_k(self):
+        assert top_k_flags(np.array([1.0, 2.0]), 2).all()
+
+    def test_ties_prefer_lower_id(self):
+        flags = top_k_flags(np.array([0.5, 0.5, 0.5]), 1)
+        np.testing.assert_array_equal(flags, [True, False, False])
+
+    def test_range_check(self):
+        with pytest.raises(ThrottleError):
+            top_k_flags(np.array([1.0]), 5)
+
+
+class TestAssignKappa:
+    def test_paper_default_top_k(self):
+        scores = np.linspace(0, 1, 1000)
+        kappa = assign_kappa(scores)  # defaults: top 20000/738626 ~ 2.7 %
+        assert kappa.fully_throttled().size == round(1000 * 20_000 / 738_626)
+        # The throttled ones are the highest scores.
+        assert scores[kappa.fully_throttled()].min() > 0.95
+
+    def test_top_k_binary_values(self):
+        scores = np.arange(10, dtype=np.float64)
+        kappa = assign_kappa(scores, ThrottleParams(strategy="top_k", top_fraction=0.3))
+        assert set(np.unique(kappa.kappa)) <= {0.0, 1.0}
+        assert kappa.fully_throttled().size == 3
+
+    def test_threshold(self):
+        scores = np.array([0.0, 0.2, 0.8])
+        kappa = assign_kappa(
+            scores, ThrottleParams(strategy="threshold", threshold=0.5)
+        )
+        np.testing.assert_allclose(kappa.kappa, [0.0, 0.0, 1.0])
+
+    def test_proportional(self):
+        scores = np.array([0.0, 0.5, 1.0])
+        kappa = assign_kappa(scores, ThrottleParams(strategy="proportional"))
+        np.testing.assert_allclose(kappa.kappa, [0.0, 0.5, 1.0])
+
+    def test_proportional_all_zero_scores(self):
+        kappa = assign_kappa(
+            np.zeros(4), ThrottleParams(strategy="proportional")
+        )
+        assert (kappa.kappa == 0).all()
+
+    def test_linear_rank_based(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.0])
+        kappa = assign_kappa(scores, ThrottleParams(strategy="linear"))
+        # Highest score gets kappa_high; zero-score source pinned to low.
+        assert kappa.kappa[1] == pytest.approx(1.0)
+        assert kappa.kappa[3] == 0.0
+        assert kappa.kappa[0] < kappa.kappa[2] < kappa.kappa[1]
+
+    def test_custom_kappa_levels(self):
+        scores = np.array([0.0, 1.0])
+        kappa = assign_kappa(
+            scores,
+            ThrottleParams(
+                strategy="top_k", top_fraction=0.5, kappa_high=0.8, kappa_low=0.1
+            ),
+        )
+        np.testing.assert_allclose(sorted(kappa.kappa), [0.1, 0.8])
+
+    def test_rejects_negative_scores(self):
+        with pytest.raises(ThrottleError):
+            assign_kappa(np.array([-1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ThrottleError):
+            assign_kappa(np.array([]))

@@ -1,0 +1,139 @@
+"""Unit + property tests for the T' -> T'' influence-throttle transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ThrottleError
+from repro.graph.matrix import is_row_stochastic, row_sums
+from repro.throttle import ThrottleVector, throttle_transform
+
+
+def _stochastic(rows: list[list[float]]) -> sp.csr_matrix:
+    return sp.csr_matrix(np.asarray(rows, dtype=np.float64))
+
+
+class TestTransform:
+    def test_noop_when_thresholds_met(self):
+        m = _stochastic([[0.6, 0.4], [0.0, 1.0]])
+        out = throttle_transform(m, ThrottleVector([0.5, 0.5]))
+        np.testing.assert_allclose(out.toarray(), m.toarray())
+
+    def test_boosts_deficient_diagonal(self):
+        m = _stochastic([[0.2, 0.8], [0.0, 1.0]])
+        out = throttle_transform(m, ThrottleVector([0.5, 0.0]))
+        assert out[0, 0] == pytest.approx(0.5)
+        assert out[0, 1] == pytest.approx(0.5)
+
+    def test_offdiagonal_rescaled_proportionally(self):
+        m = _stochastic([[0.1, 0.6, 0.3], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        out = throttle_transform(m, ThrottleVector([0.4, 0.0, 0.0]))
+        # Off-diagonal mass (0.9) rescaled to 0.6 keeping the 2:1 ratio.
+        assert out[0, 1] == pytest.approx(0.4)
+        assert out[0, 2] == pytest.approx(0.2)
+
+    def test_missing_diagonal_inserted(self):
+        """Rows with no structural diagonal still get their kappa."""
+        m = _stochastic([[0.0, 1.0], [0.0, 1.0]])
+        m.eliminate_zeros()
+        out = throttle_transform(m, ThrottleVector([0.7, 0.0]))
+        assert out[0, 0] == pytest.approx(0.7)
+        assert out[0, 1] == pytest.approx(0.3)
+
+    def test_preserves_row_stochasticity(self, small_source_graph, rng):
+        kappa = ThrottleVector(rng.random(small_source_graph.n_sources))
+        out = throttle_transform(small_source_graph.matrix, kappa)
+        assert is_row_stochastic(out, atol=1e-9, allow_zero_rows=False)
+
+    def test_diagonal_at_least_kappa(self, small_source_graph, rng):
+        kappa_arr = rng.random(small_source_graph.n_sources)
+        out = throttle_transform(small_source_graph.matrix, ThrottleVector(kappa_arr))
+        assert (out.diagonal() >= kappa_arr - 1e-12).all()
+
+    def test_zero_kappa_is_identity(self, small_source_graph):
+        out = throttle_transform(
+            small_source_graph.matrix,
+            ThrottleVector.zeros(small_source_graph.n_sources),
+        )
+        diff = (out - small_source_graph.matrix).tocoo()
+        assert diff.nnz == 0 or np.abs(diff.data).max() < 1e-15
+
+    def test_kappa_one_self_mode(self):
+        m = _stochastic([[0.2, 0.8], [0.5, 0.5]])
+        out = throttle_transform(m, ThrottleVector([1.0, 0.0]), full_throttle="self")
+        assert out[0, 0] == pytest.approx(1.0)
+        assert out[0, 1] == pytest.approx(0.0, abs=1e-15)
+
+    def test_kappa_one_dangling_mode(self):
+        m = _stochastic([[0.2, 0.8], [0.5, 0.5]])
+        out = throttle_transform(
+            m, ThrottleVector([1.0, 0.0]), full_throttle="dangling"
+        )
+        assert row_sums(out)[0] == pytest.approx(0.0, abs=1e-15)
+        assert row_sums(out)[1] == pytest.approx(1.0)
+
+    def test_dangling_mode_zeroes_pure_self_rows_too(self):
+        m = _stochastic([[1.0, 0.0], [0.5, 0.5]])
+        out = throttle_transform(
+            m, ThrottleVector([1.0, 0.0]), full_throttle="dangling"
+        )
+        assert row_sums(out)[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_partial_kappa_identical_across_modes(self, small_source_graph, rng):
+        kappa = ThrottleVector(0.99 * rng.random(small_source_graph.n_sources))
+        a = throttle_transform(
+            small_source_graph.matrix, kappa, full_throttle="self"
+        )
+        b = throttle_transform(
+            small_source_graph.matrix, kappa, full_throttle="dangling"
+        )
+        assert (a - b).nnz == 0
+
+    def test_unknown_mode_rejected(self):
+        m = _stochastic([[1.0]])
+        with pytest.raises(ThrottleError, match="full_throttle"):
+            throttle_transform(m, ThrottleVector([0.0]), full_throttle="bogus")
+
+    def test_size_mismatch_rejected(self):
+        m = _stochastic([[1.0]])
+        with pytest.raises(ThrottleError, match="covers"):
+            throttle_transform(m, ThrottleVector([0.0, 0.0]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ThrottleError, match="square"):
+            throttle_transform(sp.csr_matrix((2, 3)), ThrottleVector([0.0, 0.0]))
+
+    def test_substochastic_deficient_row_rejected(self):
+        """A row that needs boosting but has no off-diagonal mass means the
+        input was not row-stochastic."""
+        m = sp.csr_matrix(np.array([[0.3, 0.0], [0.0, 1.0]]))
+        with pytest.raises(ThrottleError, match="off-diagonal"):
+            throttle_transform(m, ThrottleVector([0.9, 0.0]))
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_property(self, data):
+        """For random stochastic matrices and random kappa:
+        rows sum to 1, diagonals >= kappa, off-diagonal ratios preserved."""
+        n = data.draw(st.integers(min_value=2, max_value=8))
+        gen = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+        raw = gen.random((n, n)) + 0.01
+        m = sp.csr_matrix(raw / raw.sum(axis=1, keepdims=True))
+        kappa_arr = gen.random(n) * 0.99  # stay below full throttle
+        out = throttle_transform(m, ThrottleVector(kappa_arr))
+        sums = row_sums(out)
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+        assert (out.diagonal() >= kappa_arr - 1e-12).all()
+        # Off-diagonal proportions preserved within each boosted row.
+        dense_in = m.toarray()
+        dense_out = out.toarray()
+        for i in range(n):
+            if dense_in[i, i] < kappa_arr[i]:
+                off_in = np.delete(dense_in[i], i)
+                off_out = np.delete(dense_out[i], i)
+                ratio = off_out[off_in > 0] / off_in[off_in > 0]
+                np.testing.assert_allclose(ratio, ratio[0], rtol=1e-9)

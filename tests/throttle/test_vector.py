@@ -1,0 +1,85 @@
+"""Unit tests for :class:`repro.throttle.ThrottleVector`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ThrottleError
+from repro.throttle import ThrottleVector
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = ThrottleVector([0.0, 0.5, 1.0])
+        assert v.n == 3
+        assert v[1] == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ThrottleError):
+            ThrottleVector([1.5])
+        with pytest.raises(ThrottleError):
+            ThrottleVector([-0.1])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ThrottleError):
+            ThrottleVector([np.nan])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ThrottleError):
+            ThrottleVector([])
+
+    def test_zeros(self):
+        v = ThrottleVector.zeros(4)
+        assert (v.kappa == 0).all()
+
+    def test_constant(self):
+        v = ThrottleVector.constant(3, 0.7)
+        assert (v.kappa == 0.7).all()
+
+    def test_from_flags(self):
+        v = ThrottleVector.from_flags([True, False], kappa_high=0.9, kappa_low=0.1)
+        np.testing.assert_allclose(v.kappa, [0.9, 0.1])
+
+    def test_immutability(self):
+        v = ThrottleVector.zeros(2)
+        with pytest.raises(ValueError):
+            v.kappa[0] = 1.0
+
+    def test_input_copy_not_aliased(self):
+        arr = np.zeros(3)
+        v = ThrottleVector(arr)
+        arr[0] = 1.0
+        assert v[0] == 0.0
+
+
+class TestAccessors:
+    def test_throttled_mask(self):
+        v = ThrottleVector([0.0, 0.5, 1.0])
+        np.testing.assert_array_equal(v.throttled_mask(), [False, True, True])
+        np.testing.assert_array_equal(
+            v.throttled_mask(above=0.6), [False, False, True]
+        )
+
+    def test_fully_throttled(self):
+        v = ThrottleVector([0.0, 1.0, 0.99])
+        np.testing.assert_array_equal(v.fully_throttled(), [1])
+
+    def test_updated(self):
+        v = ThrottleVector.zeros(3)
+        w = v.updated([0, 2], 0.8)
+        np.testing.assert_allclose(w.kappa, [0.8, 0.0, 0.8])
+        assert (v.kappa == 0).all()  # original untouched
+
+    def test_updated_range_check(self):
+        v = ThrottleVector.zeros(3)
+        with pytest.raises(ThrottleError):
+            v.updated([5], 1.0)
+
+    def test_equality(self):
+        assert ThrottleVector.zeros(2) == ThrottleVector([0.0, 0.0])
+        assert ThrottleVector.zeros(2) != ThrottleVector([0.0, 1.0])
+
+    def test_repr_counts_throttled(self):
+        v = ThrottleVector([0.0, 0.3, 0.9])
+        assert "throttled=2" in repr(v)

@@ -1,0 +1,113 @@
+"""Unit tests for :class:`repro.webgraph.CompressedGraph`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError, NodeIndexError
+from repro.graph import PageGraph
+from repro.webgraph import CompressedGraph
+
+
+@pytest.fixture(scope="module")
+def graph() -> PageGraph:
+    gen = np.random.default_rng(7)
+    n = 800
+    return PageGraph.from_edges(
+        gen.integers(0, n, 8000), gen.integers(0, n, 8000), n
+    )
+
+
+@pytest.fixture(scope="module")
+def compressed(graph: PageGraph) -> CompressedGraph:
+    return CompressedGraph.from_pagegraph(graph)
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip(self, graph, compressed):
+        assert compressed.to_pagegraph() == graph
+
+    def test_counts_match(self, graph, compressed):
+        assert compressed.n_nodes == graph.n_nodes
+        assert compressed.n_edges == graph.n_edges
+
+    def test_empty_graph(self):
+        g = PageGraph.empty(10)
+        c = CompressedGraph.from_pagegraph(g)
+        assert c.n_edges == 0
+        assert c.to_pagegraph() == g
+
+    def test_single_edge(self):
+        g = PageGraph.from_edges([3], [7], 10)
+        c = CompressedGraph.from_pagegraph(g)
+        assert c.to_pagegraph() == g
+
+
+class TestRandomAccess:
+    def test_successors_match(self, graph, compressed):
+        for node in [0, 1, 100, 250, graph.n_nodes - 1]:
+            np.testing.assert_array_equal(
+                compressed.successors(node), graph.successors(node)
+            )
+
+    def test_all_nodes_match(self, graph, compressed):
+        for node in range(graph.n_nodes):
+            np.testing.assert_array_equal(
+                compressed.successors(node), graph.successors(node)
+            )
+
+    def test_out_degree(self, graph, compressed):
+        np.testing.assert_array_equal(
+            [compressed.out_degree(i) for i in range(graph.n_nodes)],
+            graph.out_degrees,
+        )
+
+    def test_out_of_range(self, compressed):
+        with pytest.raises(NodeIndexError):
+            compressed.successors(10_000)
+        with pytest.raises(NodeIndexError):
+            compressed.out_degree(-1)
+
+    def test_empty_row(self):
+        g = PageGraph.from_edges([0], [1], 3)
+        c = CompressedGraph.from_pagegraph(g)
+        assert c.successors(2).size == 0
+
+
+class TestStatsAndPersistence:
+    def test_compression_beats_csr(self, compressed):
+        stats = compressed.stats()
+        assert stats.ratio < 0.6  # gap+varint should clearly beat int64 CSR
+        assert 0 < stats.bits_per_edge < 64
+
+    def test_stats_fields(self, graph, compressed):
+        stats = compressed.stats()
+        assert stats.n_edges == graph.n_edges
+        assert stats.total_bytes == stats.payload_bytes + stats.offset_bytes
+
+    def test_save_load(self, compressed, tmp_path):
+        path = tmp_path / "c.npz"
+        compressed.save(path)
+        again = CompressedGraph.load(path)
+        assert again.to_pagegraph() == compressed.to_pagegraph()
+
+    def test_load_rejects_bad_version(self, compressed, tmp_path, graph):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            format_version=np.int64(99),
+            n_nodes=np.int64(1),
+            payload=np.zeros(0, dtype=np.uint8),
+            offsets=np.array([0, 0]),
+            counts=np.array([0]),
+        )
+        with pytest.raises(CodecError, match="version"):
+            CompressedGraph.load(path)
+
+    def test_constructor_validates_offsets(self):
+        with pytest.raises(CodecError):
+            CompressedGraph(b"", np.array([0, 5]), np.array([0]), 1)
+
+    def test_repr_mentions_bits_per_edge(self, compressed):
+        assert "bits_per_edge" in repr(compressed)

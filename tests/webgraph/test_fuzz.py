@@ -1,0 +1,130 @@
+"""Failure injection: corrupted inputs must raise clean errors, never
+crash, hang, or silently decode garbage as valid graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError, GraphError, ReproError
+from repro.graph import PageGraph, load_npz, save_npz
+from repro.webgraph import CompressedGraph, decode_varints, encode_varints
+
+
+@pytest.fixture(scope="module")
+def graph():
+    gen = np.random.default_rng(13)
+    n = 200
+    return PageGraph.from_edges(gen.integers(0, n, 1500), gen.integers(0, n, 1500), n)
+
+
+class TestVarintCorruption:
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_random_byte_flip_never_crashes(self, data):
+        """Flipping any byte either still decodes (to possibly different
+        values) or raises CodecError — nothing else."""
+        values = np.asarray(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=2**40),
+                    min_size=1,
+                    max_size=30,
+                )
+            ),
+            dtype=np.int64,
+        )
+        payload = bytearray(encode_varints(values))
+        pos = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        payload[pos] ^= 1 << bit
+        try:
+            decoded = decode_varints(bytes(payload))
+        except CodecError:
+            return
+        assert (decoded >= 0).all()
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, blob):
+        try:
+            decoded = decode_varints(blob)
+        except CodecError:
+            return
+        assert (decoded >= 0).all()
+
+    def test_truncation_every_position(self):
+        values = np.asarray([1, 300, 2**20, 2**40])
+        payload = encode_varints(values)
+        for cut in range(len(payload)):
+            try:
+                decode_varints(payload[:cut], count=values.size)
+            except CodecError:
+                continue
+            pytest.fail(f"truncation at {cut} decoded with full count")
+
+
+class TestCompressedGraphCorruption:
+    def test_wrong_counts_rejected(self, graph):
+        c = CompressedGraph.from_pagegraph(graph)
+        bad_counts = c._counts.copy()
+        bad_counts = np.append(bad_counts[:-1], bad_counts[-1] + 1)
+        with pytest.raises(ReproError):
+            CompressedGraph(
+                c._payload, c._offsets, bad_counts, graph.n_nodes
+            ).to_pagegraph()
+
+    def test_payload_truncation_rejected(self, graph):
+        c = CompressedGraph.from_pagegraph(graph)
+        with pytest.raises(CodecError):
+            CompressedGraph(
+                c._payload[:-1], c._offsets, c._counts, graph.n_nodes
+            )
+
+    def test_save_corrupt_load(self, graph, tmp_path):
+        """Corrupting a saved container raises a library error (zip CRC
+        failures surface as CodecError via missing/garbled fields or as a
+        zlib/OS error — never a silent wrong graph)."""
+        path = tmp_path / "c.npz"
+        CompressedGraph.from_pagegraph(graph).save(path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(Exception):
+            loaded = CompressedGraph.load(path)
+            assert loaded.to_pagegraph() == graph
+
+
+class TestNpzGraphCorruption:
+    def test_indices_out_of_range_rejected(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez_compressed(
+            path,
+            format_version=np.int64(1),
+            n_nodes=np.int64(graph.n_nodes),
+            indptr=graph.indptr,
+            indices=graph.indices + graph.n_nodes,  # all out of range
+        )
+        with pytest.raises(GraphError):
+            load_npz(path)
+
+    def test_inconsistent_indptr_rejected(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        bad_indptr = graph.indptr.copy()
+        bad_indptr[-1] += 1
+        np.savez_compressed(
+            path,
+            format_version=np.int64(1),
+            n_nodes=np.int64(graph.n_nodes),
+            indptr=bad_indptr,
+            indices=graph.indices,
+        )
+        with pytest.raises(GraphError):
+            load_npz(path)
+
+    def test_roundtrip_still_clean(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        assert load_npz(path) == graph

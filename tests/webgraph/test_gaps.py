@@ -1,0 +1,94 @@
+"""Unit + property tests for the gap transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import PageGraph
+from repro.webgraph import from_gaps, to_gaps
+from repro.webgraph.gaps import zigzag_decode, zigzag_encode
+
+
+class TestZigzag:
+    def test_known_values(self):
+        values = np.array([0, -1, 1, -2, 2, -64, 64])
+        expected = np.array([0, 1, 2, 3, 4, 127, 128])
+        np.testing.assert_array_equal(zigzag_encode(values), expected)
+
+    def test_roundtrip(self, rng):
+        values = rng.integers(-(2**40), 2**40, size=10_000)
+        np.testing.assert_array_equal(zigzag_decode(zigzag_encode(values)), values)
+
+    @given(st.integers(min_value=-(2**61), max_value=2**61))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, v):
+        arr = np.array([v], dtype=np.int64)
+        assert zigzag_decode(zigzag_encode(arr))[0] == v
+
+    def test_encoding_is_non_negative(self, rng):
+        values = rng.integers(-(2**40), 2**40, size=1000)
+        assert zigzag_encode(values).min() >= 0
+
+
+class TestGapTransform:
+    def test_empty(self):
+        indptr = np.array([0, 0, 0])
+        assert to_gaps(indptr, np.array([], dtype=np.int64)).size == 0
+        assert from_gaps(indptr, np.array([], dtype=np.int64)).size == 0
+
+    def test_single_row(self):
+        indptr = np.array([0, 3])
+        indices = np.array([2, 5, 9])
+        gaps = to_gaps(indptr, indices)
+        # first: zigzag(2 - 0) = 4; then 5-2-1=2; 9-5-1=3
+        np.testing.assert_array_equal(gaps, [4, 2, 3])
+        np.testing.assert_array_equal(from_gaps(indptr, gaps), indices)
+
+    def test_backward_first_successor(self):
+        # node 5 links to node 2: first gap is negative, zigzagged.
+        indptr = np.array([0, 0, 0, 0, 0, 0, 1])
+        indices = np.array([2])
+        gaps = to_gaps(indptr, indices)
+        assert gaps[0] == zigzag_encode(np.array([2 - 5]))[0]
+        np.testing.assert_array_equal(from_gaps(indptr, gaps), indices)
+
+    def test_multi_row_with_empty_rows(self):
+        indptr = np.array([0, 2, 2, 5])
+        indices = np.array([1, 3, 0, 1, 2])
+        gaps = to_gaps(indptr, indices)
+        np.testing.assert_array_equal(from_gaps(indptr, gaps), indices)
+
+    def test_roundtrip_on_graph(self, small_graph):
+        gaps = to_gaps(small_graph.indptr, small_graph.indices)
+        out = from_gaps(small_graph.indptr, gaps)
+        np.testing.assert_array_equal(out, small_graph.indices)
+
+    def test_gaps_are_small_for_clustered_lists(self):
+        """The whole point: clustered successors give tiny gaps."""
+        indptr = np.array([0, 5])
+        indices = np.array([100, 101, 102, 103, 104])
+        gaps = to_gaps(indptr, indices)
+        assert (gaps[1:] == 0).all()
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=30))
+        rows = [
+            sorted(
+                data.draw(
+                    st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+                )
+            )
+            for _ in range(n)
+        ]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([len(r) for r in rows])
+        indices = np.array(
+            [v for r in rows for v in r], dtype=np.int64
+        )
+        gaps = to_gaps(indptr, indices)
+        np.testing.assert_array_equal(from_gaps(indptr, gaps), indices)

@@ -1,0 +1,79 @@
+"""Unit tests for the interval-coded compressed graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError, NodeIndexError
+from repro.graph import PageGraph
+from repro.webgraph import CompressedGraph, IntervalCompressedGraph, compare_codecs
+
+
+@pytest.fixture(scope="module")
+def diffuse_graph() -> PageGraph:
+    gen = np.random.default_rng(17)
+    n = 300
+    return PageGraph.from_edges(
+        gen.integers(0, n, 3000), gen.integers(0, n, 3000), n
+    )
+
+
+@pytest.fixture(scope="module")
+def runny_graph() -> PageGraph:
+    """A graph dominated by consecutive runs (navigation-bar pattern)."""
+    src, dst = [], []
+    n = 400
+    for hub in range(0, n, 40):
+        for offset in range(1, 31):  # hub -> hub+1 .. hub+30 (a run)
+            src.append(hub)
+            dst.append(hub + offset)
+    return PageGraph.from_edges(np.array(src), np.array(dst), n + 31)
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip_diffuse(self, diffuse_graph):
+        c = IntervalCompressedGraph.from_pagegraph(diffuse_graph)
+        assert c.to_pagegraph() == diffuse_graph
+
+    def test_exact_roundtrip_runny(self, runny_graph):
+        c = IntervalCompressedGraph.from_pagegraph(runny_graph)
+        assert c.to_pagegraph() == runny_graph
+
+    def test_empty_graph(self):
+        g = PageGraph.empty(5)
+        c = IntervalCompressedGraph.from_pagegraph(g)
+        assert c.to_pagegraph() == g
+
+    def test_random_access_matches(self, diffuse_graph):
+        c = IntervalCompressedGraph.from_pagegraph(diffuse_graph)
+        for node in (0, 7, 150, diffuse_graph.n_nodes - 1):
+            np.testing.assert_array_equal(
+                c.successors(node), diffuse_graph.successors(node)
+            )
+
+    def test_out_of_range(self, diffuse_graph):
+        c = IntervalCompressedGraph.from_pagegraph(diffuse_graph)
+        with pytest.raises(NodeIndexError):
+            c.successors(10_000)
+
+    def test_offsets_validated(self):
+        with pytest.raises(CodecError):
+            IntervalCompressedGraph(b"xx", np.array([0, 1]), 1, 0)
+
+
+class TestCodecComparison:
+    def test_intervals_win_on_runs(self, runny_graph):
+        comparison = compare_codecs(runny_graph)
+        assert comparison.interval_wins
+        assert comparison.interval_bits_per_edge < 0.5 * comparison.gap_bits_per_edge
+
+    def test_both_beat_csr(self, diffuse_graph):
+        gap = CompressedGraph.from_pagegraph(diffuse_graph).stats()
+        interval = IntervalCompressedGraph.from_pagegraph(diffuse_graph).stats()
+        assert gap.ratio < 1.0
+        assert interval.ratio < 1.0
+
+    def test_repr(self, runny_graph):
+        c = IntervalCompressedGraph.from_pagegraph(runny_graph)
+        assert "bits_per_edge" in repr(c)

@@ -1,0 +1,85 @@
+"""Unit + property tests for the varint codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.webgraph import decode_varints, encode_varints, varint_length
+
+
+class TestVarintLength:
+    def test_boundaries(self):
+        values = np.array([0, 1, 127, 128, 16383, 16384, 2**21 - 1, 2**21])
+        expected = np.array([1, 1, 1, 2, 2, 3, 3, 4])
+        np.testing.assert_array_equal(varint_length(values), expected)
+
+    def test_max_value(self):
+        assert varint_length(np.array([2**62]))[0] == 9
+
+    def test_rejects_negative(self):
+        with pytest.raises(CodecError):
+            varint_length(np.array([-1]))
+
+    def test_rejects_floats(self):
+        with pytest.raises(CodecError):
+            varint_length(np.array([1.5]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(CodecError):
+            varint_length(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        assert encode_varints(np.array([], dtype=np.int64)) == b""
+        assert decode_varints(b"").size == 0
+
+    def test_known_bytes(self):
+        # 300 = 0b100101100 -> low7=0101100|cont, high=10
+        assert encode_varints(np.array([300])) == bytes([0xAC, 0x02])
+
+    def test_single_small(self):
+        assert decode_varints(encode_varints(np.array([5])))[0] == 5
+
+    def test_mixed_magnitudes(self):
+        values = np.array([0, 1, 127, 128, 300, 2**20, 2**40, 2**62])
+        out = decode_varints(encode_varints(values))
+        np.testing.assert_array_equal(out, values)
+
+    def test_large_batch(self, rng):
+        values = rng.integers(0, 2**31, size=100_000)
+        out = decode_varints(encode_varints(values), count=values.size)
+        np.testing.assert_array_equal(out, values)
+
+    def test_count_mismatch_rejected(self):
+        data = encode_varints(np.array([1, 2, 3]))
+        with pytest.raises(CodecError, match="expected 2"):
+            decode_varints(data, count=2)
+
+    def test_truncated_stream_rejected(self):
+        data = encode_varints(np.array([300]))
+        with pytest.raises(CodecError, match="truncated"):
+            decode_varints(data[:-1])
+
+    def test_empty_with_nonzero_count_rejected(self):
+        with pytest.raises(CodecError):
+            decode_varints(b"", count=3)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**62), max_size=200)
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        out = decode_varints(encode_varints(arr), count=arr.size)
+        np.testing.assert_array_equal(out, arr)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**62), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_stream_length_matches_varint_length(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        assert len(encode_varints(arr)) == int(varint_length(arr).sum())
