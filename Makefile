@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest / python underneath.
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench figures examples metrics-demo clean
 
 install:
 	pip install -e .
@@ -13,6 +13,12 @@ bench:
 
 figures:
 	python examples/reproduce_paper.py
+
+metrics-demo:
+	PYTHONPATH=src python -m repro rank --dataset tiny \
+		--metrics-out /tmp/repro-metrics.json --trace
+	@echo "--- exported metrics ---"
+	@cat /tmp/repro-metrics.json
 
 examples:
 	python examples/quickstart.py

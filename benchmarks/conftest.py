@@ -8,6 +8,7 @@ exact rendered output.
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -44,3 +45,36 @@ def once():
         return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _once
+
+
+@pytest.fixture(scope="session")
+def _metrics_delta_store():
+    """Per-bench registry deltas, written out once at session end."""
+    store: dict[str, dict[str, float]] = {}
+    yield store
+    if store:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / "metrics_deltas.json"
+        path.write_text(
+            json.dumps(store, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        sys.stdout.write(f"\nwrote per-bench metrics deltas to {path}\n")
+
+
+@pytest.fixture(autouse=True)
+def snapshot_metrics(request, _metrics_delta_store):
+    """Record what each bench added to the global metrics registry.
+
+    The delta (counter increments, histogram count/sum growth) is keyed by
+    the bench's node id in ``benchmarks/results/metrics_deltas.json`` — a
+    cheap regression fingerprint: a bench whose pipeline-run or solver
+    -iteration counts change shape shows up in the diff.
+    """
+    from repro.observability import diff_snapshots, get_registry
+
+    registry = get_registry()
+    before = registry.snapshot()
+    yield
+    delta = diff_snapshots(before, registry.snapshot())
+    if delta:
+        _metrics_delta_store[request.node.nodeid] = delta

@@ -52,10 +52,18 @@ from .errors import (
     EmptyGraphError,
     GraphError,
     NodeIndexError,
+    ObservabilityError,
     ReproError,
     ScenarioError,
     SourceAssignmentError,
     ThrottleError,
+)
+from .observability import (
+    MetricsRegistry,
+    ProgressCallback,
+    SolverTelemetry,
+    Tracer,
+    get_registry,
 )
 from .economics import AttackPlanner, CostModel, portfolio_value, traffic_share
 from .graph import GraphBuilder, PageGraph
@@ -104,6 +112,13 @@ __all__ = [
     "DatasetError",
     "CodecError",
     "ScenarioError",
+    "ObservabilityError",
+    # observability
+    "MetricsRegistry",
+    "ProgressCallback",
+    "SolverTelemetry",
+    "Tracer",
+    "get_registry",
     # graph substrate
     "PageGraph",
     "GraphBuilder",

@@ -45,6 +45,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_rank.add_argument(
         "--key", choices=("host", "domain"), default="host", help="source grouping key"
     )
+    p_rank.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write metrics + trace + solver telemetry (JSON; .prom for "
+        "Prometheus text) to this path",
+    )
+    p_rank.add_argument(
+        "--trace", action="store_true", help="print the per-stage trace tree"
+    )
 
     p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
     p_fig.add_argument(
@@ -59,6 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="run EVERY artifact via the manifest runner and write text+JSON here",
+    )
+    p_fig.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write metrics + trace + solver telemetry (JSON; .prom for "
+        "Prometheus text) to this path",
+    )
+    p_fig.add_argument(
+        "--trace", action="store_true", help="print the per-artifact trace tree"
     )
 
     p_ds = sub.add_parser("dataset", help="generate a synthetic dataset to disk")
@@ -89,11 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 
 def _cmd_rank(args: argparse.Namespace) -> int:
-    from .config import RankingParams, ThrottleParams
+    from .config import RankingParams, SpamProximityParams, ThrottleParams
     from .core.pipeline import SpamResilientPipeline
     from .datasets.registry import load_dataset
     from .graph.io import read_labeled_edges
+    from .observability import SolverTelemetry, format_tree, write_metrics
     from .sources.assignment import SourceAssignment
+
+    telemetry = SolverTelemetry() if (args.metrics_out or args.trace) else None
 
     if args.dataset:
         ds = load_dataset(args.dataset)
@@ -135,9 +158,22 @@ def _cmd_rank(args: argparse.Namespace) -> int:
         top_fraction=min(1.0, max(2 * max(len(seeds), 1), 4) / n)
     )
     pipe = SpamResilientPipeline(
-        ranking=RankingParams(alpha=args.alpha), throttle=throttle
+        ranking=RankingParams(alpha=args.alpha, progress=telemetry),
+        throttle=throttle,
+        proximity=SpamProximityParams(progress=telemetry),
     )
     result = pipe.rank(graph, assignment, spam_seeds=seeds or None)
+    if args.trace and result.trace is not None:
+        print("\ntrace:")
+        print(format_tree(result.trace))
+    if args.metrics_out:
+        path = write_metrics(
+            args.metrics_out,
+            trace=result.trace,
+            telemetry=telemetry,
+            meta={"command": "rank", "dataset": args.dataset or str(args.edges)},
+        )
+        print(f"wrote metrics to {path}")
     top_k = min(args.top, n)
     print(f"\ntop {top_k} sources:")
     for rank, s in enumerate(result.top_sources(top_k), start=1):
@@ -156,36 +192,35 @@ def _cmd_rank(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    from .config import ExperimentParams, ThrottleParams
+    from .config import (
+        ExperimentParams,
+        RankingParams,
+        SpamProximityParams,
+        ThrottleParams,
+    )
     from .eval import run_fig2, run_fig3, run_fig4, run_fig5, run_fig6, run_fig7
     from .eval.experiments import run_table1
+    from .observability import SolverTelemetry, Tracer, format_tree, write_metrics
 
-    if args.out is not None:
-        from .eval import run_all
+    telemetry = SolverTelemetry() if (args.metrics_out or args.trace) else None
+    tracer = Tracer()
 
-        if args.fast:
-            manifest = run_all(
-                args.out,
-                params=ExperimentParams(
-                    n_targets=2,
-                    cases=(1, 10, 100),
-                    throttle=ThrottleParams(top_fraction=16 / 128),
-                    seed_fraction=0.25,
-                    n_buckets=10,
-                ),
-                datasets=("tiny",),
-                empirical=False,
+    def finish() -> None:
+        if args.trace and tracer.roots:
+            print("\ntrace:")
+            print(format_tree(tracer))
+        if args.metrics_out:
+            path = write_metrics(
+                args.metrics_out,
+                trace=tracer,
+                telemetry=telemetry,
+                meta={"command": "figures", "fast": bool(args.fast)},
             )
-        else:
-            manifest = run_all(args.out)
-        print(
-            f"wrote {len(manifest.records)} artifacts to {manifest.out_dir} "
-            f"in {manifest.total_seconds():.1f} s"
-        )
-        return 0
+            print(f"wrote metrics to {path}")
 
-    wanted = set(args.artifacts) or {
-        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    instrumented = {
+        "ranking": RankingParams(progress=telemetry),
+        "proximity": SpamProximityParams(progress=telemetry),
     }
     if args.fast:
         dataset = "tiny"
@@ -195,30 +230,61 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             throttle=ThrottleParams(top_fraction=16 / 128),
             seed_fraction=0.25,
             n_buckets=10,
+            **instrumented,
         )
     else:
         dataset = "wb2001_like"
-        params = ExperimentParams()
+        params = ExperimentParams(**instrumented)
+
+    if args.out is not None:
+        from .eval import run_all
+
+        with tracer.activate(), tracer.span("manifest"):
+            if args.fast:
+                manifest = run_all(
+                    args.out, params=params, datasets=("tiny",), empirical=False
+                )
+            else:
+                manifest = run_all(args.out, params=params)
+        print(
+            f"wrote {len(manifest.records)} artifacts to {manifest.out_dir} "
+            f"in {manifest.total_seconds():.1f} s"
+        )
+        finish()
+        return 0
+
+    wanted = set(args.artifacts) or {
+        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    }
 
     def show(text: str) -> None:
         print(text)
         print("=" * 72)
 
-    if "table1" in wanted and not args.fast:
-        show(run_table1().format())
-    if "fig2" in wanted:
-        show(run_fig2().format())
-    if "fig3" in wanted:
-        show(run_fig3().format())
-    if "fig4" in wanted:
-        for scenario in (1, 2, 3):
-            show(run_fig4(scenario).format())
-    if "fig5" in wanted:
-        show(run_fig5(dataset, params).format())
-    if "fig6" in wanted:
-        show(run_fig6(dataset if not args.fast else "tiny", params).format())
-    if "fig7" in wanted:
-        show(run_fig7(dataset if not args.fast else "tiny", params).format())
+    with tracer.activate():
+        if "table1" in wanted and not args.fast:
+            with tracer.span("table1"):
+                show(run_table1().format())
+        if "fig2" in wanted:
+            with tracer.span("fig2"):
+                show(run_fig2().format())
+        if "fig3" in wanted:
+            with tracer.span("fig3"):
+                show(run_fig3().format())
+        if "fig4" in wanted:
+            for scenario in (1, 2, 3):
+                with tracer.span(f"fig4:{scenario}"):
+                    show(run_fig4(scenario).format())
+        if "fig5" in wanted:
+            with tracer.span("fig5"):
+                show(run_fig5(dataset, params).format())
+        if "fig6" in wanted:
+            with tracer.span("fig6"):
+                show(run_fig6(dataset if not args.fast else "tiny", params).format())
+        if "fig7" in wanted:
+            with tracer.span("fig7"):
+                show(run_fig7(dataset if not args.fast else "tiny", params).format())
+    finish()
     return 0
 
 

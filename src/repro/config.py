@@ -9,9 +9,12 @@ described declaratively and reproduced exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from .errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .observability.progress import ProgressCallback
 
 __all__ = [
     "RankingParams",
@@ -68,6 +71,12 @@ class RankingParams:
     strict:
         If True (default) a non-converged computation raises; if False it
         returns the last iterate flagged ``converged=False``.
+    progress:
+        Optional :class:`repro.observability.ProgressCallback` receiving
+        per-iteration solver telemetry (residuals, step timings, dangling
+        mass).  ``None`` (default) keeps the solver hot loop free of any
+        timing calls or allocations.  Excluded from equality/hash so two
+        parameter sets describing the same computation stay equal.
     """
 
     alpha: float = DEFAULT_ALPHA
@@ -75,6 +84,9 @@ class RankingParams:
     max_iter: int = DEFAULT_MAX_ITER
     norm: Literal["l1", "l2", "linf"] = "l2"
     strict: bool = True
+    progress: "ProgressCallback | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         _check_unit_interval("alpha", self.alpha, open_right=True)
@@ -131,11 +143,18 @@ class ThrottleParams:
 
 @dataclass(frozen=True, slots=True)
 class SpamProximityParams:
-    """Parameters of the inverse-walk spam-proximity computation (Section 5)."""
+    """Parameters of the inverse-walk spam-proximity computation (Section 5).
+
+    ``progress`` mirrors :attr:`RankingParams.progress`: an optional
+    per-iteration telemetry hook for the proximity walk.
+    """
 
     beta: float = DEFAULT_ALPHA
     tolerance: float = DEFAULT_TOLERANCE
     max_iter: int = DEFAULT_MAX_ITER
+    progress: "ProgressCallback | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         _check_unit_interval("beta", self.beta, open_right=True)
@@ -147,7 +166,10 @@ class SpamProximityParams:
     def as_ranking_params(self) -> RankingParams:
         """View these parameters as generic :class:`RankingParams`."""
         return RankingParams(
-            alpha=self.beta, tolerance=self.tolerance, max_iter=self.max_iter
+            alpha=self.beta,
+            tolerance=self.tolerance,
+            max_iter=self.max_iter,
+            progress=self.progress,
         )
 
 

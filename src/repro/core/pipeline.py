@@ -15,13 +15,19 @@ fifteen-line use of it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..config import RankingParams, SpamProximityParams, ThrottleParams
 from ..errors import ConfigError
 from ..graph.pagegraph import PageGraph
+from ..logging_utils import get_logger
+from ..observability.metrics import (
+    DEFAULT_ITERATION_BUCKETS,
+    get_registry,
+)
+from ..observability.tracing import SpanRecord, Tracer
 from ..ranking.base import RankingResult
 from ..ranking.pagerank import pagerank
 from ..ranking.sourcerank import sourcerank
@@ -32,21 +38,47 @@ from ..throttle.spam_proximity import spam_proximity
 from ..throttle.strategies import assign_kappa
 from ..throttle.vector import ThrottleVector
 
-__all__ = ["SpamResilientPipeline", "PipelineResult"]
+__all__ = ["SpamResilientPipeline", "PipelineResult", "PIPELINE_STAGES"]
+
+_logger = get_logger(__name__)
+
+#: The five pipeline stages, in execution order; each becomes one trace span.
+PIPELINE_STAGES: tuple[str, ...] = (
+    "assignment",
+    "source_graph",
+    "proximity",
+    "kappa",
+    "rank",
+)
 
 
 @dataclass(frozen=True, slots=True)
 class PipelineResult:
-    """Everything the pipeline computed, for inspection and evaluation."""
+    """Everything the pipeline computed, for inspection and evaluation.
+
+    ``trace`` is the run's span tree (root ``"pipeline"`` with one child
+    per stage in :data:`PIPELINE_STAGES`, solver spans nested below);
+    ``timings`` maps stage name to wall seconds.
+    """
 
     source_graph: SourceGraph
     proximity: RankingResult | None
     kappa: ThrottleVector
     scores: RankingResult
+    trace: SpanRecord | None = None
+    timings: dict[str, float] = field(default_factory=dict)
 
     def top_sources(self, k: int = 10) -> np.ndarray:
         """Ids of the k best-ranked sources."""
         return self.scores.top(k)
+
+    def stage_seconds(self, stage: str) -> float:
+        """Wall seconds spent in one named stage of this run."""
+        if stage not in self.timings:
+            raise ConfigError(
+                f"unknown stage {stage!r}; run recorded {sorted(self.timings)}"
+            )
+        return self.timings[stage]
 
 
 class SpamResilientPipeline:
@@ -150,20 +182,112 @@ class SpamResilientPipeline:
             is given explicitly.
         kappa:
             Explicit throttling vector, bypassing spam proximity.
+
+        Notes
+        -----
+        Every run is traced: the returned
+        :attr:`PipelineResult.trace` holds a ``"pipeline"`` root span with
+        one child per stage (``assignment``, ``source_graph``,
+        ``proximity``, ``kappa``, ``rank``) and solver spans nested
+        beneath them, and stage timings plus solver iteration counts are
+        recorded in the global
+        :class:`~repro.observability.metrics.MetricsRegistry`.
         """
-        source_graph = self.build_source_graph(graph, assignment)
-        if kappa is not None:
-            proximity = None
-        else:
-            proximity, kappa = self.compute_kappa(source_graph, spam_seeds)
-        scores = spam_resilient_sourcerank(
-            source_graph, kappa, self.ranking, full_throttle=self.full_throttle
-        )
+        tracer = Tracer()
+        with tracer.activate(), tracer.span("pipeline") as root:
+            with tracer.span("assignment") as sp:
+                seeds = None
+                if spam_seeds is not None:
+                    seeds = np.atleast_1d(np.asarray(spam_seeds, dtype=np.int64))
+                sp.meta.update(
+                    pages=int(graph.n_nodes),
+                    sources=int(assignment.n_sources),
+                    seeds=0 if seeds is None else int(seeds.size),
+                )
+            with tracer.span("source_graph") as sp:
+                source_graph = self.build_source_graph(graph, assignment)
+                sp.meta["edges"] = int(source_graph.matrix.nnz)
+            if kappa is not None:
+                proximity = None
+                if not isinstance(kappa, ThrottleVector):
+                    kappa = ThrottleVector(kappa)
+                with tracer.span("proximity") as sp:
+                    sp.meta["skipped"] = "explicit kappa"
+                with tracer.span("kappa") as sp:
+                    sp.meta["provided"] = True
+            else:
+                with tracer.span("proximity") as sp:
+                    if seeds is None or seeds.size == 0:
+                        proximity = None
+                        sp.meta["skipped"] = "no spam seeds"
+                    else:
+                        proximity = spam_proximity(
+                            source_graph, seeds, self.proximity
+                        )
+                        sp.meta["iterations"] = proximity.convergence.iterations
+                with tracer.span("kappa") as sp:
+                    if proximity is None:
+                        kappa = ThrottleVector.zeros(source_graph.n_sources)
+                    else:
+                        kappa = assign_kappa(proximity.scores, self.throttle)
+                    sp.meta["throttled"] = int(kappa.fully_throttled().size)
+            with tracer.span("rank") as sp:
+                scores = spam_resilient_sourcerank(
+                    source_graph,
+                    kappa,
+                    self.ranking,
+                    full_throttle=self.full_throttle,
+                )
+                sp.meta["iterations"] = scores.convergence.iterations
+        timings = {child.name: child.duration for child in root.children}
+        self._record_run(root, timings, proximity, scores)
         return PipelineResult(
             source_graph=source_graph,
             proximity=proximity,
             kappa=kappa,
             scores=scores,
+            trace=root,
+            timings=timings,
+        )
+
+    @staticmethod
+    def _record_run(
+        root: SpanRecord,
+        timings: dict[str, float],
+        proximity: RankingResult | None,
+        scores: RankingResult,
+    ) -> None:
+        """Publish one run's stage timings to the global metrics registry."""
+        registry = get_registry()
+        registry.counter(
+            "repro_pipeline_runs_total",
+            "Completed SpamResilientPipeline.rank calls",
+        ).inc()
+        stage_seconds = registry.histogram(
+            "repro_pipeline_stage_seconds",
+            "Wall time per pipeline stage",
+            labelnames=("stage",),
+        )
+        for stage, seconds in timings.items():
+            stage_seconds.labels(stage=stage).observe(seconds)
+        iterations = registry.histogram(
+            "repro_solver_iterations",
+            "Iterations per iterative solve",
+            labelnames=("label",),
+            buckets=DEFAULT_ITERATION_BUCKETS,
+        )
+        if proximity is not None:
+            iterations.labels(label=proximity.label or "spam-proximity").observe(
+                proximity.convergence.iterations
+            )
+        iterations.labels(label=scores.label or "sr-sourcerank").observe(
+            scores.convergence.iterations
+        )
+        _logger.info(
+            "pipeline ranked %d sources in %.3f s (%s)",
+            scores.n,
+            root.duration,
+            ", ".join(f"{k}={v * 1e3:.1f}ms" for k, v in timings.items()),
         )
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ __all__ = [
     "DatasetError",
     "CodecError",
     "ScenarioError",
+    "ObservabilityError",
 ]
 
 
@@ -89,3 +90,7 @@ class CodecError(ReproError):
 
 class ScenarioError(ReproError):
     """Raised when a spam scenario cannot be assembled on a given graph."""
+
+
+class ObservabilityError(ReproError, ValueError):
+    """Raised for invalid metric/label names or misused metric families."""

@@ -9,7 +9,14 @@ integration tests assert the drivers' directional claims.
 from .percentile import percentile_of, percentile_gain
 from .buckets import bucket_counts, spam_bucket_distribution
 from .correlation import spearman_rho, kendall_tau, top_k_overlap
-from .reporting import format_table, format_series, to_json, from_json
+from .reporting import (
+    convergence_row,
+    format_convergence,
+    format_series,
+    format_table,
+    from_json,
+    to_json,
+)
 from .experiments import (
     run_table1,
     run_fig2,
@@ -31,6 +38,8 @@ __all__ = [
     "top_k_overlap",
     "format_table",
     "format_series",
+    "convergence_row",
+    "format_convergence",
     "to_json",
     "from_json",
     "run_table1",

@@ -10,11 +10,21 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_series", "to_json", "from_json"]
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..ranking.base import RankingResult
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "convergence_row",
+    "format_convergence",
+    "to_json",
+    "from_json",
+]
 
 
 def _fmt_cell(value: object, width: int) -> str:
@@ -76,6 +86,38 @@ def format_series(
             row[name] = values[i]
         rows.append(row)
     return format_table(rows, [x_name, *series.keys()], title=title)
+
+
+def convergence_row(result: "RankingResult") -> dict[str, object]:
+    """One table row summarizing a ranking's convergence record."""
+    info = result.convergence
+    tail = info.residual_history[-5:]
+    return {
+        "label": result.label or "ranking",
+        "n": result.n,
+        "converged": "yes" if info.converged else "NO",
+        "iterations": info.iterations,
+        "residual": info.residual,
+        "last_5": " ".join(f"{r:.1e}" for r in tail) if tail else "-",
+    }
+
+
+def format_convergence(
+    results: Iterable["RankingResult"], *, title: str = "convergence"
+) -> str:
+    """Render convergence summaries of several rankings.
+
+    Combines a per-ranking table (via :func:`convergence_row`) with the
+    one-line :meth:`~repro.ranking.base.ConvergenceInfo.convergence_summary`
+    of each, so reports show both the comparable numbers and the residual
+    tail curve.
+    """
+    results = list(results)
+    table = format_table([convergence_row(r) for r in results], title=title)
+    lines = [
+        f"{r.label or 'ranking'}: {r.convergence_summary()}" for r in results
+    ]
+    return table + ("\n" + "\n".join(lines) if lines else "")
 
 
 class _ResultEncoder(json.JSONEncoder):

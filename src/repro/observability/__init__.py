@@ -1,0 +1,60 @@
+"""Observability: metrics registry, pipeline tracing, solver telemetry.
+
+Three cooperating layers, all optional and all zero-cost when unused:
+
+* :mod:`~repro.observability.metrics` — process-global
+  :class:`MetricsRegistry` of counters / gauges / histograms with JSON and
+  Prometheus-text exposition.  The pipeline records stage timings and
+  solver iteration counts here at *stage* granularity.
+* :mod:`~repro.observability.tracing` — nestable :func:`span` context
+  managers building a per-run trace tree
+  (:class:`~repro.core.pipeline.SpamResilientPipeline` traces its five
+  stages; solvers attach nested spans when a tracer is active).
+* :mod:`~repro.observability.progress` — the :class:`ProgressCallback`
+  per-iteration hook threaded through ``RankingParams.progress``, with
+  :class:`SolverTelemetry` as the standard collector of residual curves,
+  matvec timings, kernel choice, and dangling-mass stats.
+
+See the "Observability" section of ``docs/architecture.md``.
+"""
+
+from .export import build_metrics_payload, write_metrics
+from .metrics import (
+    DEFAULT_ITERATION_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    get_registry,
+    reset_registry,
+)
+from .progress import ProgressCallback, SolverRun, SolverTelemetry
+from .tracing import SpanRecord, Tracer, current_tracer, format_tree, span
+
+__all__ = [
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "reset_registry",
+    "diff_snapshots",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_ITERATION_BUCKETS",
+    # tracing
+    "Tracer",
+    "SpanRecord",
+    "span",
+    "current_tracer",
+    "format_tree",
+    # solver telemetry
+    "ProgressCallback",
+    "SolverRun",
+    "SolverTelemetry",
+    # export
+    "build_metrics_payload",
+    "write_metrics",
+]

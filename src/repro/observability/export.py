@@ -1,0 +1,72 @@
+"""Assemble and write the combined telemetry payload.
+
+The CLI's ``--metrics-out PATH`` flag (on ``rank`` and ``figures``) dumps
+one JSON document containing the three telemetry sources side by side:
+
+* ``metrics`` — the :class:`~repro.observability.metrics.MetricsRegistry`
+  exposition (counters, gauges, histograms);
+* ``trace`` — the per-run span tree (pipeline stages with nested solver
+  spans);
+* ``solvers`` — per-solve :class:`~repro.observability.progress.SolverRun`
+  records with full residual curves and step timings.
+
+``PATH`` ending in ``.prom`` selects the Prometheus text format instead
+(registry only — traces and solver runs have no Prometheus analogue).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import MetricsRegistry, get_registry
+from .progress import SolverTelemetry
+from .tracing import SpanRecord, Tracer
+
+__all__ = ["build_metrics_payload", "write_metrics"]
+
+
+def build_metrics_payload(
+    *,
+    registry: MetricsRegistry | None = None,
+    trace: Tracer | SpanRecord | None = None,
+    telemetry: SolverTelemetry | None = None,
+    meta: dict[str, object] | None = None,
+) -> dict[str, object]:
+    """The combined JSON-ready telemetry document."""
+    from .. import __version__
+
+    payload: dict[str, object] = {
+        "generator": f"repro {__version__}",
+        "meta": dict(meta or {}),
+        "metrics": (registry or get_registry()).as_dict(),
+    }
+    if trace is not None:
+        payload["trace"] = trace.as_dict()
+    if telemetry is not None:
+        payload["solvers"] = telemetry.as_dict()
+    return payload
+
+
+def write_metrics(
+    path: str | Path,
+    *,
+    registry: MetricsRegistry | None = None,
+    trace: Tracer | SpanRecord | None = None,
+    telemetry: SolverTelemetry | None = None,
+    meta: dict[str, object] | None = None,
+) -> Path:
+    """Write telemetry to ``path`` (JSON, or Prometheus text for ``.prom``).
+
+    Returns the path written.
+    """
+    path = Path(path)
+    if path.suffix == ".prom":
+        text = (registry or get_registry()).to_prometheus()
+    else:
+        payload = build_metrics_payload(
+            registry=registry, trace=trace, telemetry=telemetry, meta=meta
+        )
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path.write_text(text, encoding="utf-8")
+    return path

@@ -1,0 +1,167 @@
+"""Lightweight wall-clock tracing: nestable spans forming a per-run tree.
+
+A :class:`Tracer` records :class:`SpanRecord` nodes; entering
+``tracer.span("stage")`` pushes a node under the current one, exiting
+stamps its duration.  :meth:`Tracer.activate` installs the tracer in a
+:mod:`contextvars` variable so that *lower layers* (the solvers) can
+attach spans via the module-level :func:`span` helper without threading a
+tracer argument through every call — and at zero cost when no tracer is
+active (the helper yields ``None`` without touching the clock).
+
+Times come from :func:`time.perf_counter`; span ``start`` offsets are
+relative to the tracer's construction, which keeps the records portable.
+
+Examples
+--------
+>>> tracer = Tracer()
+>>> with tracer.span("outer"):
+...     with tracer.span("inner", detail=42):
+...         pass
+>>> [root.name for root in tracer.roots]
+['outer']
+>>> tracer.roots[0].children[0].meta["detail"]
+42
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["SpanRecord", "Tracer", "span", "current_tracer", "format_tree"]
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One timed span: a node of the trace tree.
+
+    ``start`` is seconds since the owning tracer's epoch; ``duration`` is
+    filled in when the span exits (``-1.0`` while still open).
+    """
+
+    name: str
+    start: float
+    duration: float = -1.0
+    meta: dict[str, object] = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """This span followed by all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready nested representation."""
+        out: dict[str, object] = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children]
+        return out
+
+
+class Tracer:
+    """Collects a tree of timed spans for one run.
+
+    Not thread-safe by design: a tracer belongs to the run that created
+    it.  Concurrent runs each use their own tracer (the activation
+    context variable is per-thread / per-task).
+    """
+
+    __slots__ = ("roots", "_stack", "_epoch")
+
+    def __init__(self) -> None:
+        self.roots: list[SpanRecord] = []
+        self._stack: list[SpanRecord] = []
+        self._epoch = time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str, **meta: object) -> Iterator[SpanRecord]:
+        """Open a child span under the innermost open span."""
+        record = SpanRecord(name=name, start=time.perf_counter() - self._epoch)
+        if meta:
+            record.meta.update(meta)
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.roots.append(record)
+        self._stack.append(record)
+        t0 = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.duration = time.perf_counter() - t0
+            self._stack.pop()
+
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        """Install this tracer as the ambient one for :func:`span`."""
+        token = _active_tracer.set(self)
+        try:
+            yield self
+        finally:
+            _active_tracer.reset(token)
+
+    def walk(self) -> Iterator[SpanRecord]:
+        """All spans, depth-first across roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[SpanRecord]:
+        """Every span with the given name, in traversal order."""
+        return [s for s in self.walk() if s.name == name]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation of the whole trace."""
+        return {"spans": [root.as_dict() for root in self.roots]}
+
+
+_active_tracer: ContextVar[Tracer | None] = ContextVar(
+    "repro_active_tracer", default=None
+)
+
+
+def current_tracer() -> Tracer | None:
+    """The ambient tracer installed by :meth:`Tracer.activate`, if any."""
+    return _active_tracer.get()
+
+
+@contextmanager
+def span(name: str, **meta: object) -> Iterator[SpanRecord | None]:
+    """Span against the ambient tracer; a no-op when none is active.
+
+    Lower layers use this so instrumentation costs nothing unless a run
+    opted into tracing:
+
+    >>> with span("orphan") as record:      # no active tracer
+    ...     record is None
+    True
+    """
+    tracer = _active_tracer.get()
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **meta) as record:
+        yield record
+
+
+def format_tree(node: SpanRecord | Tracer, *, indent: int = 0) -> str:
+    """Render a span tree (or a whole tracer) as an indented text outline."""
+    if isinstance(node, Tracer):
+        return "\n".join(format_tree(root) for root in node.roots)
+    pad = "  " * indent
+    meta = ""
+    if node.meta:
+        meta = "  [" + ", ".join(f"{k}={v}" for k, v in node.meta.items()) + "]"
+    lines = [f"{pad}{node.name}: {node.duration * 1e3:.2f} ms{meta}"]
+    for child in node.children:
+        lines.append(format_tree(child, indent=indent + 1))
+    return "\n".join(lines)

@@ -8,8 +8,11 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable
 
 from ..errors import ConfigError
+from ..logging_utils import get_logger
 
 __all__ = ["effective_workers", "WorkerPool"]
+
+_logger = get_logger(__name__)
 
 
 def effective_workers(requested: int | None = None) -> int:
@@ -45,6 +48,11 @@ class WorkerPool:
             initializer=initializer,
             initargs=initargs,
         )
+        _logger.debug(
+            "worker pool started: %d workers (%s start method)",
+            self.n_workers,
+            ctx.get_start_method(),
+        )
 
     def map(self, fn: Callable, iterable, chunksize: int = 1):
         """Parallel map preserving input order."""
@@ -57,6 +65,7 @@ class WorkerPool:
     def shutdown(self) -> None:
         """Shut the pool down, waiting for in-flight tasks."""
         self._executor.shutdown(wait=True)
+        _logger.debug("worker pool shut down (%d workers)", self.n_workers)
 
     def __enter__(self) -> "WorkerPool":
         return self

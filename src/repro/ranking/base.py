@@ -41,6 +41,25 @@ class ConvergenceInfo:
     tolerance: float
     residual_history: tuple[float, ...] = ()
 
+    def convergence_summary(self, *, curve_points: int = 5) -> str:
+        """One-line human summary: outcome, iterations, residual tail.
+
+        >>> info = ConvergenceInfo(True, 3, 5e-10, 1e-9,
+        ...                        (1e-2, 1e-6, 5e-10))
+        >>> info.convergence_summary()
+        'converged in 3 iterations (residual 5.00e-10, tolerance 1.00e-09); last residuals: 1.00e-02 -> 1.00e-06 -> 5.00e-10'
+        """
+        state = "converged" if self.converged else "did NOT converge"
+        text = (
+            f"{state} in {self.iterations} iterations "
+            f"(residual {self.residual:.2e}, tolerance {self.tolerance:.2e})"
+        )
+        tail = self.residual_history[-max(int(curve_points), 0):]
+        if tail:
+            curve = " -> ".join(f"{r:.2e}" for r in tail)
+            text += f"; last residuals: {curve}"
+        return text
+
 
 def check_scores(scores: np.ndarray) -> np.ndarray:
     """Validate and canonicalize a score vector (1-D, finite, float64)."""
@@ -129,9 +148,15 @@ class RankingResult:
             raise GraphError(f"k must be in [0, {self.n}], got {k}")
         return self.order()[:k]
 
+    def convergence_summary(self, *, curve_points: int = 5) -> str:
+        """Delegate to :meth:`ConvergenceInfo.convergence_summary`."""
+        return self.convergence.convergence_summary(curve_points=curve_points)
+
     def __repr__(self) -> str:
         conv = self.convergence
+        state = "converged" if conv.converged else "NOT converged"
         return (
             f"RankingResult(n={self.n}, label={self.label!r}, "
-            f"iterations={conv.iterations}, residual={conv.residual:.2e})"
+            f"iterations={conv.iterations}, residual={conv.residual:.2e}, "
+            f"{state})"
         )

@@ -35,11 +35,15 @@ from ..config import RankingParams
 from ..errors import SourceAssignmentError
 from ..graph.matrix import row_normalize, transition_matrix
 from ..graph.pagegraph import PageGraph
+from ..logging_utils import get_logger, log_duration
+from ..observability.tracing import span
 from ..sources.assignment import SourceAssignment
 from .base import RankingResult
 from .power import power_iteration
 
 __all__ = ["blockrank", "BlockRankResult", "local_pagerank"]
+
+_logger = get_logger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,33 +126,41 @@ def blockrank(
         :func:`~repro.ranking.pagerank.pagerank`) plus stage artifacts.
     """
     params = params or RankingParams()
-    local = local_pagerank(graph, assignment, params)
+    with span("blockrank:local"), log_duration(_logger, "blockrank local stage"):
+        local = local_pagerank(graph, assignment, params)
 
     # Kamvar et al.'s aggregation: B = S^T diag(local) M S where S is the
     # page->source indicator.  Fully sparse; dangling page mass simply
     # leaks (linear semantics) as in the global iteration.
     a = assignment.page_to_source
     n_s = assignment.n_sources
-    matrix = transition_matrix(graph)
-    scaled = sp.diags(local) @ matrix
-    indicator = sp.csr_matrix(
-        (np.ones(graph.n_nodes), (np.arange(graph.n_nodes), a)),
-        shape=(graph.n_nodes, n_s),
-    )
-    block = (indicator.T @ scaled @ indicator).tocsr()
-    # Aggregated teleport: a uniform page teleport lands in source i with
-    # probability size_i / n.
-    agg_teleport = assignment.source_sizes.astype(np.float64)
-    agg_teleport /= agg_teleport.sum()
-    source_ranking = power_iteration(
-        block, params, teleport=agg_teleport, label="blockrank-aggregate"
-    )
+    with span("blockrank:aggregate"), log_duration(_logger, "blockrank aggregate stage"):
+        matrix = transition_matrix(graph)
+        scaled = sp.diags(local) @ matrix
+        indicator = sp.csr_matrix(
+            (np.ones(graph.n_nodes), (np.arange(graph.n_nodes), a)),
+            shape=(graph.n_nodes, n_s),
+        )
+        block = (indicator.T @ scaled @ indicator).tocsr()
+        # Aggregated teleport: a uniform page teleport lands in source i with
+        # probability size_i / n.
+        agg_teleport = assignment.source_sizes.astype(np.float64)
+        agg_teleport /= agg_teleport.sum()
+        source_ranking = power_iteration(
+            block, params, teleport=agg_teleport, label="blockrank-aggregate"
+        )
     x0 = local * source_ranking.scores[a]
     x0 /= x0.sum()
 
-
-    warm = power_iteration(
-        matrix, params, x0=x0, dangling="teleport", label="blockrank"
+    with span("blockrank:global"), log_duration(_logger, "blockrank global stage"):
+        warm = power_iteration(
+            matrix, params, x0=x0, dangling="teleport", label="blockrank"
+        )
+    _logger.debug(
+        "blockrank: warm start converged in %d iterations over %d pages / %d sources",
+        warm.convergence.iterations,
+        graph.n_nodes,
+        n_s,
     )
     cold_iters = None
     if measure_cold:
@@ -156,6 +168,11 @@ def blockrank(
             matrix, params, dangling="teleport", label="pagerank-cold"
         )
         cold_iters = cold.convergence.iterations
+        _logger.debug(
+            "blockrank: cold start took %d iterations (warm saved %d)",
+            cold_iters,
+            cold_iters - warm.convergence.iterations,
+        )
     return BlockRankResult(
         global_ranking=warm,
         local_scores=local,

@@ -15,6 +15,8 @@ higher per-sweep cost — quantified in ``bench_ablation_solvers``.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
@@ -22,6 +24,7 @@ from scipy.sparse.linalg import spsolve_triangular
 from ..config import RankingParams
 from ..errors import ConvergenceError, GraphError
 from ..logging_utils import get_logger
+from ..observability.tracing import span
 from .base import ConvergenceInfo, RankingResult
 from .power import residual_norm
 from .teleport import uniform_teleport
@@ -65,18 +68,49 @@ def gauss_seidel_solve(
     if x.size != n:
         raise GraphError(f"x0 length {x.size} != matrix order {n}")
 
-    history: list[float] = []
-    residual = np.inf
-    iterations = 0
-    for iterations in range(1, params.max_iter + 1):
-        rhs = b - upper @ x
-        x_next = spsolve_triangular(lower, rhs, lower=True)
-        residual = residual_norm(x_next - x, params.norm)
-        history.append(residual)
-        x = x_next
-        if residual < params.tolerance:
-            break
-    converged = residual < params.tolerance
+    progress = params.progress
+    tag = label or "gauss_seidel"
+    with span(f"solve:{tag}", solver="gauss_seidel", n=n) as trace:
+        if progress is not None:
+            progress.on_solve_start(
+                tag,
+                solver="gauss_seidel",
+                n=n,
+                tolerance=params.tolerance,
+                max_iter=params.max_iter,
+            )
+        history: list[float] = []
+        residual = np.inf
+        iterations = 0
+        for iterations in range(1, params.max_iter + 1):
+            if progress is not None:
+                t0 = time.perf_counter()
+            rhs = b - upper @ x
+            x_next = spsolve_triangular(lower, rhs, lower=True)
+            residual = residual_norm(x_next - x, params.norm)
+            history.append(residual)
+            x = x_next
+            if progress is not None:
+                progress.on_iteration(
+                    tag,
+                    iterations,
+                    residual,
+                    step_seconds=time.perf_counter() - t0,
+                )
+            if residual < params.tolerance:
+                break
+        converged = residual < params.tolerance
+        if trace is not None:
+            trace.meta["iterations"] = iterations
+    info = ConvergenceInfo(
+        converged=converged,
+        iterations=iterations,
+        residual=float(residual),
+        tolerance=params.tolerance,
+        residual_history=tuple(history),
+    )
+    if progress is not None:
+        progress.on_solve_end(tag, info)
     if not converged:
         if params.strict:
             raise ConvergenceError(iterations, residual, params.tolerance)
@@ -85,11 +119,4 @@ def gauss_seidel_solve(
             residual,
             iterations,
         )
-    info = ConvergenceInfo(
-        converged=converged,
-        iterations=iterations,
-        residual=float(residual),
-        tolerance=params.tolerance,
-        residual_history=tuple(history),
-    )
     return RankingResult(x, info, label=label)

@@ -16,6 +16,8 @@ import numpy as np
 from ..config import RankingParams
 from ..errors import GraphError
 from ..graph.pagegraph import PageGraph
+from ..logging_utils import get_logger
+from ..observability.tracing import span
 from ..sources.assignment import SourceAssignment
 from ..sources.sourcegraph import SourceGraph
 from ..throttle.vector import ThrottleVector
@@ -24,6 +26,8 @@ from .pagerank import pagerank
 from .srsourcerank import spam_resilient_sourcerank
 
 __all__ = ["IncrementalPageRank", "IncrementalSourceRank"]
+
+_logger = get_logger(__name__)
 
 
 def _padded_warm_start(previous: RankingResult | None, n: int) -> np.ndarray | None:
@@ -72,7 +76,13 @@ class IncrementalPageRank:
     def update(self, graph: PageGraph) -> RankingResult:
         """Re-rank ``graph``, warm-starting from the previous solution."""
         x0 = _padded_warm_start(self._last, graph.n_nodes)
-        result = pagerank(graph, self.params, x0=x0, **self.solve_kwargs)
+        with span("incremental:pagerank", warm=x0 is not None, n=graph.n_nodes):
+            result = pagerank(graph, self.params, x0=x0, **self.solve_kwargs)
+        _logger.debug(
+            "incremental pagerank (%s start): %s",
+            "warm" if x0 is not None else "cold",
+            result.convergence.convergence_summary(),
+        )
         self._last = result
         return result
 
@@ -125,12 +135,18 @@ class IncrementalSourceRank:
             padded[: kappa.n] = kappa.kappa
             kappa = ThrottleVector(padded)
         x0 = _padded_warm_start(self._last, n)
-        result = spam_resilient_sourcerank(
-            source_graph,
-            kappa,
-            self.params,
-            x0=x0,
-            full_throttle=self.full_throttle,
+        with span("incremental:sourcerank", warm=x0 is not None, n=n):
+            result = spam_resilient_sourcerank(
+                source_graph,
+                kappa,
+                self.params,
+                x0=x0,
+                full_throttle=self.full_throttle,
+            )
+        _logger.debug(
+            "incremental sourcerank (%s start): %s",
+            "warm" if x0 is not None else "cold",
+            result.convergence.convergence_summary(),
         )
         self._last = result
         return result

@@ -18,6 +18,7 @@ the in-place-operations idiom of the HPC guide.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Literal
 
 import numpy as np
@@ -26,6 +27,7 @@ import scipy.sparse as sp
 from ..config import RankingParams
 from ..errors import ConfigError, ConvergenceError, GraphError
 from ..logging_utils import get_logger
+from ..observability.tracing import span
 from ..parallel.chunked import chunked_rmatvec
 from .base import ConvergenceInfo, RankingResult
 from .dangling import check_strategy, dangling_vector
@@ -102,6 +104,16 @@ class PowerOperator:
     def n(self) -> int:
         """Matrix order."""
         return int(self.matrix.shape[0])
+
+    @property
+    def dangling_mask(self) -> np.ndarray:
+        """Boolean mask of dangling (all-zero) rows."""
+        return self._dangling_mask
+
+    @property
+    def n_dangling(self) -> int:
+        """Number of dangling rows."""
+        return int(self._dangling_mask.sum())
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         """``A^T @ x`` on the configured kernel."""
@@ -180,23 +192,62 @@ def power_iteration(
         from .dangling import apply_self_loops
 
         matrix = apply_self_loops(matrix)
-    with PowerOperator(matrix, params.alpha, c, dangling=dangling, kernel=kernel) as op:
+    progress = params.progress
+    tag = label or "power"
+    with PowerOperator(
+        matrix, params.alpha, c, dangling=dangling, kernel=kernel
+    ) as op, span(f"solve:{tag}", solver="power", kernel=kernel, n=n) as trace:
         x = c.copy() if x0 is None else np.asarray(x0, dtype=np.float64).ravel().copy()
         if x.size != n:
             raise GraphError(f"x0 length {x.size} != matrix order {n}")
+        track_dangling = 0
+        if progress is not None:
+            track_dangling = op.n_dangling
+            progress.on_solve_start(
+                tag,
+                solver="power",
+                kernel=kernel,
+                n=n,
+                tolerance=params.tolerance,
+                max_iter=params.max_iter,
+                n_dangling=track_dangling,
+            )
         history: list[float] = []
         residual = np.inf
         iterations = 0
         for iterations in range(1, params.max_iter + 1):
+            if progress is not None:
+                t0 = time.perf_counter()
             x_next = op.step(x)
             residual = residual_norm(x_next - x, params.norm)
             history.append(residual)
             x = x_next
             if callback is not None:
                 callback(iterations, residual)
+            if progress is not None:
+                progress.on_iteration(
+                    tag,
+                    iterations,
+                    residual,
+                    step_seconds=time.perf_counter() - t0,
+                    dangling_mass=(
+                        float(x[op.dangling_mask].sum()) if track_dangling else None
+                    ),
+                )
             if residual < params.tolerance:
                 break
         converged = residual < params.tolerance
+        if trace is not None:
+            trace.meta["iterations"] = iterations
+    info = ConvergenceInfo(
+        converged=converged,
+        iterations=iterations,
+        residual=float(residual),
+        tolerance=params.tolerance,
+        residual_history=tuple(history),
+    )
+    if progress is not None:
+        progress.on_solve_end(tag, info)
     if not converged:
         if params.strict:
             raise ConvergenceError(iterations, residual, params.tolerance)
@@ -205,11 +256,4 @@ def power_iteration(
             residual,
             iterations,
         )
-    info = ConvergenceInfo(
-        converged=converged,
-        iterations=iterations,
-        residual=float(residual),
-        tolerance=params.tolerance,
-        residual_history=tuple(history),
-    )
     return RankingResult(x, info, label=label)

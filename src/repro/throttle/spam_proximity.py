@@ -23,12 +23,15 @@ import scipy.sparse as sp
 from ..config import SpamProximityParams
 from ..errors import ThrottleError
 from ..graph.matrix import row_normalize
+from ..logging_utils import get_logger, log_duration
 from ..ranking.base import RankingResult
 from ..ranking.power import power_iteration
 from ..ranking.teleport import seeded_teleport
 from ..sources.sourcegraph import SourceGraph
 
 __all__ = ["spam_proximity", "inverse_transition_matrix"]
+
+_logger = get_logger(__name__)
 
 
 def inverse_transition_matrix(
@@ -89,14 +92,22 @@ def spam_proximity(
         raise ThrottleError(
             f"seed ids must lie in [0, {n}), got range [{seeds[0]}, {seeds[-1]}]"
         )
-    inverted = inverse_transition_matrix(matrix)
-    d = seeded_teleport(n, seeds)
-    # Dangling rows of the inverted graph (sources nobody links to) restart
-    # at the seed distribution, keeping all proximity mass spam-anchored.
-    return power_iteration(
-        inverted,
-        params.as_ranking_params(),
-        teleport=d,
-        dangling="teleport",
-        label="spam-proximity",
+    with log_duration(_logger, "spam proximity inverse walk"):
+        inverted = inverse_transition_matrix(matrix)
+        d = seeded_teleport(n, seeds)
+        # Dangling rows of the inverted graph (sources nobody links to) restart
+        # at the seed distribution, keeping all proximity mass spam-anchored.
+        result = power_iteration(
+            inverted,
+            params.as_ranking_params(),
+            teleport=d,
+            dangling="teleport",
+            label="spam-proximity",
+        )
+    _logger.debug(
+        "spam proximity over %d sources from %d seeds: %s",
+        n,
+        seeds.size,
+        result.convergence.convergence_summary(),
     )
+    return result

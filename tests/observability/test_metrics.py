@@ -1,0 +1,182 @@
+"""Registry semantics: counters, gauges, histograms, exposition formats."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    MetricsRegistry,
+    diff_snapshots,
+    get_registry,
+    reset_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self) -> None:
+        reg = MetricsRegistry()
+        c = reg.counter("runs_total", "runs")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self) -> None:
+        c = MetricsRegistry().counter("runs_total")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+
+    def test_reregistration_returns_same_family(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("runs_total").inc()
+        assert reg.counter("runs_total").value == 1.0
+
+    def test_kind_conflict_rejected(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x_total")
+
+    def test_invalid_name_rejected(self) -> None:
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("bad name!")
+
+
+class TestGauge:
+    def test_set_inc_dec(self) -> None:
+        g = MetricsRegistry().gauge("inflight")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self) -> None:
+        reg = MetricsRegistry()
+        h = reg.histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+        cumulative = dict(h.cumulative_buckets())
+        assert cumulative[0.1] == 1
+        assert cumulative[1.0] == 3
+        assert cumulative[10.0] == 4
+        assert cumulative[float("inf")] == 5
+
+    def test_empty_bucket_list_rejected(self) -> None:
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().histogram("latency", buckets=())
+
+
+class TestLabels:
+    def test_labeled_children_are_independent(self) -> None:
+        reg = MetricsRegistry()
+        fam = reg.counter("stage_runs", labelnames=("stage",))
+        fam.labels(stage="rank").inc(3)
+        fam.labels(stage="kappa").inc(1)
+        assert fam.labels(stage="rank").value == 3.0
+        assert fam.labels(stage="kappa").value == 1.0
+
+    def test_wrong_labelset_rejected(self) -> None:
+        fam = MetricsRegistry().counter("stage_runs", labelnames=("stage",))
+        with pytest.raises(ObservabilityError):
+            fam.labels(phase="rank")
+
+    def test_unlabeled_access_on_labeled_family_rejected(self) -> None:
+        fam = MetricsRegistry().counter("stage_runs", labelnames=("stage",))
+        with pytest.raises(ObservabilityError):
+            fam.inc()
+
+
+class TestExposition:
+    def test_as_dict_round_trips_through_json(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("runs_total", "number of runs").inc(2)
+        reg.histogram("seconds", buckets=(1.0,)).observe(0.5)
+        payload = json.loads(reg.to_json())
+        assert payload["runs_total"]["type"] == "counter"
+        assert payload["runs_total"]["samples"][0]["value"] == 2.0
+        hist = payload["seconds"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1]["le"] == "+Inf"
+
+    def test_prometheus_text_golden(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("repro_runs_total", "Completed runs").inc(3)
+        h = reg.histogram(
+            "repro_stage_seconds",
+            "Stage wall time",
+            labelnames=("stage",),
+            buckets=(0.5, 2.5),
+        )
+        h.labels(stage="rank").observe(0.25)
+        h.labels(stage="rank").observe(1.0)
+        expected = (
+            "# HELP repro_runs_total Completed runs\n"
+            "# TYPE repro_runs_total counter\n"
+            "repro_runs_total 3\n"
+            "# HELP repro_stage_seconds Stage wall time\n"
+            "# TYPE repro_stage_seconds histogram\n"
+            'repro_stage_seconds_bucket{stage="rank",le="0.5"} 1\n'
+            'repro_stage_seconds_bucket{stage="rank",le="2.5"} 2\n'
+            'repro_stage_seconds_bucket{stage="rank",le="+Inf"} 2\n'
+            'repro_stage_seconds_sum{stage="rank"} 1.25\n'
+            'repro_stage_seconds_count{stage="rank"} 2\n'
+        )
+        assert reg.to_prometheus() == expected
+
+    def test_prometheus_label_escaping(self) -> None:
+        reg = MetricsRegistry()
+        fam = reg.gauge("g", labelnames=("path",))
+        fam.labels(path='a"b\\c\nd').set(1)
+        text = reg.to_prometheus()
+        assert '{path="a\\"b\\\\c\\nd"}' in text
+
+
+class TestSnapshots:
+    def test_diff_reports_only_changes(self) -> None:
+        reg = MetricsRegistry()
+        c = reg.counter("runs_total")
+        h = reg.histogram("seconds", buckets=(1.0,))
+        c.inc()
+        before = reg.snapshot()
+        c.inc(2)
+        h.observe(0.5)
+        delta = diff_snapshots(before, reg.snapshot())
+        assert delta["runs_total"] == 2.0
+        assert delta["seconds:count"] == 1.0
+        assert delta["seconds:sum"] == 0.5
+        assert "untouched" not in delta
+
+
+class TestGlobalRegistry:
+    def test_singleton_and_reset(self) -> None:
+        first = get_registry()
+        assert get_registry() is first
+        fresh = reset_registry()
+        try:
+            assert fresh is get_registry()
+            assert fresh is not first
+        finally:
+            reset_registry()
+
+    def test_concurrent_increments_are_not_lost(self) -> None:
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total")
+
+        def hammer() -> None:
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000.0

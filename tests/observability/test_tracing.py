@@ -1,0 +1,107 @@
+"""Span nesting, ambient-tracer activation, and tree rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import Tracer, current_tracer, format_tree, span
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self) -> None:
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        assert [r.name for r in tracer.roots] == ["root"]
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert root.children[0].children[0].name == "grandchild"
+
+    def test_durations_are_stamped_and_contain_children(self) -> None:
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_sequential_roots(self) -> None:
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_span_meta_and_walk_and_find(self) -> None:
+        tracer = Tracer()
+        with tracer.span("a", kind="outer") as rec:
+            rec.meta["extra"] = 1
+            with tracer.span("b"):
+                pass
+        assert tracer.roots[0].meta == {"kind": "outer", "extra": 1}
+        assert [s.name for s in tracer.walk()] == ["a", "b"]
+        assert len(tracer.find("b")) == 1
+
+    def test_exception_still_closes_span(self) -> None:
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.roots[0].duration >= 0.0
+
+
+class TestAmbientTracer:
+    def test_module_span_is_noop_without_active_tracer(self) -> None:
+        assert current_tracer() is None
+        with span("orphan") as record:
+            assert record is None
+
+    def test_module_span_attaches_to_active_tracer(self) -> None:
+        tracer = Tracer()
+        with tracer.activate():
+            assert current_tracer() is tracer
+            with span("attached") as record:
+                assert record is not None
+        assert current_tracer() is None
+        assert [r.name for r in tracer.roots] == ["attached"]
+
+    def test_activation_nests_and_restores(self) -> None:
+        outer, inner = Tracer(), Tracer()
+        with outer.activate():
+            with inner.activate():
+                with span("x"):
+                    pass
+            assert current_tracer() is outer
+        assert [r.name for r in inner.roots] == ["x"]
+        assert outer.roots == []
+
+
+class TestSerialization:
+    def test_as_dict_shape(self) -> None:
+        tracer = Tracer()
+        with tracer.span("root", n=3):
+            with tracer.span("leaf"):
+                pass
+        payload = tracer.as_dict()
+        root = payload["spans"][0]
+        assert root["name"] == "root"
+        assert root["meta"] == {"n": 3}
+        assert root["children"][0]["name"] == "leaf"
+        assert "children" not in root["children"][0]
+
+    def test_format_tree_indents_children(self) -> None:
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("leaf", hint="x"):
+                pass
+        text = format_tree(tracer)
+        lines = text.splitlines()
+        assert lines[0].startswith("root:")
+        assert lines[1].startswith("  leaf:")
+        assert "[hint=x]" in lines[1]
