@@ -67,6 +67,14 @@ from .observability import (
 )
 from .economics import AttackPlanner, CostModel, portfolio_value, traffic_share
 from .graph import GraphBuilder, PageGraph
+from .linalg import (
+    CsrOperator,
+    ReversedOperator,
+    ThrottledOperator,
+    TransitionOperator,
+    available_solvers,
+    register_solver,
+)
 from .ranking import (
     RankingResult,
     blockrank,
@@ -126,6 +134,13 @@ __all__ = [
     # source view
     "SourceAssignment",
     "SourceGraph",
+    # linear-operator layer
+    "TransitionOperator",
+    "CsrOperator",
+    "ThrottledOperator",
+    "ReversedOperator",
+    "register_solver",
+    "available_solvers",
     # rankings
     "RankingResult",
     "pagerank",

@@ -41,6 +41,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--blocklist", type=Path, help="file of known-spam hosts (or source ids), one per line"
     )
     p_rank.add_argument("--alpha", type=float, default=0.85)
+    p_rank.add_argument(
+        "--solver",
+        default="power",
+        help="ranking solver: power (default), jacobi, gauss_seidel, or any "
+        "registered solver name",
+    )
+    p_rank.add_argument(
+        "--kernel",
+        choices=("scipy", "chunked", "parallel"),
+        default="scipy",
+        help="transpose-matvec kernel for the power solver",
+    )
     p_rank.add_argument("--top", type=int, default=20, help="how many sources to print")
     p_rank.add_argument(
         "--key", choices=("host", "domain"), default="host", help="source grouping key"
@@ -158,7 +170,12 @@ def _cmd_rank(args: argparse.Namespace) -> int:
         top_fraction=min(1.0, max(2 * max(len(seeds), 1), 4) / n)
     )
     pipe = SpamResilientPipeline(
-        ranking=RankingParams(alpha=args.alpha, progress=telemetry),
+        ranking=RankingParams(
+            alpha=args.alpha,
+            solver=args.solver,
+            kernel=args.kernel,
+            progress=telemetry,
+        ),
         throttle=throttle,
         proximity=SpamProximityParams(progress=telemetry),
     )

@@ -71,6 +71,14 @@ class RankingParams:
     strict:
         If True (default) a non-converged computation raises; if False it
         returns the last iterate flagged ``converged=False``.
+    solver:
+        Which registered solver runs the computation (``"power"`` — the
+        paper's choice — ``"jacobi"``, ``"gauss_seidel"``, or any name
+        added via :func:`repro.linalg.register_solver`).  Validated
+        against the registry at construction.
+    kernel:
+        Transpose-matvec kernel for the power solver (``"scipy"``,
+        ``"chunked"``, ``"parallel"``); ignored by the linear solvers.
     progress:
         Optional :class:`repro.observability.ProgressCallback` receiving
         per-iteration solver telemetry (residuals, step timings, dangling
@@ -84,6 +92,8 @@ class RankingParams:
     max_iter: int = DEFAULT_MAX_ITER
     norm: Literal["l1", "l2", "linf"] = "l2"
     strict: bool = True
+    solver: str = "power"
+    kernel: Literal["scipy", "chunked", "parallel"] = "scipy"
     progress: "ProgressCallback | None" = field(
         default=None, compare=False, repr=False
     )
@@ -96,6 +106,16 @@ class RankingParams:
         object.__setattr__(self, "max_iter", int(self.max_iter))
         if self.norm not in ("l1", "l2", "linf"):
             raise ConfigError(f"norm must be one of 'l1', 'l2', 'linf', got {self.norm!r}")
+        # Imported lazily: the registry lives in repro.linalg, which is
+        # only reachable at call time without a config <-> linalg cycle.
+        from .linalg.operator import KERNELS
+        from .linalg.registry import solver_registry
+
+        solver_registry.validate(self.solver)
+        if self.kernel not in KERNELS:
+            raise ConfigError(
+                f"kernel must be one of {KERNELS}, got {self.kernel!r}"
+            )
 
     def with_(self, **overrides: object) -> "RankingParams":
         """Return a copy with the given fields replaced."""

@@ -22,6 +22,7 @@ import numpy as np
 from ..config import RankingParams, SpamProximityParams, ThrottleParams
 from ..errors import ConfigError
 from ..graph.pagegraph import PageGraph
+from ..linalg.operator import CsrOperator, ReversedOperator
 from ..logging_utils import get_logger
 from ..observability.metrics import (
     DEFAULT_ITERATION_BUCKETS,
@@ -50,6 +51,55 @@ PIPELINE_STAGES: tuple[str, ...] = (
     "kappa",
     "rank",
 )
+
+
+class _SharedOperators:
+    """One web's source graph plus the lazily-built operators over it.
+
+    The pipeline builds the source graph once per ``(graph, assignment)``
+    pair and shares a single base :class:`CsrOperator` (SR-SourceRank and
+    the baseline SourceRank walk the same unthrottled matrix) and a single
+    :class:`ReversedOperator` (spam proximity) across every solve against
+    that web.  Holds strong references to the inputs so the identity keys
+    of the pipeline's cache stay valid.
+    """
+
+    __slots__ = ("graph", "assignment", "source_graph", "_kernel", "_base", "_reversed")
+
+    def __init__(
+        self,
+        graph: PageGraph,
+        assignment: SourceAssignment,
+        source_graph: SourceGraph,
+        kernel: str,
+    ) -> None:
+        self.graph = graph
+        self.assignment = assignment
+        self.source_graph = source_graph
+        self._kernel = kernel
+        self._base: CsrOperator | None = None
+        self._reversed: ReversedOperator | None = None
+
+    @property
+    def base(self) -> CsrOperator:
+        """The unthrottled source-matrix operator, built on first use."""
+        if self._base is None:
+            self._base = CsrOperator(self.source_graph.matrix, kernel=self._kernel)
+        return self._base
+
+    @property
+    def reversed(self) -> ReversedOperator:
+        """The reversed-walk operator for spam proximity, built on first use."""
+        if self._reversed is None:
+            self._reversed = ReversedOperator(self.source_graph.matrix)
+        return self._reversed
+
+    def close(self) -> None:
+        """Release kernel resources held by the built operators."""
+        if self._base is not None:
+            self._base.close()
+            self._base = None
+        self._reversed = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -136,6 +186,7 @@ class SpamResilientPipeline:
             )
         self.weighting = weighting
         self.full_throttle = full_throttle
+        self._shared: tuple[tuple[int, int], _SharedOperators] | None = None
 
     # ------------------------------------------------------------------
     def build_source_graph(
@@ -145,6 +196,36 @@ class SpamResilientPipeline:
         return SourceGraph.from_page_graph(
             graph, assignment, weighting=self.weighting
         )
+
+    def _shared_operators(
+        self, graph: PageGraph, assignment: SourceAssignment
+    ) -> _SharedOperators:
+        """Source graph + operators for one web, cached across calls.
+
+        A single-entry cache keyed on input identity: ``rank`` followed by
+        ``baseline_sourcerank`` on the same web quotients the page graph
+        and sets up kernels exactly once.  A new ``(graph, assignment)``
+        pair evicts (and closes) the previous entry.
+        """
+        key = (id(graph), id(assignment))
+        if self._shared is not None and self._shared[0] == key:
+            return self._shared[1]
+        if self._shared is not None:
+            self._shared[1].close()
+        shared = _SharedOperators(
+            graph,
+            assignment,
+            self.build_source_graph(graph, assignment),
+            self.ranking.kernel,
+        )
+        self._shared = (key, shared)
+        return shared
+
+    def clear_cache(self) -> None:
+        """Drop the cached source graph/operators and release resources."""
+        if self._shared is not None:
+            self._shared[1].close()
+            self._shared = None
 
     def compute_kappa(
         self,
@@ -205,7 +286,8 @@ class SpamResilientPipeline:
                     seeds=0 if seeds is None else int(seeds.size),
                 )
             with tracer.span("source_graph") as sp:
-                source_graph = self.build_source_graph(graph, assignment)
+                shared = self._shared_operators(graph, assignment)
+                source_graph = shared.source_graph
                 sp.meta["edges"] = int(source_graph.matrix.nnz)
             if kappa is not None:
                 proximity = None
@@ -222,7 +304,10 @@ class SpamResilientPipeline:
                         sp.meta["skipped"] = "no spam seeds"
                     else:
                         proximity = spam_proximity(
-                            source_graph, seeds, self.proximity
+                            source_graph,
+                            seeds,
+                            self.proximity,
+                            operator=shared.reversed,
                         )
                         sp.meta["iterations"] = proximity.convergence.iterations
                 with tracer.span("kappa") as sp:
@@ -237,6 +322,7 @@ class SpamResilientPipeline:
                     kappa,
                     self.ranking,
                     full_throttle=self.full_throttle,
+                    operator=shared.base,
                 )
                 sp.meta["iterations"] = scores.convergence.iterations
         timings = {child.name: child.duration for child in root.children}
@@ -294,10 +380,31 @@ class SpamResilientPipeline:
     # Baselines for comparison
     # ------------------------------------------------------------------
     def baseline_sourcerank(
-        self, graph: PageGraph, assignment: SourceAssignment
+        self,
+        graph: PageGraph | None = None,
+        assignment: SourceAssignment | None = None,
+        *,
+        source_graph: SourceGraph | None = None,
     ) -> RankingResult:
-        """Unthrottled SourceRank over the same source graph."""
-        return sourcerank(self.build_source_graph(graph, assignment), self.ranking)
+        """Unthrottled SourceRank over the same source graph.
+
+        Reuses the source graph and base operator a prior :meth:`rank`
+        call on the same ``(graph, assignment)`` pair already built,
+        instead of re-quotienting the page graph.  Alternatively pass a
+        prebuilt ``source_graph`` (e.g. :attr:`PipelineResult.source_graph`)
+        directly.
+        """
+        if source_graph is not None:
+            return sourcerank(source_graph, self.ranking)
+        if graph is None or assignment is None:
+            raise ConfigError(
+                "baseline_sourcerank needs a (graph, assignment) pair or a "
+                "prebuilt source_graph"
+            )
+        shared = self._shared_operators(graph, assignment)
+        return sourcerank(
+            shared.source_graph, self.ranking, operator=shared.base
+        )
 
     def baseline_pagerank(self, graph: PageGraph) -> RankingResult:
         """Page-level PageRank (Eq. 1)."""

@@ -1,0 +1,218 @@
+"""The shared fixed-point iteration engine.
+
+Every iterative ranking solve in the library — power iteration, Jacobi,
+Gauss–Seidel, and any future registered solver — is the same loop: apply
+one update step, measure the residual between successive iterates under
+the configured norm, record telemetry, stop at tolerance or ``max_iter``.
+:func:`iterate_to_fixpoint` is that loop, written once.  Solvers supply
+only their step function; the engine owns
+
+* the ``solve:<label>`` tracing span (with per-solve iteration count);
+* the :class:`~repro.observability.progress.ProgressCallback` protocol
+  (solve shape, per-iteration residual/step-time/dangling-mass, final
+  :class:`ConvergenceInfo`) — all zero-cost when ``params.progress`` is
+  ``None``;
+* the residual history and the strict-raise / lenient-warn convergence
+  contract.
+
+:class:`ConvergenceInfo` lives here (below the ranking layer) so that
+both the engine and the result types can use it without an import cycle;
+:mod:`repro.ranking.base` re-exports it under its historical name.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
+
+from ..errors import ConfigError, ConvergenceError
+from ..logging_utils import get_logger
+from ..observability.tracing import span
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..config import RankingParams
+
+__all__ = ["ConvergenceInfo", "residual_norm", "iterate_to_fixpoint"]
+
+_logger = get_logger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergenceInfo:
+    """Record of an iterative solve.
+
+    Attributes
+    ----------
+    converged:
+        Whether the residual dropped below the tolerance.
+    iterations:
+        Iterations actually performed.
+    residual:
+        Final residual norm (same norm as the stopping rule).
+    tolerance:
+        The requested stopping tolerance.
+    residual_history:
+        Residual after each iteration — the convergence curve, used by the
+        solver-ablation bench.
+    """
+
+    converged: bool
+    iterations: int
+    residual: float
+    tolerance: float
+    residual_history: tuple[float, ...] = ()
+
+    def convergence_summary(self, *, curve_points: int = 5) -> str:
+        """One-line human summary: outcome, iterations, residual tail.
+
+        >>> info = ConvergenceInfo(True, 3, 5e-10, 1e-9,
+        ...                        (1e-2, 1e-6, 5e-10))
+        >>> info.convergence_summary()
+        'converged in 3 iterations (residual 5.00e-10, tolerance 1.00e-09); last residuals: 1.00e-02 -> 1.00e-06 -> 5.00e-10'
+        """
+        state = "converged" if self.converged else "did NOT converge"
+        text = (
+            f"{state} in {self.iterations} iterations "
+            f"(residual {self.residual:.2e}, tolerance {self.tolerance:.2e})"
+        )
+        tail = self.residual_history[-max(int(curve_points), 0):]
+        if tail:
+            curve = " -> ".join(f"{r:.2e}" for r in tail)
+            text += f"; last residuals: {curve}"
+        return text
+
+
+def residual_norm(diff: np.ndarray, norm: str) -> float:
+    """Norm of an iterate difference under the configured stopping norm."""
+    if norm == "l1":
+        return float(np.abs(diff).sum())
+    if norm == "l2":
+        return float(np.linalg.norm(diff))
+    if norm == "linf":
+        return float(np.abs(diff).max())
+    raise ConfigError(f"unknown norm {norm!r}")
+
+
+def iterate_to_fixpoint(
+    step: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    params: "RankingParams",
+    *,
+    solver: str,
+    label: str = "",
+    kernel: str | None = None,
+    dangling_mask: np.ndarray | None = None,
+    callback: Callable[[int, float], None] | None = None,
+    span_meta: Mapping[str, object] | None = None,
+) -> tuple[np.ndarray, ConvergenceInfo]:
+    """Iterate ``x <- step(x)`` until the stopping rule fires.
+
+    Parameters
+    ----------
+    step:
+        One full update.  Must return a vector distinct from its input
+        (the residual is computed between the two).
+    x0:
+        Starting iterate; not mutated.
+    params:
+        Stopping rule (``tolerance``, ``max_iter``, ``norm``, ``strict``)
+        plus the optional ``progress`` telemetry hook.
+    solver:
+        Solver name for spans/telemetry (``"power"``, ``"jacobi"``, ...).
+    label:
+        Human-readable solve tag; falls back to ``solver``.
+    kernel:
+        Matvec kernel name, forwarded to spans/telemetry when set (the
+        linear solvers pass ``None`` — they have no kernel choice).
+    dangling_mask:
+        Boolean mask of dangling rows.  When given, the dangling-row
+        count is reported at solve start and the current dangling mass on
+        every iteration (power-solver telemetry); ``None`` omits both.
+    callback:
+        Optional per-iteration hook ``(iteration, residual)``.
+    span_meta:
+        Extra key/values attached to the ``solve:<label>`` span.
+
+    Returns
+    -------
+    tuple
+        ``(x, info)`` — the final iterate and its convergence record.
+
+    Raises
+    ------
+    ConvergenceError
+        When ``params.strict`` and ``max_iter`` is exhausted first.
+    """
+    progress = params.progress
+    tag = label or solver
+    n = int(np.asarray(x0).size)
+    meta: dict[str, object] = dict(span_meta or {})
+    if kernel is not None:
+        meta.setdefault("kernel", kernel)
+    track_dangling = 0
+    with span(f"solve:{tag}", solver=solver, n=n, **meta) as trace:
+        if progress is not None:
+            start_kwargs: dict[str, object] = {}
+            if kernel is not None:
+                start_kwargs["kernel"] = kernel
+            if dangling_mask is not None:
+                track_dangling = int(dangling_mask.sum())
+                start_kwargs["n_dangling"] = track_dangling
+            progress.on_solve_start(
+                tag,
+                solver=solver,
+                n=n,
+                tolerance=params.tolerance,
+                max_iter=params.max_iter,
+                **start_kwargs,
+            )
+        x = x0
+        history: list[float] = []
+        residual = np.inf
+        iterations = 0
+        for iterations in range(1, params.max_iter + 1):
+            if progress is not None:
+                t0 = time.perf_counter()
+            x_next = step(x)
+            residual = residual_norm(x_next - x, params.norm)
+            history.append(residual)
+            x = x_next
+            if callback is not None:
+                callback(iterations, residual)
+            if progress is not None:
+                progress.on_iteration(
+                    tag,
+                    iterations,
+                    residual,
+                    step_seconds=time.perf_counter() - t0,
+                    dangling_mass=(
+                        float(x[dangling_mask].sum()) if track_dangling else None
+                    ),
+                )
+            if residual < params.tolerance:
+                break
+        converged = residual < params.tolerance
+        if trace is not None:
+            trace.meta["iterations"] = iterations
+    info = ConvergenceInfo(
+        converged=converged,
+        iterations=iterations,
+        residual=float(residual),
+        tolerance=params.tolerance,
+        residual_history=tuple(history),
+    )
+    if progress is not None:
+        progress.on_solve_end(tag, info)
+    if not converged:
+        if params.strict:
+            raise ConvergenceError(iterations, residual, params.tolerance)
+        _logger.warning(
+            "%s did not converge: residual %.3e after %d iterations",
+            tag,
+            residual,
+            iterations,
+        )
+    return x, info

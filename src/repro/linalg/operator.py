@@ -1,0 +1,509 @@
+"""Lazy transition operators — the paper's model family as one abstraction.
+
+Every ranking in the library (PageRank, SourceRank, spam proximity on the
+reversed graph, Spam-Resilient SourceRank over the throttled matrix
+``T''``) is a teleporting random walk whose per-iteration work is a single
+transpose matvec ``y = A^T x`` against a different linear operator ``A``.
+This module makes that operator explicit:
+
+* :class:`TransitionOperator` — the protocol the solvers iterate against
+  (``rmatvec``, order, dangling mask, kernel name, ``materialize`` for
+  solvers that need an explicit matrix);
+* :class:`CsrOperator` — a concrete CSR matrix behind one of the three
+  matvec kernels (``scipy`` / ``chunked`` / ``parallel``), absorbing the
+  kernel dispatch that used to live inside the power solver;
+* :class:`ThrottledOperator` — the influence-throttle transform
+  ``T' -> T''`` (Section 3.3) applied *lazily* as a per-row out-scale plus
+  a diagonal self-edge term, so Spam-Resilient SourceRank never
+  materializes ``T''`` (κ-sweeps and incremental reruns reuse one base
+  matrix — and, for the scipy kernel, one transposed CSR);
+* :class:`ReversedOperator` — the Section 5 spam-proximity walk over the
+  reversed source graph, expressed as a *forward* matvec on the original
+  orientation, so no reversed CSR is ever built.
+
+The algebra behind the lazy forms:
+
+* throttling is ``T'' = diag(s) T' + diag(c)`` with per-row scale ``s``
+  and diagonal correction ``c``, hence
+  ``T''^T x = T'^T (s ⊙ x) + c ⊙ x``;
+* the reversed walk matrix is ``U = diag(1/indeg) B^T`` for the
+  self-edge-free binary adjacency ``B``, hence
+  ``U^T x = B (x / indeg)`` — a plain CSR matvec on ``B``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ConfigError, GraphError, ThrottleError
+from ..parallel.chunked import chunked_rmatvec
+
+__all__ = [
+    "KERNELS",
+    "TransitionOperator",
+    "CsrOperator",
+    "ThrottledOperator",
+    "ReversedOperator",
+    "as_operator",
+    "as_matrix",
+]
+
+#: The transpose-matvec kernels a :class:`CsrOperator` can run on.
+KERNELS = ("scipy", "chunked", "parallel")
+
+_FULL_THROTTLE_MODES = ("self", "dangling")
+_DANGLING_ATOL = 1e-12
+
+
+@runtime_checkable
+class TransitionOperator(Protocol):
+    """A row-(sub)stochastic transition operator the solvers iterate on.
+
+    Implementations expose the transpose matvec (the only operation the
+    power method needs), their order and dangling-row structure, and a
+    ``materialize`` escape hatch for solvers (Jacobi, Gauss–Seidel) that
+    require an explicit CSR system matrix.
+    """
+
+    @property
+    def n(self) -> int:
+        """Operator order (the matrix is ``n x n``)."""
+        ...
+
+    @property
+    def kernel(self) -> str:
+        """Name of the matvec kernel backing :meth:`rmatvec`."""
+        ...
+
+    @property
+    def dangling_mask(self) -> np.ndarray:
+        """Boolean mask of rows carrying (numerically) zero mass."""
+        ...
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``A^T @ x``.
+
+        The returned vector may be a kernel-owned buffer that stays valid
+        only until the *second-next* ``rmatvec`` call; callers that keep
+        results across iterations must copy.
+        """
+        ...
+
+    def materialize(self) -> sp.csr_matrix:
+        """The operator as an explicit CSR matrix (may be built on demand)."""
+        ...
+
+    def close(self) -> None:
+        """Release kernel resources (shared memory), if any."""
+        ...
+
+
+class CsrOperator:
+    """A CSR transition matrix behind a pluggable transpose-matvec kernel.
+
+    Instances hold preallocated work buffers; they are not thread-safe.
+    The ``chunked`` kernel double-buffers its output: each call fills the
+    buffer the *previous* call did not return, so the last returned vector
+    stays valid across one further call without any per-iteration
+    allocation or copy.
+    """
+
+    __slots__ = (
+        "matrix",
+        "_kernel",
+        "_mask",
+        "_at",
+        "_buffers",
+        "_active",
+        "_shared",
+    )
+
+    def __init__(self, matrix: sp.spmatrix, *, kernel: str = "scipy") -> None:
+        if not sp.issparse(matrix):
+            raise GraphError(
+                "CsrOperator requires a scipy sparse matrix, got "
+                f"{type(matrix).__name__}"
+            )
+        matrix = matrix.tocsr()
+        if matrix.shape[0] != matrix.shape[1]:
+            raise GraphError(f"transition matrix must be square, got {matrix.shape}")
+        if kernel not in KERNELS:
+            raise ConfigError(
+                f"kernel must be one of {KERNELS}, got {kernel!r}"
+            )
+        n = matrix.shape[0]
+        self.matrix = matrix
+        self._kernel = kernel
+        self._mask = np.asarray(matrix.sum(axis=1)).ravel() <= _DANGLING_ATOL
+        self._at: sp.csr_matrix | None = None
+        self._buffers: tuple[np.ndarray, np.ndarray] | None = None
+        self._active = 0
+        self._shared = None
+        if kernel == "scipy":
+            # Transpose-CSC view reused every iteration: A^T x is fastest
+            # via the CSR of A^T, built once.
+            self._at = matrix.T.tocsr()
+        elif kernel == "chunked":
+            self._buffers = (
+                np.empty(n, dtype=np.float64),
+                np.empty(n, dtype=np.float64),
+            )
+        else:
+            from ..parallel.shared import SharedCsrMatvec
+
+            self._shared = SharedCsrMatvec(matrix)
+
+    @property
+    def n(self) -> int:
+        """Matrix order."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def kernel(self) -> str:
+        """The configured matvec kernel."""
+        return self._kernel
+
+    @property
+    def dangling_mask(self) -> np.ndarray:
+        """Boolean mask of dangling (all-zero) rows."""
+        return self._mask
+
+    @property
+    def n_dangling(self) -> int:
+        """Number of dangling rows."""
+        return int(self._mask.sum())
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``A^T @ x`` on the configured kernel (see the class docstring
+        for the chunked kernel's buffer-validity contract)."""
+        if self._at is not None:
+            return self._at @ x
+        if self._buffers is not None:
+            out = self._buffers[self._active]
+            self._active ^= 1
+            return chunked_rmatvec(self.matrix, x, out=out)
+        return self._shared.rmatvec(x)  # type: ignore[union-attr]
+
+    def materialize(self) -> sp.csr_matrix:
+        """The backing CSR matrix itself (no copy)."""
+        return self.matrix
+
+    def close(self) -> None:
+        """Release the parallel kernel's shared memory, if any."""
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+
+    def __enter__(self) -> "CsrOperator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"CsrOperator(n={self.n}, nnz={self.matrix.nnz}, "
+            f"kernel={self._kernel!r})"
+        )
+
+
+class ThrottledOperator:
+    """The influence-throttled matrix ``T''`` (Section 3.3), applied lazily.
+
+    Wraps a base :class:`CsrOperator` (or raw CSR matrix) and the
+    throttling vector κ.  Instead of materializing ``T''``, the transform
+    is factored as ``T'' = diag(s) T' + diag(c)`` — ``s`` rescales each
+    row's out-mass to ``1 - κ_i`` and ``c`` raises the self-edge to
+    ``κ_i`` — so one transpose matvec against the *base* matrix plus two
+    vector multiplies computes ``T''^T x`` exactly.  A κ-sweep therefore
+    reuses a single base matrix (and single transposed CSR) across all κ.
+
+    Parameters
+    ----------
+    base:
+        The unthrottled source operator ``T'`` — a :class:`CsrOperator`
+        (shared across sweeps) or a row-stochastic CSR matrix (wrapped
+        here, closed with this operator).
+    kappa:
+        Throttling factors in ``[0, 1]``, one per source (a
+        :class:`~repro.throttle.vector.ThrottleVector` or array-like);
+        ``None`` means no throttling.
+    full_throttle:
+        κ = 1 semantics: ``"self"`` (the literal Section 3.3 transform)
+        or ``"dangling"`` (fully-throttled rows pass nothing at all) —
+        see :mod:`repro.throttle.transform` for the discussion.
+    kernel:
+        Kernel for the base operator when ``base`` is a raw matrix;
+        ignored when ``base`` is already an operator.
+    """
+
+    __slots__ = (
+        "_base",
+        "_owns_base",
+        "_scale",
+        "_shift",
+        "_kappa",
+        "_full_throttle",
+        "_mask",
+        "_identity",
+    )
+
+    def __init__(
+        self,
+        base: "CsrOperator | sp.spmatrix",
+        kappa: object = None,
+        *,
+        full_throttle: str = "self",
+        kernel: str = "scipy",
+    ) -> None:
+        if full_throttle not in _FULL_THROTTLE_MODES:
+            raise ThrottleError(
+                f"full_throttle must be one of {_FULL_THROTTLE_MODES}, got "
+                f"{full_throttle!r}"
+            )
+        owns = sp.issparse(base)
+        base_op = CsrOperator(base, kernel=kernel) if owns else base
+        if not isinstance(base_op, CsrOperator):
+            raise GraphError(
+                "ThrottledOperator needs a CsrOperator or CSR matrix base "
+                f"(the transform reads the base diagonal), got "
+                f"{type(base).__name__}"
+            )
+        matrix = base_op.matrix
+        n = base_op.n
+        if kappa is None:
+            k = np.zeros(n, dtype=np.float64)
+        else:
+            k = np.asarray(
+                getattr(kappa, "kappa", kappa), dtype=np.float64
+            ).ravel()
+        if k.size != n:
+            raise ThrottleError(
+                f"throttle vector covers {k.size} sources but matrix is {n}x{n}"
+            )
+        if k.size and ((k < 0.0).any() or (k > 1.0).any()):
+            raise ThrottleError("throttle factors must lie in [0, 1]")
+
+        diag = matrix.diagonal()
+        off_mass = np.asarray(matrix.sum(axis=1)).ravel() - diag
+        full = (k >= 1.0) if full_throttle == "dangling" else np.zeros(n, dtype=bool)
+        needs = (diag < k) & ~full
+        bad = needs & (off_mass <= 0)
+        if bad.any():
+            raise ThrottleError(
+                f"{int(bad.sum())} rows need throttling but have no off-diagonal "
+                "mass to rescale; is the input row-stochastic?"
+            )
+        scale = np.ones(n, dtype=np.float64)
+        scale[needs] = (1.0 - k[needs]) / off_mass[needs]
+        scale[full] = 0.0
+        new_diag = np.where(needs, k, diag)
+        new_diag[full] = 0.0
+        self._base = base_op
+        self._owns_base = owns
+        self._scale = scale
+        # T''_ii = scale_i * T'_ii + shift_i, exactly as the materialized
+        # transform overwrites the scaled diagonal with new_diag.
+        self._shift = new_diag - scale * diag
+        self._kappa = k
+        self._full_throttle = full_throttle
+        self._mask = full | (base_op.dangling_mask & ~needs)
+        self._identity = not needs.any() and not full.any()
+
+    @property
+    def n(self) -> int:
+        """Operator order."""
+        return self._base.n
+
+    @property
+    def kernel(self) -> str:
+        """The base operator's matvec kernel."""
+        return self._base.kernel
+
+    @property
+    def dangling_mask(self) -> np.ndarray:
+        """Rows of ``T''`` with zero mass (κ=1 rows in dangling mode)."""
+        return self._mask
+
+    @property
+    def base(self) -> CsrOperator:
+        """The unthrottled base operator ``T'``."""
+        return self._base
+
+    @property
+    def kappa(self) -> np.ndarray:
+        """The throttling vector (read-only view)."""
+        return self._kappa
+
+    @property
+    def full_throttle(self) -> str:
+        """The κ = 1 semantics in effect."""
+        return self._full_throttle
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``T''^T @ x`` without materializing ``T''``."""
+        if self._identity:
+            return self._base.rmatvec(x)
+        x = np.asarray(x, dtype=np.float64)
+        y = self._base.rmatvec(self._scale * x)
+        # y may be a kernel-owned buffer; it is ours to mutate until the
+        # next rmatvec, so accumulate the diagonal term in place.
+        y += self._shift * x
+        return y
+
+    def materialize(self) -> sp.csr_matrix:
+        """The explicit ``T''`` via :func:`repro.throttle.transform.throttle_transform`."""
+        # Imported lazily: the throttle package sits above linalg in the
+        # layering (it pulls in the ranking solvers at import time).
+        from ..throttle.transform import throttle_transform
+        from ..throttle.vector import ThrottleVector
+
+        return throttle_transform(
+            self._base.matrix,
+            ThrottleVector(self._kappa),
+            full_throttle=self._full_throttle,
+        )
+
+    def close(self) -> None:
+        """Close the base operator if this instance created it."""
+        if self._owns_base:
+            self._base.close()
+
+    def __enter__(self) -> "ThrottledOperator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ThrottledOperator(n={self.n}, throttled="
+            f"{int((self._kappa > 0).sum())}, "
+            f"full_throttle={self._full_throttle!r})"
+        )
+
+
+class ReversedOperator:
+    """The reversed-graph walk matrix ``U`` of Section 5, applied lazily.
+
+    Spam proximity reverses edge *existence* (not weights), drops
+    self-edges, and row-normalizes uniformly over in-neighbours:
+    ``U = diag(1/indeg) B^T`` for the binary adjacency ``B`` of the
+    original orientation.  The walk's transpose matvec is then
+    ``U^T x = B (x / indeg)`` — a plain forward CSR matvec on ``B`` —
+    so the reversed matrix is never built.
+    """
+
+    __slots__ = ("_binary", "_inv_indeg", "_mask", "_drop_self_edges")
+
+    def __init__(
+        self,
+        matrix: "CsrOperator | sp.spmatrix",
+        *,
+        drop_self_edges: bool = True,
+    ) -> None:
+        if isinstance(matrix, CsrOperator):
+            matrix = matrix.matrix
+        if not sp.issparse(matrix):
+            raise GraphError(
+                "ReversedOperator requires a scipy sparse matrix, got "
+                f"{type(matrix).__name__}"
+            )
+        matrix = matrix.tocsr()
+        if matrix.shape[0] != matrix.shape[1]:
+            raise GraphError(f"source matrix must be square, got {matrix.shape}")
+        n = matrix.shape[0]
+        binary = matrix.copy()
+        binary.data = np.ones_like(binary.data, dtype=np.float64)
+        if drop_self_edges:
+            rows = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(binary.indptr)
+            )
+            binary.data[binary.indices == rows] = 0.0
+            binary.eliminate_zeros()
+        indeg = np.asarray(binary.sum(axis=0)).ravel()
+        with np.errstate(divide="ignore"):
+            inv = np.where(indeg > 0, 1.0 / np.maximum(indeg, 1.0), 0.0)
+        self._binary = binary
+        self._inv_indeg = inv
+        self._mask = indeg == 0
+        self._drop_self_edges = drop_self_edges
+
+    @property
+    def n(self) -> int:
+        """Operator order."""
+        return int(self._binary.shape[0])
+
+    @property
+    def kernel(self) -> str:
+        """Always the scipy forward-matvec kernel."""
+        return "scipy"
+
+    @property
+    def dangling_mask(self) -> np.ndarray:
+        """Rows of ``U`` with no mass: sources nobody links to."""
+        return self._mask
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``U^T @ x`` via a forward matvec on the original orientation."""
+        return self._binary @ (self._inv_indeg * np.asarray(x, dtype=np.float64))
+
+    def materialize(self) -> sp.csr_matrix:
+        """The explicit reversed transition matrix ``U``."""
+        from ..graph.matrix import row_normalize
+
+        return row_normalize(
+            self._binary.T.tocsr().astype(np.float64), copy=False
+        )
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def __enter__(self) -> "ReversedOperator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReversedOperator(n={self.n}, edges={self._binary.nnz}, "
+            f"drop_self_edges={self._drop_self_edges})"
+        )
+
+
+def as_operator(
+    operand: "TransitionOperator | sp.spmatrix", *, kernel: str = "scipy"
+) -> "TransitionOperator":
+    """Coerce a CSR matrix to a :class:`CsrOperator`; pass operators through.
+
+    ``kernel`` applies only when wrapping a raw matrix — an existing
+    operator keeps the kernel it was built with.
+    """
+    if sp.issparse(operand):
+        return CsrOperator(operand, kernel=kernel)
+    if hasattr(operand, "rmatvec") and hasattr(operand, "n"):
+        return operand
+    raise GraphError(
+        "expected a scipy sparse matrix or TransitionOperator, got "
+        f"{type(operand).__name__}"
+    )
+
+
+def as_matrix(operand: "TransitionOperator | sp.spmatrix") -> sp.csr_matrix:
+    """The explicit CSR matrix of a matrix-or-operator operand."""
+    if sp.issparse(operand):
+        matrix = operand.tocsr()
+    elif hasattr(operand, "materialize"):
+        matrix = operand.materialize().tocsr()
+    else:
+        raise GraphError(
+            "expected a scipy sparse matrix or TransitionOperator, got "
+            f"{type(operand).__name__}"
+        )
+    if matrix.shape[0] != matrix.shape[1]:
+        raise GraphError(f"transition matrix must be square, got {matrix.shape}")
+    return matrix

@@ -3,62 +3,20 @@
 A :class:`RankingResult` wraps the score vector together with the
 convergence record and exposes the rank-oriented views the evaluation
 harness needs (ordering, dense ranks, percentiles).
+
+:class:`ConvergenceInfo` now lives with the shared iteration engine in
+:mod:`repro.linalg.iterate`; it is re-exported here under its historical
+name.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..errors import GraphError
+from ..linalg.iterate import ConvergenceInfo
 
 __all__ = ["ConvergenceInfo", "RankingResult", "check_scores"]
-
-
-@dataclass(frozen=True, slots=True)
-class ConvergenceInfo:
-    """Record of an iterative solve.
-
-    Attributes
-    ----------
-    converged:
-        Whether the residual dropped below the tolerance.
-    iterations:
-        Iterations actually performed.
-    residual:
-        Final residual norm (same norm as the stopping rule).
-    tolerance:
-        The requested stopping tolerance.
-    residual_history:
-        Residual after each iteration — the convergence curve, used by the
-        solver-ablation bench.
-    """
-
-    converged: bool
-    iterations: int
-    residual: float
-    tolerance: float
-    residual_history: tuple[float, ...] = ()
-
-    def convergence_summary(self, *, curve_points: int = 5) -> str:
-        """One-line human summary: outcome, iterations, residual tail.
-
-        >>> info = ConvergenceInfo(True, 3, 5e-10, 1e-9,
-        ...                        (1e-2, 1e-6, 5e-10))
-        >>> info.convergence_summary()
-        'converged in 3 iterations (residual 5.00e-10, tolerance 1.00e-09); last residuals: 1.00e-02 -> 1.00e-06 -> 5.00e-10'
-        """
-        state = "converged" if self.converged else "did NOT converge"
-        text = (
-            f"{state} in {self.iterations} iterations "
-            f"(residual {self.residual:.2e}, tolerance {self.tolerance:.2e})"
-        )
-        tail = self.residual_history[-max(int(curve_points), 0):]
-        if tail:
-            curve = " -> ".join(f"{r:.2e}" for r in tail)
-            text += f"; last residuals: {curve}"
-        return text
 
 
 def check_scores(scores: np.ndarray) -> np.ndarray:

@@ -13,48 +13,53 @@ matrix the diagonal of ``A`` is zero and Jacobi coincides with the power
 method on the linear form; on the *source* matrix the self-edges give a
 non-trivial diagonal and Jacobi genuinely differs — which is why the solver
 ablation exists.
+
+The sweep loop itself lives in
+:func:`repro.linalg.iterate.iterate_to_fixpoint`; this module contributes
+only the splitting.
 """
 
 from __future__ import annotations
 
-import time
+from typing import Callable
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..config import RankingParams
-from ..errors import ConvergenceError, GraphError
-from ..logging_utils import get_logger
-from ..observability.tracing import span
-from .base import ConvergenceInfo, RankingResult
-from .power import residual_norm
+from ..errors import GraphError
+from ..linalg.iterate import iterate_to_fixpoint
+from ..linalg.operator import TransitionOperator, as_matrix
+from ..linalg.registry import register_solver
+from .base import RankingResult
 from .teleport import uniform_teleport
 
 __all__ = ["jacobi_solve"]
 
-_logger = get_logger(__name__)
-
 
 def jacobi_solve(
-    matrix: sp.csr_matrix,
+    operand: "sp.csr_matrix | TransitionOperator",
     params: RankingParams,
     *,
     teleport: np.ndarray | None = None,
     x0: np.ndarray | None = None,
     label: str = "",
+    dangling: str = "linear",
+    kernel: str | None = None,
+    callback: Callable[[int, float], None] | None = None,
 ) -> RankingResult:
     """Solve the ranking linear system with Jacobi iterations.
 
     Parameters mirror :func:`repro.ranking.power.power_iteration`; dangling
     mass follows the paper's "linear" semantics (leak + final
-    renormalization inside :class:`~repro.ranking.base.RankingResult`).
+    renormalization inside :class:`~repro.ranking.base.RankingResult`), so
+    the ``dangling`` and ``kernel`` arguments of the uniform solver
+    signature are accepted and ignored.  Operator operands are
+    materialized — Jacobi needs the explicit matrix diagonal.
     """
-    if not sp.issparse(matrix):
-        raise GraphError("jacobi_solve requires a scipy sparse matrix")
-    matrix = matrix.tocsr()
+    del dangling, kernel  # linear-solver path: no strategy/kernel choice
+    matrix = as_matrix(operand)
     n = matrix.shape[0]
-    if matrix.shape[0] != matrix.shape[1]:
-        raise GraphError(f"transition matrix must be square, got {matrix.shape}")
     c = uniform_teleport(n) if teleport is None else np.asarray(teleport, dtype=np.float64).ravel()
     if c.size != n:
         raise GraphError(f"teleport length {c.size} != matrix order {n}")
@@ -74,54 +79,15 @@ def jacobi_solve(
     if x.size != n:
         raise GraphError(f"x0 length {x.size} != matrix order {n}")
 
-    progress = params.progress
-    tag = label or "jacobi"
-    with span(f"solve:{tag}", solver="jacobi", n=n) as trace:
-        if progress is not None:
-            progress.on_solve_start(
-                tag,
-                solver="jacobi",
-                n=n,
-                tolerance=params.tolerance,
-                max_iter=params.max_iter,
-            )
-        history: list[float] = []
-        residual = np.inf
-        iterations = 0
-        for iterations in range(1, params.max_iter + 1):
-            if progress is not None:
-                t0 = time.perf_counter()
-            x_next = inv_d * (b + off @ x)
-            residual = residual_norm(x_next - x, params.norm)
-            history.append(residual)
-            x = x_next
-            if progress is not None:
-                progress.on_iteration(
-                    tag,
-                    iterations,
-                    residual,
-                    step_seconds=time.perf_counter() - t0,
-                )
-            if residual < params.tolerance:
-                break
-        converged = residual < params.tolerance
-        if trace is not None:
-            trace.meta["iterations"] = iterations
-    info = ConvergenceInfo(
-        converged=converged,
-        iterations=iterations,
-        residual=float(residual),
-        tolerance=params.tolerance,
-        residual_history=tuple(history),
+    x, info = iterate_to_fixpoint(
+        lambda v: inv_d * (b + off @ v),
+        x,
+        params,
+        solver="jacobi",
+        label=label or "jacobi",
+        callback=callback,
     )
-    if progress is not None:
-        progress.on_solve_end(tag, info)
-    if not converged:
-        if params.strict:
-            raise ConvergenceError(iterations, residual, params.tolerance)
-        _logger.warning(
-            "Jacobi did not converge: residual %.3e after %d iterations",
-            residual,
-            iterations,
-        )
     return RankingResult(x, info, label=label)
+
+
+register_solver("jacobi", jacobi_solve, overwrite=True)

@@ -13,17 +13,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import RankingParams
-from ..errors import ConfigError
 from ..graph.matrix import transition_matrix
 from ..graph.pagegraph import PageGraph
+from ..linalg.registry import solver_registry
 from .base import RankingResult
-from .gauss_seidel import gauss_seidel_solve
-from .jacobi import jacobi_solve
-from .power import power_iteration
 
 __all__ = ["pagerank"]
-
-_SOLVERS = ("power", "jacobi", "gauss_seidel")
 
 
 def pagerank(
@@ -32,9 +27,9 @@ def pagerank(
     *,
     teleport: np.ndarray | None = None,
     x0: np.ndarray | None = None,
-    solver: str = "power",
+    solver: str | None = None,
     dangling: str = "linear",
-    kernel: str = "scipy",
+    kernel: str | None = None,
 ) -> RankingResult:
     """Compute the PageRank vector of a page graph.
 
@@ -52,12 +47,16 @@ def pagerank(
         Warm-start vector — pass a previous PageRank when re-ranking a
         slightly modified graph (the spam-scenario experiments do).
     solver:
-        ``"power"`` (paper's choice), ``"jacobi"``, or ``"gauss_seidel"``.
+        Any solver name known to the
+        :data:`~repro.linalg.registry.solver_registry` (``"power"`` —
+        the paper's choice — ``"jacobi"``, ``"gauss_seidel"``, or a
+        custom registration); ``None`` takes ``params.solver``.
     dangling:
         Dangling-mass strategy (power solver only; the linear solvers use
         the paper's leak-and-renormalize semantics by construction).
     kernel:
-        Matvec kernel for the power solver.
+        Matvec kernel for the power solver; ``None`` takes
+        ``params.kernel``.
 
     Returns
     -------
@@ -66,21 +65,13 @@ def pagerank(
     """
     graph.require_nonempty()
     params = params or RankingParams()
-    matrix = transition_matrix(graph)
-    if solver == "power":
-        return power_iteration(
-            matrix,
-            params,
-            teleport=teleport,
-            x0=x0,
-            dangling=dangling,
-            kernel=kernel,  # type: ignore[arg-type]
-            label="pagerank",
-        )
-    if solver == "jacobi":
-        return jacobi_solve(matrix, params, teleport=teleport, x0=x0, label="pagerank")
-    if solver == "gauss_seidel":
-        return gauss_seidel_solve(
-            matrix, params, teleport=teleport, x0=x0, label="pagerank"
-        )
-    raise ConfigError(f"solver must be one of {_SOLVERS}, got {solver!r}")
+    return solver_registry.solve(
+        transition_matrix(graph),
+        params,
+        solver=solver,
+        label="pagerank",
+        teleport=teleport,
+        x0=x0,
+        dangling=dangling,
+        kernel=kernel,
+    )

@@ -1,4 +1,4 @@
-"""Generic power-iteration engine for teleporting random walks.
+"""Power-iteration solver for teleporting random walks.
 
 Solves for the stationary distribution of
 
@@ -7,127 +7,111 @@ Solves for the stationary distribution of
     x^{T} \\gets \\alpha \\, x^{T} A + (\\text{dangling mass handling})
                + (1 - \\alpha) \\, c^{T}
 
-where ``A`` is a row-(sub)stochastic CSR matrix.  The iteration stops when
-the chosen norm of successive iterates drops below the tolerance — the
-paper uses the L2 norm at ``1e-9``.
+where ``A`` is a row-(sub)stochastic CSR matrix — or any
+:class:`~repro.linalg.operator.TransitionOperator`, so the throttled and
+reversed walks run here without materializing their matrices.  The
+iteration stops when the chosen norm of successive iterates drops below
+the tolerance — the paper uses the L2 norm at ``1e-9``.
 
-The transpose matvec can run on three kernels (``"scipy"``, ``"chunked"``,
-``"parallel"``); all preallocate and reuse buffers across iterations per
-the in-place-operations idiom of the HPC guide.
+The transpose matvec runs on the kernels provided by
+:class:`~repro.linalg.operator.CsrOperator` (``"scipy"``, ``"chunked"``,
+``"parallel"``); the iteration loop itself lives in
+:func:`repro.linalg.iterate.iterate_to_fixpoint`.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Literal
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..config import RankingParams
-from ..errors import ConfigError, ConvergenceError, GraphError
-from ..logging_utils import get_logger
-from ..observability.tracing import span
-from ..parallel.chunked import chunked_rmatvec
-from .base import ConvergenceInfo, RankingResult
-from .dangling import check_strategy, dangling_vector
+from ..errors import GraphError
+from ..linalg.iterate import iterate_to_fixpoint, residual_norm
+from ..linalg.operator import TransitionOperator, as_matrix, as_operator
+from ..linalg.registry import register_solver
+from .base import RankingResult
+from .dangling import check_strategy
 from .teleport import uniform_teleport
 
 __all__ = ["power_iteration", "PowerOperator", "residual_norm"]
 
-_logger = get_logger(__name__)
-
 Kernel = Literal["scipy", "chunked", "parallel"]
 
 
-def residual_norm(diff: np.ndarray, norm: str) -> float:
-    """Norm of an iterate difference under the configured stopping norm."""
-    if norm == "l1":
-        return float(np.abs(diff).sum())
-    if norm == "l2":
-        return float(np.linalg.norm(diff))
-    if norm == "linf":
-        return float(np.abs(diff).max())
-    raise ConfigError(f"unknown norm {norm!r}")
-
-
 class PowerOperator:
-    """One step of the teleporting-walk update, with pluggable kernels.
+    """One step of the teleporting-walk update over a transition operator.
 
     Encapsulates ``y = alpha * A^T x + alpha * leak(x) * teleport
     + (1 - alpha) * teleport`` where the leak term depends on the dangling
-    strategy.  Instances hold preallocated work buffers; they are not
-    thread-safe.
+    strategy.  ``A`` is any :class:`~repro.linalg.operator.TransitionOperator`;
+    a raw CSR matrix is wrapped in a
+    :class:`~repro.linalg.operator.CsrOperator` on the requested kernel
+    (and closed with this instance).  Instances are not thread-safe.
     """
 
     def __init__(
         self,
-        matrix: sp.csr_matrix,
+        operand: "sp.spmatrix | TransitionOperator",
         alpha: float,
         teleport: np.ndarray,
         *,
         dangling: str = "linear",
         kernel: Kernel = "scipy",
     ) -> None:
-        if not sp.issparse(matrix):
-            raise GraphError("power iteration requires a scipy sparse matrix")
-        matrix = matrix.tocsr()
-        if matrix.shape[0] != matrix.shape[1]:
-            raise GraphError(f"transition matrix must be square, got {matrix.shape}")
-        n = matrix.shape[0]
+        self._owns_op = sp.issparse(operand)
+        op = as_operator(operand, kernel=kernel)
+        n = op.n
         teleport = np.asarray(teleport, dtype=np.float64).ravel()
         if teleport.size != n:
             raise GraphError(
                 f"teleport vector length {teleport.size} != matrix order {n}"
             )
-        self.matrix = matrix
+        self._op = op
         self.alpha = float(alpha)
         self.teleport = teleport
         self.dangling = check_strategy(dangling)
-        self.kernel = kernel
-        self._dangling_mask = dangling_vector(matrix)
-        self._buffer = np.empty(n, dtype=np.float64)
-        self._shared = None
-        if kernel == "parallel":
-            from ..parallel.shared import SharedCsrMatvec
 
-            self._shared = SharedCsrMatvec(matrix)
-        elif kernel not in ("scipy", "chunked"):
-            raise ConfigError(
-                f"kernel must be 'scipy', 'chunked', or 'parallel', got {kernel!r}"
-            )
-        # Transpose-CSC view reused by the scipy kernel: A^T x as csr_matrix
-        # dot is fastest via the CSC of A^T == CSR of A with swapped axes.
-        self._at = matrix.T.tocsr() if kernel == "scipy" else None
+    @property
+    def matrix(self) -> sp.csr_matrix:
+        """The explicit transition matrix (materialized on demand)."""
+        return self._op.materialize()
+
+    @property
+    def operator(self) -> TransitionOperator:
+        """The underlying transition operator."""
+        return self._op
+
+    @property
+    def kernel(self) -> str:
+        """The operator's matvec kernel."""
+        return self._op.kernel
 
     @property
     def n(self) -> int:
         """Matrix order."""
-        return int(self.matrix.shape[0])
+        return self._op.n
 
     @property
     def dangling_mask(self) -> np.ndarray:
         """Boolean mask of dangling (all-zero) rows."""
-        return self._dangling_mask
+        return self._op.dangling_mask
 
     @property
     def n_dangling(self) -> int:
         """Number of dangling rows."""
-        return int(self._dangling_mask.sum())
+        return int(self._op.dangling_mask.sum())
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
-        """``A^T @ x`` on the configured kernel."""
-        if self.kernel == "scipy":
-            return self._at @ x  # type: ignore[union-attr]
-        if self.kernel == "chunked":
-            return chunked_rmatvec(self.matrix, x, out=self._buffer).copy()
-        return self._shared.rmatvec(x)  # type: ignore[union-attr]
+        """``A^T @ x`` on the operator's kernel."""
+        return self._op.rmatvec(x)
 
     def step(self, x: np.ndarray) -> np.ndarray:
         """Apply one full update, returning a new vector."""
         y = self.alpha * self.rmatvec(x)
         if self.dangling == "teleport":
-            leak = float(x[self._dangling_mask].sum())
+            leak = float(x[self._op.dangling_mask].sum())
             if leak > 0.0:
                 y += (self.alpha * leak) * self.teleport
         # "linear": let dangling mass leak (paper semantics — RankingResult
@@ -136,10 +120,9 @@ class PowerOperator:
         return y
 
     def close(self) -> None:
-        """Release the parallel kernel's shared memory, if any."""
-        if self._shared is not None:
-            self._shared.close()
-            self._shared = None
+        """Release the wrapped operator's resources if this instance owns it."""
+        if self._owns_op:
+            self._op.close()
 
     def __enter__(self) -> "PowerOperator":
         return self
@@ -149,13 +132,13 @@ class PowerOperator:
 
 
 def power_iteration(
-    matrix: sp.csr_matrix,
+    operand: "sp.csr_matrix | TransitionOperator",
     params: RankingParams,
     *,
     teleport: np.ndarray | None = None,
     x0: np.ndarray | None = None,
     dangling: str = "linear",
-    kernel: Kernel = "scipy",
+    kernel: Kernel | None = None,
     label: str = "",
     callback: Callable[[int, float], None] | None = None,
 ) -> RankingResult:
@@ -163,8 +146,10 @@ def power_iteration(
 
     Parameters
     ----------
-    matrix:
-        Row-(sub)stochastic transition matrix (CSR).
+    operand:
+        Row-(sub)stochastic transition matrix (CSR) or a
+        :class:`~repro.linalg.operator.TransitionOperator` applying one
+        lazily.
     params:
         Stopping rule and mixing parameter.
     teleport:
@@ -175,7 +160,8 @@ def power_iteration(
     dangling:
         Dangling-mass strategy (see :mod:`repro.ranking.dangling`).
     kernel:
-        Transpose-matvec kernel.
+        Transpose-matvec kernel for matrix operands; ``None`` takes
+        ``params.kernel``.  Operator operands keep their own kernel.
     label:
         Human-readable tag stored on the result.
     callback:
@@ -186,74 +172,39 @@ def power_iteration(
     ConvergenceError
         When ``params.strict`` and ``max_iter`` is exhausted first.
     """
-    n = matrix.shape[0]
-    c = uniform_teleport(n) if teleport is None else np.asarray(teleport, dtype=np.float64).ravel()
+    if kernel is None:
+        kernel = getattr(params, "kernel", "scipy")
     if dangling == "self":
         from .dangling import apply_self_loops
 
-        matrix = apply_self_loops(matrix)
-    progress = params.progress
-    tag = label or "power"
-    with PowerOperator(
-        matrix, params.alpha, c, dangling=dangling, kernel=kernel
-    ) as op, span(f"solve:{tag}", solver="power", kernel=kernel, n=n) as trace:
+        operand = apply_self_loops(as_matrix(operand))
+    owns = sp.issparse(operand)
+    inner = as_operator(operand, kernel=kernel)
+    try:
+        n = inner.n
+        c = (
+            uniform_teleport(n)
+            if teleport is None
+            else np.asarray(teleport, dtype=np.float64).ravel()
+        )
+        op = PowerOperator(inner, params.alpha, c, dangling=dangling)
         x = c.copy() if x0 is None else np.asarray(x0, dtype=np.float64).ravel().copy()
         if x.size != n:
             raise GraphError(f"x0 length {x.size} != matrix order {n}")
-        track_dangling = 0
-        if progress is not None:
-            track_dangling = op.n_dangling
-            progress.on_solve_start(
-                tag,
-                solver="power",
-                kernel=kernel,
-                n=n,
-                tolerance=params.tolerance,
-                max_iter=params.max_iter,
-                n_dangling=track_dangling,
-            )
-        history: list[float] = []
-        residual = np.inf
-        iterations = 0
-        for iterations in range(1, params.max_iter + 1):
-            if progress is not None:
-                t0 = time.perf_counter()
-            x_next = op.step(x)
-            residual = residual_norm(x_next - x, params.norm)
-            history.append(residual)
-            x = x_next
-            if callback is not None:
-                callback(iterations, residual)
-            if progress is not None:
-                progress.on_iteration(
-                    tag,
-                    iterations,
-                    residual,
-                    step_seconds=time.perf_counter() - t0,
-                    dangling_mass=(
-                        float(x[op.dangling_mask].sum()) if track_dangling else None
-                    ),
-                )
-            if residual < params.tolerance:
-                break
-        converged = residual < params.tolerance
-        if trace is not None:
-            trace.meta["iterations"] = iterations
-    info = ConvergenceInfo(
-        converged=converged,
-        iterations=iterations,
-        residual=float(residual),
-        tolerance=params.tolerance,
-        residual_history=tuple(history),
-    )
-    if progress is not None:
-        progress.on_solve_end(tag, info)
-    if not converged:
-        if params.strict:
-            raise ConvergenceError(iterations, residual, params.tolerance)
-        _logger.warning(
-            "power iteration did not converge: residual %.3e after %d iterations",
-            residual,
-            iterations,
+        x, info = iterate_to_fixpoint(
+            op.step,
+            x,
+            params,
+            solver="power",
+            label=label or "power",
+            kernel=op.kernel,
+            dangling_mask=op.dangling_mask,
+            callback=callback,
         )
+    finally:
+        if owns:
+            inner.close()
     return RankingResult(x, info, label=label)
+
+
+register_solver("power", power_iteration, overwrite=True)

@@ -10,12 +10,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import RankingParams
-from ..errors import ConfigError
+from ..linalg.operator import TransitionOperator
+from ..linalg.registry import solver_registry
 from ..sources.sourcegraph import SourceGraph
 from .base import RankingResult
-from .gauss_seidel import gauss_seidel_solve
-from .jacobi import jacobi_solve
-from .power import power_iteration
 
 __all__ = ["sourcerank"]
 
@@ -26,32 +24,27 @@ def sourcerank(
     *,
     teleport: np.ndarray | None = None,
     x0: np.ndarray | None = None,
-    solver: str = "power",
-    kernel: str = "scipy",
+    solver: str | None = None,
+    kernel: str | None = None,
+    operator: TransitionOperator | None = None,
 ) -> RankingResult:
     """Compute the baseline (unthrottled) SourceRank vector.
 
     Parameters mirror :func:`repro.ranking.pagerank.pagerank`, operating on
     a :class:`~repro.sources.sourcegraph.SourceGraph` whose matrix is
     already row-stochastic (so there is no dangling mass by construction).
+    ``operator`` optionally supplies a prebuilt
+    :class:`~repro.linalg.operator.TransitionOperator` over the source
+    matrix so repeated solves (the pipeline's baseline comparison, κ-sweeps)
+    reuse one kernel setup; the caller keeps ownership of it.
     """
     params = params or RankingParams()
-    matrix = source_graph.matrix
-    if solver == "power":
-        return power_iteration(
-            matrix,
-            params,
-            teleport=teleport,
-            x0=x0,
-            kernel=kernel,  # type: ignore[arg-type]
-            label="sourcerank",
-        )
-    if solver == "jacobi":
-        return jacobi_solve(matrix, params, teleport=teleport, x0=x0, label="sourcerank")
-    if solver == "gauss_seidel":
-        return gauss_seidel_solve(
-            matrix, params, teleport=teleport, x0=x0, label="sourcerank"
-        )
-    raise ConfigError(
-        f"solver must be 'power', 'jacobi', or 'gauss_seidel', got {solver!r}"
+    return solver_registry.solve(
+        source_graph.matrix if operator is None else operator,
+        params,
+        solver=solver,
+        label="sourcerank",
+        teleport=teleport,
+        x0=x0,
+        kernel=kernel,
     )

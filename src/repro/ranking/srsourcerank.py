@@ -9,6 +9,14 @@ The selective random walk of Section 3.4: at source ``s_i`` the walker
 Equivalently, the stationary distribution of
 ``σᵀ = α σᵀ T'' + (1 − α) cᵀ`` where ``T''`` is the influence-throttled
 transition matrix.
+
+``T''`` is never materialized here: the throttle transform is applied
+lazily by :class:`~repro.linalg.operator.ThrottledOperator` (a per-row
+out-scale plus a diagonal self-edge term on top of the base matrix), so a
+κ-sweep or incremental rerun reuses one base matrix across every κ.
+Solvers that require an explicit system matrix (Jacobi, Gauss–Seidel)
+materialize it themselves through the operator, landing on exactly the
+matrix :func:`~repro.throttle.transform.throttle_transform` would build.
 """
 
 from __future__ import annotations
@@ -16,14 +24,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import RankingParams
-from ..errors import ConfigError
+from ..linalg.operator import CsrOperator, ThrottledOperator
+from ..linalg.registry import solver_registry
 from ..sources.sourcegraph import SourceGraph
-from ..throttle.transform import throttle_transform
 from ..throttle.vector import ThrottleVector
 from .base import RankingResult
-from .gauss_seidel import gauss_seidel_solve
-from .jacobi import jacobi_solve
-from .power import power_iteration
 
 __all__ = ["spam_resilient_sourcerank"]
 
@@ -35,9 +40,10 @@ def spam_resilient_sourcerank(
     *,
     teleport: np.ndarray | None = None,
     x0: np.ndarray | None = None,
-    solver: str = "power",
-    kernel: str = "scipy",
+    solver: str | None = None,
+    kernel: str | None = None,
     full_throttle: str = "self",
+    operator: CsrOperator | None = None,
 ) -> RankingResult:
     """Compute the Spam-Resilient SourceRank vector σ.
 
@@ -57,6 +63,10 @@ def spam_resilient_sourcerank(
         How κ = 1 sources behave: ``"self"`` (literal Section 3.3
         transform) or ``"dangling"`` (complete muting — the reading
         Fig. 5 needs; see :mod:`repro.throttle.transform`).
+    operator:
+        Prebuilt :class:`~repro.linalg.operator.CsrOperator` over the
+        *unthrottled* source matrix; pass one to amortize kernel setup
+        across a κ-sweep.  The caller keeps ownership of it.
 
     Returns
     -------
@@ -69,26 +79,22 @@ def spam_resilient_sourcerank(
         kappa = ThrottleVector.zeros(n)
     elif not isinstance(kappa, ThrottleVector):
         kappa = ThrottleVector(kappa)
-    matrix = throttle_transform(
-        source_graph.matrix, kappa, full_throttle=full_throttle
+    resolved_kernel = kernel if kernel is not None else getattr(params, "kernel", "scipy")
+    throttled = ThrottledOperator(
+        source_graph.matrix if operator is None else operator,
+        kappa,
+        full_throttle=full_throttle,
+        kernel=resolved_kernel,
     )
-    if solver == "power":
-        return power_iteration(
-            matrix,
+    try:
+        return solver_registry.solve(
+            throttled,
             params,
+            solver=solver,
+            label="sr-sourcerank",
             teleport=teleport,
             x0=x0,
-            kernel=kernel,  # type: ignore[arg-type]
-            label="sr-sourcerank",
+            kernel=kernel,
         )
-    if solver == "jacobi":
-        return jacobi_solve(
-            matrix, params, teleport=teleport, x0=x0, label="sr-sourcerank"
-        )
-    if solver == "gauss_seidel":
-        return gauss_seidel_solve(
-            matrix, params, teleport=teleport, x0=x0, label="sr-sourcerank"
-        )
-    raise ConfigError(
-        f"solver must be 'power', 'jacobi', or 'gauss_seidel', got {solver!r}"
-    )
+    finally:
+        throttled.close()

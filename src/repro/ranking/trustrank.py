@@ -26,6 +26,7 @@ from ..config import RankingParams
 from ..errors import ConfigError
 from ..graph.matrix import transition_matrix
 from ..graph.pagegraph import PageGraph
+from ..linalg.registry import solver_registry
 from .base import RankingResult
 from .power import power_iteration
 from .teleport import seeded_teleport
@@ -39,6 +40,8 @@ def trustrank(
     params: RankingParams | None = None,
     *,
     dangling: str = "linear",
+    solver: str | None = None,
+    kernel: str | None = None,
 ) -> RankingResult:
     """Compute TrustRank over a page graph from a trusted seed set.
 
@@ -53,6 +56,9 @@ def trustrank(
         ``alpha = 0.85``).
     dangling:
         Dangling-mass strategy, as in :func:`repro.ranking.pagerank.pagerank`.
+    solver, kernel:
+        Registry solver name and power-kernel choice, as in
+        :func:`repro.ranking.pagerank.pagerank`.
 
     Returns
     -------
@@ -71,12 +77,14 @@ def trustrank(
             f"[{seeds[0]}, {seeds[-1]}]"
         )
     d = seeded_teleport(graph.n_nodes, seeds)
-    return power_iteration(
+    return solver_registry.solve(
         transition_matrix(graph),
         params,
+        solver=solver,
+        label="trustrank",
         teleport=d,
         dangling=dangling,
-        label="trustrank",
+        kernel=kernel,
     )
 
 

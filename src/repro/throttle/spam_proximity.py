@@ -23,6 +23,7 @@ import scipy.sparse as sp
 from ..config import SpamProximityParams
 from ..errors import ThrottleError
 from ..graph.matrix import row_normalize
+from ..linalg.operator import ReversedOperator
 from ..logging_utils import get_logger, log_duration
 from ..ranking.base import RankingResult
 from ..ranking.power import power_iteration
@@ -62,8 +63,15 @@ def spam_proximity(
     source_graph: SourceGraph | sp.csr_matrix,
     seeds: np.ndarray | list[int],
     params: SpamProximityParams | None = None,
+    *,
+    operator: ReversedOperator | None = None,
 ) -> RankingResult:
     """Score every source's proximity to a seed set of spam sources.
+
+    The reversed walk matrix is never materialized: the walk runs on a
+    :class:`~repro.linalg.operator.ReversedOperator`, whose transpose
+    matvec is a plain forward matvec on the original-orientation binary
+    adjacency.
 
     Parameters
     ----------
@@ -75,6 +83,10 @@ def spam_proximity(
         ground-truth spam set).
     params:
         Mixing factor ``β`` and stopping rule.
+    operator:
+        Prebuilt :class:`~repro.linalg.operator.ReversedOperator` over the
+        same source matrix, for callers (the pipeline) that rerun the walk
+        with different seed sets.
 
     Returns
     -------
@@ -93,7 +105,7 @@ def spam_proximity(
             f"seed ids must lie in [0, {n}), got range [{seeds[0]}, {seeds[-1]}]"
         )
     with log_duration(_logger, "spam proximity inverse walk"):
-        inverted = inverse_transition_matrix(matrix)
+        inverted = ReversedOperator(matrix) if operator is None else operator
         d = seeded_teleport(n, seeds)
         # Dangling rows of the inverted graph (sources nobody links to) restart
         # at the seed distribution, keeping all proximity mass spam-anchored.

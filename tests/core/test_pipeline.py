@@ -79,6 +79,42 @@ class TestPipeline:
         with pytest.raises(ConfigError):
             SpamResilientPipeline(full_throttle="bogus")
 
+    def test_baseline_reuses_rank_source_graph(self, tiny_dataset, monkeypatch):
+        """rank + baseline on the same web quotient the page graph once."""
+        ds = tiny_dataset
+        pipe = SpamResilientPipeline()
+        calls = []
+        original = SpamResilientPipeline.build_source_graph
+
+        def counted(self, graph, assignment):
+            calls.append(1)
+            return original(self, graph, assignment)
+
+        monkeypatch.setattr(SpamResilientPipeline, "build_source_graph", counted)
+        pipe.rank(ds.graph, ds.assignment, spam_seeds=ds.spam_sources[:2])
+        pipe.baseline_sourcerank(ds.graph, ds.assignment)
+        assert len(calls) == 1
+
+    def test_baseline_accepts_prebuilt_source_graph(self, tiny_dataset):
+        ds = tiny_dataset
+        pipe = SpamResilientPipeline()
+        result = pipe.rank(ds.graph, ds.assignment)
+        direct = pipe.baseline_sourcerank(source_graph=result.source_graph)
+        indirect = pipe.baseline_sourcerank(ds.graph, ds.assignment)
+        np.testing.assert_allclose(direct.scores, indirect.scores, atol=1e-12)
+
+    def test_baseline_without_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            SpamResilientPipeline().baseline_sourcerank()
+
+    def test_clear_cache_rebuilds(self, tiny_dataset):
+        ds = tiny_dataset
+        pipe = SpamResilientPipeline()
+        first = pipe._shared_operators(ds.graph, ds.assignment)
+        assert pipe._shared_operators(ds.graph, ds.assignment) is first
+        pipe.clear_cache()
+        assert pipe._shared_operators(ds.graph, ds.assignment) is not first
+
     def test_full_throttle_mode_changes_result(self, tiny_dataset):
         ds = tiny_dataset
         seeds = ds.spam_sources[:3]
