@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest / python underneath.
 
-.PHONY: install test bench figures examples metrics-demo clean
+.PHONY: install test bench figures examples metrics-demo resilience clean
 
 install:
 	pip install -e .
@@ -19,6 +19,10 @@ metrics-demo:
 		--metrics-out /tmp/repro-metrics.json --trace
 	@echo "--- exported metrics ---"
 	@cat /tmp/repro-metrics.json
+
+resilience:
+	PYTHONPATH=src python -m pytest -q tests/resilience
+	PYTHONPATH=src python benchmarks/bench_resilience.py --quick
 
 examples:
 	python examples/quickstart.py

@@ -30,6 +30,7 @@ from .config import (
     DEFAULT_TOLERANCE,
     ExperimentParams,
     RankingParams,
+    ResilienceParams,
     SpamProximityParams,
     ThrottleParams,
 )
@@ -49,13 +50,18 @@ from .errors import (
     ConfigError,
     ConvergenceError,
     DatasetError,
+    DivergenceError,
     EmptyGraphError,
     GraphError,
+    InjectedFaultError,
     NodeIndexError,
+    NumericalError,
     ObservabilityError,
     ReproError,
     ScenarioError,
+    SolveDeadlineError,
     SourceAssignmentError,
+    StagnationError,
     ThrottleError,
 )
 from .observability import (
@@ -74,6 +80,12 @@ from .linalg import (
     TransitionOperator,
     available_solvers,
     register_solver,
+)
+from .resilience import (
+    FallbackChain,
+    PipelineCheckpointer,
+    SolveAttempt,
+    SolveCheckpointer,
 )
 from .ranking import (
     RankingResult,
@@ -105,6 +117,7 @@ __all__ = [
     "DEFAULT_MAX_ITER",
     "DEFAULT_TOLERANCE",
     "RankingParams",
+    "ResilienceParams",
     "ThrottleParams",
     "SpamProximityParams",
     "ExperimentParams",
@@ -116,6 +129,11 @@ __all__ = [
     "SourceAssignmentError",
     "ThrottleError",
     "ConvergenceError",
+    "NumericalError",
+    "DivergenceError",
+    "StagnationError",
+    "SolveDeadlineError",
+    "InjectedFaultError",
     "ConfigError",
     "DatasetError",
     "CodecError",
@@ -176,6 +194,11 @@ __all__ = [
     "DATASETS",
     "LoadedDataset",
     "load_dataset",
+    # resilience
+    "FallbackChain",
+    "SolveAttempt",
+    "SolveCheckpointer",
+    "PipelineCheckpointer",
     # pipeline
     "SpamResilientPipeline",
     "PipelineResult",

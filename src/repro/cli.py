@@ -67,6 +67,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_rank.add_argument(
         "--trace", action="store_true", help="print the per-stage trace tree"
     )
+    p_rank.add_argument(
+        "--fallback-solvers",
+        default=None,
+        help="comma-separated solver names to fail over to when the "
+        "primary solver trips a guard (e.g. 'jacobi,power')",
+    )
+    p_rank.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="directory for stage + solve checkpoints (enables "
+        "crash-resumable runs)",
+    )
+    p_rank.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume completed stages / partial solves from "
+        "--checkpoint-dir instead of recomputing",
+    )
 
     p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
     p_fig.add_argument(
@@ -121,7 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 
 def _cmd_rank(args: argparse.Namespace) -> int:
-    from .config import RankingParams, SpamProximityParams, ThrottleParams
+    from .config import (
+        RankingParams,
+        ResilienceParams,
+        SpamProximityParams,
+        ThrottleParams,
+    )
     from .core.pipeline import SpamResilientPipeline
     from .datasets.registry import load_dataset
     from .graph.io import read_labeled_edges
@@ -169,17 +193,34 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     throttle = ThrottleParams(
         top_fraction=min(1.0, max(2 * max(len(seeds), 1), 4) / n)
     )
-    pipe = SpamResilientPipeline(
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    resilience = None
+    if args.fallback_solvers:
+        resilience = ResilienceParams(
+            fallback_solvers=tuple(
+                name.strip()
+                for name in args.fallback_solvers.split(",")
+                if name.strip()
+            )
+        )
+    with SpamResilientPipeline(
         ranking=RankingParams(
             alpha=args.alpha,
             solver=args.solver,
             kernel=args.kernel,
             progress=telemetry,
+            resilience=resilience,
         ),
         throttle=throttle,
-        proximity=SpamProximityParams(progress=telemetry),
-    )
-    result = pipe.rank(graph, assignment, spam_seeds=seeds or None)
+        proximity=SpamProximityParams(
+            progress=telemetry, resilience=resilience
+        ),
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    ) as pipe:
+        result = pipe.rank(graph, assignment, spam_seeds=seeds or None)
     if args.trace and result.trace is not None:
         print("\ntrace:")
         print(format_tree(result.trace))

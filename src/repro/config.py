@@ -15,9 +15,11 @@ from .errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from .observability.progress import ProgressCallback
+    from .resilience.checkpoint import SolveCheckpointer
 
 __all__ = [
     "RankingParams",
+    "ResilienceParams",
     "ThrottleParams",
     "SpamProximityParams",
     "ExperimentParams",
@@ -49,6 +51,89 @@ def _check_positive(name: str, value: float) -> float:
     if not value > 0.0:
         raise ConfigError(f"{name} must be positive, got {value!r}")
     return value
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceParams:
+    """Numerical guardrails and recovery policy for iterative solves.
+
+    Attached to :attr:`RankingParams.resilience`; when present (and any
+    guard is enabled) :func:`repro.linalg.iterate.iterate_to_fixpoint`
+    checks every iterate against these rules and raises the typed
+    :class:`~repro.errors.ConvergenceError` subclasses on violation —
+    which a :class:`~repro.resilience.FallbackChain` can then catch to
+    warm-start the next solver in line.
+
+    Parameters
+    ----------
+    check_finite_every:
+        Run a full ``isfinite`` scan of the iterate every this many
+        iterations (``1`` = every iteration; ``0`` disables the scan —
+        a non-finite *residual* still trips the guard).  The guard keeps
+        a copy of the last finite iterate for warm-starting fallbacks.
+    divergence_window:
+        Raise :class:`~repro.errors.DivergenceError` after this many
+        *consecutive* iterations of residual growth (``0`` disables).
+    stagnation_window:
+        Raise :class:`~repro.errors.StagnationError` when, over a window
+        of this many iterations, the residual improves by less than
+        ``stagnation_rtol`` (relative) while still above tolerance
+        (``0`` disables — the default, since slow-but-steady convergence
+        is legitimate for ill-conditioned webs).
+    stagnation_rtol:
+        Minimum relative residual improvement per stagnation window.
+    deadline_seconds:
+        Wall-clock budget for one solve; exceeded ⇒
+        :class:`~repro.errors.SolveDeadlineError` (``None`` disables).
+    fallback_solvers:
+        Solver names (in order) a fallback chain should try after the
+        primary solver; each is validated against the solver registry.
+    checkpoint_every:
+        Iteration interval for solve checkpoints when a checkpointer is
+        installed (``0`` keeps the checkpointer's own default).
+    """
+
+    check_finite_every: int = 1
+    divergence_window: int = 10
+    stagnation_window: int = 0
+    stagnation_rtol: float = 1e-3
+    deadline_seconds: float | None = None
+    fallback_solvers: tuple[str, ...] = ()
+    checkpoint_every: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("check_finite_every", "divergence_window",
+                     "stagnation_window", "checkpoint_every"):
+            value = int(getattr(self, name))
+            if value < 0:
+                raise ConfigError(f"{name} must be >= 0, got {value!r}")
+            object.__setattr__(self, name, value)
+        _check_unit_interval("stagnation_rtol", self.stagnation_rtol)
+        if self.deadline_seconds is not None:
+            _check_positive("deadline_seconds", self.deadline_seconds)
+            object.__setattr__(self, "deadline_seconds", float(self.deadline_seconds))
+        object.__setattr__(
+            self, "fallback_solvers", tuple(str(s) for s in self.fallback_solvers)
+        )
+        if self.fallback_solvers:
+            from .linalg.registry import solver_registry
+
+            for solver in self.fallback_solvers:
+                solver_registry.validate(solver)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any per-iteration guard is active."""
+        return bool(
+            self.check_finite_every
+            or self.divergence_window
+            or self.stagnation_window
+            or self.deadline_seconds is not None
+        )
+
+    def with_(self, **overrides: object) -> "ResilienceParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +170,15 @@ class RankingParams:
         mass).  ``None`` (default) keeps the solver hot loop free of any
         timing calls or allocations.  Excluded from equality/hash so two
         parameter sets describing the same computation stay equal.
+    resilience:
+        Optional :class:`ResilienceParams` enabling per-iteration
+        numerical guardrails (NaN/Inf, divergence, stagnation, deadline)
+        in the shared iteration engine.  ``None`` (default) keeps the
+        hot loop guard-free.
+    checkpoint:
+        Optional :class:`repro.resilience.SolveCheckpointer` persisting
+        periodic solve checkpoints (and resuming from them).  Like
+        ``progress``, excluded from equality/hash.
     """
 
     alpha: float = DEFAULT_ALPHA
@@ -97,6 +191,10 @@ class RankingParams:
     progress: "ProgressCallback | None" = field(
         default=None, compare=False, repr=False
     )
+    resilience: "ResilienceParams | None" = None
+    checkpoint: "SolveCheckpointer | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         _check_unit_interval("alpha", self.alpha, open_right=True)
@@ -106,6 +204,13 @@ class RankingParams:
         object.__setattr__(self, "max_iter", int(self.max_iter))
         if self.norm not in ("l1", "l2", "linf"):
             raise ConfigError(f"norm must be one of 'l1', 'l2', 'linf', got {self.norm!r}")
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceParams
+        ):
+            raise ConfigError(
+                "resilience must be a ResilienceParams or None, got "
+                f"{type(self.resilience).__name__}"
+            )
         # Imported lazily: the registry lives in repro.linalg, which is
         # only reachable at call time without a config <-> linalg cycle.
         from .linalg.operator import KERNELS
@@ -175,6 +280,10 @@ class SpamProximityParams:
     progress: "ProgressCallback | None" = field(
         default=None, compare=False, repr=False
     )
+    resilience: "ResilienceParams | None" = None
+    checkpoint: "SolveCheckpointer | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         _check_unit_interval("beta", self.beta, open_right=True)
@@ -182,6 +291,13 @@ class SpamProximityParams:
         if int(self.max_iter) < 1:
             raise ConfigError(f"max_iter must be >= 1, got {self.max_iter!r}")
         object.__setattr__(self, "max_iter", int(self.max_iter))
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceParams
+        ):
+            raise ConfigError(
+                "resilience must be a ResilienceParams or None, got "
+                f"{type(self.resilience).__name__}"
+            )
 
     def as_ranking_params(self) -> RankingParams:
         """View these parameters as generic :class:`RankingParams`."""
@@ -190,6 +306,8 @@ class SpamProximityParams:
             tolerance=self.tolerance,
             max_iter=self.max_iter,
             progress=self.progress,
+            resilience=self.resilience,
+            checkpoint=self.checkpoint,
         )
 
 

@@ -15,13 +15,15 @@ fifteen-line use of it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
 from ..config import RankingParams, SpamProximityParams, ThrottleParams
 from ..errors import ConfigError
 from ..graph.pagegraph import PageGraph
+from ..linalg.iterate import ConvergenceInfo
 from ..linalg.operator import CsrOperator, ReversedOperator
 from ..logging_utils import get_logger
 from ..observability.metrics import (
@@ -33,6 +35,8 @@ from ..ranking.base import RankingResult
 from ..ranking.pagerank import pagerank
 from ..ranking.sourcerank import sourcerank
 from ..ranking.srsourcerank import spam_resilient_sourcerank
+from ..resilience.checkpoint import PipelineCheckpointer, content_key
+from ..resilience.fallback import FallbackChain
 from ..sources.assignment import SourceAssignment
 from ..sources.sourcegraph import SourceGraph
 from ..throttle.spam_proximity import spam_proximity
@@ -151,6 +155,28 @@ class SpamResilientPipeline:
         paper's Fig. 5 demonstrates) or ``"self"`` (the literal Section
         3.3 transform analysed in Section 4; see
         :mod:`repro.throttle.transform`).
+    checkpoint_dir:
+        When set, completed proximity/rank stages are checkpointed under
+        this directory, keyed on a content hash of the inputs, and the
+        iterative solves write periodic atomic solve checkpoints there
+        (see :mod:`repro.resilience.checkpoint`).
+    resume:
+        When True (and ``checkpoint_dir`` is set), stages and solves
+        whose checkpoints match the current inputs are resumed instead
+        of recomputed.
+
+    Notes
+    -----
+    When ``ranking.resilience.fallback_solvers`` is non-empty, the
+    configured solver is wrapped in a
+    :class:`~repro.resilience.FallbackChain` (primary solver first), so
+    any guard trip during the rank or proximity stage fails over with a
+    warm start instead of aborting the run.
+
+    The pipeline is a context manager: ``with SpamResilientPipeline() as
+    pipe: ...`` guarantees the cached source graph and kernel resources
+    (shared memory for the parallel kernel) are released even when a
+    stage raises.
 
     Examples
     --------
@@ -172,6 +198,8 @@ class SpamResilientPipeline:
         *,
         weighting: str = "consensus",
         full_throttle: str = "dangling",
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
     ) -> None:
         self.ranking = ranking or RankingParams()
         self.throttle = throttle or ThrottleParams()
@@ -187,6 +215,17 @@ class SpamResilientPipeline:
         self.weighting = weighting
         self.full_throttle = full_throttle
         self._shared: tuple[tuple[int, int], _SharedOperators] | None = None
+        self._checkpointer = (
+            PipelineCheckpointer(checkpoint_dir, resume=resume)
+            if checkpoint_dir is not None
+            else None
+        )
+        resilience = self.ranking.resilience
+        if resilience is not None and resilience.fallback_solvers:
+            chain = FallbackChain(
+                (self.ranking.solver, *resilience.fallback_solvers)
+            )
+            self.ranking = self.ranking.with_(solver=chain.register())
 
     # ------------------------------------------------------------------
     def build_source_graph(
@@ -226,6 +265,100 @@ class SpamResilientPipeline:
         if self._shared is not None:
             self._shared[1].close()
             self._shared = None
+
+    def close(self) -> None:
+        """Release all cached resources (alias of :meth:`clear_cache`)."""
+        self.clear_cache()
+
+    def __enter__(self) -> "SpamResilientPipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        # Runs on error paths too: a stage that raises mid-rank must not
+        # leak the parallel kernel's shared-memory segments.
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _checkpoint_setup(
+        self,
+        source_graph: SourceGraph,
+        assignment: SourceAssignment,
+        seeds: np.ndarray | None,
+        kappa: ThrottleVector | np.ndarray | None,
+    ) -> tuple[str | None, RankingParams, SpamProximityParams]:
+        """Run key plus checkpoint-carrying params for one ``rank`` call.
+
+        The key is a content hash of everything that determines the
+        output — source-graph CSR arrays, page→source map, seeds or
+        explicit κ, and every parameter set — so checkpoints can never be
+        replayed onto different inputs.  Without a configured
+        ``checkpoint_dir`` this is a no-op returning the plain params.
+        """
+        if self._checkpointer is None:
+            return None, self.ranking, self.proximity
+        kappa_part: object = "kappa:computed"
+        if kappa is not None:
+            values = kappa.kappa if isinstance(kappa, ThrottleVector) else kappa
+            kappa_part = np.asarray(values, dtype=np.float64)
+        run_key = content_key(
+            source_graph.matrix,
+            assignment.page_to_source,
+            "seeds:none" if seeds is None else seeds,
+            kappa_part,
+            self.ranking,
+            self.throttle,
+            self.proximity,
+            self.weighting,
+            self.full_throttle,
+        )
+        resilience = self.ranking.resilience
+        every = (
+            resilience.checkpoint_every
+            if resilience is not None and resilience.checkpoint_every
+            else 25
+        )
+        solve_ckpt = self._checkpointer.solve_checkpointer(run_key, every=every)
+        return (
+            run_key,
+            self.ranking.with_(checkpoint=solve_ckpt),
+            replace(self.proximity, checkpoint=solve_ckpt),
+        )
+
+    _STAGE_FIELDS = ("scores", "iterations", "residual", "tolerance")
+
+    def _load_stage_result(
+        self, run_key: str | None, stage: str, label: str
+    ) -> RankingResult | None:
+        """Rebuild a stage's RankingResult from its checkpoint, if any."""
+        if self._checkpointer is None or run_key is None:
+            return None
+        stored = self._checkpointer.load_stage(run_key, stage, self._STAGE_FIELDS)
+        if stored is None:
+            return None
+        info = ConvergenceInfo(
+            converged=True,
+            iterations=int(stored["iterations"]),
+            residual=float(stored["residual"]),
+            tolerance=float(stored["tolerance"]),
+        )
+        return RankingResult(stored["scores"], info, label=label)
+
+    def _save_stage_result(
+        self, run_key: str | None, stage: str, result: RankingResult
+    ) -> None:
+        """Persist one completed stage's scores + convergence record."""
+        if self._checkpointer is None or run_key is None:
+            return
+        self._checkpointer.save_stage(
+            run_key,
+            stage,
+            scores=result.scores,
+            iterations=np.int64(result.convergence.iterations),
+            residual=np.float64(result.convergence.residual),
+            tolerance=np.float64(result.convergence.tolerance),
+        )
 
     def compute_kappa(
         self,
@@ -289,6 +422,9 @@ class SpamResilientPipeline:
                 shared = self._shared_operators(graph, assignment)
                 source_graph = shared.source_graph
                 sp.meta["edges"] = int(source_graph.matrix.nnz)
+            run_key, ranking_params, proximity_params = self._checkpoint_setup(
+                source_graph, assignment, seeds, kappa
+            )
             if kappa is not None:
                 proximity = None
                 if not isinstance(kappa, ThrottleVector):
@@ -303,12 +439,19 @@ class SpamResilientPipeline:
                         proximity = None
                         sp.meta["skipped"] = "no spam seeds"
                     else:
-                        proximity = spam_proximity(
-                            source_graph,
-                            seeds,
-                            self.proximity,
-                            operator=shared.reversed,
+                        proximity = self._load_stage_result(
+                            run_key, "proximity", "spam-proximity"
                         )
+                        if proximity is not None:
+                            sp.meta["resumed"] = True
+                        else:
+                            proximity = spam_proximity(
+                                source_graph,
+                                seeds,
+                                proximity_params,
+                                operator=shared.reversed,
+                            )
+                            self._save_stage_result(run_key, "proximity", proximity)
                         sp.meta["iterations"] = proximity.convergence.iterations
                 with tracer.span("kappa") as sp:
                     if proximity is None:
@@ -317,13 +460,18 @@ class SpamResilientPipeline:
                         kappa = assign_kappa(proximity.scores, self.throttle)
                     sp.meta["throttled"] = int(kappa.fully_throttled().size)
             with tracer.span("rank") as sp:
-                scores = spam_resilient_sourcerank(
-                    source_graph,
-                    kappa,
-                    self.ranking,
-                    full_throttle=self.full_throttle,
-                    operator=shared.base,
-                )
+                scores = self._load_stage_result(run_key, "rank", "sr-sourcerank")
+                if scores is not None:
+                    sp.meta["resumed"] = True
+                else:
+                    scores = spam_resilient_sourcerank(
+                        source_graph,
+                        kappa,
+                        ranking_params,
+                        full_throttle=self.full_throttle,
+                        operator=shared.base,
+                    )
+                    self._save_stage_result(run_key, "rank", scores)
                 sp.meta["iterations"] = scores.convergence.iterations
         timings = {child.name: child.duration for child in root.children}
         self._record_run(root, timings, proximity, scores)

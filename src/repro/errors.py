@@ -16,6 +16,11 @@ __all__ = [
     "SourceAssignmentError",
     "ThrottleError",
     "ConvergenceError",
+    "NumericalError",
+    "DivergenceError",
+    "StagnationError",
+    "SolveDeadlineError",
+    "InjectedFaultError",
     "ConfigError",
     "DatasetError",
     "CodecError",
@@ -64,16 +69,112 @@ class ConvergenceError(ReproError):
         Final residual norm when iteration stopped.
     tolerance:
         The requested stopping tolerance.
+    last_iterate:
+        The last *finite* iterate seen before failure (a NumPy vector), or
+        ``None`` when no finite iterate is available.  Fallback chains use
+        it to warm-start the next solver in line.
     """
 
-    def __init__(self, iterations: int, residual: float, tolerance: float) -> None:
+    def __init__(
+        self,
+        iterations: int,
+        residual: float,
+        tolerance: float,
+        message: str | None = None,
+    ) -> None:
         super().__init__(
-            f"solver failed to converge: residual {residual:.3e} > "
+            message
+            or f"solver failed to converge: residual {residual:.3e} > "
             f"tolerance {tolerance:.3e} after {iterations} iterations"
         )
         self.iterations = int(iterations)
         self.residual = float(residual)
         self.tolerance = float(tolerance)
+        self.last_iterate: object | None = None
+
+
+class NumericalError(ConvergenceError):
+    """Raised when an iterate (or its residual) turns NaN/Inf mid-solve."""
+
+    def __init__(
+        self, iterations: int, residual: float, tolerance: float, *, what: str = "iterate"
+    ) -> None:
+        super().__init__(
+            iterations,
+            residual,
+            tolerance,
+            f"non-finite {what} at iteration {iterations} "
+            f"(residual {residual!r})",
+        )
+        self.what = what
+
+
+class DivergenceError(ConvergenceError):
+    """Raised on sustained residual growth (the solve is moving away)."""
+
+    def __init__(
+        self, iterations: int, residual: float, tolerance: float, *, window: int
+    ) -> None:
+        super().__init__(
+            iterations,
+            residual,
+            tolerance,
+            f"solver diverging: residual grew for {window} consecutive "
+            f"iterations, reaching {residual:.3e} at iteration {iterations}",
+        )
+        self.window = int(window)
+
+
+class StagnationError(ConvergenceError):
+    """Raised when the residual plateaus above tolerance (no progress)."""
+
+    def __init__(
+        self,
+        iterations: int,
+        residual: float,
+        tolerance: float,
+        *,
+        window: int,
+        improvement: float,
+    ) -> None:
+        super().__init__(
+            iterations,
+            residual,
+            tolerance,
+            f"solver stagnated: residual {residual:.3e} improved only "
+            f"{improvement:.1%} over the last {window} iterations "
+            f"(tolerance {tolerance:.3e} still out of reach)",
+        )
+        self.window = int(window)
+        self.improvement = float(improvement)
+
+
+class SolveDeadlineError(ConvergenceError):
+    """Raised when a solve exceeds its wall-clock deadline."""
+
+    def __init__(
+        self,
+        iterations: int,
+        residual: float,
+        tolerance: float,
+        *,
+        deadline_seconds: float,
+        elapsed_seconds: float,
+    ) -> None:
+        super().__init__(
+            iterations,
+            residual,
+            tolerance,
+            f"solve deadline exceeded: {elapsed_seconds:.2f}s elapsed "
+            f"(deadline {deadline_seconds:.2f}s) after {iterations} iterations "
+            f"at residual {residual:.3e}",
+        )
+        self.deadline_seconds = float(deadline_seconds)
+        self.elapsed_seconds = float(elapsed_seconds)
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the deterministic fault-injection harness (tests/benches)."""
 
 
 class ConfigError(ReproError, ValueError):

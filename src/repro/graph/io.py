@@ -19,7 +19,7 @@ from typing import TextIO
 
 import numpy as np
 
-from ..errors import GraphError
+from ..errors import CodecError, GraphError
 from .builder import GraphBuilder
 from .pagegraph import PageGraph
 
@@ -69,10 +69,16 @@ def read_edge_list(
             if len(parts) < 2:
                 raise GraphError(f"line {lineno}: expected 'src dst', got {line!r}")
             try:
-                src_list.append(int(parts[0]))
-                dst_list.append(int(parts[1]))
+                src, dst = int(parts[0]), int(parts[1])
             except ValueError as exc:
                 raise GraphError(f"line {lineno}: non-integer node id in {line!r}") from exc
+            if src < 0 or dst < 0:
+                raise GraphError(
+                    f"line {lineno}: negative node id in {line!r} "
+                    "(node ids must be >= 0)"
+                )
+            src_list.append(src)
+            dst_list.append(dst)
     finally:
         if owned:
             handle.close()
@@ -146,18 +152,31 @@ def save_npz(graph: PageGraph, path: str | Path) -> None:
 
 
 def load_npz(path: str | Path) -> PageGraph:
-    """Load a graph previously saved with :func:`save_npz`."""
+    """Load a graph previously saved with :func:`save_npz`.
+
+    The archive's ``format_version`` is verified before any array is
+    trusted; a tampered, truncated, or foreign ``.npz`` raises
+    :class:`~repro.errors.CodecError` rather than producing a silently
+    wrong graph.
+    """
     with np.load(path) as data:
         try:
             version = int(data["format_version"])
+        except KeyError as exc:
+            raise CodecError(
+                f"{path}: missing field {exc} — not a repro graph file"
+            ) from exc
+        if version != _NPZ_FORMAT_VERSION:
+            raise CodecError(
+                f"{path}: unsupported graph format version {version} "
+                f"(expected {_NPZ_FORMAT_VERSION})"
+            )
+        try:
             n_nodes = int(data["n_nodes"])
             indptr = data["indptr"]
             indices = data["indices"]
         except KeyError as exc:
-            raise GraphError(f"{path}: missing field {exc} — not a repro graph file") from exc
-    if version != _NPZ_FORMAT_VERSION:
-        raise GraphError(
-            f"{path}: unsupported graph format version {version} "
-            f"(expected {_NPZ_FORMAT_VERSION})"
-        )
+            raise CodecError(
+                f"{path}: missing field {exc} — not a repro graph file"
+            ) from exc
     return PageGraph(indptr, indices, n_nodes)

@@ -13,7 +13,15 @@ only their step function; the engine owns
   :class:`ConvergenceInfo`) — all zero-cost when ``params.progress`` is
   ``None``;
 * the residual history and the strict-raise / lenient-warn convergence
-  contract.
+  contract;
+* the resilience hooks — when ``params.resilience`` enables them, a
+  :class:`~repro.resilience.guards.SolveGuard` checks every iterate for
+  NaN/Inf, sustained divergence, stagnation, and wall-clock deadline
+  (raising the typed :class:`~repro.errors.ConvergenceError` subclasses);
+  when ``params.checkpoint`` carries a
+  :class:`~repro.resilience.checkpoint.SolveCheckpointer`, the iterate is
+  checkpointed periodically and the solve resumes from stored state.
+  Both are zero-cost when unset.
 
 :class:`ConvergenceInfo` lives here (below the ranking layer) so that
 both the engine and the result types can use it without an import cycle;
@@ -144,7 +152,11 @@ def iterate_to_fixpoint(
     Raises
     ------
     ConvergenceError
-        When ``params.strict`` and ``max_iter`` is exhausted first.
+        When ``params.strict`` and ``max_iter`` is exhausted first, or —
+        as one of the typed subclasses — when an enabled resilience guard
+        trips (NaN/Inf iterate, divergence, stagnation, deadline).  The
+        error carries the last finite iterate on ``last_iterate`` so
+        fallback chains can warm-start.
     """
     progress = params.progress
     tag = label or solver
@@ -152,6 +164,28 @@ def iterate_to_fixpoint(
     meta: dict[str, object] = dict(span_meta or {})
     if kernel is not None:
         meta.setdefault("kernel", kernel)
+    resilience = getattr(params, "resilience", None)
+    guard = None
+    if resilience is not None and resilience.enabled:
+        # Imported lazily: repro.resilience sits beside this layer and
+        # importing it at module scope would cycle through the registry.
+        from ..resilience.guards import SolveGuard
+
+        guard = SolveGuard(resilience, tolerance=params.tolerance, label=tag)
+    ckpt = getattr(params, "checkpoint", None)
+    ckpt_every = 0
+    start_iteration = 0
+    if ckpt is not None:
+        ckpt_every = (
+            resilience.checkpoint_every
+            if resilience is not None and resilience.checkpoint_every
+            else ckpt.every
+        )
+        state = ckpt.load(tag)
+        if state is not None and state.x.size == n:
+            x0 = state.x.copy()
+            start_iteration = min(int(state.iteration), params.max_iter - 1)
+            meta.setdefault("resumed_from", start_iteration)
     track_dangling = 0
     with span(f"solve:{tag}", solver=solver, n=n, **meta) as trace:
         if progress is not None:
@@ -172,8 +206,8 @@ def iterate_to_fixpoint(
         x = x0
         history: list[float] = []
         residual = np.inf
-        iterations = 0
-        for iterations in range(1, params.max_iter + 1):
+        iterations = start_iteration
+        for iterations in range(start_iteration + 1, params.max_iter + 1):
             if progress is not None:
                 t0 = time.perf_counter()
             x_next = step(x)
@@ -194,9 +228,15 @@ def iterate_to_fixpoint(
                 )
             if residual < params.tolerance:
                 break
+            if guard is not None:
+                guard.check(iterations, x, residual)
+            if ckpt is not None and iterations % ckpt_every == 0:
+                ckpt.save(tag, x, iterations, residual)
         converged = residual < params.tolerance
         if trace is not None:
             trace.meta["iterations"] = iterations
+    if ckpt is not None and converged:
+        ckpt.save(tag, x, iterations, residual)
     info = ConvergenceInfo(
         converged=converged,
         iterations=iterations,
@@ -208,7 +248,10 @@ def iterate_to_fixpoint(
         progress.on_solve_end(tag, info)
     if not converged:
         if params.strict:
-            raise ConvergenceError(iterations, residual, params.tolerance)
+            err = ConvergenceError(iterations, residual, params.tolerance)
+            if np.isfinite(np.asarray(x)).all():
+                err.last_iterate = np.array(x, dtype=np.float64, copy=True)
+            raise err
         _logger.warning(
             "%s did not converge: residual %.3e after %d iterations",
             tag,

@@ -1,9 +1,24 @@
-"""Worker-pool lifecycle helpers for the shared-memory kernels."""
+"""Worker-pool lifecycle helpers for the shared-memory kernels.
+
+:class:`WorkerPool` wraps :class:`~concurrent.futures.ProcessPoolExecutor`
+with the recovery behaviour a long-lived solve needs: when a worker dies
+(OOM-killed, segfaulted, ``os._exit``) the executor is permanently broken
+— every queued and future task raises ``BrokenProcessPool``.  The pool
+therefore supports *rebuilding*: :meth:`WorkerPool.run` retries a broken
+batch on a freshly built pool up to ``max_rebuilds`` times (re-running the
+initializer, so shared-memory attachments are restored) and optionally
+bounds each batch with a wall-clock ``task_timeout``.  Rebuilds are
+counted in the global metrics registry as
+``repro_fallbacks_total{kind="pool_rebuild"}``; callers that exhaust the
+retry budget (see :class:`~repro.parallel.shared.SharedCsrMatvec`) are
+expected to degrade to a serial kernel rather than fail the solve.
+"""
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from concurrent.futures import BrokenExecutor, TimeoutError as FuturesTimeoutError
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable
 
@@ -30,37 +45,128 @@ def effective_workers(requested: int | None = None) -> int:
     return requested
 
 
+def _record_pool_recovery(kind: str) -> None:
+    # Imported here: observability is substrate-level but this keeps the
+    # import out of worker processes that only need effective_workers.
+    from ..observability.metrics import get_registry
+
+    get_registry().counter(
+        "repro_fallbacks_total",
+        "Recovery actions by kind (solver/pool_rebuild/serial_degrade)",
+        labelnames=("kind",),
+    ).labels(kind=kind).inc()
+
+
 class WorkerPool:
-    """Thin context-managed wrapper around :class:`ProcessPoolExecutor`.
+    """Context-managed, self-healing wrapper around ``ProcessPoolExecutor``.
 
     Uses the ``fork`` start method where available so shared, read-only
     NumPy arrays in the parent are inherited copy-on-write by workers —
     matrix data is never pickled per task (the mpi4py guide's "communicate
     buffers, not pickles" principle translated to multiprocessing).
+
+    Parameters
+    ----------
+    n_workers:
+        Worker count (:func:`effective_workers` default).
+    initializer, initargs:
+        Per-worker initializer, re-run on every rebuild so workers can
+        re-attach shared-memory segments.
+    max_rebuilds:
+        How many times :meth:`run` may rebuild a broken pool over the
+        pool's lifetime before letting ``BrokenProcessPool`` propagate.
+    task_timeout:
+        Optional wall-clock bound (seconds) on one :meth:`run` batch; a
+        hung batch counts as a broken pool and triggers a rebuild.
     """
 
-    def __init__(self, n_workers: int | None = None, initializer: Callable[..., None] | None = None, initargs: tuple = ()) -> None:
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        *,
+        max_rebuilds: int = 2,
+        task_timeout: float | None = None,
+    ) -> None:
         self.n_workers = effective_workers(n_workers)
-        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.n_workers,
-            mp_context=ctx,
-            initializer=initializer,
-            initargs=initargs,
+        self.max_rebuilds = int(max_rebuilds)
+        self.task_timeout = task_timeout
+        self.rebuilds = 0
+        self._initializer = initializer
+        self._initargs = initargs
+        self._ctx = (
+            mp.get_context("fork")
+            if "fork" in mp.get_all_start_methods()
+            else mp.get_context()
         )
+        self._executor = self._build()
         _logger.debug(
             "worker pool started: %d workers (%s start method)",
             self.n_workers,
-            ctx.get_start_method(),
+            self._ctx.get_start_method(),
+        )
+
+    def _build(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=self._ctx,
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+
+    def rebuild(self) -> None:
+        """Replace a broken executor with a fresh one (initializer re-run)."""
+        try:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - broken pools can refuse shutdown
+            pass
+        self._executor = self._build()
+        self.rebuilds += 1
+        _record_pool_recovery("pool_rebuild")
+        _logger.warning(
+            "worker pool rebuilt after failure (%d/%d rebuilds used)",
+            self.rebuilds,
+            self.max_rebuilds,
         )
 
     def map(self, fn: Callable, iterable, chunksize: int = 1):
-        """Parallel map preserving input order."""
+        """Parallel map preserving input order (no retry; see :meth:`run`)."""
         return self._executor.map(fn, iterable, chunksize=chunksize)
 
     def submit(self, fn: Callable, *args, **kwargs):
         """Submit a single task; returns a future."""
         return self._executor.submit(fn, *args, **kwargs)
+
+    def run(self, fn: Callable, iterable, chunksize: int = 1) -> list:
+        """Ordered parallel map with bounded broken-pool recovery.
+
+        Materializes the whole batch so worker failures surface *here*,
+        not at a distant iteration point.  On ``BrokenProcessPool`` (or a
+        ``task_timeout`` expiry) the pool is rebuilt and the full batch
+        retried, up to ``max_rebuilds`` times across the pool's lifetime;
+        after that the underlying exception propagates for the caller to
+        degrade gracefully.
+        """
+        items = list(iterable)
+        while True:
+            try:
+                if self.task_timeout is not None:
+                    return list(
+                        self._executor.map(
+                            fn, items, chunksize=chunksize,
+                            timeout=self.task_timeout,
+                        )
+                    )
+                return list(self._executor.map(fn, items, chunksize=chunksize))
+            except (BrokenExecutor, FuturesTimeoutError) as exc:
+                if self.rebuilds >= self.max_rebuilds:
+                    _logger.error(
+                        "worker pool broken and rebuild budget exhausted: %s",
+                        exc,
+                    )
+                    raise
+                self.rebuild()
 
     def shutdown(self) -> None:
         """Shut the pool down, waiting for in-flight tasks."""

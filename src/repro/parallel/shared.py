@@ -8,11 +8,20 @@ reduces.  Per-iteration traffic is therefore exactly one input-vector write
 and ``n_workers`` accumulator reads — no matrix bytes ever cross the
 process boundary after setup (the Gleich et al. linear-system PageRank
 paper [18] the paper cites uses the same row-striping decomposition).
+
+Worker death does not fail the solve: the pool rebuilds itself up to its
+retry budget (see :class:`~repro.parallel.executor.WorkerPool.run`), and
+when that budget is exhausted the evaluator *degrades* — it rebuilds the
+transposed CSR in-process from the shared arrays and serves every further
+``rmatvec`` serially, recording
+``repro_fallbacks_total{kind="serial_degrade"}``.  The solve sees the
+same numbers either way, just slower.
 """
 
 from __future__ import annotations
 
 import atexit
+from concurrent.futures import BrokenExecutor, TimeoutError as FuturesTimeoutError
 from multiprocessing import shared_memory
 from typing import Sequence
 
@@ -20,7 +29,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import GraphError
+from ..logging_utils import get_logger
 from .executor import WorkerPool, effective_workers
+
+_logger = get_logger(__name__)
 
 __all__ = ["SharedCsrMatvec"]
 
@@ -77,13 +89,21 @@ class SharedCsrMatvec:
     manager or :meth:`close`).
     """
 
-    def __init__(self, matrix: sp.csr_matrix, n_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        matrix: sp.csr_matrix,
+        n_workers: int | None = None,
+        *,
+        max_rebuilds: int = 2,
+        task_timeout: float | None = None,
+    ) -> None:
         if not sp.issparse(matrix) or matrix.format != "csr":
             raise GraphError("SharedCsrMatvec requires a scipy CSR matrix")
         self.shape = matrix.shape
         self.n_workers = effective_workers(n_workers)
         self._segments: list[shared_memory.SharedMemory] = []
         self._closed = False
+        self._serial_at: sp.csr_matrix | None = None
 
         indptr = matrix.indptr.astype(np.int64)
         indices = matrix.indices.astype(np.int64)
@@ -103,7 +123,11 @@ class SharedCsrMatvec:
         }
         self._bands = self._make_bands(indptr, self.n_workers)
         self._pool = WorkerPool(
-            self.n_workers, initializer=_worker_init, initargs=(meta,)
+            self.n_workers,
+            initializer=_worker_init,
+            initargs=(meta,),
+            max_rebuilds=max_rebuilds,
+            task_timeout=task_timeout,
         )
         atexit.register(self.close)
 
@@ -135,8 +159,37 @@ class SharedCsrMatvec:
         ]
 
     # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the evaluator has fallen back to the serial kernel."""
+        return self._serial_at is not None
+
+    def _degrade(self, reason: str) -> None:
+        """Switch permanently to a serial in-process transpose matvec."""
+        from ..observability.metrics import get_registry
+
+        # Copy out of shared memory so close() can still unlink segments.
+        self._serial_at = sp.csr_matrix(
+            (
+                np.array(self._data, copy=True),
+                np.array(self._indices, copy=True),
+                np.array(self._indptr, copy=True),
+            ),
+            shape=self.shape,
+        ).T.tocsr()
+        get_registry().counter(
+            "repro_fallbacks_total",
+            "Recovery actions by kind (solver/pool_rebuild/serial_degrade)",
+            labelnames=("kind",),
+        ).labels(kind="serial_degrade").inc()
+        _logger.error(
+            "parallel matvec degraded to serial kernel after %s "
+            "(results unchanged, throughput reduced)",
+            reason,
+        )
+
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
-        """Compute ``A^T @ x`` across the worker pool."""
+        """Compute ``A^T @ x`` across the worker pool (serial once degraded)."""
         if self._closed:
             raise GraphError("SharedCsrMatvec is closed")
         x = np.asarray(x, dtype=np.float64).ravel()
@@ -144,9 +197,16 @@ class SharedCsrMatvec:
             raise GraphError(
                 f"rmatvec needs len(x) == {self.shape[0]}, got {x.size}"
             )
+        if self._serial_at is not None:
+            return self._serial_at @ x
         self._x[:] = x
+        try:
+            chunks = self._pool.run(_worker_band, self._bands)
+        except (BrokenExecutor, FuturesTimeoutError) as exc:
+            self._degrade(f"repeated pool failures ({type(exc).__name__})")
+            return self._serial_at @ x
         out = np.zeros(self.shape[1], dtype=np.float64)
-        for chunk in self._pool.map(_worker_band, self._bands):
+        for chunk in chunks:
             out += np.frombuffer(chunk, dtype=np.float64)
         return out
 

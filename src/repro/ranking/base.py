@@ -34,15 +34,21 @@ class RankingResult:
 
     Scores are stored L1-normalized (they are probability distributions —
     the paper normalizes ``σ/||σ||`` after the linear solve).
+
+    ``provenance`` is ``None`` for a plain single-solver solve; a
+    :class:`~repro.resilience.fallback.FallbackChain` sets it to the
+    tuple of :class:`~repro.resilience.fallback.SolveAttempt` records
+    describing every solver tried before this result was produced.
     """
 
-    __slots__ = ("_scores", "convergence", "label")
+    __slots__ = ("_scores", "convergence", "label", "provenance")
 
     def __init__(
         self,
         scores: np.ndarray,
         convergence: ConvergenceInfo,
         label: str = "",
+        provenance: tuple | None = None,
     ) -> None:
         scores = check_scores(scores)
         total = scores.sum()
@@ -53,6 +59,7 @@ class RankingResult:
         self._scores = scores
         self.convergence = convergence
         self.label = label
+        self.provenance = provenance
 
     @property
     def scores(self) -> np.ndarray:

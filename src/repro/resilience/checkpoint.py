@@ -1,0 +1,248 @@
+"""Checkpoint/resume for long solves and pipeline stages.
+
+Two cooperating pieces:
+
+* :class:`SolveCheckpointer` — periodic snapshots of a single iterative
+  solve (the iterate vector plus the iteration count), written atomically
+  (tmp + ``os.replace``) so a kill mid-write can never leave a torn file.
+  Installed via ``RankingParams.checkpoint``; the shared iteration engine
+  saves every ``every`` iterations and, when ``resume`` is set, restarts
+  from the stored iterate instead of the cold start.
+* :class:`PipelineCheckpointer` — per-stage outputs of a
+  :class:`~repro.core.pipeline.SpamResilientPipeline` run, keyed on a
+  content hash of the inputs (:func:`content_key` over the source-graph
+  CSR arrays, seeds, and parameter reprs), so a resumed run skips every
+  stage whose inputs are byte-identical.
+
+Checkpoint files are ``.npz`` with a format-version field; a tampered or
+truncated checkpoint is *ignored* (with a warning), never trusted — a
+bad checkpoint must cost a recompute, not a crash or a wrong σ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..logging_utils import get_logger
+from ..observability.metrics import get_registry
+
+__all__ = [
+    "content_key",
+    "SolveState",
+    "SolveCheckpointer",
+    "PipelineCheckpointer",
+]
+
+_logger = get_logger(__name__)
+
+_CHECKPOINT_FORMAT_VERSION = 1
+_TAG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _record_resume(kind: str) -> None:
+    get_registry().counter(
+        "repro_checkpoint_resumes_total",
+        "Solves/stages resumed from a checkpoint, by kind",
+        labelnames=("kind",),
+    ).labels(kind=kind).inc()
+
+
+def content_key(*parts: object) -> str:
+    """Deterministic sha256 hex digest of a mixed bag of inputs.
+
+    NumPy arrays hash their raw bytes (plus dtype/shape so reinterpreted
+    buffers cannot collide); scipy CSR matrices hash their three arrays;
+    everything else hashes its ``repr``.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        if hasattr(part, "indptr") and hasattr(part, "indices"):
+            for arr in (part.indptr, part.indices, getattr(part, "data", None)):
+                if arr is not None:
+                    digest.update(content_key(np.asarray(arr)).encode())
+            continue
+        if isinstance(part, np.ndarray):
+            arr = np.ascontiguousarray(part)
+            digest.update(str(arr.dtype).encode())
+            digest.update(str(arr.shape).encode())
+            digest.update(arr.tobytes())
+            continue
+        digest.update(repr(part).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _atomic_savez(path: Path, **arrays: object) -> None:
+    """Write an ``.npz`` so that ``path`` is either absent or complete."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - tmp already consumed
+            pass
+        raise
+
+
+def _load_npz(path: Path, required: tuple[str, ...]) -> dict | None:
+    """Load a checkpoint ``.npz``; ``None`` (with a warning) if unusable."""
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as data:
+            if int(data["format_version"]) != _CHECKPOINT_FORMAT_VERSION:
+                raise ValueError(
+                    f"format version {int(data['format_version'])}"
+                )
+            return {key: data[key] for key in required}
+    except Exception as exc:  # noqa: BLE001 - any corruption ⇒ recompute
+        _logger.warning("ignoring unusable checkpoint %s (%s)", path, exc)
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class SolveState:
+    """One solve checkpoint: the iterate and how far the solve had got."""
+
+    x: np.ndarray
+    iteration: int
+    residual: float
+
+
+class SolveCheckpointer:
+    """Periodic atomic snapshots of an iterative solve, keyed by tag.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live (created on first save).
+    every:
+        Save interval in iterations (a final checkpoint is always written
+        on convergence regardless of the interval).
+    resume:
+        When True, :meth:`load` returns stored state; when False it
+        always returns ``None`` (fresh start, existing files untouched
+        until overwritten).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        every: int = 25,
+        resume: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.every = max(int(every), 1)
+        self.resume = bool(resume)
+
+    def path_for(self, tag: str) -> Path:
+        """Checkpoint file path for one solve tag (sanitized)."""
+        safe = _TAG_RE.sub("_", tag) or "solve"
+        return self.directory / f"{safe}.ckpt.npz"
+
+    def save(self, tag: str, x: np.ndarray, iteration: int, residual: float) -> None:
+        """Write one checkpoint atomically (tmp + rename)."""
+        _atomic_savez(
+            self.path_for(tag),
+            format_version=np.int64(_CHECKPOINT_FORMAT_VERSION),
+            x=np.asarray(x, dtype=np.float64),
+            iteration=np.int64(iteration),
+            residual=np.float64(residual),
+        )
+
+    def maybe_save(
+        self, tag: str, x: np.ndarray, iteration: int, residual: float
+    ) -> bool:
+        """Save if ``iteration`` hits the configured interval."""
+        if iteration % self.every != 0:
+            return False
+        self.save(tag, x, iteration, residual)
+        return True
+
+    def load(self, tag: str) -> SolveState | None:
+        """The stored state for ``tag`` when resuming; else ``None``."""
+        if not self.resume:
+            return None
+        data = _load_npz(self.path_for(tag), ("x", "iteration", "residual"))
+        if data is None:
+            return None
+        state = SolveState(
+            x=np.asarray(data["x"], dtype=np.float64),
+            iteration=int(data["iteration"]),
+            residual=float(data["residual"]),
+        )
+        _record_resume("solve")
+        _logger.info(
+            "resuming solve %r from iteration %d (residual %.3e)",
+            tag,
+            state.iteration,
+            state.residual,
+        )
+        return state
+
+    def clear(self, tag: str) -> None:
+        """Delete the checkpoint for one tag, if present."""
+        try:
+            self.path_for(tag).unlink()
+        except FileNotFoundError:
+            pass
+
+
+class PipelineCheckpointer:
+    """Content-addressed store of completed pipeline-stage outputs.
+
+    Stage files live under ``directory / <key[:16]> / <stage>.npz`` where
+    ``key`` is the :func:`content_key` of the run's inputs — any change
+    to the graph, seeds, or parameters changes the key, so stale state
+    can never be replayed onto different inputs.
+    """
+
+    def __init__(self, directory: str | Path, *, resume: bool = True) -> None:
+        self.directory = Path(directory)
+        self.resume = bool(resume)
+
+    def _stage_path(self, key: str, stage: str) -> Path:
+        safe = _TAG_RE.sub("_", stage) or "stage"
+        return self.directory / key[:16] / f"{safe}.npz"
+
+    def solve_checkpointer(
+        self, key: str, *, every: int = 25
+    ) -> SolveCheckpointer:
+        """A :class:`SolveCheckpointer` scoped under this run's key."""
+        return SolveCheckpointer(
+            self.directory / key[:16] / "solves", every=every, resume=self.resume
+        )
+
+    def save_stage(self, key: str, stage: str, **arrays: object) -> None:
+        """Persist one completed stage's named arrays atomically."""
+        _atomic_savez(
+            self._stage_path(key, stage),
+            format_version=np.int64(_CHECKPOINT_FORMAT_VERSION),
+            **arrays,
+        )
+
+    def load_stage(
+        self, key: str, stage: str, names: tuple[str, ...]
+    ) -> dict | None:
+        """The stored arrays for one stage when resuming; else ``None``."""
+        if not self.resume:
+            return None
+        data = _load_npz(self._stage_path(key, stage), names)
+        if data is not None:
+            _record_resume("stage")
+            _logger.info("resuming pipeline stage %r from checkpoint", stage)
+        return data

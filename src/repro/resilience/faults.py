@@ -1,0 +1,179 @@
+"""Deterministic fault injection for the resilience test/bench suite.
+
+Production code never imports this module; it exists so that tests and
+``benchmarks/bench_resilience.py`` can *provoke* every failure mode the
+resilience layer claims to survive, reproducibly:
+
+* :class:`FaultyOperator` — wraps any
+  :class:`~repro.linalg.operator.TransitionOperator` and, on exactly the
+  configured matvec call, either corrupts the output (NaN/Inf written at
+  seeded positions — a bit-flip/corrupted-buffer stand-in) or raises
+  :class:`~repro.errors.InjectedFaultError` (a crashed kernel stand-in).
+  Faults are *transient*: call counting continues across solver attempts,
+  so a fallback retry against the same operator sails past the fault —
+  exactly the cosmic-ray model the fallback chain is built for.
+* :func:`crash_at_iteration` — a per-iteration callback raising
+  :class:`SimulatedCrash` at iteration *k*, standing in for a killed
+  process in in-process crash/resume tests (`os.kill` without the mess).
+* :func:`break_worker_pool` / :func:`_worker_suicide` — kill live pool
+  workers with ``os._exit`` so the next task genuinely observes
+  ``BrokenProcessPool``.
+
+Everything is seeded: the same :class:`FaultyOperator` configuration
+corrupts the same vector positions every run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from ..errors import InjectedFaultError
+
+__all__ = [
+    "SimulatedCrash",
+    "FaultyOperator",
+    "crash_at_iteration",
+    "break_worker_pool",
+]
+
+
+class SimulatedCrash(InjectedFaultError):
+    """Raised by :func:`crash_at_iteration` to emulate a killed solve."""
+
+
+class FaultyOperator:
+    """A transition operator with scheduled, seeded matvec faults.
+
+    Parameters
+    ----------
+    base:
+        The real operator; all protocol calls delegate to it.
+    corrupt_at_call:
+        1-based matvec call on which the returned vector is corrupted
+        (``None`` disables).
+    fail_at_call:
+        1-based matvec call which raises
+        :class:`~repro.errors.InjectedFaultError` (``None`` disables).
+    corrupt_value:
+        What to write at the corrupted positions (default NaN).
+    n_corrupt:
+        How many positions to corrupt (chosen by the seeded rng).
+    seed:
+        Seed for position choice — identical seeds corrupt identical
+        positions.
+    """
+
+    def __init__(
+        self,
+        base,
+        *,
+        corrupt_at_call: int | None = None,
+        fail_at_call: int | None = None,
+        corrupt_value: float = float("nan"),
+        n_corrupt: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self._base = base
+        self._corrupt_at = corrupt_at_call
+        self._fail_at = fail_at_call
+        self._corrupt_value = float(corrupt_value)
+        self._n_corrupt = max(int(n_corrupt), 1)
+        self._rng = np.random.default_rng(seed)
+        self.calls = 0
+        self.faults_fired = 0
+
+    @property
+    def n(self) -> int:
+        """Operator order (delegated)."""
+        return self._base.n
+
+    @property
+    def kernel(self) -> str:
+        """The base operator's kernel name (delegated)."""
+        return self._base.kernel
+
+    @property
+    def dangling_mask(self) -> np.ndarray:
+        """The base operator's dangling mask (delegated)."""
+        return self._base.dangling_mask
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Delegate to the base matvec, injecting the scheduled fault."""
+        self.calls += 1
+        if self._fail_at is not None and self.calls == self._fail_at:
+            self.faults_fired += 1
+            raise InjectedFaultError(
+                f"injected matvec failure on call {self.calls}"
+            )
+        y = self._base.rmatvec(x)
+        if self._corrupt_at is not None and self.calls == self._corrupt_at:
+            self.faults_fired += 1
+            y = np.array(y, dtype=np.float64, copy=True)
+            where = self._rng.choice(
+                y.size, size=min(self._n_corrupt, y.size), replace=False
+            )
+            y[where] = self._corrupt_value
+        return y
+
+    def materialize(self):
+        """The base operator's explicit matrix (faults apply to matvecs only)."""
+        return self._base.materialize()
+
+    def close(self) -> None:
+        """Delegate resource release to the base operator."""
+        self._base.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultyOperator(n={self.n}, calls={self.calls}, "
+            f"corrupt_at={self._corrupt_at}, fail_at={self._fail_at})"
+        )
+
+
+def crash_at_iteration(
+    k: int, *, action: Callable[[], None] | None = None
+) -> Callable[[int, float], None]:
+    """A solver ``callback`` that dies at iteration ``k``.
+
+    ``action`` runs first when given (e.g. ``lambda: os._exit(3)`` for a
+    real process kill in a subprocess harness); otherwise — and for the
+    in-process tests — :class:`SimulatedCrash` is raised.
+    """
+    k = int(k)
+
+    def _callback(iteration: int, residual: float) -> None:
+        if iteration == k:
+            if action is not None:
+                action()
+            raise SimulatedCrash(f"simulated crash at iteration {iteration}")
+
+    return _callback
+
+
+def _worker_suicide() -> None:
+    """Pool task that kills its worker process outright (not an exception)."""
+    os._exit(1)
+
+
+def break_worker_pool(pool, *, n_kills: int = 1, wait: bool = True) -> None:
+    """Kill ``n_kills`` live workers of a pool so its next use breaks.
+
+    Accepts a :class:`~repro.parallel.executor.WorkerPool` (or anything
+    with ``submit``).  With ``wait`` (the default) each suicide future is
+    awaited, which blocks until the executor has actually observed the
+    worker death and marked itself broken — without it the next batch
+    can race the death notice and succeed on the surviving workers.
+    """
+    for _ in range(max(int(n_kills), 1)):
+        try:
+            future = pool.submit(_worker_suicide)
+        except Exception:  # noqa: BLE001 - pool may already be broken
+            return
+        if wait:
+            try:
+                future.result(timeout=30)
+            except Exception:  # noqa: BLE001 - BrokenProcessPool expected
+                pass

@@ -7,7 +7,7 @@ import pytest
 
 from repro.config import ThrottleParams
 from repro.core import SpamResilientPipeline
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.throttle import ThrottleVector
 
 
@@ -125,3 +125,30 @@ class TestPipeline:
             ds.graph, ds.assignment, spam_seeds=seeds
         )
         assert not np.allclose(a.scores.scores, b.scores.scores)
+
+
+class TestContextManager:
+    def test_close_releases_on_error_path(self, tiny_dataset):
+        """Resources must be released even when a stage raises mid-rank."""
+        ds = tiny_dataset
+        bad_kappa = ThrottleVector.zeros(ds.n_sources + 1)  # wrong length
+        with pytest.raises(ReproError):
+            with SpamResilientPipeline() as pipe:
+                pipe.rank(ds.graph, ds.assignment, kappa=bad_kappa)
+                pytest.fail("rank must raise on a mis-sized kappa")
+        assert pipe._shared is None
+
+    def test_clean_exit_also_releases(self, tiny_dataset):
+        ds = tiny_dataset
+        with SpamResilientPipeline() as pipe:
+            pipe.rank(ds.graph, ds.assignment)
+            assert pipe._shared is not None
+        assert pipe._shared is None
+
+    def test_close_is_clear_cache_alias(self, tiny_dataset):
+        ds = tiny_dataset
+        pipe = SpamResilientPipeline()
+        pipe._shared_operators(ds.graph, ds.assignment)
+        pipe.close()
+        assert pipe._shared is None
+        pipe.close()  # idempotent

@@ -7,7 +7,7 @@ import io
 import numpy as np
 import pytest
 
-from repro.errors import GraphError
+from repro.errors import CodecError, GraphError
 from repro.graph import (
     PageGraph,
     load_npz,
@@ -49,6 +49,14 @@ class TestEdgeListIO:
         with pytest.raises(GraphError, match="non-integer"):
             read_edge_list(io.StringIO("a b\n"))
 
+    def test_negative_id_rejected_with_lineno(self):
+        with pytest.raises(GraphError, match="line 2.*negative node id"):
+            read_edge_list(io.StringIO("0 1\n-3 2\n"))
+
+    def test_negative_dst_rejected(self):
+        with pytest.raises(GraphError, match="line 1.*negative node id"):
+            read_edge_list(io.StringIO("0 -1\n"))
+
     def test_header_contains_counts(self, tmp_path):
         g = PageGraph.from_edges([0], [1], 2)
         path = tmp_path / "g.tsv"
@@ -78,7 +86,7 @@ class TestNpzIO:
     def test_missing_field_rejected(self, tmp_path):
         path = tmp_path / "bogus.npz"
         np.savez_compressed(path, unrelated=np.arange(3))
-        with pytest.raises(GraphError, match="missing field"):
+        with pytest.raises(CodecError, match="missing field"):
             load_npz(path)
 
     def test_wrong_version_rejected(self, small_graph, tmp_path):
@@ -90,5 +98,18 @@ class TestNpzIO:
             indptr=small_graph.indptr,
             indices=small_graph.indices,
         )
-        with pytest.raises(GraphError, match="version"):
+        with pytest.raises(CodecError, match="version"):
             load_npz(path)
+
+    def test_tampered_archive_roundtrip(self, small_graph, tmp_path):
+        # A valid archive with one payload key dropped must raise
+        # CodecError, and a freshly re-saved archive must load again.
+        path = tmp_path / "graph.npz"
+        save_npz(small_graph, path)
+        with np.load(path) as data:
+            kept = {k: data[k] for k in data.files if k != "indices"}
+        np.savez_compressed(path, **kept)
+        with pytest.raises(CodecError, match="missing field"):
+            load_npz(path)
+        save_npz(small_graph, path)
+        assert load_npz(path) == small_graph

@@ -1,0 +1,89 @@
+"""Broken-pool recovery tests (spawn real worker processes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from concurrent.futures import BrokenExecutor
+
+from repro.observability.metrics import get_registry, reset_registry
+from repro.parallel import SharedCsrMatvec, WorkerPool
+from repro.resilience import break_worker_pool
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return sp.random(200, 200, density=0.05, random_state=5, format="csr")
+
+
+def fallback_count(kind: str) -> float:
+    return (
+        get_registry()
+        .counter("repro_fallbacks_total", labelnames=("kind",))
+        .labels(kind=kind)
+        .value
+    )
+
+
+class TestWorkerPoolRecovery:
+    def test_killed_worker_triggers_rebuild(self):
+        with WorkerPool(2, max_rebuilds=2) as pool:
+            assert pool.run(square, range(5)) == [0, 1, 4, 9, 16]
+            break_worker_pool(pool)
+            assert pool.run(square, range(5)) == [0, 1, 4, 9, 16]
+            assert pool.rebuilds == 1
+        assert fallback_count("pool_rebuild") == 1
+
+    def test_budget_exhaustion_propagates(self):
+        with WorkerPool(2, max_rebuilds=0) as pool:
+            break_worker_pool(pool)
+            with pytest.raises(BrokenExecutor):
+                pool.run(square, range(5))
+
+    def test_rebuild_reruns_initializer(self):
+        # SharedCsrMatvec's initializer re-attaches shared memory; a
+        # rebuilt pool must produce correct numbers, which only works if
+        # the initializer ran again in the fresh workers.
+        matrix = sp.random(100, 100, density=0.05, random_state=3, format="csr")
+        x = np.linspace(0, 1, 100)
+        with SharedCsrMatvec(matrix, n_workers=2) as mv:
+            break_worker_pool(mv._pool)
+            np.testing.assert_allclose(mv.rmatvec(x), matrix.T @ x, atol=1e-12)
+            assert mv._pool.rebuilds == 1
+            assert not mv.degraded
+
+
+class TestSerialDegradation:
+    def test_exhausted_budget_degrades_to_serial(self, matrix, rng):
+        x = rng.random(matrix.shape[0])
+        expected = matrix.T @ x
+        with SharedCsrMatvec(matrix, n_workers=2) as mv:
+            # Exhaust the budget so the next failure cannot rebuild.
+            mv._pool.max_rebuilds = mv._pool.rebuilds
+            break_worker_pool(mv._pool)
+            np.testing.assert_allclose(mv.rmatvec(x), expected, atol=1e-12)
+            assert mv.degraded
+            # Further calls stay serial and stay correct.
+            np.testing.assert_allclose(mv.rmatvec(x), expected, atol=1e-12)
+        assert fallback_count("serial_degrade") == 1
+
+    def test_degraded_close_still_releases(self, matrix):
+        mv = SharedCsrMatvec(matrix, n_workers=1)
+        mv._pool.max_rebuilds = 0
+        break_worker_pool(mv._pool)
+        mv.rmatvec(np.zeros(matrix.shape[0]))
+        assert mv.degraded
+        mv.close()
+        mv.close()  # idempotent

@@ -1,0 +1,135 @@
+"""Unit + property tests for :mod:`repro.resilience.fallback`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RankingParams, ResilienceParams
+from repro.errors import ConfigError, ConvergenceError, NumericalError
+from repro.linalg.operator import CsrOperator
+from repro.linalg.registry import solver_registry
+from repro.observability.metrics import get_registry, reset_registry
+from repro.ranking.power import power_iteration
+from repro.resilience import FallbackChain, FaultyOperator
+
+
+def random_stochastic(n: int, seed: int) -> sp.csr_matrix:
+    """A dense-ish random row-stochastic CSR matrix."""
+    gen = np.random.default_rng(seed)
+    dense = gen.random((n, n)) * (gen.random((n, n)) < 0.5)
+    dense[dense.sum(axis=1) == 0, 0] = 1.0  # no all-zero rows
+    dense /= dense.sum(axis=1, keepdims=True)
+    return sp.csr_matrix(dense)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+PARAMS = RankingParams(
+    tolerance=1e-12, max_iter=2000, resilience=ResilienceParams()
+)
+
+
+class TestFallbackChain:
+    def test_needs_at_least_one_solver(self):
+        with pytest.raises(ConfigError):
+            FallbackChain(())
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ConfigError, match="unknown solver"):
+            FallbackChain(("power", "not-a-solver"))
+
+    def test_first_success_records_provenance(self):
+        matrix = random_stochastic(20, seed=1)
+        result = FallbackChain(("power", "jacobi")).solve(matrix, PARAMS)
+        assert len(result.provenance) == 1
+        assert result.provenance[0].solver == "power"
+        assert result.provenance[0].succeeded
+        assert not result.provenance[0].warm_started
+
+    def test_fault_engages_fallback_with_warm_start(self):
+        matrix = random_stochastic(30, seed=2)
+        reference = power_iteration(matrix, PARAMS)
+        faulty = FaultyOperator(CsrOperator(matrix), corrupt_at_call=4)
+        result = FallbackChain(("power", "jacobi")).solve(faulty, PARAMS)
+        attempts = result.provenance
+        assert [a.solver for a in attempts] == ["power", "jacobi"]
+        assert attempts[0].error_type == "NumericalError"
+        assert attempts[1].warm_started
+        assert attempts[1].succeeded
+        np.testing.assert_allclose(
+            result.scores, reference.scores, atol=1e-9
+        )
+        fallbacks = (
+            get_registry()
+            .counter("repro_fallbacks_total", labelnames=("kind",))
+            .labels(kind="solver")
+            .value
+        )
+        assert fallbacks == 1
+
+    def test_exhausted_chain_reraises_with_attempts(self):
+        matrix = random_stochastic(10, seed=3)
+        hopeless = PARAMS.with_(max_iter=2)
+        with pytest.raises(ConvergenceError) as exc:
+            FallbackChain(("power", "jacobi")).solve(matrix, hopeless)
+        assert [a.solver for a in exc.value.attempts] == ["power", "jacobi"]
+
+    def test_non_catch_exceptions_propagate(self):
+        matrix = random_stochastic(10, seed=4)
+        faulty = FaultyOperator(CsrOperator(matrix), fail_at_call=1)
+        # InjectedFaultError is not a ConvergenceError: must not be masked.
+        with pytest.raises(Exception) as exc:
+            FallbackChain(("power", "jacobi")).solve(faulty, PARAMS)
+        assert exc.type.__name__ == "InjectedFaultError"
+
+    def test_register_exposes_chain_as_solver(self):
+        name = FallbackChain(("power", "jacobi")).register()
+        assert name == "fallback:power>jacobi"
+        assert name in solver_registry
+        matrix = random_stochastic(15, seed=5)
+        result = solver_registry.solve(matrix, PARAMS, solver=name)
+        assert result.convergence.converged
+
+
+class TestChainEqualsDirectSolve:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_chain_matches_power_on_random_stochastic(self, n, seed):
+        matrix = random_stochastic(n, seed)
+        direct = power_iteration(matrix, PARAMS)
+        chained = FallbackChain(("power", "jacobi")).solve(matrix, PARAMS)
+        np.testing.assert_allclose(
+            chained.scores, direct.scores, atol=1e-9
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=5, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        fault_call=st.integers(min_value=1, max_value=8),
+    )
+    def test_faulted_chain_matches_fault_free_solve(self, n, seed, fault_call):
+        """A transient NaN fault mid-solve must not change the final σ."""
+        matrix = random_stochastic(n, seed)
+        reference = power_iteration(matrix, PARAMS)
+        faulty = FaultyOperator(
+            CsrOperator(matrix), corrupt_at_call=fault_call, seed=seed
+        )
+        result = FallbackChain(("power", "power", "jacobi")).solve(
+            faulty, PARAMS
+        )
+        np.testing.assert_allclose(
+            result.scores, reference.scores, atol=1e-9
+        )

@@ -1,0 +1,91 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import InjectedFaultError
+from repro.linalg.operator import CsrOperator
+from repro.resilience import FaultyOperator, SimulatedCrash, crash_at_iteration
+
+
+@pytest.fixture()
+def operator():
+    matrix = sp.random(50, 50, density=0.1, random_state=7, format="csr")
+    op = CsrOperator(matrix)
+    yield op
+    op.close()
+
+
+class TestFaultyOperator:
+    def test_delegates_protocol(self, operator):
+        faulty = FaultyOperator(operator)
+        assert faulty.n == operator.n
+        assert faulty.kernel == operator.kernel
+        np.testing.assert_array_equal(
+            faulty.dangling_mask, operator.dangling_mask
+        )
+        x = np.ones(operator.n)
+        np.testing.assert_array_equal(
+            faulty.rmatvec(x), operator.rmatvec(x)
+        )
+
+    def test_corruption_is_deterministic(self, operator):
+        x = np.ones(operator.n)
+        outs = []
+        for _ in range(2):
+            faulty = FaultyOperator(
+                operator, corrupt_at_call=2, n_corrupt=3, seed=11
+            )
+            faulty.rmatvec(x)
+            outs.append(faulty.rmatvec(x))
+        np.testing.assert_array_equal(
+            np.isnan(outs[0]), np.isnan(outs[1])
+        )
+        assert int(np.isnan(outs[0]).sum()) == 3
+
+    def test_faults_are_transient(self, operator):
+        faulty = FaultyOperator(operator, corrupt_at_call=1)
+        x = np.ones(operator.n)
+        assert np.isnan(faulty.rmatvec(x)).any()
+        assert not np.isnan(faulty.rmatvec(x)).any()
+        assert faulty.faults_fired == 1
+
+    def test_fail_at_call_raises(self, operator):
+        faulty = FaultyOperator(operator, fail_at_call=2)
+        x = np.ones(operator.n)
+        faulty.rmatvec(x)
+        with pytest.raises(InjectedFaultError, match="call 2"):
+            faulty.rmatvec(x)
+        faulty.rmatvec(x)  # transient: call 3 works again
+
+    def test_custom_corrupt_value(self, operator):
+        faulty = FaultyOperator(
+            operator, corrupt_at_call=1, corrupt_value=np.inf
+        )
+        out = faulty.rmatvec(np.ones(operator.n))
+        assert np.isinf(out).any()
+
+    def test_materialize_unfaulted(self, operator):
+        faulty = FaultyOperator(operator, corrupt_at_call=1)
+        np.testing.assert_array_equal(
+            faulty.materialize().toarray(), operator.materialize().toarray()
+        )
+
+
+class TestCrashAtIteration:
+    def test_raises_only_at_k(self):
+        callback = crash_at_iteration(3)
+        callback(1, 0.5)
+        callback(2, 0.4)
+        with pytest.raises(SimulatedCrash, match="iteration 3"):
+            callback(3, 0.3)
+
+    def test_action_runs_before_raise(self):
+        ran = []
+        callback = crash_at_iteration(1, action=lambda: ran.append(True))
+        with pytest.raises(SimulatedCrash):
+            callback(1, 0.5)
+        assert ran == [True]
