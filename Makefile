@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain pytest / python underneath.
 
-.PHONY: install test bench figures examples metrics-demo resilience clean
+.PHONY: install test bench figures examples metrics-demo resilience audit clean
 
 install:
 	pip install -e .
@@ -23,6 +23,10 @@ metrics-demo:
 resilience:
 	PYTHONPATH=src python -m pytest -q tests/resilience
 	PYTHONPATH=src python benchmarks/bench_resilience.py --quick
+
+audit:
+	PYTHONPATH=src python -m pytest -q tests/audit
+	PYTHONPATH=src python benchmarks/bench_audit.py --quick
 
 examples:
 	python examples/quickstart.py

@@ -24,10 +24,17 @@ See DESIGN.md for the module map and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from .audit import (
+    InvariantAuditor,
+    InvariantViolation,
+    run_differential_oracle,
+    run_metamorphic_suite,
+)
 from .config import (
     DEFAULT_ALPHA,
     DEFAULT_MAX_ITER,
     DEFAULT_TOLERANCE,
+    AuditParams,
     ExperimentParams,
     RankingParams,
     ResilienceParams,
@@ -46,6 +53,7 @@ from .datasets import (
     sample_seed_set,
 )
 from .errors import (
+    AuditError,
     CodecError,
     ConfigError,
     ConvergenceError,
@@ -118,6 +126,7 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "RankingParams",
     "ResilienceParams",
+    "AuditParams",
     "ThrottleParams",
     "SpamProximityParams",
     "ExperimentParams",
@@ -133,6 +142,7 @@ __all__ = [
     "DivergenceError",
     "StagnationError",
     "SolveDeadlineError",
+    "AuditError",
     "InjectedFaultError",
     "ConfigError",
     "DatasetError",
@@ -199,6 +209,11 @@ __all__ = [
     "SolveAttempt",
     "SolveCheckpointer",
     "PipelineCheckpointer",
+    # correctness auditing
+    "InvariantAuditor",
+    "InvariantViolation",
+    "run_differential_oracle",
+    "run_metamorphic_suite",
     # pipeline
     "SpamResilientPipeline",
     "PipelineResult",

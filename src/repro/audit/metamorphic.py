@@ -1,0 +1,316 @@
+"""Metamorphic relations for the ranking entry points.
+
+Metamorphic testing sidesteps the oracle problem: we cannot say what σ
+*should be* on a random graph, but we can say how it must *change* (or
+not) under transformations with known effect.  Three relations hold for
+the paper's model:
+
+**Relabeling permutation** — rankings carry no meaning in node ids, so
+for any permutation matrix ``P``::
+
+    σ(P T' Pᵀ, P κ) = P σ(T', κ)
+
+and likewise for spam-proximity with permuted seed ids.
+
+**Edge-weight scaling** — ``T'`` is the row normalization of the source
+weight matrix, so multiplying any row of the *weights* by a positive
+constant changes nothing::
+
+    σ(normalize(D W), κ) = σ(normalize(W), κ),   D = diag(d), d > 0
+
+``spam_proximity`` binarizes the adjacency before inverting it, so it is
+invariant under *arbitrary* positive reweighting, not just row scaling.
+
+**Seed-bias monotonicity** — adding source ``j`` to the spam seed set
+cannot *decrease* ``j``'s unnormalized spam-proximity score.  With
+``G = (1 − β) (I − β M)⁻¹`` the resolvent of the reversed walk ``M``,
+the score of ``j`` is ``σ_j ∝ Σ_{s ∈ S} G_{sj}``, and the renewal
+identity ``G_{sj} = F_{sj} G_{jj} ≤ G_{jj}`` (``F_{sj}`` ≤ 1 the
+first-passage generating value) shows the added diagonal term dominates
+every cross term it displaces.  The relation is checked on the *rank*
+of ``j`` (rank never drops), which survives the σ/||σ|| renormalization.
+The identity needs the reversed walk to be substochastic row-by-row
+*independent of the seed vector*, so suite graphs give every source an
+in-link (no dangling rows in the reversed graph — the ``"teleport"``
+patch-up would couple ``M`` to the seeds).
+
+Each relation returns :class:`~repro.audit.invariants.InvariantViolation`
+records; :func:`run_metamorphic_suite` sweeps all of them over a seeded
+graph family and reports through the shared audit machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..config import RankingParams, SpamProximityParams
+from ..ranking.srsourcerank import spam_resilient_sourcerank
+from ..sources.sourcegraph import SourceGraph
+from ..throttle.spam_proximity import spam_proximity
+from .invariants import InvariantViolation, record_violations
+
+__all__ = [
+    "check_permutation_relation",
+    "check_weight_scaling_relation",
+    "check_seed_monotonicity_relation",
+    "MetamorphicReport",
+    "run_metamorphic_suite",
+]
+
+#: Score-agreement tolerance for the equality relations.  Looser than
+#: the differential oracle's 1e-9: both sides are independent iterative
+#: solves of *different* (permuted / rescaled) systems, so floating-point
+#: summation order differs and only agreement to solver accuracy holds.
+RELATION_ATOL = 1e-8
+
+
+def _permutation(rng: np.random.Generator, n: int) -> np.ndarray:
+    perm = rng.permutation(n)
+    # perm[i] = new id of old node i would invert the convention below;
+    # we use perm as old-id-of-new-node so P @ x == x[perm].
+    return perm
+
+
+def _permute_matrix(matrix: sp.csr_matrix, perm: np.ndarray) -> sp.csr_matrix:
+    """``P A Pᵀ`` for the permutation taking old id ``perm[i]`` to ``i``."""
+    return matrix[perm][:, perm].tocsr()
+
+
+def check_permutation_relation(
+    weights: sp.csr_matrix,
+    kappa: np.ndarray,
+    *,
+    perm: np.ndarray,
+    params: RankingParams | None = None,
+    full_throttle: str = "self",
+    atol: float = RELATION_ATOL,
+    subject: str = "permutation",
+) -> list[InvariantViolation]:
+    """σ(P T' Pᵀ, P κ) must equal P σ(T', κ)."""
+    params = params or RankingParams(tolerance=1e-12)
+    graph = SourceGraph.from_weight_matrix(weights)
+    base = spam_resilient_sourcerank(
+        graph, kappa, params, full_throttle=full_throttle
+    ).scores
+    permuted_graph = SourceGraph.from_weight_matrix(
+        _permute_matrix(weights, perm)
+    )
+    permuted = spam_resilient_sourcerank(
+        permuted_graph, kappa[perm], params, full_throttle=full_throttle
+    ).scores
+    diff = float(np.max(np.abs(permuted - base[perm])))
+    if diff > atol:
+        return [
+            InvariantViolation(
+                "metamorphic_permutation",
+                subject,
+                f"relabeling changed sigma by {diff:.3e} (atol {atol:.1e})",
+                value=diff,
+            )
+        ]
+    return []
+
+
+def check_weight_scaling_relation(
+    weights: sp.csr_matrix,
+    kappa: np.ndarray,
+    *,
+    row_scale: np.ndarray,
+    params: RankingParams | None = None,
+    full_throttle: str = "self",
+    atol: float = RELATION_ATOL,
+    subject: str = "weight-scaling",
+) -> list[InvariantViolation]:
+    """Per-row positive weight scaling must not move σ at all.
+
+    Row normalization divides each row by its sum, so ``diag(d) W`` and
+    ``W`` produce the identical ``T'`` — any drift means normalization
+    (or the transform downstream of it) is weight-sensitive.
+    """
+    params = params or RankingParams(tolerance=1e-12)
+    row_scale = np.asarray(row_scale, dtype=np.float64).ravel()
+    if row_scale.size != weights.shape[0] or (row_scale <= 0).any():
+        raise ValueError("row_scale must be positive with one entry per row")
+    base = spam_resilient_sourcerank(
+        SourceGraph.from_weight_matrix(weights),
+        kappa,
+        params,
+        full_throttle=full_throttle,
+    ).scores
+    scaled_weights = sp.diags(row_scale) @ weights
+    scaled = spam_resilient_sourcerank(
+        SourceGraph.from_weight_matrix(scaled_weights.tocsr()),
+        kappa,
+        params,
+        full_throttle=full_throttle,
+    ).scores
+    diff = float(np.max(np.abs(scaled - base)))
+    if diff > atol:
+        return [
+            InvariantViolation(
+                "metamorphic_weight_scaling",
+                subject,
+                f"row-scaling the weights moved sigma by {diff:.3e} "
+                f"(atol {atol:.1e})",
+                value=diff,
+            )
+        ]
+    return []
+
+
+def check_seed_monotonicity_relation(
+    source_graph: SourceGraph | sp.csr_matrix,
+    seeds: Sequence[int],
+    new_seed: int,
+    *,
+    params: SpamProximityParams | None = None,
+    subject: str = "seed-monotonicity",
+) -> list[InvariantViolation]:
+    """Adding ``new_seed`` to the seed set must not demote it.
+
+    Compares ``new_seed``'s *rank position* before and after (rank is
+    invariant to the σ/||σ|| renormalization that makes raw scores
+    incomparable across seed sets).  Assumes the reversed graph has no
+    dangling rows — see the module docstring.
+    """
+    params = params or SpamProximityParams(tolerance=1e-12)
+    seeds = [int(s) for s in seeds]
+    new_seed = int(new_seed)
+    if new_seed in seeds:
+        raise ValueError(f"new_seed {new_seed} already in the seed set")
+    before = spam_proximity(source_graph, seeds, params).scores
+    after = spam_proximity(source_graph, seeds + [new_seed], params).scores
+    # Rank = number of sources scoring strictly higher; smaller is better.
+    slack = 1e-12
+    rank_before = int((before > before[new_seed] + slack).sum())
+    rank_after = int((after > after[new_seed] + slack).sum())
+    if rank_after > rank_before:
+        return [
+            InvariantViolation(
+                "metamorphic_seed_monotonicity",
+                subject,
+                f"adding source {new_seed} to the seed set demoted it from "
+                f"rank {rank_before} to rank {rank_after}",
+                value=float(rank_after - rank_before),
+            )
+        ]
+    return []
+
+
+@dataclass
+class MetamorphicReport:
+    """Outcome of one metamorphic sweep."""
+
+    seed: int
+    n_relations: int = 0
+    violations: list[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_relations": self.n_relations,
+            "passed": self.passed,
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"metamorphic suite {status}: {self.n_relations} relation "
+            f"checks, {len(self.violations)} violation(s)"
+        )
+
+
+def _random_weights(
+    rng: np.random.Generator, n: int, *, min_out: int = 2
+) -> sp.csr_matrix:
+    """Random positive weight matrix where every source has at least
+    ``min_out`` out-edges and at least one in-link (so the reversed
+    spam-proximity walk has no dangling rows)."""
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for i in range(n):
+        degree = int(rng.integers(min_out, max(min_out + 1, n // 3)))
+        targets = rng.choice(n, size=min(degree, n), replace=False)
+        rows.extend([i] * targets.size)
+        cols.extend(int(t) for t in targets)
+        data.extend(float(w) for w in rng.uniform(0.5, 5.0, size=targets.size))
+    # Guarantee in-links: close a Hamiltonian cycle over all sources.
+    for i in range(n):
+        rows.append(i)
+        cols.append((i + 1) % n)
+        data.append(float(rng.uniform(0.5, 5.0)))
+    matrix = sp.csr_matrix((data, (rows, cols)), shape=(n, n), dtype=np.float64)
+    matrix.sum_duplicates()
+    return matrix
+
+
+def run_metamorphic_suite(
+    seed: int = 0,
+    *,
+    n: int = 20,
+    n_graphs: int = 3,
+    strict: bool = False,
+) -> MetamorphicReport:
+    """Sweep all three relations over a seeded random-graph family.
+
+    Each graph gets one permutation check, one row-scaling check (both
+    ``full_throttle`` modes on alternating graphs), and one
+    seed-monotonicity check with a random seed set.  Violations are
+    recorded through :func:`~repro.audit.invariants.record_violations`
+    (metric + optional strict raise) and returned in the report.
+    """
+    rng = np.random.default_rng(seed)
+    report = MetamorphicReport(seed=seed)
+    for g in range(n_graphs):
+        weights = _random_weights(rng, n)
+        kappa = rng.uniform(0.0, 0.95, size=n)
+        full_throttle = "dangling" if g % 2 else "self"
+        subject = f"graph-{g}"
+
+        report.violations.extend(
+            check_permutation_relation(
+                weights,
+                kappa,
+                perm=_permutation(rng, n),
+                full_throttle=full_throttle,
+                subject=f"{subject}:permutation",
+            )
+        )
+        report.n_relations += 1
+
+        report.violations.extend(
+            check_weight_scaling_relation(
+                weights,
+                kappa,
+                row_scale=rng.uniform(0.1, 10.0, size=n),
+                full_throttle=full_throttle,
+                subject=f"{subject}:weight-scaling",
+            )
+        )
+        report.n_relations += 1
+
+        ids = rng.permutation(n)
+        seeds, new_seed = ids[:3].tolist(), int(ids[3])
+        report.violations.extend(
+            check_seed_monotonicity_relation(
+                SourceGraph.from_weight_matrix(weights),
+                seeds,
+                new_seed,
+                subject=f"{subject}:seed-monotonicity",
+            )
+        )
+        report.n_relations += 1
+
+    if report.violations:
+        record_violations(report.violations, strict=strict)
+    return report

@@ -74,6 +74,18 @@ def build_parser() -> argparse.ArgumentParser:
         "primary solver trips a guard (e.g. 'jacobi,power')",
     )
     p_rank.add_argument(
+        "--audit",
+        action="store_true",
+        help="enable the runtime correctness audit (stage invariants + "
+        "per-iteration mass conservation); violations abort the run "
+        "with a typed AuditError",
+    )
+    p_rank.add_argument(
+        "--audit-lenient",
+        action="store_true",
+        help="with --audit: log and count violations instead of raising",
+    )
+    p_rank.add_argument(
         "--checkpoint-dir",
         type=Path,
         default=None,
@@ -141,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_rank(args: argparse.Namespace) -> int:
     from .config import (
+        AuditParams,
         RankingParams,
         ResilienceParams,
         SpamProximityParams,
@@ -205,6 +218,9 @@ def _cmd_rank(args: argparse.Namespace) -> int:
                 if name.strip()
             )
         )
+    audit = None
+    if args.audit:
+        audit = AuditParams(strict=not args.audit_lenient)
     with SpamResilientPipeline(
         ranking=RankingParams(
             alpha=args.alpha,
@@ -212,10 +228,11 @@ def _cmd_rank(args: argparse.Namespace) -> int:
             kernel=args.kernel,
             progress=telemetry,
             resilience=resilience,
+            audit=audit,
         ),
         throttle=throttle,
         proximity=SpamProximityParams(
-            progress=telemetry, resilience=resilience
+            progress=telemetry, resilience=resilience, audit=audit
         ),
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,

@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from .resilience.checkpoint import SolveCheckpointer
 
 __all__ = [
+    "AuditParams",
     "RankingParams",
     "ResilienceParams",
     "ThrottleParams",
@@ -51,6 +52,62 @@ def _check_positive(name: str, value: float) -> float:
     if not value > 0.0:
         raise ConfigError(f"{name} must be positive, got {value!r}")
     return value
+
+
+@dataclass(frozen=True, slots=True)
+class AuditParams:
+    """Runtime correctness-audit policy for the ranking stack.
+
+    Attached to :attr:`RankingParams.audit` (and
+    :attr:`SpamProximityParams.audit`); when present, the pipeline checks
+    the paper's structural invariants around every stage — ``T'``/``T''``
+    row-stochasticity, ``T''_ii = κ_i`` on boosted rows, σ a finite
+    non-negative distribution — and the shared iteration engine checks
+    per-iteration mass conservation of the power iterate.  Violations are
+    counted in ``repro_audit_violations_total`` and, in strict mode,
+    raised as a typed :class:`~repro.errors.AuditError`.
+
+    Parameters
+    ----------
+    strict:
+        If True (default) any violation raises
+        :class:`~repro.errors.AuditError`; if False violations are only
+        logged and counted.
+    atol:
+        Absolute tolerance for the numerical invariants (row sums,
+        diagonal equality, iterate mass, σ mass).
+    check_every:
+        Interval of the per-iteration mass-conservation check inside
+        :func:`repro.linalg.iterate.iterate_to_fixpoint` (``1`` = every
+        iteration; ``0`` disables the per-iteration check, leaving only
+        the stage-boundary checks).
+    check_transition:
+        Audit the transition matrices (``T'`` row-stochastic, throttled
+        diagonal/row invariants of ``T''``).
+    check_scores:
+        Audit the ranking outputs (σ finite, non-negative, sums to 1).
+    """
+
+    strict: bool = True
+    atol: float = 1e-8
+    check_every: int = 1
+    check_transition: bool = True
+    check_scores: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "strict", bool(self.strict))
+        _check_positive("atol", self.atol)
+        object.__setattr__(self, "atol", float(self.atol))
+        every = int(self.check_every)
+        if every < 0:
+            raise ConfigError(f"check_every must be >= 0, got {every!r}")
+        object.__setattr__(self, "check_every", every)
+        object.__setattr__(self, "check_transition", bool(self.check_transition))
+        object.__setattr__(self, "check_scores", bool(self.check_scores))
+
+    def with_(self, **overrides: object) -> "AuditParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True, slots=True)
@@ -175,6 +232,11 @@ class RankingParams:
         numerical guardrails (NaN/Inf, divergence, stagnation, deadline)
         in the shared iteration engine.  ``None`` (default) keeps the
         hot loop guard-free.
+    audit:
+        Optional :class:`AuditParams` enabling the runtime correctness
+        audit: stage-boundary invariant checks in the pipeline and
+        per-iteration mass-conservation checks in the iteration engine.
+        ``None`` (default) keeps every path audit-free.
     checkpoint:
         Optional :class:`repro.resilience.SolveCheckpointer` persisting
         periodic solve checkpoints (and resuming from them).  Like
@@ -192,6 +254,7 @@ class RankingParams:
         default=None, compare=False, repr=False
     )
     resilience: "ResilienceParams | None" = None
+    audit: "AuditParams | None" = None
     checkpoint: "SolveCheckpointer | None" = field(
         default=None, compare=False, repr=False
     )
@@ -210,6 +273,11 @@ class RankingParams:
             raise ConfigError(
                 "resilience must be a ResilienceParams or None, got "
                 f"{type(self.resilience).__name__}"
+            )
+        if self.audit is not None and not isinstance(self.audit, AuditParams):
+            raise ConfigError(
+                "audit must be an AuditParams or None, got "
+                f"{type(self.audit).__name__}"
             )
         # Imported lazily: the registry lives in repro.linalg, which is
         # only reachable at call time without a config <-> linalg cycle.
@@ -281,6 +349,7 @@ class SpamProximityParams:
         default=None, compare=False, repr=False
     )
     resilience: "ResilienceParams | None" = None
+    audit: "AuditParams | None" = None
     checkpoint: "SolveCheckpointer | None" = field(
         default=None, compare=False, repr=False
     )
@@ -298,6 +367,11 @@ class SpamProximityParams:
                 "resilience must be a ResilienceParams or None, got "
                 f"{type(self.resilience).__name__}"
             )
+        if self.audit is not None and not isinstance(self.audit, AuditParams):
+            raise ConfigError(
+                "audit must be an AuditParams or None, got "
+                f"{type(self.audit).__name__}"
+            )
 
     def as_ranking_params(self) -> RankingParams:
         """View these parameters as generic :class:`RankingParams`."""
@@ -307,6 +381,7 @@ class SpamProximityParams:
             max_iter=self.max_iter,
             progress=self.progress,
             resilience=self.resilience,
+            audit=self.audit,
             checkpoint=self.checkpoint,
         )
 

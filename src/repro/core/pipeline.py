@@ -20,11 +20,12 @@ from pathlib import Path
 
 import numpy as np
 
+from ..audit.invariants import InvariantAuditor
 from ..config import RankingParams, SpamProximityParams, ThrottleParams
 from ..errors import ConfigError
 from ..graph.pagegraph import PageGraph
 from ..linalg.iterate import ConvergenceInfo
-from ..linalg.operator import CsrOperator, ReversedOperator
+from ..linalg.operator import CsrOperator, ReversedOperator, ThrottledOperator
 from ..logging_utils import get_logger
 from ..observability.metrics import (
     DEFAULT_ITERATION_BUCKETS,
@@ -173,6 +174,13 @@ class SpamResilientPipeline:
     any guard trip during the rank or proximity stage fails over with a
     warm start instead of aborting the run.
 
+    When ``ranking.audit`` is set, stage boundaries are audited by an
+    :class:`~repro.audit.invariants.InvariantAuditor` (row-stochastic
+    ``T'``, κ domain, ``T''`` diagonal/row mass, σ a distribution) and
+    the power solves check per-iteration mass conservation; violations
+    increment ``repro_audit_violations_total`` and, in strict mode,
+    raise :class:`~repro.errors.AuditError`.
+
     The pipeline is a context manager: ``with SpamResilientPipeline() as
     pipe: ...`` guarantees the cached source graph and kernel resources
     (shared memory for the parallel kernel) are released even when a
@@ -220,6 +228,7 @@ class SpamResilientPipeline:
             if checkpoint_dir is not None
             else None
         )
+        self._auditor = InvariantAuditor(self.ranking.audit)
         resilience = self.ranking.resilience
         if resilience is not None and resilience.fallback_solvers:
             chain = FallbackChain(
@@ -422,6 +431,9 @@ class SpamResilientPipeline:
                 shared = self._shared_operators(graph, assignment)
                 source_graph = shared.source_graph
                 sp.meta["edges"] = int(source_graph.matrix.nnz)
+                if self._auditor.enabled:
+                    self._auditor.audit_transition(source_graph.matrix)
+                    sp.meta["audited"] = True
             run_key, ranking_params, proximity_params = self._checkpoint_setup(
                 source_graph, assignment, seeds, kappa
             )
@@ -453,12 +465,27 @@ class SpamResilientPipeline:
                             )
                             self._save_stage_result(run_key, "proximity", proximity)
                         sp.meta["iterations"] = proximity.convergence.iterations
+                        if self._auditor.enabled:
+                            self._auditor.audit_result(
+                                proximity, subject="spam-proximity"
+                            )
                 with tracer.span("kappa") as sp:
                     if proximity is None:
                         kappa = ThrottleVector.zeros(source_graph.n_sources)
                     else:
                         kappa = assign_kappa(proximity.scores, self.throttle)
                     sp.meta["throttled"] = int(kappa.fully_throttled().size)
+            if self._auditor.enabled:
+                # Audit the throttled walk the rank stage is about to
+                # solve with — the exact diag(s)·T' + diag(c) algebra the
+                # lazy operator applies, not a recomputation.
+                with tracer.span("audit") as sp:
+                    self._auditor.audit_kappa(kappa, n=source_graph.n_sources)
+                    throttled = ThrottledOperator(
+                        shared.base, kappa, full_throttle=self.full_throttle
+                    )
+                    self._auditor.audit_throttled(throttled)
+                    sp.meta["checks"] = "kappa,throttled"
             with tracer.span("rank") as sp:
                 scores = self._load_stage_result(run_key, "rank", "sr-sourcerank")
                 if scores is not None:
@@ -473,6 +500,8 @@ class SpamResilientPipeline:
                     )
                     self._save_stage_result(run_key, "rank", scores)
                 sp.meta["iterations"] = scores.convergence.iterations
+                if self._auditor.enabled:
+                    self._auditor.audit_result(scores, subject="sr-sourcerank")
         timings = {child.name: child.duration for child in root.children}
         self._record_run(root, timings, proximity, scores)
         return PipelineResult(

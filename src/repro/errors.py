@@ -20,6 +20,7 @@ __all__ = [
     "DivergenceError",
     "StagnationError",
     "SolveDeadlineError",
+    "AuditError",
     "InjectedFaultError",
     "ConfigError",
     "DatasetError",
@@ -171,6 +172,31 @@ class SolveDeadlineError(ConvergenceError):
         )
         self.deadline_seconds = float(deadline_seconds)
         self.elapsed_seconds = float(elapsed_seconds)
+
+
+class AuditError(ReproError):
+    """Raised when a strict-mode correctness audit finds invariant violations.
+
+    Attributes
+    ----------
+    violations:
+        The :class:`~repro.audit.invariants.InvariantViolation` records
+        that tripped the audit (at least one).
+    """
+
+    def __init__(self, violations: tuple) -> None:
+        violations = tuple(violations)
+        if violations:
+            detail = "; ".join(str(v) for v in violations[:5])
+            if len(violations) > 5:
+                detail += f"; ... ({len(violations) - 5} more)"
+        else:  # pragma: no cover - defensive
+            detail = "unspecified violation"
+        super().__init__(
+            f"correctness audit failed with {max(len(violations), 1)} "
+            f"violation(s): {detail}"
+        )
+        self.violations = violations
 
 
 class InjectedFaultError(ReproError):

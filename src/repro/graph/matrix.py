@@ -77,8 +77,17 @@ def row_normalize(matrix: sp.spmatrix | sp.sparray, *, copy: bool = True) -> sp.
         Any scipy sparse matrix with non-negative entries.
     copy:
         If False and ``matrix`` is already CSR, normalize its data in place.
+        Non-floating input (e.g. integer edge counts) cannot hold the
+        fractional scale factors, so its data is promoted to float64 —
+        ``copy=False`` then still reallocates the data array (the input
+        matrix object is reused, its entries are not mutated).
     """
     csr = sp.csr_matrix(matrix, copy=copy) if copy or not sp.issparse(matrix) else matrix.tocsr()
+    if not np.issubdtype(csr.dtype, np.floating):
+        csr = sp.csr_matrix(
+            (csr.data.astype(np.float64), csr.indices, csr.indptr),
+            shape=csr.shape,
+        )
     if csr.nnz and csr.data.min() < 0:
         raise GraphError("transition weights must be non-negative")
     sums = row_sums(csr)

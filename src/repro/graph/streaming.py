@@ -37,8 +37,9 @@ def stream_edge_chunks(
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Yield ``(src, dst)`` int64 array chunks from a text edge list.
 
-    Comments (``#``) and blank lines are skipped; malformed lines raise
-    :class:`~repro.errors.GraphError` with their line number.
+    Comments (``#``) and blank lines are skipped; malformed lines and
+    negative node ids raise :class:`~repro.errors.GraphError` with their
+    line number (matching :func:`~repro.graph.io.read_edge_list`).
     """
     if chunk_edges < 1:
         raise GraphError(f"chunk_edges must be >= 1, got {chunk_edges}")
@@ -54,12 +55,21 @@ def stream_edge_chunks(
             if len(parts) < 2:
                 raise GraphError(f"line {lineno}: expected 'src dst', got {line!r}")
             try:
-                src.append(int(parts[0]))
-                dst.append(int(parts[1]))
+                s, d = int(parts[0]), int(parts[1])
             except ValueError as exc:
                 raise GraphError(
                     f"line {lineno}: non-integer node id in {line!r}"
                 ) from exc
+            if s < 0 or d < 0:
+                # Parity with read_edge_list: name the offending line here
+                # rather than failing later in StreamingBuilder.count with
+                # no file context (count keeps its check as a backstop for
+                # callers feeding arrays directly).
+                raise GraphError(
+                    f"line {lineno}: negative node id in {line!r}"
+                )
+            src.append(s)
+            dst.append(d)
             if len(src) >= chunk_edges:
                 yield (
                     np.asarray(src, dtype=np.int64),

@@ -172,6 +172,23 @@ def iterate_to_fixpoint(
         from ..resilience.guards import SolveGuard
 
         guard = SolveGuard(resilience, tolerance=params.tolerance, label=tag)
+    audit = getattr(params, "audit", None)
+    mass_auditor = None
+    if audit is not None and audit.check_every and solver == "power":
+        # Lazily imported like the guards (repro.audit sits above this
+        # layer).  Power only: the linear solvers' intermediate iterates
+        # are not probability distributions, so mass conservation is not
+        # an invariant there.
+        from ..audit.invariants import IterateMassAuditor
+
+        mass_auditor = IterateMassAuditor(
+            audit,
+            subject=tag,
+            # With dangling rows the "linear" handling lets mass leak
+            # (never grow); "teleport" keeps mass at 1, which the leaky
+            # bound also accepts.
+            leaky=dangling_mask is not None and bool(dangling_mask.any()),
+        )
     ckpt = getattr(params, "checkpoint", None)
     ckpt_every = 0
     start_iteration = 0
@@ -226,6 +243,8 @@ def iterate_to_fixpoint(
                         float(x[dangling_mask].sum()) if track_dangling else None
                     ),
                 )
+            if mass_auditor is not None and iterations % audit.check_every == 0:
+                mass_auditor.check(iterations, x)
             if residual < params.tolerance:
                 break
             if guard is not None:

@@ -343,6 +343,24 @@ class ThrottledOperator:
         """The κ = 1 semantics in effect."""
         return self._full_throttle
 
+    def diagonal(self) -> np.ndarray:
+        """Diagonal of ``T''`` as this operator applies it (no materialization).
+
+        ``T''_ii = s_i · T'_ii + c_i`` — the quantity the correctness
+        audit checks against the paper's ``T''_ii = κ_i`` invariant on
+        boosted rows.
+        """
+        return self._scale * self._base.matrix.diagonal() + self._shift
+
+    def row_sums(self) -> np.ndarray:
+        """Row sums of ``T''`` as this operator applies it.
+
+        Only the diagonal departs from the uniform per-row scale, so
+        ``sum_j T''_ij = s_i · sum_j T'_ij + c_i``.
+        """
+        base_sums = np.asarray(self._base.matrix.sum(axis=1)).ravel()
+        return self._scale * base_sums + self._shift
+
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         """``T''^T @ x`` without materializing ``T''``."""
         if self._identity:

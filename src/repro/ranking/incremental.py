@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import RankingParams
-from ..errors import GraphError
+from ..errors import GraphError, ThrottleError
 from ..graph.pagegraph import PageGraph
 from ..logging_utils import get_logger
 from ..observability.tracing import span
@@ -130,6 +130,12 @@ class IncrementalSourceRank:
             graph, assignment, weighting=self.weighting
         )
         n = source_graph.n_sources
+        if kappa is not None and kappa.n > n:
+            raise ThrottleError(
+                f"throttle vector covers {kappa.n} sources but the source "
+                f"graph has only {n}; a κ assigned on a larger web cannot "
+                "be applied to a smaller one — recompute κ for this web"
+            )
         if kappa is not None and kappa.n < n:
             padded = np.zeros(n)
             padded[: kappa.n] = kappa.kappa

@@ -1,0 +1,310 @@
+"""Unit tests for the runtime invariant checks and their reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit.invariants import (
+    InvariantAuditor,
+    IterateMassAuditor,
+    check_iterate_mass,
+    check_kappa_vector,
+    check_row_stochastic,
+    check_score_distribution,
+    check_throttled_matrix,
+    check_throttled_operator,
+    record_violations,
+)
+from repro.config import AuditParams, RankingParams
+from repro.errors import AuditError, ConfigError
+from repro.linalg.operator import CsrOperator, ThrottledOperator
+from repro.observability.metrics import get_registry
+from repro.ranking.power import power_iteration
+from repro.throttle.transform import throttle_transform
+
+
+def random_stochastic(seed: int, *, n_dangling: int = 0) -> sp.csr_matrix:
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(4, 20))
+    dense = (gen.random((n, n)) < 0.4) * gen.random((n, n))
+    np.fill_diagonal(dense, gen.random(n) * 0.5)
+    dense[dense.sum(axis=1) == 0, 0] = 1.0
+    dense /= dense.sum(axis=1, keepdims=True)
+    for i in range(min(n_dangling, n - 1)):
+        dense[n - 1 - i, :] = 0.0
+    return sp.csr_matrix(dense)
+
+
+def random_kappa(seed: int, matrix: sp.csr_matrix) -> np.ndarray:
+    gen = np.random.default_rng(seed + 17)
+    n = matrix.shape[0]
+    kappa = gen.uniform(0.0, 1.0, size=n)
+    off = np.asarray(matrix.sum(axis=1)).ravel() - matrix.diagonal()
+    kappa[off <= 0] = 0.0
+    return kappa
+
+
+# ----------------------------------------------------------------------
+# row-stochasticity
+# ----------------------------------------------------------------------
+class TestRowStochastic:
+    def test_clean_matrix_passes(self):
+        assert check_row_stochastic(random_stochastic(0)) == []
+
+    def test_dangling_rows_allowed_by_default(self):
+        matrix = random_stochastic(1, n_dangling=2)
+        assert check_row_stochastic(matrix) == []
+        violations = check_row_stochastic(matrix, allow_zero_rows=False)
+        assert len(violations) == 1
+        assert violations[0].invariant == "row_stochastic"
+
+    def test_scaled_row_flagged(self):
+        matrix = random_stochastic(2).tolil()
+        matrix[0] = matrix[0] * 1.5
+        violations = check_row_stochastic(matrix.tocsr())
+        assert len(violations) == 1
+        assert "row 0" in violations[0].message
+        assert violations[0].value == pytest.approx(0.5, rel=1e-6)
+
+    def test_negative_entry_flagged(self):
+        matrix = random_stochastic(3).toarray()
+        matrix[1, 0] -= 0.2
+        matrix[1, 1] += 0.2  # row still sums to 1 — only negativity trips
+        violations = check_row_stochastic(sp.csr_matrix(matrix))
+        assert [v.invariant for v in violations] == ["row_stochastic"]
+        assert "negative" in violations[0].message
+
+    def test_nonfinite_flagged(self):
+        matrix = random_stochastic(4).toarray()
+        matrix[0, 0] = np.nan
+        violations = check_row_stochastic(sp.csr_matrix(matrix))
+        assert "non-finite" in violations[0].message
+
+
+# ----------------------------------------------------------------------
+# throttle transform invariants
+# ----------------------------------------------------------------------
+class TestThrottled:
+    @pytest.mark.parametrize("full_throttle", ["self", "dangling"])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_real_transform_passes(self, seed, full_throttle):
+        matrix = random_stochastic(seed)
+        kappa = random_kappa(seed, matrix)
+        throttled = throttle_transform(matrix, kappa, full_throttle=full_throttle)
+        assert (
+            check_throttled_matrix(
+                matrix, kappa, throttled, full_throttle=full_throttle
+            )
+            == []
+        )
+
+    @pytest.mark.parametrize("full_throttle", ["self", "dangling"])
+    def test_lazy_operator_passes(self, full_throttle):
+        matrix = random_stochastic(7)
+        kappa = random_kappa(7, matrix)
+        op = ThrottledOperator(
+            CsrOperator(matrix), kappa, full_throttle=full_throttle
+        )
+        assert check_throttled_operator(op) == []
+
+    def test_tampered_diagonal_flagged(self):
+        matrix = random_stochastic(8)
+        kappa = np.full(matrix.shape[0], 0.6)
+        throttled = throttle_transform(matrix, kappa).tolil()
+        throttled[0, 0] = 0.1  # diag must be κ_0 = 0.6 on a boosted row
+        violations = check_throttled_matrix(matrix, kappa, throttled.tocsr())
+        invariants = {v.invariant for v in violations}
+        assert "throttle_diagonal" in invariants
+        assert "throttle_row_mass" in invariants
+
+    def test_untouched_row_mutation_flagged(self):
+        # Rows with diag >= κ must be byte-identical to the base.
+        matrix = random_stochastic(9)
+        kappa = np.zeros(matrix.shape[0])
+        tampered = matrix.copy().tolil()
+        tampered[1] = tampered[1] * 0.9
+        violations = check_throttled_matrix(matrix, kappa, tampered.tocsr())
+        assert any(v.invariant == "throttle_row_mass" for v in violations)
+
+
+# ----------------------------------------------------------------------
+# score distribution / kappa / iterate mass
+# ----------------------------------------------------------------------
+class TestScoreAndKappa:
+    def test_distribution_passes(self):
+        x = np.random.default_rng(0).random(10)
+        assert check_score_distribution(x / x.sum()) == []
+
+    def test_negative_and_unnormalized_flagged(self):
+        x = np.array([0.5, 0.7, -0.2])
+        invariants = {v.invariant for v in check_score_distribution(x)}
+        assert invariants == {"score_nonnegative"}
+        invariants = {v.invariant for v in check_score_distribution(x * 2)}
+        assert "score_mass" in invariants
+
+    def test_nan_short_circuits(self):
+        violations = check_score_distribution(np.array([np.nan, 1.0]))
+        assert [v.invariant for v in violations] == ["score_finite"]
+
+    def test_kappa_domain_and_size(self):
+        assert check_kappa_vector(np.array([0.0, 0.5, 1.0]), n=3) == []
+        assert [
+            v.invariant for v in check_kappa_vector(np.array([1.2]), n=1)
+        ] == ["kappa_domain"]
+        assert [
+            v.invariant for v in check_kappa_vector(np.array([0.5]), n=2)
+        ] == ["kappa_size"]
+
+    def test_iterate_mass_strict_and_leaky(self):
+        uniform = np.full(4, 0.25)
+        assert check_iterate_mass(uniform, iteration=1) == []
+        leaked = uniform * 0.8
+        assert check_iterate_mass(leaked, iteration=1, leaky=True) == []
+        assert len(check_iterate_mass(leaked, iteration=1)) == 1
+        # Mass above 1 is a bug under both readings.
+        grown = uniform * 1.5
+        assert len(check_iterate_mass(grown, iteration=1, leaky=True)) == 1
+
+
+# ----------------------------------------------------------------------
+# reporting: metric + strict raise
+# ----------------------------------------------------------------------
+class TestRecordViolations:
+    def _violation_count(self, invariant: str) -> float:
+        counter = get_registry().counter(
+            "repro_audit_violations_total",
+            "Correctness-audit invariant violations",
+            labelnames=("invariant",),
+        )
+        return sum(
+            c.value
+            for c in counter.children()
+            if c.label_values == {"invariant": invariant}
+        )
+
+    def test_strict_raises_with_violations_attached(self):
+        violations = check_score_distribution(np.array([np.inf, 1.0]))
+        before = self._violation_count("score_finite")
+        with pytest.raises(AuditError) as excinfo:
+            record_violations(violations, strict=True)
+        assert excinfo.value.violations == tuple(violations)
+        assert "score_finite" in str(excinfo.value)
+        assert self._violation_count("score_finite") == before + 1
+
+    def test_lenient_counts_without_raising(self):
+        violations = check_score_distribution(np.array([-1.0, 2.0]))
+        before = self._violation_count("score_nonnegative")
+        returned = record_violations(violations, strict=False)
+        assert returned == tuple(violations)
+        assert self._violation_count("score_nonnegative") == before + 1
+
+    def test_empty_is_noop(self):
+        assert record_violations([], strict=True) == ()
+
+
+# ----------------------------------------------------------------------
+# AuditParams + auditor façade
+# ----------------------------------------------------------------------
+class TestAuditorFacade:
+    def test_disabled_auditor_is_noop(self):
+        auditor = InvariantAuditor(None)
+        assert not auditor.enabled
+        bad = sp.csr_matrix(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        assert auditor.audit_transition(bad) == ()
+        assert auditor.audit_kappa(np.array([5.0])) == ()
+
+    def test_strict_auditor_raises_on_bad_transition(self):
+        auditor = InvariantAuditor(AuditParams())
+        bad = sp.csr_matrix(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        with pytest.raises(AuditError):
+            auditor.audit_transition(bad)
+
+    def test_lenient_auditor_returns_violations(self):
+        auditor = InvariantAuditor(AuditParams(strict=False))
+        bad = sp.csr_matrix(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        violations = auditor.audit_transition(bad)
+        assert len(violations) == 1
+
+    def test_check_families_gate(self):
+        params = AuditParams(check_transition=False)
+        auditor = InvariantAuditor(params)
+        bad = sp.csr_matrix(np.array([[2.0]]))
+        assert auditor.audit_transition(bad) == ()
+        scores = AuditParams(check_scores=False)
+        # A fake result-like object suffices: the gate fires first.
+        assert InvariantAuditor(scores).audit_result(None) == ()
+
+    def test_audit_params_validation(self):
+        with pytest.raises(ConfigError):
+            AuditParams(atol=0.0)
+        with pytest.raises(ConfigError):
+            AuditParams(check_every=-1)
+        with pytest.raises(ConfigError):
+            RankingParams(audit="yes")
+
+
+# ----------------------------------------------------------------------
+# iterate-engine hook (per-iteration mass conservation)
+# ----------------------------------------------------------------------
+class TestIterateHook:
+    def test_power_solve_clean_under_audit(self):
+        matrix = random_stochastic(11)
+        params = RankingParams(audit=AuditParams())
+        result = power_iteration(matrix, params)
+        assert result.convergence.converged
+
+    def test_power_solve_dangling_clean_under_audit(self):
+        matrix = random_stochastic(12, n_dangling=2)
+        params = RankingParams(audit=AuditParams())
+        result = power_iteration(matrix, params)
+        assert result.convergence.converged
+
+    def test_superstochastic_matrix_trips_mass_audit(self):
+        # Rows summing to 1.3 grow the iterate mass past 1 — exactly the
+        # class of bug the per-iteration check exists to catch.
+        matrix = random_stochastic(13)
+        matrix = sp.csr_matrix(matrix * 1.3)
+        params = RankingParams(audit=AuditParams(), strict=False, max_iter=50)
+        with pytest.raises(AuditError):
+            power_iteration(matrix, params)
+
+    def test_check_every_zero_disables_hook(self):
+        matrix = sp.csr_matrix(random_stochastic(13) * 1.3)
+        params = RankingParams(
+            audit=AuditParams(check_every=0), strict=False, max_iter=20
+        )
+        power_iteration(matrix, params)  # no raise
+
+    def test_linear_solvers_skip_mass_check(self):
+        # Jacobi iterates are not distributions; the audit must not
+        # misfire on them.
+        matrix = random_stochastic(14)
+        params = RankingParams(audit=AuditParams(), solver="jacobi")
+        from repro.linalg.registry import solver_registry
+
+        result = solver_registry.solve(matrix, params, solver="jacobi")
+        assert result.convergence.converged
+
+    def test_mass_auditor_warns_once_in_lenient_mode(self):
+        auditor = IterateMassAuditor(
+            AuditParams(strict=False), subject="t", leaky=False
+        )
+        auditor.check(1, np.array([0.5, 0.1]))
+        assert auditor._warned
+        auditor.check(2, np.array([0.5, 0.1]))  # counted, not re-logged
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), full=st.sampled_from(["self", "dangling"]))
+def test_lazy_and_materialized_throttle_agree_with_audit(seed, full):
+    """Property: both throttle paths satisfy the invariants on random input."""
+    matrix = random_stochastic(seed)
+    kappa = random_kappa(seed, matrix)
+    throttled = throttle_transform(matrix, kappa, full_throttle=full)
+    assert check_throttled_matrix(matrix, kappa, throttled, full_throttle=full) == []
+    op = ThrottledOperator(CsrOperator(matrix), kappa, full_throttle=full)
+    assert check_throttled_operator(op) == []

@@ -70,6 +70,19 @@ class TestRankCommand:
         err = capsys.readouterr().err
         assert "not-in-crawl.example" in err
 
+    def test_rank_with_audit(self, crawl_file, capsys):
+        assert main(["rank", "--edges", str(crawl_file), "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "top" in out
+
+    def test_audit_flags_parse(self):
+        args = build_parser().parse_args(
+            ["rank", "--dataset", "tiny", "--audit", "--audit-lenient"]
+        )
+        assert args.audit and args.audit_lenient
+        args = build_parser().parse_args(["rank", "--dataset", "tiny"])
+        assert not args.audit
+
     def test_rank_dataset(self, capsys):
         code = main(["rank", "--dataset", "tiny", "--top", "5"])
         assert code == 0

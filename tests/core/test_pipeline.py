@@ -152,3 +152,108 @@ class TestContextManager:
         pipe.close()
         assert pipe._shared is None
         pipe.close()  # idempotent
+
+
+class TestPipelineAudit:
+    def test_clean_run_passes_strict_audit(self, tiny_dataset):
+        from repro.config import AuditParams, RankingParams, SpamProximityParams
+
+        ds = tiny_dataset
+        audit = AuditParams()
+        with SpamResilientPipeline(
+            ranking=RankingParams(audit=audit),
+            proximity=SpamProximityParams(audit=audit),
+        ) as pipe:
+            result = pipe.rank(
+                ds.graph, ds.assignment, spam_seeds=ds.spam_sources[:2]
+            )
+        assert result.scores.n == ds.n_sources
+        assert "audit" in [c.name for c in result.trace.children]
+
+    def test_audit_disabled_leaves_trace_unchanged(self, tiny_dataset):
+        ds = tiny_dataset
+        with SpamResilientPipeline() as pipe:
+            result = pipe.rank(ds.graph, ds.assignment)
+        assert "audit" not in [c.name for c in result.trace.children]
+
+    def test_strict_audit_catches_corrupt_proximity(self, tiny_dataset, monkeypatch):
+        """A stage emitting an invalid σ must abort the run with AuditError."""
+        import numpy as np
+
+        from repro.config import AuditParams, RankingParams
+        from repro.core import pipeline as pipeline_mod
+        from repro.errors import AuditError
+        from repro.linalg.iterate import ConvergenceInfo
+        from repro.ranking.base import RankingResult
+
+        ds = tiny_dataset
+
+        def corrupt_proximity(source_graph, seeds, params, *, operator=None):
+            scores = np.full(source_graph.n_sources, 1.0)
+            scores[0] = -0.5  # negative probability — a solver bug
+            info = ConvergenceInfo(
+                converged=True,
+                iterations=1,
+                residual=0.0,
+                tolerance=1e-8,
+                residual_history=(0.0,),
+            )
+            return RankingResult(scores, info, label="spam-proximity")
+
+        monkeypatch.setattr(pipeline_mod, "spam_proximity", corrupt_proximity)
+        with SpamResilientPipeline(
+            ranking=RankingParams(audit=AuditParams())
+        ) as pipe:
+            with pytest.raises(AuditError, match="score_nonnegative"):
+                pipe.rank(
+                    ds.graph, ds.assignment, spam_seeds=ds.spam_sources[:2]
+                )
+
+    def test_lenient_audit_records_and_continues(self, tiny_dataset, monkeypatch):
+        import numpy as np
+
+        from repro.config import AuditParams, RankingParams
+        from repro.core import pipeline as pipeline_mod
+        from repro.linalg.iterate import ConvergenceInfo
+        from repro.observability.metrics import get_registry
+        from repro.ranking.base import RankingResult
+
+        ds = tiny_dataset
+
+        def corrupt_rank(source_graph, kappa, params, **kwargs):
+            scores = np.full(source_graph.n_sources, 1.0)
+            scores[0] = -0.5  # negative probability — a solver bug
+            info = ConvergenceInfo(
+                converged=True,
+                iterations=1,
+                residual=0.0,
+                tolerance=1e-8,
+                residual_history=(0.0,),
+            )
+            return RankingResult(scores, info, label="sr-sourcerank")
+
+        monkeypatch.setattr(
+            pipeline_mod, "spam_resilient_sourcerank", corrupt_rank
+        )
+
+        def violation_count() -> float:
+            counter = get_registry().counter(
+                "repro_audit_violations_total",
+                "Correctness-audit invariant violations",
+                labelnames=("invariant",),
+            )
+            return sum(
+                c.value
+                for c in counter.children()
+                if c.label_values == {"invariant": "score_nonnegative"}
+            )
+
+        before = violation_count()
+        with SpamResilientPipeline(
+            ranking=RankingParams(audit=AuditParams(strict=False))
+        ) as pipe:
+            result = pipe.rank(
+                ds.graph, ds.assignment, spam_seeds=ds.spam_sources[:2]
+            )
+        assert result.scores.n == ds.n_sources
+        assert violation_count() == before + 1

@@ -70,6 +70,29 @@ class TestRowNormalize:
         r = row_normalize(sp.csr_matrix(np.array([[3.0, 1.0]])))
         assert r[0, 0] == pytest.approx(0.75)
 
+    def test_integer_input_promoted(self):
+        # Regression: integer edge counts used to survive into the
+        # in-place ``data *= scale``, which numpy rejects with a raw
+        # UFuncTypeError (float scale into an int array).
+        m = sp.csr_matrix(np.array([[2, 2], [0, 5]], dtype=np.int64))
+        r = row_normalize(m)
+        assert np.issubdtype(r.dtype, np.floating)
+        np.testing.assert_allclose(r.toarray(), [[0.5, 0.5], [0.0, 1.0]])
+
+    def test_integer_input_promoted_with_copy_false(self):
+        m = sp.csr_matrix(np.array([[3, 1]], dtype=np.int32))
+        r = row_normalize(m, copy=False)
+        np.testing.assert_allclose(r.toarray(), [[0.75, 0.25]])
+        # Documented caveat: non-float input reallocates, so the original
+        # integer matrix is left untouched even with copy=False.
+        assert m[0, 0] == 3
+
+    def test_copy_false_still_in_place_for_float(self):
+        m = sp.csr_matrix(np.array([[2.0, 2.0]]))
+        r = row_normalize(m, copy=False)
+        assert r is m
+        assert m[0, 0] == 0.5
+
 
 class TestIsRowStochastic:
     def test_accepts_stochastic(self):

@@ -36,6 +36,17 @@ class TestStreamChunks:
         with pytest.raises(GraphError, match="line 2"):
             list(stream_edge_chunks(io.StringIO("0 1\nbad\n")))
 
+    def test_negative_id_reports_line_number(self):
+        # Regression: negative ids used to slip through parsing and fail
+        # only in StreamingBuilder.count, with no line context —
+        # read_edge_list parity requires the lineno at parse time.
+        with pytest.raises(GraphError, match="line 3.*negative"):
+            list(stream_edge_chunks(io.StringIO("0 1\n1 2\n2 -7\n")))
+
+    def test_negative_source_id_also_rejected(self):
+        with pytest.raises(GraphError, match="line 1"):
+            list(stream_edge_chunks(io.StringIO("-1 0\n")))
+
     def test_bad_chunk_size(self):
         with pytest.raises(GraphError):
             list(stream_edge_chunks(io.StringIO("0 1\n"), chunk_edges=0))

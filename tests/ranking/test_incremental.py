@@ -84,6 +84,23 @@ class TestIncrementalSourceRank:
         result = inc.update(spammed.graph, spammed.assignment, kappa)
         assert result.n == ds.n_sources + 3
 
+    def test_oversized_kappa_rejected(self, tiny_dataset):
+        # Regression: a κ longer than the source graph used to be
+        # accepted silently and fail (or worse, rank wrong) downstream.
+        from repro.errors import ThrottleError
+
+        ds = tiny_dataset
+        inc = IncrementalSourceRank()
+        oversized = ThrottleVector.zeros(ds.n_sources + 5)
+        # Must be update's own diagnostic (mirroring _padded_warm_start's
+        # shrink error), not ThrottledOperator's generic size mismatch
+        # raised three layers down.
+        with pytest.raises(ThrottleError, match="recompute") as excinfo:
+            inc.update(ds.graph, ds.assignment, oversized)
+        message = str(excinfo.value)
+        assert str(ds.n_sources + 5) in message
+        assert str(ds.n_sources) in message
+
     def test_weighting_and_mode_forwarded(self, tiny_dataset):
         ds = tiny_dataset
         a = IncrementalSourceRank(weighting="uniform").update(

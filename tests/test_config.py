@@ -7,6 +7,7 @@ import pytest
 from repro.config import (
     DEFAULT_ALPHA,
     DEFAULT_TOLERANCE,
+    AuditParams,
     ExperimentParams,
     RankingParams,
     SpamProximityParams,
@@ -117,3 +118,44 @@ class TestExperimentParams:
         p = ExperimentParams()
         assert p.ranking.alpha == DEFAULT_ALPHA
         assert p.throttle.strategy == "top_k"
+
+
+class TestAuditParams:
+    def test_defaults(self):
+        p = AuditParams()
+        assert p.strict is True
+        assert p.atol == 1e-8
+        assert p.check_every == 1
+        assert p.check_transition and p.check_scores
+
+    def test_with_override(self):
+        p = AuditParams().with_(strict=False, check_every=10)
+        assert p.strict is False
+        assert p.check_every == 10
+        assert p.atol == 1e-8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"atol": 0.0},
+            {"atol": -1e-9},
+            {"check_every": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            AuditParams(**kwargs)
+
+    def test_ranking_params_accepts_and_validates(self):
+        p = RankingParams(audit=AuditParams(strict=False))
+        assert p.audit.strict is False
+        assert RankingParams().audit is None
+        with pytest.raises(ConfigError):
+            RankingParams(audit=object())
+
+    def test_proximity_params_forward_audit(self):
+        audit = AuditParams(check_every=3)
+        p = SpamProximityParams(audit=audit)
+        assert p.as_ranking_params().audit is audit
+        with pytest.raises(ConfigError):
+            SpamProximityParams(audit=42)

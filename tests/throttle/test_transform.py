@@ -137,3 +137,85 @@ class TestTransform:
                 off_out = np.delete(dense_out[i], i)
                 ratio = off_out[off_in > 0] / off_in[off_in > 0]
                 np.testing.assert_allclose(ratio, ratio[0], rtol=1e-9)
+
+
+class TestEdgeCases:
+    """The seams the correctness audit exists to pin down."""
+
+    def test_diag_exactly_kappa_untouched(self):
+        # diag == κ does not *need* boosting: the row must come through
+        # byte-identical, not rescaled through the (1-κ)/off_mass path.
+        m = _stochastic([[0.4, 0.6], [0.3, 0.7]])
+        out = throttle_transform(m, ThrottleVector([0.4, 0.0]))
+        np.testing.assert_array_equal(out.toarray(), m.toarray())
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_diag_equal_kappa_property(self, data):
+        """Property: setting κ_i = T'_ii exactly is always the identity."""
+        n = data.draw(st.integers(min_value=2, max_value=8))
+        gen = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+        raw = gen.random((n, n)) + 0.01
+        m = sp.csr_matrix(raw / raw.sum(axis=1, keepdims=True))
+        out = throttle_transform(m, ThrottleVector(m.diagonal().copy()))
+        np.testing.assert_allclose(out.toarray(), m.toarray(), atol=0)
+
+    def test_kappa_one_with_structurally_absent_diagonal(self):
+        # κ=1 on a row whose diagonal slot holds no stored entry at all.
+        m = sp.csr_matrix(
+            (np.array([0.5, 0.5]), (np.array([0, 0]), np.array([1, 2]))),
+            shape=(3, 3),
+        )
+        m = m.tolil()
+        m[1] = [0.2, 0.3, 0.5]
+        m[2] = [0.0, 1.0, 0.0]
+        m = m.tocsr()
+        assert m[0, 0] == 0.0  # structurally absent
+        self_mode = throttle_transform(m, ThrottleVector([1.0, 0.0, 0.0]))
+        assert self_mode[0, 0] == 1.0
+        assert row_sums(self_mode)[0] == pytest.approx(1.0)
+        dangling_mode = throttle_transform(
+            m, ThrottleVector([1.0, 0.0, 0.0]), full_throttle="dangling"
+        )
+        assert row_sums(dangling_mode)[0] == 0.0
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_dangling_mode_with_renormalization_property(self, data):
+        """Property: ``full_throttle="dangling"`` + the σ/||σ|| convention.
+
+        κ=1 rows leak mass (the walk is substochastic), yet the ranking
+        convention renormalizes σ to a distribution — so the solve must
+        still produce a valid distribution with the throttled rows'
+        *columns* starved relative to the self-loop reading.
+        """
+        from repro.config import RankingParams
+        from repro.ranking.power import power_iteration
+
+        n = data.draw(st.integers(min_value=3, max_value=8))
+        gen = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+        raw = gen.random((n, n)) + 0.01
+        m = sp.csr_matrix(raw / raw.sum(axis=1, keepdims=True))
+        n_full = data.draw(st.integers(min_value=1, max_value=n - 1))
+        kappa_arr = np.zeros(n)
+        kappa_arr[gen.choice(n, size=n_full, replace=False)] = 1.0
+        out = throttle_transform(
+            m, ThrottleVector(kappa_arr), full_throttle="dangling"
+        )
+        # Structure: killed rows empty, the rest untouched.
+        sums = row_sums(out)
+        np.testing.assert_allclose(sums[kappa_arr == 1.0], 0.0, atol=0)
+        np.testing.assert_allclose(sums[kappa_arr < 1.0], 1.0, atol=1e-12)
+        assert is_row_stochastic(out, allow_zero_rows=True)
+        # σ/||σ|| renormalization: scores remain a distribution and the
+        # muted sources keep only teleport-sourced mass (strictly less
+        # than under the self-loop reading, which traps mass on them).
+        result = power_iteration(out, RankingParams(tolerance=1e-12))
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert (result.scores >= 0).all()
+        self_loop = power_iteration(
+            throttle_transform(m, ThrottleVector(kappa_arr)),
+            RankingParams(tolerance=1e-12),
+        )
+        muted = kappa_arr == 1.0
+        assert result.scores[muted].sum() < self_loop.scores[muted].sum()
