@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain pytest / python underneath.
 
-.PHONY: install test bench figures examples metrics-demo resilience audit clean
+.PHONY: install test bench figures examples metrics-demo resilience audit \
+	serving soak serve-demo clean
 
 install:
 	pip install -e .
@@ -27,6 +28,18 @@ resilience:
 audit:
 	PYTHONPATH=src python -m pytest -q tests/audit
 	PYTHONPATH=src python benchmarks/bench_audit.py --quick
+
+serving:
+	PYTHONPATH=src python -m pytest -q tests/serving
+	PYTHONPATH=src python benchmarks/bench_serving.py --quick
+
+soak:
+	PYTHONPATH=src python benchmarks/bench_serving.py
+
+serve-demo:
+	PYTHONPATH=src python -m repro serve --snapshot-dir /tmp/repro-serve \
+		--updates 6 --inject crash --metrics-out /tmp/repro-serve-metrics.json
+	@echo "--- run again to see restart recovery from the snapshot store ---"
 
 examples:
 	python examples/quickstart.py

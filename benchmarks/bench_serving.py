@@ -1,0 +1,514 @@
+#!/usr/bin/env python
+"""Chaos/soak harness for the serving layer: concurrent readers must
+never see a failed or wrong read while the updater is being tortured.
+
+Phases:
+
+* **bootstrap** — tiny dataset, spam sources fully throttled, baseline +
+  SR snapshots published to a fresh store.
+* **chaos** — one update per fault class, each with its expected
+  outcome asserted:
+
+  - *nan*: a seeded NaN corrupts a matvec; the ``power → jacobi``
+    fallback chain recovers *inside* the update — the service never
+    leaves healthy.
+  - *crash*: the solve dies mid-iteration; the update is dropped and the
+    service degrades to serve-stale.
+  - *broken_pool*: a parallel-kernel worker is killed with ``os._exit``;
+    the shared-memory pool rebuilds and the update still succeeds.
+
+* **soak** — a background updater streams clean evolving-graph updates
+  while reader threads hammer score/top-k/percentile; every response's
+  staleness is recorded.
+* **torn_snapshot** — the newest snapshot file is truncated behind the
+  store's back; a *new* service on the same store must recover to the
+  previous healthy snapshot and keep answering.
+* **recovery identity** — the final served σ must match a cold
+  high-precision solve of the final applied graph to 1e-9.
+
+Writes ``benchmarks/results/BENCH_serving.json``.  Exits non-zero when
+any gate fails: a single failed read, staleness beyond the configured
+bound, σ drift past 1e-9, or an expected metric stuck at zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serving.json"
+
+RECOVERY_ATOL = 1e-9
+
+
+def counter_value(name: str, **labels: str) -> float:
+    from repro.observability.metrics import get_registry
+
+    for family in get_registry().families():
+        if family.name == name:
+            for child in family.children():
+                if child.label_values == labels:
+                    return child.value
+    return 0.0
+
+
+class GraphEvolver:
+    """Deterministic stream of growing page webs."""
+
+    def __init__(self, graph, seed: int) -> None:
+        from repro.graph import add_edges
+
+        self._add_edges = add_edges
+        self.graph = graph
+        self._gen = np.random.default_rng(seed)
+
+    def step(self):
+        src = self._gen.integers(0, self.graph.n_nodes, size=4)
+        dst = self._gen.integers(0, self.graph.n_nodes, size=4)
+        self.graph = self._add_edges(self.graph, src.tolist(), dst.tolist())
+        return self.graph
+
+
+def build_service(store_dir: Path, seed: int):
+    from repro.config import RankingParams, ResilienceParams, ServingParams
+    from repro.serving import RankingService
+
+    serving = ServingParams(
+        max_pending=6,
+        staleness_bound_updates=8,
+        backoff_base_seconds=0.02,
+        backoff_max_seconds=0.2,
+        poll_interval_seconds=0.005,
+        seed=seed,
+    )
+    params = RankingParams(
+        tolerance=1e-12,
+        max_iter=2000,
+        resilience=ResilienceParams(fallback_solvers=("jacobi",)),
+    )
+    return RankingService(store_dir, params, serving), serving, params
+
+
+def cold_sigma(graph, assignment, kappa, params):
+    from repro.config import RankingParams
+    from repro.ranking.srsourcerank import spam_resilient_sourcerank
+    from repro.sources import SourceGraph
+
+    cold_params = RankingParams(
+        tolerance=params.tolerance, max_iter=params.max_iter
+    )
+    return spam_resilient_sourcerank(
+        SourceGraph.from_page_graph(graph, assignment), kappa, cold_params
+    ).scores
+
+
+# ----------------------------------------------------------------------
+# Chaos phase
+# ----------------------------------------------------------------------
+def run_chaos(service, evolver, assignment, kappa, seed: int) -> dict:
+    from repro.resilience.faults import (
+        FaultyOperator,
+        break_worker_pool,
+        crash_at_iteration,
+    )
+
+    applied = []
+    report: dict = {}
+
+    # Clean update first: a known-good reference point.
+    graph = evolver.step()
+    service.submit_update(graph, assignment, kappa)
+    ok = service.run_pending() == 1
+    applied.append(graph)
+    report["clean"] = {"applied": ok, "state": service.health()["state"]}
+
+    # NaN corruption: the fallback chain absorbs it inside the update.
+    fallbacks_before = counter_value("repro_fallbacks_total", kind="solver")
+    graph = evolver.step()
+    service.submit_update(
+        graph,
+        assignment,
+        kappa,
+        operator_wrap=lambda op: FaultyOperator(op, corrupt_at_call=3, seed=seed),
+    )
+    ok = service.run_pending() == 1
+    if ok:
+        applied.append(graph)
+    report["nan"] = {
+        "applied": ok,
+        "state": service.health()["state"],
+        "stayed_healthy": service.health()["state"] == "healthy",
+        "fallbacks_fired": counter_value("repro_fallbacks_total", kind="solver")
+        - fallbacks_before,
+    }
+
+    # Mid-solve crash: the update is dropped, the service serves stale.
+    graph = evolver.step()
+    service.submit_update(
+        graph, assignment, kappa, callback=crash_at_iteration(1)
+    )
+    dropped = service.run_pending() == 0
+    stale_response = service.score(0)
+    report["crash"] = {
+        "dropped": dropped,
+        "state": service.health()["state"],
+        "went_stale": stale_response.state == "stale",
+        "staleness_stamped": stale_response.staleness,
+        "reads_during_degradation_ok": True,
+    }
+
+    # Killed pool worker: the shared-memory pool rebuilds mid-update.
+    def break_pool_then_pass(op):
+        shared = getattr(op, "_shared", None)
+        if shared is not None:
+            break_worker_pool(shared._pool)
+        return op
+
+    rebuilds_before = counter_value("repro_fallbacks_total", kind="pool_rebuild")
+    graph = evolver.step()
+    service.submit_update(
+        graph,
+        assignment,
+        kappa,
+        kernel="parallel",
+        operator_wrap=break_pool_then_pass,
+    )
+    ok = service.run_pending() == 1
+    if ok:
+        applied.append(graph)
+    report["broken_pool"] = {
+        "applied": ok,
+        "state": service.health()["state"],
+        "pool_rebuilds_fired": counter_value(
+            "repro_fallbacks_total", kind="pool_rebuild"
+        )
+        - rebuilds_before,
+    }
+
+    # Clean recovery: back to healthy with zero staleness.
+    graph = evolver.step()
+    service.submit_update(graph, assignment, kappa)
+    ok = service.run_pending() == 1
+    applied.append(graph)
+    report["recovery"] = {
+        "applied": ok,
+        "state": service.health()["state"],
+        "staleness": service.score(0).staleness,
+    }
+    report["ok"] = bool(
+        report["clean"]["applied"]
+        and report["nan"]["applied"]
+        and report["nan"]["stayed_healthy"]
+        and report["nan"]["fallbacks_fired"] > 0
+        and report["crash"]["dropped"]
+        and report["crash"]["went_stale"]
+        and report["broken_pool"]["applied"]
+        and report["recovery"]["applied"]
+        and report["recovery"]["state"] == "healthy"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Soak phase
+# ----------------------------------------------------------------------
+def run_soak(
+    service, evolver, assignment, kappa, duration: float, n_readers: int
+) -> tuple[dict, list]:
+    from repro.errors import AdmissionError
+
+    n = assignment.n_sources
+    stop = threading.Event()
+    stats_lock = threading.Lock()
+    stats = {
+        "reads_ok": 0,
+        "reads_failed": 0,
+        "max_staleness": 0,
+        "max_snapshot_age": 0.0,
+        "failures": [],
+    }
+
+    def reader(reader_seed: int) -> None:
+        gen = np.random.default_rng(reader_seed)
+        ops = ("score", "top_k", "percentile")
+        local_ok = 0
+        local_max_staleness = 0
+        local_max_age = 0.0
+        while not stop.is_set():
+            op = ops[int(gen.integers(0, 3))]
+            try:
+                if op == "score":
+                    response = service.score(int(gen.integers(0, n)))
+                elif op == "top_k":
+                    response = service.top_k(int(gen.integers(1, 10)))
+                else:
+                    response = service.percentile(int(gen.integers(0, n)))
+                local_ok += 1
+                local_max_staleness = max(local_max_staleness, response.staleness)
+                local_max_age = max(local_max_age, response.snapshot_age)
+            except Exception as exc:  # noqa: BLE001 - every failure gates
+                with stats_lock:
+                    stats["reads_failed"] += 1
+                    if len(stats["failures"]) < 10:
+                        stats["failures"].append(
+                            f"{type(exc).__name__}: {exc}"
+                        )
+        with stats_lock:
+            stats["reads_ok"] += local_ok
+            stats["max_staleness"] = max(
+                stats["max_staleness"], local_max_staleness
+            )
+            stats["max_snapshot_age"] = max(
+                stats["max_snapshot_age"], local_max_age
+            )
+
+    readers = [
+        threading.Thread(target=reader, args=(1000 + i,), name=f"reader-{i}")
+        for i in range(n_readers)
+    ]
+    accepted = []
+    submitted = 0
+    rejected = 0
+    t0 = time.perf_counter()
+    for thread in readers:
+        thread.start()
+    try:
+        with service:  # background updater drains the queue
+            while time.perf_counter() - t0 < duration:
+                graph = evolver.step()
+                try:
+                    service.submit_update(graph, assignment, kappa)
+                    accepted.append(graph)
+                    submitted += 1
+                except AdmissionError:
+                    rejected += 1  # backpressure is expected, not a failure
+                    evolver.graph = accepted[-1]  # retry from the applied web
+                time.sleep(0.01)
+            # Drain before stopping so "final graph" == last accepted.
+            deadline = time.perf_counter() + 60
+            while (
+                service.health()["staleness_updates"] > 0
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.01)
+    finally:
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+    elapsed = time.perf_counter() - t0
+    health = service.health()
+    report = {
+        "seconds": elapsed,
+        "updates_submitted": submitted,
+        "updates_rejected_backpressure": rejected,
+        "reads_ok": stats["reads_ok"],
+        "reads_failed": stats["reads_failed"],
+        "read_failures": stats["failures"],
+        "max_staleness_observed": stats["max_staleness"],
+        "max_snapshot_age_seconds": stats["max_snapshot_age"],
+        "final_state": health["state"],
+        "final_staleness": health["staleness_updates"],
+        "drained": health["staleness_updates"] == 0,
+    }
+    return report, accepted
+
+
+# ----------------------------------------------------------------------
+# Torn-snapshot restart phase
+# ----------------------------------------------------------------------
+def run_torn_snapshot(store_dir: Path, seed: int) -> dict:
+    from repro.serving import SnapshotStore
+
+    store = SnapshotStore(store_dir)
+    newest = store.latest(kind="sr")
+    previous_healthy = None
+    for version in reversed(store.versions()):
+        snapshot = store.load(version)
+        if (
+            snapshot is not None
+            and snapshot.kind == "sr"
+            and snapshot.version < newest.version
+        ):
+            previous_healthy = snapshot
+            break
+    path = store.path_for(newest.version)
+    path.write_bytes(path.read_bytes()[:64])  # tear it
+
+    rejects_before = counter_value(
+        "repro_snapshot_rejects_total", reason="unreadable"
+    )
+    service, _, _ = build_service(store_dir, seed)
+    response = service.score(0)
+    return {
+        "torn_version": newest.version,
+        "served_version": response.snapshot_version,
+        "served_kind": response.snapshot_kind,
+        "skipped_torn": response.snapshot_version < newest.version,
+        "matches_previous_healthy": (
+            previous_healthy is not None
+            and response.snapshot_version == previous_healthy.version
+        ),
+        "rejects_fired": counter_value(
+            "repro_snapshot_rejects_total", reason="unreadable"
+        )
+        - rejects_before,
+        "ok": bool(
+            response.snapshot_version < newest.version
+            and previous_healthy is not None
+            and response.snapshot_version == previous_healthy.version
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run(quick: bool, seed: int, duration: float, store_dir: Path) -> dict:
+    from repro.datasets import load_dataset
+    from repro.observability.metrics import reset_registry
+    from repro.throttle.vector import ThrottleVector
+
+    reset_registry()
+    ds = load_dataset("tiny")
+    kappa = np.zeros(ds.assignment.n_sources)
+    kappa[np.asarray(ds.spam_sources, dtype=np.int64)] = 1.0
+    kappa = ThrottleVector(kappa)
+
+    service, serving, params = build_service(store_dir, seed)
+    t0 = time.perf_counter()
+    service.bootstrap(ds.graph, ds.assignment, kappa)
+    bootstrap_seconds = time.perf_counter() - t0
+
+    evolver = GraphEvolver(ds.graph, seed)
+    chaos = run_chaos(service, evolver, ds.assignment, kappa, seed)
+    n_readers = 2 if quick else 4
+    soak, accepted = run_soak(
+        service, evolver, ds.assignment, kappa, duration, n_readers
+    )
+
+    # Recovery identity: the served σ is byte-for-byte the published
+    # snapshot; it must match a cold high-precision solve of the final
+    # applied graph to RECOVERY_ATOL.
+    final_graph = accepted[-1]
+    served = service.store.latest(kind="sr").sigma
+    cold = cold_sigma(final_graph, ds.assignment, kappa, params)
+    sigma_diff = float(np.abs(served - cold).max())
+
+    service.stop()
+    torn = run_torn_snapshot(store_dir, seed)
+
+    transitions_down = counter_value(
+        "repro_serving_transitions_total",
+        from_state="healthy",
+        to_state="stale",
+    )
+    transitions_up = counter_value(
+        "repro_serving_transitions_total",
+        from_state="stale",
+        to_state="healthy",
+    )
+    updates_failed = counter_value(
+        "repro_serving_updates_total", status="failed"
+    )
+
+    gates = {
+        "chaos_ok": chaos["ok"],
+        "zero_failed_reads": soak["reads_failed"] == 0,
+        "staleness_bounded": (
+            soak["max_staleness_observed"] <= serving.staleness_bound_updates
+        ),
+        "soak_drained_healthy": bool(
+            soak["drained"] and soak["final_state"] == "healthy"
+        ),
+        "sigma_identity": sigma_diff <= RECOVERY_ATOL,
+        "torn_snapshot_recovered": torn["ok"],
+        "metrics_nonzero": bool(
+            transitions_down > 0
+            and transitions_up > 0
+            and updates_failed > 0
+            and chaos["nan"]["fallbacks_fired"] > 0
+            and torn["rejects_fired"] > 0
+        ),
+    }
+    return {
+        "quick": quick,
+        "seed": seed,
+        "duration_seconds": duration,
+        "recovery_atol": RECOVERY_ATOL,
+        "staleness_bound_updates": serving.staleness_bound_updates,
+        "n_sources": int(ds.assignment.n_sources),
+        "bootstrap_seconds": bootstrap_seconds,
+        "phases": {
+            "chaos": chaos,
+            "soak": soak,
+            "torn_snapshot": torn,
+        },
+        "sigma_max_diff": sigma_diff,
+        "transitions": {
+            "healthy_to_stale": transitions_down,
+            "stale_to_healthy": transitions_up,
+            "updates_failed": updates_failed,
+        },
+        "gates": gates,
+        "all_passed": all(gates.values()),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short soak (CI mode; every gate still applies)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="soak length in seconds (default 20, or 3 with --quick)",
+    )
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument(
+        "--out", type=Path, default=RESULTS_PATH, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    duration = args.duration
+    if duration is None:
+        duration = 3.0 if args.quick else 20.0
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = run(args.quick, args.seed, duration, Path(tmp) / "snapshots")
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    soak = report["phases"]["soak"]
+    print(
+        f"serving soak ({soak['seconds']:.1f}s, "
+        f"{soak['reads_ok']:,} reads, "
+        f"{soak['updates_submitted']} updates):"
+    )
+    for gate, passed in report["gates"].items():
+        print(f"  {gate}: {'ok' if passed else 'FAILED'}")
+    print(
+        f"  max staleness {soak['max_staleness_observed']} "
+        f"(bound {report['staleness_bound_updates']}), "
+        f"sigma max diff {report['sigma_max_diff']:.2e}"
+    )
+    print(f"  wrote {args.out}")
+    if not report["all_passed"]:
+        failed = [g for g, ok in report["gates"].items() if not ok]
+        print(f"FAIL: gates failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,6 +95,7 @@ from .resilience import (
     SolveAttempt,
     SolveCheckpointer,
 )
+from .serving import CircuitBreaker, RankingService, SnapshotStore
 from .ranking import (
     RankingResult,
     blockrank,
@@ -209,6 +210,10 @@ __all__ = [
     "SolveAttempt",
     "SolveCheckpointer",
     "PipelineCheckpointer",
+    # serving
+    "RankingService",
+    "SnapshotStore",
+    "CircuitBreaker",
     # correctness auditing
     "InvariantAuditor",
     "InvariantViolation",

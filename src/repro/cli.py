@@ -12,6 +12,10 @@ Subcommands
     (edge list + assignment + spam labels).
 ``stats``
     Print structural statistics of a graph file.
+``serve``
+    Run the fault-tolerant ranking service demo: bootstrap a snapshot
+    store, stream graph updates (optionally fault-injected) through the
+    guarded updater, and answer queries with full provenance.
 """
 
 from __future__ import annotations
@@ -132,6 +136,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="print graph statistics")
     p_stats.add_argument("edges", type=Path, help="integer edge list file")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the fault-tolerant ranking service demo"
+    )
+    p_serve.add_argument(
+        "--dataset", default="tiny", help="named synthetic dataset to serve"
+    )
+    p_serve.add_argument(
+        "--snapshot-dir",
+        type=Path,
+        required=True,
+        help="snapshot store directory (reused across runs — restart "
+        "recovery serves the newest healthy snapshot)",
+    )
+    p_serve.add_argument(
+        "--updates", type=int, default=5, help="graph updates to stream"
+    )
+    p_serve.add_argument(
+        "--queries", type=int, default=20, help="queries to answer per update"
+    )
+    p_serve.add_argument("--top", type=int, default=5, help="top-k size to print")
+    p_serve.add_argument(
+        "--inject",
+        choices=("none", "nan", "crash"),
+        default="none",
+        help="fault to inject into every other update: 'nan' corrupts a "
+        "matvec (the fallback chain recovers in-update), 'crash' kills "
+        "the solve mid-iteration (the service degrades explicitly)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the metrics registry (JSON; .prom for Prometheus "
+        "text) to this path on exit",
+    )
+
     p_comp = sub.add_parser(
         "compress", help="compress an edge list (WebGraph-style codecs)"
     )
@@ -206,9 +247,6 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     throttle = ThrottleParams(
         top_fraction=min(1.0, max(2 * max(len(seeds), 1), 4) / n)
     )
-    if args.resume and args.checkpoint_dir is None:
-        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
-        return 2
     resilience = None
     if args.fallback_solvers:
         resilience = ResilienceParams(
@@ -401,6 +439,76 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .config import ServingParams
+    from .datasets.registry import load_dataset
+    from .errors import AdmissionError
+    from .graph import add_edges
+    from .observability import write_metrics
+    from .resilience.faults import FaultyOperator, crash_at_iteration
+    from .serving import RankingService
+    from .throttle.vector import ThrottleVector
+
+    rng = np.random.default_rng(args.seed)
+    ds = load_dataset(args.dataset)
+    kappa = np.zeros(ds.assignment.n_sources)
+    kappa[np.asarray(ds.spam_sources, dtype=np.int64)] = 1.0
+    kappa = ThrottleVector(kappa)
+
+    service = RankingService(
+        args.snapshot_dir,
+        serving=ServingParams(backoff_base_seconds=0.05, seed=args.seed),
+    )
+    if not service.ready():
+        print("empty store: bootstrapping baseline + SR snapshots")
+        service.bootstrap(ds.graph, ds.assignment, kappa)
+    else:
+        print(f"recovered from snapshot store: {service.health()}")
+
+    graph = ds.graph
+    for step in range(1, args.updates + 1):
+        src = rng.integers(0, graph.n_nodes, size=4)
+        dst = rng.integers(0, graph.n_nodes, size=4)
+        graph = add_edges(graph, src.tolist(), dst.tolist())
+        inject: dict = {}
+        faulty = args.inject != "none" and step % 2 == 0
+        if faulty and args.inject == "nan":
+            inject["operator_wrap"] = lambda op: FaultyOperator(
+                op, corrupt_at_call=2, seed=args.seed
+            )
+        elif faulty and args.inject == "crash":
+            inject["callback"] = crash_at_iteration(1)
+        try:
+            seq = service.submit_update(graph, ds.assignment, kappa, **inject)
+        except AdmissionError as exc:
+            print(f"update {step}: REFUSED ({exc.reason})")
+            continue
+        service.run_pending()
+        health = service.health()
+        print(
+            f"update {step} (seq {seq}{', faulty' if faulty else ''}): "
+            f"state={health['state']} staleness={health['staleness_updates']} "
+            f"snapshot=v{health['snapshot_version']}/{health['snapshot_kind']}"
+        )
+        for _ in range(args.queries):
+            service.score(int(rng.integers(0, ds.assignment.n_sources)))
+
+    response = service.top_k(args.top)
+    print(
+        f"\ntop {args.top} sources "
+        f"(state={response.state}, snapshot v{response.snapshot_version}/"
+        f"{response.snapshot_kind}, age {response.snapshot_age:.2f}s, "
+        f"staleness {response.staleness}):"
+    )
+    for rank, s in enumerate(np.asarray(response.value), start=1):
+        print(f"  {rank:3d}. source-{int(s)}")
+    print(f"\nhealth: {service.health()}")
+    if args.metrics_out:
+        path = write_metrics(args.metrics_out, meta={"command": "serve"})
+        print(f"wrote metrics to {path}")
+    return 0
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     from .graph.io import read_edge_list
     from .webgraph import CompressedGraph, IntervalCompressedGraph, compare_codecs
@@ -433,6 +541,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "dataset": _cmd_dataset,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
     "compress": _cmd_compress,
 }
 
@@ -441,6 +550,12 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "rank" and args.resume and args.checkpoint_dir is None:
+        parser.error(
+            "rank: --resume requires --checkpoint-dir (there is nothing to "
+            "resume from without a checkpoint directory; pass "
+            "--checkpoint-dir DIR or drop --resume)"
+        )
     return _COMMANDS[args.command](args)
 
 

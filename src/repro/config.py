@@ -21,6 +21,7 @@ __all__ = [
     "AuditParams",
     "RankingParams",
     "ResilienceParams",
+    "ServingParams",
     "ThrottleParams",
     "SpamProximityParams",
     "ExperimentParams",
@@ -189,6 +190,86 @@ class ResilienceParams:
         )
 
     def with_(self, **overrides: object) -> "ResilienceParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class ServingParams:
+    """Policy knobs of the fault-tolerant :class:`~repro.serving.RankingService`.
+
+    Parameters
+    ----------
+    max_pending:
+        Bounded-queue admission control: update requests beyond this many
+        outstanding are refused with
+        :class:`~repro.errors.AdmissionError` (reason ``"queue_full"``).
+    failure_threshold:
+        Consecutive update failures after which the circuit breaker
+        opens and background re-solves pause for the backoff window.
+    backoff_base_seconds, backoff_max_seconds:
+        Exponential-backoff schedule of the open breaker: the n-th trip
+        waits ``min(base * 2**(n-1), max)`` seconds (plus jitter) before
+        a half-open probe is allowed through.
+    backoff_jitter:
+        Relative jitter added to each backoff (``0.1`` = up to +10 %),
+        drawn from a seeded rng so schedules stay reproducible.
+    baseline_after:
+        Consecutive update failures after which serving falls back from
+        the stale SR snapshot to the last baseline-SourceRank snapshot.
+    read_only_after:
+        Consecutive update failures after which the service refuses new
+        writes entirely (reads keep being answered).  Must be at least
+        ``baseline_after``.
+    staleness_bound_updates:
+        How many update generations behind the served snapshot may lag
+        before the readiness probe reports the bound as violated (the
+        soak harness gates on this).
+    snapshot_keep:
+        How many snapshots the store retains per published kind.
+    poll_interval_seconds:
+        Idle sleep of the background updater loop between queue polls.
+    seed:
+        Seed of the breaker's jitter rng.
+    """
+
+    max_pending: int = 16
+    failure_threshold: int = 3
+    backoff_base_seconds: float = 0.5
+    backoff_max_seconds: float = 30.0
+    backoff_jitter: float = 0.1
+    baseline_after: int = 2
+    read_only_after: int = 4
+    staleness_bound_updates: int = 8
+    snapshot_keep: int = 8
+    poll_interval_seconds: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("max_pending", "failure_threshold", "baseline_after",
+                     "read_only_after", "staleness_bound_updates",
+                     "snapshot_keep"):
+            value = int(getattr(self, name))
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value!r}")
+            object.__setattr__(self, name, value)
+        if self.read_only_after < self.baseline_after:
+            raise ConfigError(
+                f"read_only_after ({self.read_only_after}) must be >= "
+                f"baseline_after ({self.baseline_after}): the service "
+                "falls back to baseline before refusing writes"
+            )
+        _check_positive("backoff_base_seconds", self.backoff_base_seconds)
+        _check_positive("backoff_max_seconds", self.backoff_max_seconds)
+        _check_positive("poll_interval_seconds", self.poll_interval_seconds)
+        for name in ("backoff_base_seconds", "backoff_max_seconds",
+                     "poll_interval_seconds"):
+            object.__setattr__(self, name, float(getattr(self, name)))
+        _check_unit_interval("backoff_jitter", self.backoff_jitter)
+        object.__setattr__(self, "backoff_jitter", float(self.backoff_jitter))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    def with_(self, **overrides: object) -> "ServingParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)  # type: ignore[arg-type]
 

@@ -21,6 +21,8 @@ __all__ = [
     "StagnationError",
     "SolveDeadlineError",
     "AuditError",
+    "ServingError",
+    "AdmissionError",
     "InjectedFaultError",
     "ConfigError",
     "DatasetError",
@@ -197,6 +199,26 @@ class AuditError(ReproError):
             f"violation(s): {detail}"
         )
         self.violations = violations
+
+
+class ServingError(ReproError):
+    """Raised by the ranking service when a query cannot be answered."""
+
+
+class AdmissionError(ServingError):
+    """Raised when the ranking service refuses a new update request.
+
+    Attributes
+    ----------
+    reason:
+        Why admission was refused: ``"read_only"`` (the service has
+        degraded past its last fallback and accepts no writes) or
+        ``"queue_full"`` (bounded-queue admission control).
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class InjectedFaultError(ReproError):

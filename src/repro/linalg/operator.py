@@ -266,11 +266,14 @@ class ThrottledOperator:
             )
         owns = sp.issparse(base)
         base_op = CsrOperator(base, kernel=kernel) if owns else base
-        if not isinstance(base_op, CsrOperator):
+        # Duck-typed: any CsrOperator-protocol object exposing the explicit
+        # base matrix works — e.g. a FaultyOperator wrapping a CsrOperator
+        # in the fault-injection harness.
+        if not (hasattr(base_op, "matrix") and hasattr(base_op, "rmatvec")):
             raise GraphError(
-                "ThrottledOperator needs a CsrOperator or CSR matrix base "
-                f"(the transform reads the base diagonal), got "
-                f"{type(base).__name__}"
+                "ThrottledOperator needs a CsrOperator-protocol base with "
+                "a .matrix (the transform reads the base diagonal) or a "
+                f"CSR matrix, got {type(base).__name__}"
             )
         matrix = base_op.matrix
         n = base_op.n

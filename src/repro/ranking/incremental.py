@@ -7,9 +7,19 @@ warm-start pattern a first-class API: they hold the last converged vector
 and, on each graph update, re-solve from it (padding new pages/sources
 with teleport-level mass).  The fixed point is identical to a cold solve
 — only the iteration count changes — which the tests assert exactly.
+
+Both classes are thread-safe: updates are serialized behind an internal
+lock (a warm start is inherently sequential — each solve consumes the
+previous result), and ``current``/``reset`` take the same lock so a
+reader can never observe a torn ``_last``.  This is what lets the
+serving layer run its background updater loop while query threads read
+the ranker's state.
 """
 
 from __future__ import annotations
+
+import threading
+from typing import Callable
 
 import numpy as np
 
@@ -67,28 +77,46 @@ class IncrementalPageRank:
         self.params = params or RankingParams()
         self.solve_kwargs = solve_kwargs
         self._last: RankingResult | None = None
+        self._lock = threading.Lock()
 
     @property
     def current(self) -> RankingResult | None:
         """The most recent ranking (None before the first update)."""
-        return self._last
+        with self._lock:
+            return self._last
+
+    def seed(self, result: RankingResult) -> None:
+        """Install a previously computed ranking as the warm-start state.
+
+        The serving layer uses this to resume from a recovered snapshot:
+        the next update warm-starts from the snapshot's vector instead of
+        solving cold.
+        """
+        with self._lock:
+            self._last = result
 
     def update(self, graph: PageGraph) -> RankingResult:
-        """Re-rank ``graph``, warm-starting from the previous solution."""
-        x0 = _padded_warm_start(self._last, graph.n_nodes)
-        with span("incremental:pagerank", warm=x0 is not None, n=graph.n_nodes):
-            result = pagerank(graph, self.params, x0=x0, **self.solve_kwargs)
-        _logger.debug(
-            "incremental pagerank (%s start): %s",
-            "warm" if x0 is not None else "cold",
-            result.convergence.convergence_summary(),
-        )
-        self._last = result
-        return result
+        """Re-rank ``graph``, warm-starting from the previous solution.
+
+        Updates are serialized: a concurrent caller blocks until the
+        in-flight solve finishes and then warm-starts from its result.
+        """
+        with self._lock:
+            x0 = _padded_warm_start(self._last, graph.n_nodes)
+            with span("incremental:pagerank", warm=x0 is not None, n=graph.n_nodes):
+                result = pagerank(graph, self.params, x0=x0, **self.solve_kwargs)
+            _logger.debug(
+                "incremental pagerank (%s start): %s",
+                "warm" if x0 is not None else "cold",
+                result.convergence.convergence_summary(),
+            )
+            self._last = result
+            return result
 
     def reset(self) -> None:
         """Drop the warm-start state (next update solves cold)."""
-        self._last = None
+        with self._lock:
+            self._last = None
 
 
 class IncrementalSourceRank:
@@ -108,24 +136,75 @@ class IncrementalSourceRank:
         *,
         weighting: str = "consensus",
         full_throttle: str = "self",
+        **solve_kwargs: object,
     ) -> None:
         self.params = params or RankingParams()
         self.weighting = weighting
         self.full_throttle = full_throttle
+        self.solve_kwargs = solve_kwargs
         self._last: RankingResult | None = None
+        self._lock = threading.Lock()
 
     @property
     def current(self) -> RankingResult | None:
         """The most recent ranking (None before the first update)."""
-        return self._last
+        with self._lock:
+            return self._last
+
+    def seed(self, result: RankingResult) -> None:
+        """Install a previously computed ranking as the warm-start state.
+
+        The serving layer uses this to resume from a recovered snapshot:
+        the next update warm-starts from the snapshot's vector instead of
+        solving cold.
+        """
+        with self._lock:
+            self._last = result
 
     def update(
         self,
         graph: PageGraph,
         assignment: SourceAssignment,
         kappa: ThrottleVector | None = None,
+        *,
+        operator_wrap: Callable | None = None,
+        **solve_kwargs: object,
     ) -> RankingResult:
-        """Re-rank the web, warm-starting from the previous solution."""
+        """Re-rank the web, warm-starting from the previous solution.
+
+        Parameters
+        ----------
+        graph, assignment, kappa:
+            The evolved page web, its page→source map and (optionally)
+            the throttle vector (padded with κ = 0 for new sources).
+        operator_wrap:
+            Hook receiving the freshly built base
+            :class:`~repro.linalg.operator.CsrOperator` and returning the
+            operator the solve should actually walk.  The fault-injection
+            harness uses it to interpose a
+            :class:`~repro.resilience.FaultyOperator`; production code
+            leaves it ``None``.
+        solve_kwargs:
+            Extra keywords (``callback``, ``kernel``, ...) forwarded to
+            :func:`~repro.ranking.srsourcerank.spam_resilient_sourcerank`
+            on top of the constructor-level ``solve_kwargs``.
+
+        Updates are serialized behind the internal lock; concurrent
+        callers queue up rather than racing on the warm-start state.
+        """
+        with self._lock:
+            return self._update_locked(
+                graph, assignment, kappa, operator_wrap, solve_kwargs
+            )
+
+    def _update_locked(
+        self,
+        graph: PageGraph,
+        assignment: SourceAssignment,
+        kappa: ThrottleVector | None,
+        operator_wrap: Callable | None,
+        solve_kwargs: dict,
+    ) -> RankingResult:
         source_graph = SourceGraph.from_page_graph(
             graph, assignment, weighting=self.weighting
         )
@@ -141,14 +220,27 @@ class IncrementalSourceRank:
             padded[: kappa.n] = kappa.kappa
             kappa = ThrottleVector(padded)
         x0 = _padded_warm_start(self._last, n)
-        with span("incremental:sourcerank", warm=x0 is not None, n=n):
-            result = spam_resilient_sourcerank(
-                source_graph,
-                kappa,
-                self.params,
-                x0=x0,
-                full_throttle=self.full_throttle,
-            )
+        kwargs = {**self.solve_kwargs, **solve_kwargs}
+        base_op = None
+        if operator_wrap is not None:
+            from ..linalg.operator import CsrOperator
+
+            kernel = str(kwargs.get("kernel") or self.params.kernel)
+            base_op = CsrOperator(source_graph.matrix, kernel=kernel)
+            kwargs["operator"] = operator_wrap(base_op)
+        try:
+            with span("incremental:sourcerank", warm=x0 is not None, n=n):
+                result = spam_resilient_sourcerank(
+                    source_graph,
+                    kappa,
+                    self.params,
+                    x0=x0,
+                    full_throttle=self.full_throttle,
+                    **kwargs,
+                )
+        finally:
+            if base_op is not None:
+                base_op.close()
         _logger.debug(
             "incremental sourcerank (%s start): %s",
             "warm" if x0 is not None else "cold",
@@ -159,4 +251,5 @@ class IncrementalSourceRank:
 
     def reset(self) -> None:
         """Drop the warm-start state (next update solves cold)."""
-        self._last = None
+        with self._lock:
+            self._last = None

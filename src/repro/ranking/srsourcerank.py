@@ -21,6 +21,8 @@ matrix :func:`~repro.throttle.transform.throttle_transform` would build.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..config import RankingParams
@@ -44,6 +46,7 @@ def spam_resilient_sourcerank(
     kernel: str | None = None,
     full_throttle: str = "self",
     operator: CsrOperator | None = None,
+    callback: "Callable[[int, float], None] | None" = None,
 ) -> RankingResult:
     """Compute the Spam-Resilient SourceRank vector σ.
 
@@ -67,6 +70,9 @@ def spam_resilient_sourcerank(
         Prebuilt :class:`~repro.linalg.operator.CsrOperator` over the
         *unthrottled* source matrix; pass one to amortize kernel setup
         across a κ-sweep.  The caller keeps ownership of it.
+    callback:
+        Per-iteration ``(iteration, residual)`` hook forwarded to the
+        solver (part of the uniform solver contract).
 
     Returns
     -------
@@ -95,6 +101,7 @@ def spam_resilient_sourcerank(
             teleport=teleport,
             x0=x0,
             kernel=kernel,
+            callback=callback,
         )
     finally:
         throttled.close()

@@ -25,6 +25,7 @@ import hashlib
 import os
 import re
 import tempfile
+from collections.abc import Mapping, Set
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -35,6 +36,7 @@ from ..observability.metrics import get_registry
 
 __all__ = [
     "content_key",
+    "atomic_savez",
     "SolveState",
     "SolveCheckpointer",
     "PipelineCheckpointer",
@@ -59,28 +61,65 @@ def content_key(*parts: object) -> str:
 
     NumPy arrays hash their raw bytes (plus dtype/shape so reinterpreted
     buffers cannot collide); scipy CSR matrices hash their three arrays;
-    everything else hashes its ``repr``.
+    mappings and sets are canonicalized (their entries hashed and sorted)
+    so two dicts or sets holding the same items produce the same key
+    regardless of insertion order — pipeline checkpoints keyed on a
+    param dict must not spuriously miss after a reordering; lists and
+    tuples recurse element-wise (preserving order) so nested containers
+    canonicalize too.  Everything else hashes its ``repr``.
     """
     digest = hashlib.sha256()
     for part in parts:
-        if hasattr(part, "indptr") and hasattr(part, "indices"):
-            for arr in (part.indptr, part.indices, getattr(part, "data", None)):
-                if arr is not None:
-                    digest.update(content_key(np.asarray(arr)).encode())
-            continue
-        if isinstance(part, np.ndarray):
-            arr = np.ascontiguousarray(part)
-            digest.update(str(arr.dtype).encode())
-            digest.update(str(arr.shape).encode())
-            digest.update(arr.tobytes())
-            continue
-        digest.update(repr(part).encode())
-        digest.update(b"\x00")
+        _digest_part(digest, part)
     return digest.hexdigest()
 
 
-def _atomic_savez(path: Path, **arrays: object) -> None:
-    """Write an ``.npz`` so that ``path`` is either absent or complete."""
+def _digest_part(digest, part: object) -> None:
+    """Feed one canonicalized part into ``digest`` (see :func:`content_key`)."""
+    if hasattr(part, "indptr") and hasattr(part, "indices"):
+        digest.update(b"csr:")
+        for arr in (part.indptr, part.indices, getattr(part, "data", None)):
+            if arr is not None:
+                digest.update(content_key(np.asarray(arr)).encode())
+        return
+    if isinstance(part, np.ndarray):
+        arr = np.ascontiguousarray(part)
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+        return
+    if isinstance(part, Mapping):
+        digest.update(b"map:")
+        for key_hash, value_hash in sorted(
+            (content_key(key), content_key(value)) for key, value in part.items()
+        ):
+            digest.update(key_hash.encode())
+            digest.update(value_hash.encode())
+        digest.update(b"\x00")
+        return
+    if isinstance(part, (Set, frozenset)):
+        digest.update(b"set:")
+        for item_hash in sorted(content_key(item) for item in part):
+            digest.update(item_hash.encode())
+        digest.update(b"\x00")
+        return
+    if isinstance(part, (list, tuple)):
+        digest.update(b"seq:")
+        for item in part:
+            _digest_part(digest, item)
+        digest.update(b"\x00")
+        return
+    digest.update(repr(part).encode())
+    digest.update(b"\x00")
+
+
+def atomic_savez(path: Path, **arrays: object) -> None:
+    """Write an ``.npz`` so that ``path`` is either absent or complete.
+
+    The tmp + ``os.replace`` publish pattern shared by the checkpointers
+    and the serving layer's :class:`~repro.serving.SnapshotStore`: a kill
+    mid-write can never leave a torn file under the final name.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(
         dir=path.parent, prefix=path.stem + ".", suffix=".tmp"
@@ -156,7 +195,7 @@ class SolveCheckpointer:
 
     def save(self, tag: str, x: np.ndarray, iteration: int, residual: float) -> None:
         """Write one checkpoint atomically (tmp + rename)."""
-        _atomic_savez(
+        atomic_savez(
             self.path_for(tag),
             format_version=np.int64(_CHECKPOINT_FORMAT_VERSION),
             x=np.asarray(x, dtype=np.float64),
@@ -229,7 +268,7 @@ class PipelineCheckpointer:
 
     def save_stage(self, key: str, stage: str, **arrays: object) -> None:
         """Persist one completed stage's named arrays atomically."""
-        _atomic_savez(
+        atomic_savez(
             self._stage_path(key, stage),
             format_version=np.int64(_CHECKPOINT_FORMAT_VERSION),
             **arrays,

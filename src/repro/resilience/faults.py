@@ -96,6 +96,11 @@ class FaultyOperator:
         return self._base.kernel
 
     @property
+    def matrix(self):
+        """The base operator's explicit CSR (faults apply to matvecs only)."""
+        return self._base.matrix
+
+    @property
     def dangling_mask(self) -> np.ndarray:
         """The base operator's dangling mask (delegated)."""
         return self._base.dangling_mask

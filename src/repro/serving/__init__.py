@@ -1,0 +1,29 @@
+"""Fault-tolerant serving of spam-resilient rankings.
+
+The batch layers compute σ; this package *serves* it. A
+:class:`SnapshotStore` holds atomically published, integrity-checked,
+monotonically versioned ranking snapshots; a :class:`RankingService`
+answers score / top-k / percentile queries from the newest healthy one
+while a circuit-breaker-guarded background updater re-solves the ranking
+as the web evolves, degrading explicitly (healthy → stale → baseline →
+read-only) instead of ever serving a wrong or partial σ.
+
+See ``docs/architecture.md`` ("Serving") for the state machine and
+``benchmarks/bench_serving.py`` for the chaos/soak harness that proves
+the degradation and recovery behavior under injected faults.
+"""
+
+from .breaker import BREAKER_STATES, CircuitBreaker
+from .service import SERVING_STATES, RankingService, ServeResponse
+from .snapshot import SNAPSHOT_KINDS, RankingSnapshot, SnapshotStore
+
+__all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "SERVING_STATES",
+    "RankingService",
+    "ServeResponse",
+    "SNAPSHOT_KINDS",
+    "RankingSnapshot",
+    "SnapshotStore",
+]

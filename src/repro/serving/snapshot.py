@@ -1,0 +1,363 @@
+"""Versioned, integrity-checked snapshot store for published rankings.
+
+A snapshot is one published ranking: the σ vector, the κ it was computed
+under, convergence provenance, and the :func:`~repro.resilience.checkpoint.content_key`
+of the inputs that produced it.  Snapshots are monotonically numbered and
+written with the same atomic tmp + ``os.replace`` publish (and ``.npz``
+format-version field) as the resilience checkpoints, plus a payload
+digest recomputed on load — a torn, truncated, or tampered snapshot is
+*skipped* (with a warning and a ``repro_snapshot_rejects_total`` count),
+never served.  :meth:`SnapshotStore.latest` therefore always lands on
+the newest snapshot that is actually healthy, which is what makes a
+:class:`~repro.serving.service.RankingService` restart safe: whatever a
+crash left behind, the store serves the last complete publish.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ServingError
+from ..linalg.iterate import ConvergenceInfo
+from ..logging_utils import get_logger
+from ..observability.metrics import get_registry
+from ..ranking.base import RankingResult
+from ..resilience.checkpoint import atomic_savez, content_key
+
+__all__ = ["RankingSnapshot", "SnapshotStore", "SNAPSHOT_KINDS"]
+
+_logger = get_logger(__name__)
+
+_SNAPSHOT_FORMAT_VERSION = 1
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.npz$")
+
+#: The two snapshot kinds a service publishes: the throttled SR ranking
+#: and the unthrottled baseline it degrades to.
+SNAPSHOT_KINDS: tuple[str, ...] = ("sr", "baseline")
+
+
+def _record_reject(reason: str) -> None:
+    get_registry().counter(
+        "repro_snapshot_rejects_total",
+        "Snapshots refused at load time, by reason",
+        labelnames=("reason",),
+    ).labels(reason=reason).inc()
+
+
+class RankingSnapshot:
+    """One published ranking: σ, κ, provenance, and an input fingerprint."""
+
+    __slots__ = (
+        "version",
+        "kind",
+        "sigma",
+        "kappa",
+        "key",
+        "published_at",
+        "solver",
+        "convergence",
+        "_result",
+    )
+
+    def __init__(
+        self,
+        *,
+        version: int,
+        kind: str,
+        sigma: np.ndarray,
+        kappa: np.ndarray,
+        key: str,
+        published_at: float,
+        solver: str,
+        convergence: ConvergenceInfo,
+    ) -> None:
+        if kind not in SNAPSHOT_KINDS:
+            raise ServingError(
+                f"snapshot kind must be one of {SNAPSHOT_KINDS}, got {kind!r}"
+            )
+        sigma = np.asarray(sigma, dtype=np.float64).ravel()
+        kappa = np.asarray(kappa, dtype=np.float64).ravel()
+        sigma.setflags(write=False)
+        kappa.setflags(write=False)
+        self.version = int(version)
+        self.kind = str(kind)
+        self.sigma = sigma
+        self.kappa = kappa
+        self.key = str(key)
+        self.published_at = float(published_at)
+        self.solver = str(solver)
+        self.convergence = convergence
+        self._result: RankingResult | None = None
+
+    @property
+    def n(self) -> int:
+        """Number of ranked sources."""
+        return int(self.sigma.size)
+
+    def result(self) -> RankingResult:
+        """The snapshot as a :class:`~repro.ranking.base.RankingResult`.
+
+        Built once and cached — the service answers top-k/percentile
+        queries through the result's rank-order helpers.
+        """
+        if self._result is None:
+            self._result = RankingResult(
+                self.sigma,
+                self.convergence,
+                label=f"snapshot-{self.version}:{self.kind}",
+            )
+        return self._result
+
+    def age(self, now: float) -> float:
+        """Seconds between this snapshot's publish and ``now``."""
+        return max(float(now) - self.published_at, 0.0)
+
+    def digest(self) -> str:
+        """Content fingerprint of the payload, verified on every load."""
+        return content_key(
+            np.int64(self.version),
+            self.kind,
+            self.sigma,
+            self.kappa,
+            self.key,
+            self.solver,
+            np.int64(self.convergence.iterations),
+            np.float64(self.convergence.residual),
+            np.float64(self.convergence.tolerance),
+            np.float64(self.published_at),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RankingSnapshot(version={self.version}, kind={self.kind!r}, "
+            f"n={self.n}, published_at={self.published_at:.3f})"
+        )
+
+
+class SnapshotStore:
+    """Atomic, monotonically versioned snapshot files under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where ``snapshot-<version>.npz`` files live (created on first
+        publish).
+    keep:
+        Retention per kind: :meth:`publish` prunes all but the newest
+        ``keep`` snapshots of each kind (the newest healthy baseline is
+        always retained — it is the degraded-mode fallback).
+    clock:
+        Wall-clock source for ``published_at`` (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        keep: int = 8,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.directory = Path(directory)
+        self.keep = max(int(keep), 1)
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Paths and enumeration
+    # ------------------------------------------------------------------
+    def path_for(self, version: int) -> Path:
+        """Snapshot file path for one version number."""
+        return self.directory / f"snapshot-{int(version):08d}.npz"
+
+    def versions(self) -> tuple[int, ...]:
+        """All version numbers present on disk, ascending (healthy or not)."""
+        if not self.directory.is_dir():
+            return ()
+        found = []
+        for entry in self.directory.iterdir():
+            match = _SNAPSHOT_RE.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return tuple(sorted(found))
+
+    # ------------------------------------------------------------------
+    # Publish
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        *,
+        kind: str,
+        sigma: np.ndarray,
+        kappa: np.ndarray,
+        key: str = "",
+        solver: str = "",
+        convergence: ConvergenceInfo | None = None,
+    ) -> RankingSnapshot:
+        """Atomically write the next-numbered snapshot and return it.
+
+        The version counter is the max on-disk version plus one, taken
+        under the store lock, so concurrent publishers can never collide
+        or reuse a number.  The file carries a payload digest; any later
+        mutation of the bytes is detected at load time.
+        """
+        if convergence is None:
+            convergence = ConvergenceInfo(
+                converged=True, iterations=0, residual=0.0, tolerance=0.0
+            )
+        with self._lock:
+            existing = self.versions()
+            version = (existing[-1] if existing else 0) + 1
+            snapshot = RankingSnapshot(
+                version=version,
+                kind=kind,
+                sigma=sigma,
+                kappa=kappa,
+                key=key,
+                published_at=self._clock(),
+                solver=solver,
+                convergence=convergence,
+            )
+            atomic_savez(
+                self.path_for(version),
+                format_version=np.int64(_SNAPSHOT_FORMAT_VERSION),
+                version=np.int64(version),
+                kind=snapshot.kind,
+                sigma=snapshot.sigma,
+                kappa=snapshot.kappa,
+                key=snapshot.key,
+                solver=snapshot.solver,
+                iterations=np.int64(convergence.iterations),
+                residual=np.float64(convergence.residual),
+                tolerance=np.float64(convergence.tolerance),
+                published_at=np.float64(snapshot.published_at),
+                digest=snapshot.digest(),
+            )
+            self._prune_locked()
+        get_registry().counter(
+            "repro_snapshot_publishes_total",
+            "Snapshots published, by kind",
+            labelnames=("kind",),
+        ).labels(kind=snapshot.kind).inc()
+        _logger.info(
+            "published snapshot %d (%s, n=%d)", version, kind, snapshot.n
+        )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load(self, version: int) -> RankingSnapshot | None:
+        """Load and verify one snapshot; ``None`` if missing or unhealthy.
+
+        Verification order: the archive must parse (a torn tmp+rename can
+        never produce a half-file, but an external truncation can), the
+        format version must match, and the payload digest must recompute
+        to the stored value.  Any failure is a warning plus a
+        ``repro_snapshot_rejects_total`` count — never an exception, and
+        never a served-but-wrong σ.
+        """
+        path = self.path_for(version)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                stored_format = int(data["format_version"])
+                if stored_format != _SNAPSHOT_FORMAT_VERSION:
+                    _record_reject("format_version")
+                    _logger.warning(
+                        "rejecting snapshot %s: format version %d != %d",
+                        path,
+                        stored_format,
+                        _SNAPSHOT_FORMAT_VERSION,
+                    )
+                    return None
+                snapshot = RankingSnapshot(
+                    version=int(data["version"]),
+                    kind=str(data["kind"]),
+                    sigma=np.asarray(data["sigma"], dtype=np.float64),
+                    kappa=np.asarray(data["kappa"], dtype=np.float64),
+                    key=str(data["key"]),
+                    published_at=float(data["published_at"]),
+                    solver=str(data["solver"]),
+                    convergence=ConvergenceInfo(
+                        converged=True,
+                        iterations=int(data["iterations"]),
+                        residual=float(data["residual"]),
+                        tolerance=float(data["tolerance"]),
+                    ),
+                )
+                stored_digest = str(data["digest"])
+        except Exception as exc:  # noqa: BLE001 - any corruption ⇒ skip
+            _record_reject("unreadable")
+            _logger.warning("rejecting unreadable snapshot %s (%s)", path, exc)
+            return None
+        if snapshot.digest() != stored_digest:
+            _record_reject("digest")
+            _logger.warning(
+                "rejecting snapshot %s: payload digest mismatch "
+                "(tampered or corrupted)",
+                path,
+            )
+            return None
+        return snapshot
+
+    def latest(self, kind: str | None = None) -> RankingSnapshot | None:
+        """The newest *healthy* snapshot (of ``kind``, when given).
+
+        Walks versions newest-first, skipping anything :meth:`load`
+        rejects — the recovery path after a torn write or a crash
+        mid-publish.
+        """
+        for version in reversed(self.versions()):
+            snapshot = self.load(version)
+            if snapshot is None:
+                continue
+            if kind is None or snapshot.kind == kind:
+                return snapshot
+        return None
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def _prune_locked(self) -> None:
+        """Drop all but the newest ``keep`` snapshots of each kind.
+
+        The newest loadable baseline is always retained regardless of
+        age: it is the serve-from-baseline fallback, and deleting it
+        would silently remove a degraded mode.
+        """
+        per_kind: dict[str, list[int]] = {}
+        unreadable: list[int] = []
+        for version in reversed(self.versions()):
+            snapshot = self.load(version)
+            if snapshot is None:
+                unreadable.append(version)
+                continue
+            per_kind.setdefault(snapshot.kind, []).append(version)
+        doomed: list[int] = []
+        for versions in per_kind.values():
+            doomed.extend(versions[self.keep:])
+        # Unreadable files older than the newest healthy snapshot carry
+        # no information; clear them so the directory cannot grow
+        # unboundedly under repeated torn writes.
+        newest_healthy = max(
+            (vs[0] for vs in per_kind.values()), default=None
+        )
+        if newest_healthy is not None:
+            doomed.extend(v for v in unreadable if v < newest_healthy)
+        for version in doomed:
+            try:
+                self.path_for(version).unlink()
+            except FileNotFoundError:  # pragma: no cover - concurrent prune
+                pass
+
+    def prune(self) -> None:
+        """Apply the retention policy now (publish does this implicitly)."""
+        with self._lock:
+            self._prune_locked()

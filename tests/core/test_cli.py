@@ -140,3 +140,87 @@ class TestCompressCommand:
         )
         assert code == 0
         assert "interval codec" in capsys.readouterr().out
+
+
+class TestResumeValidation:
+    def test_resume_without_checkpoint_dir_is_parse_error(self, capsys):
+        # Satellite regression: this used to be a soft runtime check that
+        # only fired after the dataset was loaded; it must be a hard
+        # argparse error before any work happens.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["rank", "--dataset", "tiny", "--resume"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--resume requires --checkpoint-dir" in err
+
+    def test_resume_with_checkpoint_dir_accepted(self, tmp_path, capsys):
+        rc = main(
+            [
+                "rank",
+                "--dataset",
+                "tiny",
+                "--resume",
+                "--checkpoint-dir",
+                str(tmp_path / "ckpt"),
+            ]
+        )
+        assert rc == 0
+        assert "top" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_demo_and_restart_recovery(self, tmp_path, capsys):
+        store = tmp_path / "snapshots"
+        rc = main(
+            [
+                "serve",
+                "--snapshot-dir",
+                str(store),
+                "--updates",
+                "2",
+                "--queries",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bootstrapping" in out
+        assert "state=healthy" in out
+        assert "top 5 sources" in out
+
+        rc = main(
+            [
+                "serve",
+                "--snapshot-dir",
+                str(store),
+                "--updates",
+                "1",
+                "--queries",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovered from snapshot store" in out
+
+    def test_serve_with_crash_injection_degrades(self, tmp_path, capsys):
+        rc = main(
+            [
+                "serve",
+                "--snapshot-dir",
+                str(tmp_path / "snapshots"),
+                "--updates",
+                "2",
+                "--queries",
+                "1",
+                "--inject",
+                "crash",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "state=stale" in out
+
+    def test_serve_requires_snapshot_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])

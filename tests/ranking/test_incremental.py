@@ -110,3 +110,80 @@ class TestIncrementalSourceRank:
             ds.graph, ds.assignment
         )
         assert not np.allclose(a.scores, b.scores)
+
+
+class TestThreadSafety:
+    def test_concurrent_pagerank_updates_serialize(self, small_graph):
+        # Regression: updates used to mutate ``_last`` with no lock, so
+        # concurrent callers could interleave warm starts with a torn
+        # result.  All threads must finish cleanly and agree with the
+        # cold solve.
+        import threading
+
+        inc = IncrementalPageRank()
+        errors: list[Exception] = []
+
+        def worker() -> None:
+            try:
+                for _ in range(3):
+                    inc.update(small_graph)
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        cold = pagerank(small_graph)
+        np.testing.assert_allclose(inc.current.scores, cold.scores, atol=1e-7)
+
+    def test_concurrent_sourcerank_updates_and_reads(self, tiny_dataset):
+        import threading
+
+        ds = tiny_dataset
+        inc = IncrementalSourceRank()
+        kappa = ThrottleVector.zeros(ds.n_sources).updated(ds.spam_sources, 1.0)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def updater() -> None:
+            try:
+                for _ in range(3):
+                    inc.update(ds.graph, ds.assignment, kappa)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    result = inc.current
+                    if result is not None:
+                        # A torn _last would fail normalization here.
+                        assert abs(result.scores.sum() - 1.0) < 1e-9
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        updaters = [threading.Thread(target=updater) for _ in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in readers + updaters:
+            t.start()
+        for t in updaters:
+            t.join(timeout=60)
+        stop.set()
+        for t in readers:
+            t.join(timeout=10)
+        assert not errors
+        cold_sg = SourceGraph.from_page_graph(ds.graph, ds.assignment)
+        cold = spam_resilient_sourcerank(cold_sg, kappa)
+        np.testing.assert_allclose(inc.current.scores, cold.scores, atol=1e-7)
+
+    def test_seed_installs_warm_start(self, small_graph):
+        inc = IncrementalPageRank()
+        cold = pagerank(small_graph)
+        inc.seed(cold)
+        assert inc.current is cold
+        warm = inc.update(small_graph)
+        # Seeded at the fixed point: the re-solve converges immediately.
+        assert warm.convergence.iterations <= cold.convergence.iterations

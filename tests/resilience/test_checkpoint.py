@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.config import RankingParams, ResilienceParams
 from repro.core.pipeline import SpamResilientPipeline
@@ -174,3 +176,59 @@ class TestPipelineStageCheckpoints:
     def test_load_stage_ignores_missing(self, tmp_path):
         ckpt = PipelineCheckpointer(tmp_path, resume=True)
         assert ckpt.load_stage("deadbeef", "rank", ("scores",)) is None
+
+
+class TestContentKeyCanonicalization:
+    """Satellite regression: mappings/sets must hash order-independently."""
+
+    @given(
+        st.dictionaries(
+            st.text(max_size=8),
+            st.integers(-1000, 1000),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_dict_insertion_order_irrelevant(self, mapping):
+        reordered = dict(reversed(list(mapping.items())))
+        assert content_key(mapping) == content_key(reordered)
+
+    @given(st.sets(st.integers(-1000, 1000), min_size=2, max_size=8))
+    def test_set_iteration_order_irrelevant(self, items):
+        # Build two sets with different insertion histories.
+        ordered = sorted(items)
+        forward = set()
+        backward = set()
+        for item in ordered:
+            forward.add(item)
+        for item in reversed(ordered):
+            backward.add(item)
+        assert content_key(forward) == content_key(backward)
+        assert content_key(frozenset(items)) == content_key(items)
+
+    @given(
+        st.dictionaries(
+            st.text(max_size=8), st.integers(-100, 100), min_size=2, max_size=5
+        )
+    )
+    def test_nested_mapping_in_sequence_canonical(self, mapping):
+        reordered = dict(reversed(list(mapping.items())))
+        assert content_key([mapping, "tail"]) == content_key([reordered, "tail"])
+
+    def test_dict_content_still_matters(self):
+        assert content_key({"a": 1}) != content_key({"a": 2})
+        assert content_key({"a": 1}) != content_key({"b": 1})
+
+    def test_sequence_order_still_matters(self):
+        # Lists/tuples are *ordered* containers; canonicalization must
+        # not erase their order.
+        assert content_key([1, 2]) != content_key([2, 1])
+
+    def test_container_types_do_not_collide(self):
+        assert content_key({1: 2}) != content_key([(1, 2)])
+        assert content_key({1, 2}) != content_key([1, 2])
+
+    def test_arrays_inside_containers(self):
+        a = np.arange(4)
+        assert content_key({"x": a}) == content_key({"x": a.copy()})
+        assert content_key({"x": a}) != content_key({"x": a + 1})

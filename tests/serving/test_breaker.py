@@ -1,0 +1,160 @@
+"""Unit tests for :mod:`repro.serving.breaker` (fake-clock driven)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.metrics import get_registry, reset_registry
+from repro.serving import CircuitBreaker
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make(clock: FakeClock, **kwargs) -> CircuitBreaker:
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("backoff_base_seconds", 1.0)
+    kwargs.setdefault("backoff_max_seconds", 8.0)
+    kwargs.setdefault("jitter", 0.0)
+    return CircuitBreaker(clock=clock, **kwargs)
+
+
+class TestTripping:
+    def test_starts_closed_and_allows(self):
+        breaker = make(FakeClock())
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_trips_at_threshold(self):
+        breaker = make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+class TestBackoff:
+    def test_half_open_after_deadline_single_probe(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after() == pytest.approx(1.0)
+        clock.advance(0.5)
+        assert not breaker.allow()
+        clock.advance(0.6)
+        assert breaker.allow()  # the one probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # no second probe
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_doubles_backoff(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()  # trip 1: 1 s
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()  # trip 2: 2 s
+        assert breaker.state == "open"
+        assert breaker.retry_after() == pytest.approx(2.0)
+        clock.advance(2.1)
+        assert breaker.allow()
+        breaker.record_failure()  # trip 3: 4 s
+        assert breaker.retry_after() == pytest.approx(4.0)
+
+    def test_backoff_capped(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        for _ in range(10):  # keep failing probes well past the cap
+            clock.advance(100.0)
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.retry_after() <= 8.0 + 1e-9
+
+    def test_jitter_bounds(self):
+        clock = FakeClock()
+        breaker = make(clock, jitter=0.5, seed=7)
+        for _ in range(3):
+            breaker.record_failure()
+        # base 1 s, jitter in [0, 0.5): retry_after in [1, 1.5).
+        assert 1.0 <= breaker.retry_after() < 1.5
+
+    def test_jitter_deterministic_per_seed(self):
+        def schedule(seed: int) -> float:
+            clock = FakeClock()
+            breaker = make(clock, jitter=0.5, seed=seed)
+            for _ in range(3):
+                breaker.record_failure()
+            return breaker.retry_after()
+
+        assert schedule(3) == schedule(3)
+
+
+class TestObservability:
+    def test_transitions_counted_and_gauge_tracks(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.1)
+        breaker.allow()
+        breaker.record_success()
+
+        counts = {}
+        gauge = None
+        for family in get_registry().families():
+            if family.name == "repro_breaker_transitions_total":
+                for child in family.children():
+                    counts[child.label_values["state"]] = child.value
+            if family.name == "repro_breaker_state":
+                for child in family.children():
+                    gauge = child.value
+        assert counts == {"open": 1.0, "half_open": 1.0, "closed": 1.0}
+        assert gauge == 0.0  # closed again
+
+    def test_reset_closes(self):
+        breaker = make(FakeClock())
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()
