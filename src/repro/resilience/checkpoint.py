@@ -118,7 +118,13 @@ def atomic_savez(path: Path, **arrays: object) -> None:
 
     The tmp + ``os.replace`` publish pattern shared by the checkpointers
     and the serving layer's :class:`~repro.serving.SnapshotStore`: a kill
-    mid-write can never leave a torn file under the final name.
+    mid-write can never leave a torn file under the final name.  The tmp
+    file is fsynced before the rename (and the directory after it, where
+    the platform allows) so the same holds across a power loss — without
+    the fsync, ``os.replace`` could land an empty or partially flushed
+    file under the final name once the page cache is gone.  Readers
+    still digest-verify on load; the fsync just makes losing the publish
+    itself the only remaining failure mode, not serving a torn file.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(
@@ -127,6 +133,8 @@ def atomic_savez(path: Path, **arrays: object) -> None:
     try:
         with os.fdopen(fd, "wb") as handle:
             np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -134,6 +142,16 @@ def atomic_savez(path: Path, **arrays: object) -> None:
         except OSError:  # pragma: no cover - tmp already consumed
             pass
         raise
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir opens
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _load_npz(path: Path, required: tuple[str, ...]) -> dict | None:

@@ -190,6 +190,10 @@ class RankingService:
             params, weighting=weighting, full_throttle=full_throttle
         )
         self._lock = threading.RLock()
+        # Serializes update *execution* (pop → solve → publish → adopt).
+        # Reads only ever take ``_lock``; ``_run_lock`` is never acquired
+        # while ``_lock`` is held, so the two cannot deadlock.
+        self._run_lock = threading.Lock()
         self._queue: deque[_UpdateRequest] = deque()
         self._state = "healthy"
         self._current: RankingSnapshot | None = None
@@ -234,35 +238,40 @@ class RankingService:
         The baseline (unthrottled SourceRank) snapshot is the
         degraded-mode fallback; the SR snapshot is what healthy serving
         answers from.  Returns the SR snapshot.
+
+        Bootstrap takes the updater's run lock, so it cannot interleave
+        with an in-flight background update: the SR snapshot it adopts
+        is always newer than anything the updater published before it.
         """
-        source_graph = SourceGraph.from_page_graph(
-            graph, assignment, weighting=self.weighting
-        )
-        n = source_graph.n_sources
-        base = sourcerank(source_graph, self.params)
-        self.store.publish(
-            kind="baseline",
-            sigma=base.scores,
-            kappa=np.zeros(n),
-            key=self._input_key(graph, assignment, None),
-            solver=self.params.solver,
-            convergence=base.convergence,
-        )
-        result = self._ranker.update(graph, assignment, kappa)
-        snapshot = self.store.publish(
-            kind="sr",
-            sigma=result.scores,
-            kappa=np.zeros(n) if kappa is None else kappa.kappa,
-            key=self._input_key(graph, assignment, kappa),
-            solver=self.params.solver,
-            convergence=result.convergence,
-        )
-        with self._lock:
-            self._last_sr = snapshot
-            self._current = snapshot
-            self._consecutive_failures = 0
-            self._set_state("healthy")
-        return snapshot
+        with self._run_lock:
+            source_graph = SourceGraph.from_page_graph(
+                graph, assignment, weighting=self.weighting
+            )
+            n = source_graph.n_sources
+            base = sourcerank(source_graph, self.params)
+            self.store.publish(
+                kind="baseline",
+                sigma=base.scores,
+                kappa=np.zeros(n),
+                key=self._input_key(graph, assignment, None),
+                solver=self.params.solver,
+                convergence=base.convergence,
+            )
+            result = self._ranker.update(graph, assignment, kappa)
+            snapshot = self.store.publish(
+                kind="sr",
+                sigma=result.scores,
+                kappa=np.zeros(n) if kappa is None else kappa.kappa,
+                key=self._input_key(graph, assignment, kappa),
+                solver=self.params.solver,
+                convergence=result.convergence,
+            )
+            with self._lock:
+                self._last_sr = snapshot
+                self._current = snapshot
+                self._consecutive_failures = 0
+                self._set_state("healthy")
+            return snapshot
 
     def _input_key(
         self,
@@ -317,10 +326,14 @@ class RankingService:
             "Pending update requests",
         ).set(float(len(self._queue)))
 
-    def _degrade(self) -> None:
-        """Apply the failure-count thresholds after a failed update."""
+    def _degrade(self, baseline: RankingSnapshot | None) -> None:
+        """Apply the failure-count thresholds after a failed update.
+
+        ``baseline`` is the fallback snapshot, looked up by the caller
+        *before* taking the service lock — a store walk (disk reads plus
+        digest verification) must never stall concurrent readers.
+        """
         failures = self._consecutive_failures
-        baseline = self.store.latest(kind="baseline")
         if failures >= self.serving.read_only_after:
             self._set_state("read_only")
         elif failures >= self.serving.baseline_after:
@@ -398,21 +411,29 @@ class RankingService:
 
         Each request is popped, solved *outside* the service lock (reads
         proceed concurrently), and on success published + adopted.  A
-        failed solve drops the request, records the failure with the
-        breaker, and advances the degradation state machine.  When the
-        breaker is open the queue is left untouched until the backoff
-        deadline passes.
+        failed solve — or a failed snapshot publish — drops the request,
+        records the failure with the breaker, and advances the
+        degradation state machine.  When the breaker is open the queue
+        is left untouched until the backoff deadline passes.
+
+        Execution is serialized across callers: the background loop and
+        any direct ``run_pending`` calls take turns under a single run
+        lock, so requests are always solved, published, and adopted in
+        submission order — a slow older solve can never overwrite a
+        newer snapshot as "current".
         """
         applied = 0
         while max_updates is None or applied < max_updates:
-            with self._lock:
-                if not self._queue:
-                    break
-                if not self.breaker.allow():
-                    break
-                request = self._queue.popleft()
-                self._export_state()
-            if self._run_one(request):
+            with self._run_lock:
+                with self._lock:
+                    if not self._queue:
+                        break
+                    if not self.breaker.allow():
+                        break
+                    request = self._queue.popleft()
+                    self._export_state()
+                ok = self._run_one(request)
+            if ok:
                 applied += 1
         return applied
 
@@ -429,12 +450,33 @@ class RankingService:
                 request.kappa,
                 **request.solve_kwargs,
             )
-        except Exception as exc:  # noqa: BLE001 - any update failure degrades
+            kappa = request.kappa
+            n = result.n
+            snapshot = self.store.publish(
+                kind="sr",
+                sigma=result.scores,
+                kappa=(
+                    np.zeros(n) if kappa is None else self._padded_kappa(kappa, n)
+                ),
+                key=self._input_key(request.graph, request.assignment, kappa),
+                solver=self.params.solver,
+                convergence=result.convergence,
+            )
+        except Exception as exc:  # noqa: BLE001 - solve OR publish failure
+            # The publish sits inside this try on purpose: a disk-full or
+            # torn-write error must run the exact same failure path as a
+            # diverging solve — count it, tell the breaker (a half-open
+            # probe would otherwise wedge half-open forever), degrade.
             updates.labels(status="failed").inc()
             self.breaker.record_failure()
+            failures = self._consecutive_failures + 1
+            baseline = None
+            if self.serving.baseline_after <= failures < self.serving.read_only_after:
+                # Store walk outside the service lock: reads proceed.
+                baseline = self.store.latest(kind="baseline")
             with self._lock:
                 self._consecutive_failures += 1
-                self._degrade()
+                self._degrade(baseline)
             _logger.warning(
                 "update %d failed and was dropped (%s: %s)",
                 request.seq,
@@ -442,22 +484,13 @@ class RankingService:
                 exc,
             )
             return False
-        kappa = request.kappa
-        n = result.n
-        snapshot = self.store.publish(
-            kind="sr",
-            sigma=result.scores,
-            kappa=np.zeros(n) if kappa is None else self._padded_kappa(kappa, n),
-            key=self._input_key(request.graph, request.assignment, kappa),
-            solver=self.params.solver,
-            convergence=result.convergence,
-        )
         updates.labels(status="ok").inc()
         self.breaker.record_success()
         with self._lock:
-            self._last_sr = snapshot
-            self._current = snapshot
-            self._applied_seq = max(self._applied_seq, request.seq)
+            if request.seq >= self._applied_seq:
+                self._last_sr = snapshot
+                self._current = snapshot
+                self._applied_seq = request.seq
             self._consecutive_failures = 0
             self._set_state("healthy")
             self._export_state()

@@ -34,7 +34,7 @@ __all__ = ["RankingSnapshot", "SnapshotStore", "SNAPSHOT_KINDS"]
 
 _logger = get_logger(__name__)
 
-_SNAPSHOT_FORMAT_VERSION = 1
+_SNAPSHOT_FORMAT_VERSION = 2
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{8})\.npz$")
 
 #: The two snapshot kinds a service publishes: the throttled SR ranking
@@ -127,6 +127,7 @@ class RankingSnapshot:
             self.kappa,
             self.key,
             self.solver,
+            np.int64(int(self.convergence.converged)),
             np.int64(self.convergence.iterations),
             np.float64(self.convergence.residual),
             np.float64(self.convergence.tolerance),
@@ -167,6 +168,12 @@ class SnapshotStore:
         self.keep = max(int(keep), 1)
         self._clock = clock
         self._lock = threading.Lock()
+        # version -> kind ("sr"/"baseline") or None for known-unreadable
+        # files.  Filled by publish and by prune's first look at a file,
+        # so retention never re-loads (and re-sha256s) the same snapshot
+        # twice.  Only consulted for pruning decisions — serving paths
+        # (:meth:`load`/:meth:`latest`) always verify the bytes on disk.
+        self._kinds: dict[int, str | None] = {}
 
     # ------------------------------------------------------------------
     # Paths and enumeration
@@ -232,12 +239,14 @@ class SnapshotStore:
                 kappa=snapshot.kappa,
                 key=snapshot.key,
                 solver=snapshot.solver,
+                converged=np.bool_(convergence.converged),
                 iterations=np.int64(convergence.iterations),
                 residual=np.float64(convergence.residual),
                 tolerance=np.float64(convergence.tolerance),
                 published_at=np.float64(snapshot.published_at),
                 digest=snapshot.digest(),
             )
+            self._kinds[version] = snapshot.kind
             self._prune_locked()
         get_registry().counter(
             "repro_snapshot_publishes_total",
@@ -286,7 +295,7 @@ class SnapshotStore:
                     published_at=float(data["published_at"]),
                     solver=str(data["solver"]),
                     convergence=ConvergenceInfo(
-                        converged=True,
+                        converged=bool(data["converged"]),
                         iterations=int(data["iterations"]),
                         residual=float(data["residual"]),
                         tolerance=float(data["tolerance"]),
@@ -331,15 +340,23 @@ class SnapshotStore:
         The newest loadable baseline is always retained regardless of
         age: it is the serve-from-baseline fallback, and deleting it
         would silently remove a degraded mode.
+
+        Kinds come from the ``_kinds`` cache where available (publish
+        fills it; an unknown version is loaded and verified exactly
+        once), so the prune that runs on every publish does not re-read
+        and re-digest the whole retained set each time.
         """
         per_kind: dict[str, list[int]] = {}
         unreadable: list[int] = []
         for version in reversed(self.versions()):
-            snapshot = self.load(version)
-            if snapshot is None:
+            if version not in self._kinds:
+                snapshot = self.load(version)
+                self._kinds[version] = None if snapshot is None else snapshot.kind
+            kind = self._kinds[version]
+            if kind is None:
                 unreadable.append(version)
                 continue
-            per_kind.setdefault(snapshot.kind, []).append(version)
+            per_kind.setdefault(kind, []).append(version)
         doomed: list[int] = []
         for versions in per_kind.values():
             doomed.extend(versions[self.keep:])
@@ -356,6 +373,7 @@ class SnapshotStore:
                 self.path_for(version).unlink()
             except FileNotFoundError:  # pragma: no cover - concurrent prune
                 pass
+            self._kinds.pop(version, None)
 
     def prune(self) -> None:
         """Apply the retention policy now (publish does this implicitly)."""

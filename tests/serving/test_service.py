@@ -4,6 +4,7 @@ recovery, and concurrent reads during updates."""
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -129,6 +130,75 @@ class TestUpdates:
         served_best = int(service.top_k(1).value[0])
         assert served_best == int(direct.top(1)[0])
 
+    def test_publish_failure_runs_the_failure_path(
+        self, tmp_path, tiny, tiny_kappa, evolve, monkeypatch
+    ):
+        # A failed snapshot publish (disk full, torn write) must degrade
+        # exactly like a failed solve: counted, breaker-recorded, state
+        # machine advanced — never a silently dropped request.
+        service = make_service(
+            tmp_path, breaker=CircuitBreaker(failure_threshold=10_000)
+        )
+        service.bootstrap(tiny.graph, tiny.assignment, tiny_kappa)
+
+        def boom(**kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(service.store, "publish", boom)
+        graph = evolve(tiny.graph)
+        service.submit_update(graph, tiny.assignment, tiny_kappa)
+        assert service.run_pending() == 0
+        assert counter_value(
+            "repro_serving_updates_total", status="failed"
+        ) == 1
+        assert service.breaker.consecutive_failures == 1
+        health = service.health()
+        assert health["state"] == "stale"
+        assert health["consecutive_failures"] == 1
+        # Reads still answered from the pre-failure snapshot.
+        assert service.score(0).state == "stale"
+
+    def test_publish_failure_does_not_wedge_half_open_breaker(
+        self, tmp_path, tiny, tiny_kappa, evolve, monkeypatch
+    ):
+        # If the half-open probe's *publish* fails, the breaker must see
+        # record_failure (re-open), not stay half-open forever with
+        # allow() returning False.
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            backoff_base_seconds=1.0,
+            backoff_max_seconds=8.0,
+            jitter=0.0,
+            clock=lambda: clock[0],
+        )
+        service = make_service(tmp_path, breaker=breaker)
+        service.bootstrap(tiny.graph, tiny.assignment, tiny_kappa)
+        real_publish = service.store.publish
+
+        def boom(**kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(service.store, "publish", boom)
+        graph = evolve(tiny.graph)
+        service.submit_update(graph, tiny.assignment, tiny_kappa)
+        assert service.run_pending() == 0
+        assert breaker.state == "open"
+
+        clock[0] = 10.0  # past the backoff: the next attempt is the probe
+        graph = evolve(graph)
+        service.submit_update(graph, tiny.assignment, tiny_kappa)
+        assert service.run_pending() == 0
+        assert breaker.state == "open"  # probe outcome recorded: re-opened
+
+        monkeypatch.setattr(service.store, "publish", real_publish)
+        clock[0] = 100.0
+        graph = evolve(graph)
+        service.submit_update(graph, tiny.assignment, tiny_kappa)
+        assert service.run_pending() == 1
+        assert breaker.state == "closed"
+        assert service.health()["state"] == "healthy"
+
     def test_breaker_open_pauses_queue(self, tmp_path, tiny, tiny_kappa):
         breaker = CircuitBreaker(
             failure_threshold=1, backoff_base_seconds=1000.0, jitter=0.0
@@ -220,6 +290,46 @@ class TestRecovery:
 
 
 class TestConcurrency:
+    def test_concurrent_runners_adopt_in_submission_order(
+        self, tmp_path, tiny, tiny_kappa, evolve
+    ):
+        # Two runners racing the queue: the older request's solve is
+        # artificially slow, so without serialized execution its result
+        # would be published *after* the newer one and adopted as
+        # current. The run lock forces submission order.
+        service = make_service(tmp_path)
+        service.bootstrap(tiny.graph, tiny.assignment, tiny_kappa)
+        slow_graph = evolve(tiny.graph)
+        fast_graph = evolve(evolve(evolve(slow_graph)))
+
+        def dawdle(iteration: int, residual: float) -> None:
+            if iteration < 10:
+                time.sleep(0.02)
+
+        service.submit_update(
+            slow_graph, tiny.assignment, tiny_kappa, callback=dawdle
+        )
+        service.submit_update(fast_graph, tiny.assignment, tiny_kappa)
+        runners = [
+            threading.Thread(target=service.run_pending, args=(1,))
+            for _ in range(2)
+        ]
+        for thread in runners:
+            thread.start()
+        for thread in runners:
+            thread.join(timeout=60)
+        response = service.score(0)
+        assert response.state == "healthy"
+        assert response.staleness == 0
+        # The served ranking is the *newest* submitted graph's.
+        direct = spam_resilient_sourcerank(
+            SourceGraph.from_page_graph(fast_graph, tiny.assignment),
+            tiny_kappa,
+            RankingParams(),
+        )
+        served = service.top_k(tiny.assignment.n_sources).value
+        np.testing.assert_array_equal(served, direct.order())
+
     def test_reads_survive_concurrent_updates(
         self, tmp_path, tiny, tiny_kappa, evolve
     ):

@@ -58,6 +58,39 @@ class TestPublishLoad:
         assert loaded.convergence.iterations == 5
         assert loaded.published_at == published.published_at
 
+    def test_converged_flag_round_trips(self, tmp_path):
+        # A snapshot published from a non-converged result must reload
+        # with converged=False — provenance is never falsified.
+        store = SnapshotStore(tmp_path)
+        snap = store.publish(
+            kind="sr",
+            sigma=sigma(),
+            kappa=np.zeros(8),
+            key="k",
+            solver="power",
+            convergence=ConvergenceInfo(False, 500, 1e-3, 1e-9),
+        )
+        loaded = store.load(snap.version)
+        assert loaded is not None
+        assert loaded.convergence.converged is False
+        converged = store.publish(
+            kind="sr",
+            sigma=sigma(seed=1),
+            kappa=np.zeros(8),
+            convergence=ConvergenceInfo(True, 7, 1e-10, 1e-9),
+        )
+        assert store.load(converged.version).convergence.converged is True
+
+    def test_converged_flag_is_digest_protected(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        snap = publish_one(store)
+        path = store.path_for(snap.version)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["converged"] = np.bool_(False)  # falsify provenance
+        np.savez(path, **arrays)
+        assert store.load(snap.version) is None
+
     def test_versions_monotonic(self, tmp_path):
         store = SnapshotStore(tmp_path)
         v = [publish_one(store, seed=i).version for i in range(3)]
@@ -164,6 +197,24 @@ class TestRetention:
         store.path_for(0).write_bytes(b"junk")  # older than any healthy file
         store.prune()
         assert not store.path_for(0).exists()
+
+    def test_prune_does_not_reverify_known_snapshots(self, tmp_path, monkeypatch):
+        # The prune that runs on every publish must not re-load (and
+        # re-sha256) the whole retained set: kinds published through
+        # this store instance are cached.
+        store = SnapshotStore(tmp_path, keep=4)
+        for i in range(6):
+            publish_one(store, seed=i)
+        loads = []
+        original = SnapshotStore.load
+
+        def counting_load(self, version):
+            loads.append(version)
+            return original(self, version)
+
+        monkeypatch.setattr(SnapshotStore, "load", counting_load)
+        store.prune()
+        assert loads == []
 
     def test_version_counter_survives_pruning(self, tmp_path):
         # Versions must stay monotonic even after old files are deleted.
