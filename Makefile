@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain pytest / python underneath.
 
-.PHONY: install test bench figures examples metrics-demo resilience audit \
-	serving soak serve-demo clean
+.PHONY: install test bench figures examples metrics-demo obs-demo ledger \
+	resilience audit serving soak serve-demo clean
 
 install:
 	pip install -e .
@@ -20,6 +20,19 @@ metrics-demo:
 		--metrics-out /tmp/repro-metrics.json --trace
 	@echo "--- exported metrics ---"
 	@cat /tmp/repro-metrics.json
+
+obs-demo:
+	PYTHONPATH=src python -m repro rank --dataset tiny --profile \
+		--events-out /tmp/repro-events.jsonl
+	@echo "--- correlated event log (tail) ---"
+	@tail -n 5 /tmp/repro-events.jsonl
+	PYTHONPATH=src python -m repro serve --snapshot-dir /tmp/repro-obs-serve \
+		--updates 3 --endpoint --events-out /tmp/repro-serve-events.jsonl
+	@echo "--- perf-trajectory ledger ---"
+	PYTHONPATH=src python benchmarks/ledger.py show
+
+ledger:
+	PYTHONPATH=src python benchmarks/ledger.py compare
 
 resilience:
 	PYTHONPATH=src python -m pytest -q tests/resilience

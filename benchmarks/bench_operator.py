@@ -158,6 +158,38 @@ def run(quick: bool, seed: int) -> dict:
     }
     ok = ok and max(sweep_diffs) <= EQUIVALENCE_ATOL
 
+    # --- telemetry overhead: events + live endpoint vs bare solve ---------
+    # The ledger tracks ``telemetry_overhead.overhead_fraction`` with an
+    # absolute ceiling (0.05): turning on the correlated event log and the
+    # scrape endpoint must not cost more than 5% of solve wall time.
+    # Profiling stays off — it is the one knob documented as expensive.
+    from urllib.request import urlopen
+
+    from repro.observability import EventLog, TelemetryServer
+
+    tel_repeats = max(repeats, 5)  # sub-ms solves need extra repeats
+    events = EventLog()
+    server = TelemetryServer(event_log=events).start()
+    try:
+        with events.activate():
+            lazy_once()  # warm-up: first emit pays one-time lazy init
+        t_plain, _ = time_repeats(lazy_once, tel_repeats)
+        with events.activate():
+            t_tel, _ = time_repeats(lazy_once, tel_repeats)
+        # Prove the endpoint was actually live alongside the timed solves.
+        with urlopen(server.url("/health"), timeout=5.0) as resp:
+            endpoint_ok = resp.status == 200
+    finally:
+        server.stop()
+    report["telemetry_overhead"] = {
+        "plain_seconds": t_plain,
+        "telemetry_seconds": t_tel,
+        "overhead_fraction": (t_tel - t_plain) / t_plain if t_plain > 0 else None,
+        "events_emitted": len(events),
+        "endpoint_ok": endpoint_ok,
+        "run_id": events.run_id,
+    }
+
     report["equivalent"] = ok
     return report
 
@@ -191,6 +223,13 @@ def main(argv: list[str] | None = None) -> int:
         f"  5-point sweep: materialized {sweep['materialized_seconds']:.4f}s, "
         f"lazy {sweep['lazy_seconds']:.4f}s "
         f"(x{sweep['speedup']:.2f}); max |diff| {sweep['max_score_diff']:.2e}"
+    )
+    tel = report["telemetry_overhead"]
+    print(
+        f"  telemetry: bare {tel['plain_seconds']:.4f}s, "
+        f"events+endpoint {tel['telemetry_seconds']:.4f}s "
+        f"(overhead {tel['overhead_fraction']:+.2%}, "
+        f"{tel['events_emitted']} events)"
     )
     print(f"  wrote {args.out}")
     if not report["equivalent"]:

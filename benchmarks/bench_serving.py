@@ -17,6 +17,10 @@ Phases:
   - *broken_pool*: a parallel-kernel worker is killed with ``os._exit``;
     the shared-memory pool rebuilds and the update still succeeds.
 
+* **ladder** — crash updates walk the service down the full degradation
+  ladder (healthy → stale → baseline → read_only) and one clean queued
+  update snaps it back; at every rung the live telemetry endpoint is
+  scraped and a read is answered.
 * **soak** — a background updater streams clean evolving-graph updates
   while reader threads hammer score/top-k/percentile; every response's
   staleness is recorded.
@@ -26,9 +30,17 @@ Phases:
 * **recovery identity** — the final served σ must match a cold
   high-precision solve of the final applied graph to 1e-9.
 
+The service runs with telemetry v2 on (correlated event log + live
+scrape endpoint): scraper threads hammer ``/metrics`` and ``/health``
+throughout chaos, ladder, and soak — ≥500 scrapes, across every
+degradation state, with zero scrape failures — and at the end every
+buffered event must carry the service's ``run_id``.
+
 Writes ``benchmarks/results/BENCH_serving.json``.  Exits non-zero when
-any gate fails: a single failed read, staleness beyond the configured
-bound, σ drift past 1e-9, or an expected metric stuck at zero.
+any gate fails: a single failed read or scrape, a degradation state the
+endpoint never answered from, an uncorrelated event, staleness beyond
+the configured bound, σ drift past 1e-9, or an expected metric stuck at
+zero.
 """
 
 from __future__ import annotations
@@ -45,6 +57,8 @@ import numpy as np
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serving.json"
 
 RECOVERY_ATOL = 1e-9
+
+MIN_SCRAPES = 500
 
 
 def counter_value(name: str, **labels: str) -> float:
@@ -75,8 +89,13 @@ class GraphEvolver:
         return self.graph
 
 
-def build_service(store_dir: Path, seed: int):
-    from repro.config import RankingParams, ResilienceParams, ServingParams
+def build_service(store_dir: Path, seed: int, observe: bool = False):
+    from repro.config import (
+        ObservabilityParams,
+        RankingParams,
+        ResilienceParams,
+        ServingParams,
+    )
     from repro.serving import RankingService
 
     serving = ServingParams(
@@ -92,7 +111,13 @@ def build_service(store_dir: Path, seed: int):
         max_iter=2000,
         resilience=ResilienceParams(fallback_solvers=("jacobi",)),
     )
-    return RankingService(store_dir, params, serving), serving, params
+    observability = (
+        ObservabilityParams(events=True, endpoint=True) if observe else None
+    )
+    service = RankingService(
+        store_dir, params, serving, observability=observability
+    )
+    return service, serving, params
 
 
 def cold_sigma(graph, assignment, kappa, params):
@@ -106,6 +131,198 @@ def cold_sigma(graph, assignment, kappa, params):
     return spam_resilient_sourcerank(
         SourceGraph.from_page_graph(graph, assignment), kappa, cold_params
     ).scores
+
+
+# ----------------------------------------------------------------------
+# Telemetry scrapers
+# ----------------------------------------------------------------------
+class ScrapeHarness:
+    """Threads hammering the live ``/metrics`` + ``/health`` endpoint.
+
+    Every scrape is a real HTTP round-trip against the service's
+    :class:`~repro.observability.TelemetryServer`; failures (non-200,
+    empty body, unparsable health JSON) gate the bench.  ``/health``
+    bodies feed ``states_seen`` so the bench can prove the endpoint
+    answered from every degradation state.
+    """
+
+    def __init__(self, service, n_threads: int = 2) -> None:
+        self.service = service
+        self._n_threads = n_threads
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self.total = 0
+        self.failures = 0
+        self.by_endpoint = {"/metrics": 0, "/health": 0}
+        self.states_seen: set[str] = set()
+        self.failure_messages: list[str] = []
+
+    def scrape_once(self, path: str) -> None:
+        from urllib.request import urlopen
+
+        try:
+            with urlopen(self.service.telemetry.url(path), timeout=5.0) as resp:
+                body = resp.read()
+                if resp.status != 200 or not body:
+                    raise RuntimeError(f"{path}: status={resp.status}")
+                if path == "/health":
+                    state = json.loads(body)["state"]
+                else:
+                    state = self.service.health()["state"]
+                    if b"repro_serving" not in body:
+                        raise RuntimeError("/metrics: no serving families")
+            with self._lock:
+                self.total += 1
+                self.by_endpoint[path] += 1
+                self.states_seen.add(state)
+        except Exception as exc:  # noqa: BLE001 - every failure gates
+            with self._lock:
+                self.total += 1
+                self.failures += 1
+                if len(self.failure_messages) < 10:
+                    self.failure_messages.append(f"{type(exc).__name__}: {exc}")
+
+    def _loop(self, offset: int) -> None:
+        paths = ("/metrics", "/health")
+        i = offset
+        while not self._stop.is_set():
+            self.scrape_once(paths[i % 2])
+            i += 1
+            time.sleep(0.002)
+
+    def start(self) -> "ScrapeHarness":
+        self._threads = [
+            threading.Thread(target=self._loop, args=(i,), name=f"scraper-{i}")
+            for i in range(self._n_threads)
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=30)
+
+    def top_up(self, minimum: int) -> None:
+        """Keep scraping (single-threaded) until ``minimum`` is reached."""
+        while self.total < minimum:
+            self.scrape_once("/metrics")
+            self.scrape_once("/health")
+
+    def report(self) -> dict:
+        with self._lock:
+            return {
+                "total": self.total,
+                "failed": self.failures,
+                "by_endpoint": dict(self.by_endpoint),
+                "states_seen": sorted(self.states_seen),
+                "failure_messages": list(self.failure_messages),
+            }
+
+
+# ----------------------------------------------------------------------
+# Degradation-ladder phase
+# ----------------------------------------------------------------------
+def run_ladder(service, evolver, assignment, kappa, scrape: ScrapeHarness) -> dict:
+    """Walk healthy → stale → baseline → read_only → healthy.
+
+    Crash updates are submitted one at a time (queued *before* the
+    service turns read-only) so every rung of the ladder is held long
+    enough to scrape the endpoint and answer a read from it.
+    """
+    from repro.errors import AdmissionError
+    from repro.resilience.faults import crash_at_iteration
+    from repro.serving.service import SERVING_STATES
+
+    rungs = []
+
+    def observe_rung(expected_state: str) -> None:
+        state = service.health()["state"]
+        scrape.scrape_once("/metrics")
+        scrape.scrape_once("/health")
+        read_ok = True
+        try:
+            response = service.score(0)
+            read_state = response.state
+        except Exception as exc:  # noqa: BLE001 - reads must never fail
+            read_ok = False
+            read_state = f"read failed: {type(exc).__name__}: {exc}"
+        rungs.append(
+            {
+                "expected": expected_state,
+                "state": state,
+                "read_ok": read_ok,
+                "read_state": read_state,
+                "ok": state == expected_state and read_ok,
+            }
+        )
+
+    observe_rung("healthy")
+
+    # Four consecutive crash updates: stale after 1, baseline after 2,
+    # read_only after 4 (ServingParams defaults: baseline_after=2,
+    # read_only_after=4).  The recovery update is queued together with
+    # the final crash — read_only refuses *new* submissions but still
+    # runs what is already queued, and one success snaps back.
+    def pump_one() -> None:
+        """Run exactly one queued update, waiting out the breaker.
+
+        ``run_pending`` returns without popping while the breaker's
+        backoff holds, so "the queue shrank by one" is the signal that
+        an attempt actually ran (applied or dropped).
+        """
+        target = service.pending() - 1
+        deadline = time.perf_counter() + 30
+        while service.pending() > target and time.perf_counter() < deadline:
+            service.run_pending(max_updates=1)
+            if service.pending() > target:
+                time.sleep(0.01)
+
+    expected_after_failure = ["stale", "baseline", "baseline", "read_only"]
+    for i, expected in enumerate(expected_after_failure):
+        graph = evolver.step()
+        service.submit_update(
+            graph, assignment, kappa, callback=crash_at_iteration(1)
+        )
+        if i == len(expected_after_failure) - 1:
+            recovery_graph = evolver.step()
+            service.submit_update(recovery_graph, assignment, kappa)
+        pump_one()
+        observe_rung(expected)
+
+    # Writes are refused in read_only; reads and scrapes continue.
+    try:
+        service.submit_update(evolver.step(), assignment, kappa)
+        refused = False
+    except AdmissionError as exc:
+        refused = exc.reason == "read_only"
+    evolver.graph = recovery_graph  # the refused graph was never applied
+
+    # The breaker is open after four straight failures; wait out its
+    # backoff, then the queued clean update runs and snaps back.
+    applied = 0
+    deadline = time.perf_counter() + 30
+    while applied == 0 and time.perf_counter() < deadline:
+        applied = service.run_pending()
+        if applied == 0:
+            time.sleep(0.02)
+    applied = applied == 1
+    observe_rung("healthy")
+
+    return {
+        "rungs": rungs,
+        "states_visited": sorted({r["state"] for r in rungs}),
+        "read_only_refused_write": refused,
+        "recovered": applied,
+        "ok": bool(
+            all(r["ok"] for r in rungs)
+            and refused
+            and applied
+            and {r["state"] for r in rungs} == set(SERVING_STATES)
+        ),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -219,7 +436,13 @@ def run_chaos(service, evolver, assignment, kappa, seed: int) -> dict:
 # Soak phase
 # ----------------------------------------------------------------------
 def run_soak(
-    service, evolver, assignment, kappa, duration: float, n_readers: int
+    service,
+    evolver,
+    assignment,
+    kappa,
+    duration: float,
+    n_readers: int,
+    before_stop=None,
 ) -> tuple[dict, list]:
     from repro.errors import AdmissionError
 
@@ -297,6 +520,10 @@ def run_soak(
                 and time.perf_counter() < deadline
             ):
                 time.sleep(0.01)
+            if before_stop is not None:
+                # Leaving the ``with`` block stops the service and its
+                # telemetry endpoint; run last-chance scrapes first.
+                before_stop()
     finally:
         stop.set()
         for thread in readers:
@@ -380,17 +607,33 @@ def run(quick: bool, seed: int, duration: float, store_dir: Path) -> dict:
     kappa[np.asarray(ds.spam_sources, dtype=np.int64)] = 1.0
     kappa = ThrottleVector(kappa)
 
-    service, serving, params = build_service(store_dir, seed)
+    service, serving, params = build_service(store_dir, seed, observe=True)
     t0 = time.perf_counter()
     service.bootstrap(ds.graph, ds.assignment, kappa)
     bootstrap_seconds = time.perf_counter() - t0
 
     evolver = GraphEvolver(ds.graph, seed)
-    chaos = run_chaos(service, evolver, ds.assignment, kappa, seed)
-    n_readers = 2 if quick else 4
-    soak, accepted = run_soak(
-        service, evolver, ds.assignment, kappa, duration, n_readers
-    )
+    scrape = ScrapeHarness(service).start()
+    try:
+        chaos = run_chaos(service, evolver, ds.assignment, kappa, seed)
+        ladder = run_ladder(service, evolver, ds.assignment, kappa, scrape)
+        n_readers = 2 if quick else 4
+
+        def finish_scraping() -> None:
+            scrape.stop()
+            scrape.top_up(MIN_SCRAPES)
+
+        soak, accepted = run_soak(
+            service,
+            evolver,
+            ds.assignment,
+            kappa,
+            duration,
+            n_readers,
+            before_stop=finish_scraping,
+        )
+    finally:
+        scrape.stop()
 
     # Recovery identity: the served σ is byte-for-byte the published
     # snapshot; it must match a cold high-precision solve of the final
@@ -399,6 +642,24 @@ def run(quick: bool, seed: int, duration: float, store_dir: Path) -> dict:
     served = service.store.latest(kind="sr").sigma
     cold = cold_sigma(final_graph, ds.assignment, kappa, params)
     sigma_diff = float(np.abs(served - cold).max())
+
+    # Every buffered event must carry the service's run id — one id
+    # stitches bootstrap → chaos → ladder → soak → snapshot publishes.
+    buffered = service.events.events()
+    run_id = service.run_id
+    events_correlated = bool(buffered) and all(
+        event["run_id"] == run_id for event in buffered
+    )
+    event_kinds = sorted({event["kind"] for event in buffered})
+    telemetry = {
+        "run_id": run_id,
+        "events_emitted": len(service.events),
+        "events_buffered": len(buffered),
+        "events_correlated": events_correlated,
+        "event_kinds": event_kinds,
+        "scrapes": scrape.report(),
+        "min_scrapes": MIN_SCRAPES,
+    }
 
     service.stop()
     torn = run_torn_snapshot(store_dir, seed)
@@ -417,9 +678,17 @@ def run(quick: bool, seed: int, duration: float, store_dir: Path) -> dict:
         "repro_serving_updates_total", status="failed"
     )
 
+    scrapes = telemetry["scrapes"]
     gates = {
         "chaos_ok": chaos["ok"],
+        "ladder_ok": ladder["ok"],
         "zero_failed_reads": soak["reads_failed"] == 0,
+        "scrapes_ok": bool(
+            scrapes["total"] >= MIN_SCRAPES and scrapes["failed"] == 0
+        ),
+        "scraped_all_states": set(scrapes["states_seen"])
+        >= {"healthy", "stale", "baseline", "read_only"},
+        "events_correlated": events_correlated,
         "staleness_bounded": (
             soak["max_staleness_observed"] <= serving.staleness_bound_updates
         ),
@@ -446,9 +715,11 @@ def run(quick: bool, seed: int, duration: float, store_dir: Path) -> dict:
         "bootstrap_seconds": bootstrap_seconds,
         "phases": {
             "chaos": chaos,
+            "ladder": ladder,
             "soak": soak,
             "torn_snapshot": torn,
         },
+        "telemetry": telemetry,
         "sigma_max_diff": sigma_diff,
         "transitions": {
             "healthy_to_stale": transitions_down,
@@ -490,10 +761,17 @@ def main(argv: list[str] | None = None) -> int:
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
 
     soak = report["phases"]["soak"]
+    telemetry = report["telemetry"]
     print(
         f"serving soak ({soak['seconds']:.1f}s, "
         f"{soak['reads_ok']:,} reads, "
         f"{soak['updates_submitted']} updates):"
+    )
+    print(
+        f"  telemetry: {telemetry['scrapes']['total']} scrapes "
+        f"({telemetry['scrapes']['failed']} failed) across states "
+        f"{telemetry['scrapes']['states_seen']}; "
+        f"{telemetry['events_emitted']} events on {telemetry['run_id']}"
     )
     for gate, passed in report["gates"].items():
         print(f"  {gate}: {'ok' if passed else 'FAILED'}")

@@ -1,0 +1,37 @@
+"""Perf-trajectory ledger driver: fold BENCH files, gate regressions.
+
+Thin wrapper over :mod:`repro.observability.ledger` so the ledger can
+run from a checkout without installing the package::
+
+    python benchmarks/ledger.py backfill
+    python benchmarks/ledger.py ingest --bench operator --label PR6 \
+        --file benchmarks/results/BENCH_operator.json
+    python benchmarks/ledger.py compare        # exit 1 on regression
+    python benchmarks/ledger.py show
+
+``compare`` is the CI gate: it checks every ``BENCH_*.json`` in the
+results directory against the committed ``LEDGER.json`` under the
+tracked-metric contract and exits nonzero on any regression.  The same
+four commands are available as ``repro ledger <command>``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.cli import ledger_main  # noqa: E402 - after sys.path setup
+
+DEFAULT_RESULTS = Path(__file__).parent / "results"
+
+
+def main(argv: list[str] | None = None) -> int:
+    return ledger_main(argv, default_results=DEFAULT_RESULTS)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

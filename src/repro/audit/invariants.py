@@ -425,6 +425,7 @@ def record_violations(
     violations = tuple(violations)
     if not violations:
         return violations
+    from ..observability.events import emit as emit_event
     from ..observability.metrics import get_registry
 
     counter = get_registry().counter(
@@ -434,6 +435,14 @@ def record_violations(
     )
     for violation in violations:
         counter.labels(invariant=violation.invariant).inc()
+        emit_event(
+            "audit_violation",
+            invariant=violation.invariant,
+            subject=violation.subject,
+            message=violation.message,
+            worst=violation.value,
+            strict=strict,
+        )
         if warn and not strict:
             _logger.warning("audit violation: %s", violation)
     if strict:

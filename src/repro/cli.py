@@ -26,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "ledger_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,6 +102,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume completed stages / partial solves from "
         "--checkpoint-dir instead of recomputing",
     )
+    p_rank.add_argument(
+        "--events-out",
+        type=Path,
+        default=None,
+        help="append the run's correlated JSON-lines event log "
+        "(pipeline stages, solves, fallbacks, checkpoints — one run_id) "
+        "to this file",
+    )
+    p_rank.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile each pipeline stage and solve (cProfile + wall/CPU) "
+        "and print the per-stage summary",
+    )
 
     p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
     p_fig.add_argument(
@@ -172,6 +186,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics registry (JSON; .prom for Prometheus "
         "text) to this path on exit",
     )
+    p_serve.add_argument(
+        "--events-out",
+        type=Path,
+        default=None,
+        help="append the service's correlated JSON-lines event log "
+        "(admissions, updates, snapshots, state transitions) to this file",
+    )
+    p_serve.add_argument(
+        "--endpoint",
+        action="store_true",
+        help="serve live telemetry over HTTP (/metrics /health /trace "
+        "/events) while the demo runs",
+    )
+    p_serve.add_argument(
+        "--endpoint-port",
+        type=int,
+        default=0,
+        help="port for --endpoint (0 = pick a free port)",
+    )
 
     p_comp = sub.add_parser(
         "compress", help="compress an edge list (WebGraph-style codecs)"
@@ -184,6 +217,48 @@ def build_parser() -> argparse.ArgumentParser:
         default="gaps",
         help="gap coding (default, saveable) or interval coding (report only)",
     )
+
+    p_led = sub.add_parser(
+        "ledger",
+        help="perf-trajectory ledger: fold benchmark results, gate regressions",
+    )
+    led_sub = p_led.add_subparsers(dest="ledger_command", required=True)
+
+    def _ledger_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ledger",
+            type=Path,
+            default=None,
+            help="LEDGER.json path (default: <results-dir>/LEDGER.json)",
+        )
+        p.add_argument(
+            "--results-dir",
+            type=Path,
+            default=Path("benchmarks/results"),
+            help="directory holding BENCH_*.json files",
+        )
+
+    p_ing = led_sub.add_parser("ingest", help="fold one benchmark file in")
+    _ledger_common(p_ing)
+    p_ing.add_argument("--bench", required=True, help="benchmark name")
+    p_ing.add_argument("--file", type=Path, required=True, help="BENCH JSON file")
+    p_ing.add_argument("--label", required=True, help="trend label (e.g. PR6)")
+
+    p_back = led_sub.add_parser(
+        "backfill", help="fold every committed BENCH_*.json in, labeled by origin PR"
+    )
+    _ledger_common(p_back)
+
+    p_cmp = led_sub.add_parser(
+        "compare",
+        help="gate current BENCH_*.json files against the ledger "
+        "(exit 1 on regression — the CI gate)",
+    )
+    _ledger_common(p_cmp)
+
+    p_show = led_sub.add_parser("show", help="print the tracked-metric trend table")
+    _ledger_common(p_show)
+    p_show.add_argument("--bench", default=None, help="restrict to one bench")
 
     return parser
 
@@ -259,6 +334,15 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     audit = None
     if args.audit:
         audit = AuditParams(strict=not args.audit_lenient)
+    observability = None
+    if args.events_out or args.profile:
+        from .config import ObservabilityParams
+
+        observability = ObservabilityParams(
+            events=bool(args.events_out) or args.profile,
+            events_path=None if args.events_out is None else str(args.events_out),
+            profile=args.profile,
+        )
     with SpamResilientPipeline(
         ranking=RankingParams(
             alpha=args.alpha,
@@ -274,16 +358,38 @@ def _cmd_rank(args: argparse.Namespace) -> int:
         ),
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        observability=observability,
     ) as pipe:
         result = pipe.rank(graph, assignment, spam_seeds=seeds or None)
     if args.trace and result.trace is not None:
         print("\ntrace:")
         print(format_tree(result.trace))
+    if args.profile and pipe.profiler is not None:
+        print("\nprofile (wall / CPU per stage):")
+        for record in pipe.profiler.records:
+            calls = "" if record.calls is None else f", {record.calls} calls"
+            print(
+                f"  {record.name}: {record.wall_seconds * 1e3:.1f} ms wall, "
+                f"{record.cpu_seconds * 1e3:.1f} ms cpu{calls}"
+            )
+            for row in record.top[:3]:
+                print(
+                    f"      {row['function']}  "
+                    f"cum={row['cumtime_seconds'] * 1e3:.1f} ms "
+                    f"x{row['calls']}"
+                )
+    if args.events_out and pipe.events is not None:
+        print(
+            f"wrote {len(pipe.events)} events (run_id {pipe.events.run_id}) "
+            f"to {args.events_out}"
+        )
     if args.metrics_out:
         path = write_metrics(
             args.metrics_out,
             trace=result.trace,
             telemetry=telemetry,
+            events=pipe.events,
+            profiler=pipe.profiler,
             meta={"command": "rank", "dataset": args.dataset or str(args.edges)},
         )
         print(f"wrote metrics to {path}")
@@ -455,10 +561,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     kappa[np.asarray(ds.spam_sources, dtype=np.int64)] = 1.0
     kappa = ThrottleVector(kappa)
 
+    observability = None
+    if args.events_out or args.endpoint:
+        from .config import ObservabilityParams
+
+        observability = ObservabilityParams(
+            events=True,
+            events_path=(
+                None if args.events_out is None else str(args.events_out)
+            ),
+            endpoint=args.endpoint,
+            endpoint_port=args.endpoint_port,
+        )
     service = RankingService(
         args.snapshot_dir,
         serving=ServingParams(backoff_base_seconds=0.05, seed=args.seed),
+        observability=observability,
     )
+    if service.telemetry is not None:
+        print(f"telemetry endpoint: {service.telemetry.url('/metrics')}")
     if not service.ready():
         print("empty store: bootstrapping baseline + SR snapshots")
         service.bootstrap(ds.graph, ds.assignment, kappa)
@@ -504,8 +625,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"  {rank:3d}. source-{int(s)}")
     print(f"\nhealth: {service.health()}")
     if args.metrics_out:
-        path = write_metrics(args.metrics_out, meta={"command": "serve"})
+        path = write_metrics(
+            args.metrics_out, events=service.events, meta={"command": "serve"}
+        )
         print(f"wrote metrics to {path}")
+    if args.events_out and service.events is not None:
+        print(
+            f"wrote {len(service.events)} events "
+            f"(run_id {service.events.run_id}) to {args.events_out}"
+        )
+    service.stop()
     return 0
 
 
@@ -536,6 +665,59 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from .observability import ledger as ledger_mod
+
+    results_dir = args.results_dir
+    ledger_path = args.ledger or (results_dir / "LEDGER.json")
+    if args.ledger_command == "ingest":
+        entry = ledger_mod.ingest_file(
+            ledger_path, args.bench, args.file, label=args.label
+        )
+        print(
+            f"ingested {args.file} as {entry.bench}/{entry.label} "
+            f"({len(entry.metrics)} metrics) into {ledger_path}"
+        )
+        return 0
+    if args.ledger_command == "backfill":
+        ledger = ledger_mod.backfill(results_dir, ledger_path)
+        print(
+            f"backfilled {len(ledger.benches())} benches "
+            f"({len(ledger.entries)} entries) into {ledger_path}"
+        )
+        return 0
+    if args.ledger_command == "compare":
+        findings = ledger_mod.compare_dir(results_dir, ledger_path)
+        print(ledger_mod.format_findings(findings))
+        failed = [f for f in findings if f.failed]
+        if failed:
+            print(
+                f"\nREGRESSION: {len(failed)} tracked metric(s) regressed "
+                f"beyond tolerance",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"\nok: {len(findings)} tracked metric(s) within tolerance")
+        return 0
+    ledger = ledger_mod.Ledger.load(ledger_path)
+    print(ledger_mod.format_trend(ledger, bench=args.bench))
+    return 0
+
+
+def ledger_main(
+    argv: list[str] | None = None, *, default_results: Path | None = None
+) -> int:
+    """Entry point for ``benchmarks/ledger.py``: the ledger subcommand
+    standalone, with the results directory defaulting to the caller's."""
+    parser = build_parser()
+    args = parser.parse_args(["ledger", *(sys.argv[1:] if argv is None else argv)])
+    if default_results is not None and args.results_dir == Path(
+        "benchmarks/results"
+    ):
+        args.results_dir = default_results
+    return _cmd_ledger(args)
+
+
 _COMMANDS = {
     "rank": _cmd_rank,
     "figures": _cmd_figures,
@@ -543,6 +725,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "compress": _cmd_compress,
+    "ledger": _cmd_ledger,
 }
 
 

@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 __all__ = [
     "AuditParams",
+    "ObservabilityParams",
     "RankingParams",
     "ResilienceParams",
     "ServingParams",
@@ -107,6 +108,85 @@ class AuditParams:
         object.__setattr__(self, "check_scores", bool(self.check_scores))
 
     def with_(self, **overrides: object) -> "AuditParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class ObservabilityParams:
+    """Runtime-telemetry policy: event log, profiling, scrape endpoint.
+
+    Accepted by :class:`~repro.core.pipeline.SpamResilientPipeline` and
+    :class:`~repro.serving.RankingService`.  Everything defaults off;
+    each knob is independently zero-cost when disabled.
+
+    Parameters
+    ----------
+    events:
+        Enable the correlated JSON event log (in-memory ring buffer; see
+        :mod:`repro.observability.events`).  Implied by ``events_path``.
+    events_path:
+        Append events to this JSON-lines file as they happen.
+    run_id:
+        Correlation id stamped on every event; a fresh ``run-…`` id is
+        generated when omitted.
+    events_buffer:
+        Ring-buffer size of recent events kept in memory (the
+        ``/events`` endpoint and exports read from it).
+    profile:
+        Enable per-stage profiling hooks (cProfile on the outermost
+        block per thread, wall/CPU accounting on nested solver blocks;
+        see :mod:`repro.observability.profiling`).
+    profile_top:
+        How many hottest functions each profiled block retains.
+    endpoint:
+        Start the live telemetry scrape endpoint (``/metrics``,
+        ``/health``, ``/trace``, ``/events``; see
+        :mod:`repro.observability.endpoint`).
+    endpoint_host, endpoint_port:
+        Bind address of the endpoint; port ``0`` picks a free port.
+    trace_buffer:
+        For long-lived hosts (the serving updater): how many root spans
+        the telemetry tracer retains (ring buffer).
+    """
+
+    events: bool = False
+    events_path: "str | None" = None
+    run_id: "str | None" = None
+    events_buffer: int = 4096
+    profile: bool = False
+    profile_top: int = 10
+    endpoint: bool = False
+    endpoint_host: str = "127.0.0.1"
+    endpoint_port: int = 0
+    trace_buffer: int = 256
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", bool(self.events))
+        if self.events_path is not None:
+            object.__setattr__(self, "events_path", str(self.events_path))
+            object.__setattr__(self, "events", True)
+        if self.run_id is not None:
+            object.__setattr__(self, "run_id", str(self.run_id))
+        for name in ("events_buffer", "profile_top", "trace_buffer"):
+            value = int(getattr(self, name))
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value!r}")
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "profile", bool(self.profile))
+        object.__setattr__(self, "endpoint", bool(self.endpoint))
+        port = int(self.endpoint_port)
+        if not 0 <= port <= 65535:
+            raise ConfigError(f"endpoint_port must lie in [0, 65535], got {port!r}")
+        object.__setattr__(self, "endpoint_port", port)
+        object.__setattr__(self, "endpoint_host", str(self.endpoint_host))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any telemetry feature is switched on."""
+        return self.events or self.profile or self.endpoint
+
+    def with_(self, **overrides: object) -> "ObservabilityParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)  # type: ignore[arg-type]
 

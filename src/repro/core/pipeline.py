@@ -15,22 +15,32 @@ fifteen-line use of it.
 
 from __future__ import annotations
 
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
 from ..audit.invariants import InvariantAuditor
-from ..config import RankingParams, SpamProximityParams, ThrottleParams
+from ..config import (
+    ObservabilityParams,
+    RankingParams,
+    SpamProximityParams,
+    ThrottleParams,
+)
 from ..errors import ConfigError
 from ..graph.pagegraph import PageGraph
 from ..linalg.iterate import ConvergenceInfo
 from ..linalg.operator import CsrOperator, ReversedOperator, ThrottledOperator
 from ..logging_utils import get_logger
+from ..observability.events import EventLog, current_run_id
+from ..observability.events import emit as emit_event
 from ..observability.metrics import (
     DEFAULT_ITERATION_BUCKETS,
     get_registry,
 )
+from ..observability.profiling import Profiler, profile_block
 from ..observability.tracing import SpanRecord, Tracer
 from ..ranking.base import RankingResult
 from ..ranking.pagerank import pagerank
@@ -122,6 +132,7 @@ class PipelineResult:
     scores: RankingResult
     trace: SpanRecord | None = None
     timings: dict[str, float] = field(default_factory=dict)
+    run_id: str | None = None
 
     def top_sources(self, k: int = 10) -> np.ndarray:
         """Ids of the k best-ranked sources."""
@@ -208,10 +219,26 @@ class SpamResilientPipeline:
         full_throttle: str = "dangling",
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
+        observability: ObservabilityParams | None = None,
     ) -> None:
         self.ranking = ranking or RankingParams()
         self.throttle = throttle or ThrottleParams()
         self.proximity = proximity or SpamProximityParams()
+        self.observability = observability or ObservabilityParams()
+        self.events: EventLog | None = (
+            EventLog(
+                self.observability.events_path,
+                run_id=self.observability.run_id,
+                buffer=self.observability.events_buffer,
+            )
+            if self.observability.events
+            else None
+        )
+        self.profiler: Profiler | None = (
+            Profiler(top=self.observability.profile_top)
+            if self.observability.profile
+            else None
+        )
         if weighting not in ("consensus", "uniform"):
             raise ConfigError(
                 f"weighting must be 'consensus' or 'uniform', got {weighting!r}"
@@ -286,6 +313,24 @@ class SpamResilientPipeline:
         # Runs on error paths too: a stage that raises mid-rank must not
         # leak the parallel kernel's shared-memory segments.
         self.close()
+
+    @contextmanager
+    def _stage(self, tracer: Tracer, name: str) -> Iterator[SpanRecord]:
+        """One pipeline stage: trace span + event pair + profile block.
+
+        ``stage_start``/``stage_end`` land on whatever event log is
+        ambient (this pipeline's own, or one activated by a caller such
+        as the serving updater); a stage that raises leaves a
+        ``stage_failed`` event instead of ``stage_end``.
+        """
+        emit_event("stage_start", stage=name)
+        try:
+            with tracer.span(name) as sp, profile_block(f"stage:{name}"):
+                yield sp
+        except BaseException as exc:
+            emit_event("stage_failed", stage=name, error=type(exc).__name__)
+            raise
+        emit_event("stage_end", stage=name, seconds=sp.duration)
 
     # ------------------------------------------------------------------
     # Checkpoint plumbing
@@ -417,93 +462,132 @@ class SpamResilientPipeline:
         :class:`~repro.observability.metrics.MetricsRegistry`.
         """
         tracer = Tracer()
-        with tracer.activate(), tracer.span("pipeline") as root:
-            with tracer.span("assignment") as sp:
-                seeds = None
-                if spam_seeds is not None:
-                    seeds = np.atleast_1d(np.asarray(spam_seeds, dtype=np.int64))
-                sp.meta.update(
-                    pages=int(graph.n_nodes),
-                    sources=int(assignment.n_sources),
-                    seeds=0 if seeds is None else int(seeds.size),
-                )
-            with tracer.span("source_graph") as sp:
-                shared = self._shared_operators(graph, assignment)
-                source_graph = shared.source_graph
-                sp.meta["edges"] = int(source_graph.matrix.nnz)
-                if self._auditor.enabled:
-                    self._auditor.audit_transition(source_graph.matrix)
-                    sp.meta["audited"] = True
-            run_key, ranking_params, proximity_params = self._checkpoint_setup(
-                source_graph, assignment, seeds, kappa
+        with ExitStack() as stack:
+            if self.events is not None:
+                stack.enter_context(self.events.activate())
+            if self.profiler is not None:
+                stack.enter_context(self.profiler.activate())
+            run_id = current_run_id()
+            emit_event(
+                "pipeline_start",
+                pages=int(graph.n_nodes),
+                sources=int(assignment.n_sources),
+                weighting=self.weighting,
+                solver=self.ranking.solver,
             )
-            if kappa is not None:
-                proximity = None
-                if not isinstance(kappa, ThrottleVector):
-                    kappa = ThrottleVector(kappa)
-                with tracer.span("proximity") as sp:
-                    sp.meta["skipped"] = "explicit kappa"
-                with tracer.span("kappa") as sp:
-                    sp.meta["provided"] = True
-            else:
-                with tracer.span("proximity") as sp:
-                    if seeds is None or seeds.size == 0:
-                        proximity = None
-                        sp.meta["skipped"] = "no spam seeds"
-                    else:
-                        proximity = self._load_stage_result(
-                            run_key, "proximity", "spam-proximity"
+            with tracer.activate(), tracer.span("pipeline") as root:
+                with self._stage(tracer, "assignment") as sp:
+                    seeds = None
+                    if spam_seeds is not None:
+                        seeds = np.atleast_1d(
+                            np.asarray(spam_seeds, dtype=np.int64)
                         )
-                        if proximity is not None:
-                            sp.meta["resumed"] = True
-                        else:
-                            proximity = spam_proximity(
-                                source_graph,
-                                seeds,
-                                proximity_params,
-                                operator=shared.reversed,
-                            )
-                            self._save_stage_result(run_key, "proximity", proximity)
-                        sp.meta["iterations"] = proximity.convergence.iterations
-                        if self._auditor.enabled:
-                            self._auditor.audit_result(
-                                proximity, subject="spam-proximity"
-                            )
-                with tracer.span("kappa") as sp:
-                    if proximity is None:
-                        kappa = ThrottleVector.zeros(source_graph.n_sources)
-                    else:
-                        kappa = assign_kappa(proximity.scores, self.throttle)
-                    sp.meta["throttled"] = int(kappa.fully_throttled().size)
-            if self._auditor.enabled:
-                # Audit the throttled walk the rank stage is about to
-                # solve with — the exact diag(s)·T' + diag(c) algebra the
-                # lazy operator applies, not a recomputation.
-                with tracer.span("audit") as sp:
-                    self._auditor.audit_kappa(kappa, n=source_graph.n_sources)
-                    throttled = ThrottledOperator(
-                        shared.base, kappa, full_throttle=self.full_throttle
+                    sp.meta.update(
+                        pages=int(graph.n_nodes),
+                        sources=int(assignment.n_sources),
+                        seeds=0 if seeds is None else int(seeds.size),
                     )
-                    self._auditor.audit_throttled(throttled)
-                    sp.meta["checks"] = "kappa,throttled"
-            with tracer.span("rank") as sp:
-                scores = self._load_stage_result(run_key, "rank", "sr-sourcerank")
-                if scores is not None:
-                    sp.meta["resumed"] = True
+                with self._stage(tracer, "source_graph") as sp:
+                    shared = self._shared_operators(graph, assignment)
+                    source_graph = shared.source_graph
+                    sp.meta["edges"] = int(source_graph.matrix.nnz)
+                    if self._auditor.enabled:
+                        self._auditor.audit_transition(source_graph.matrix)
+                        sp.meta["audited"] = True
+                run_key, ranking_params, proximity_params = (
+                    self._checkpoint_setup(
+                        source_graph, assignment, seeds, kappa
+                    )
+                )
+                if kappa is not None:
+                    proximity = None
+                    if not isinstance(kappa, ThrottleVector):
+                        kappa = ThrottleVector(kappa)
+                    with self._stage(tracer, "proximity") as sp:
+                        sp.meta["skipped"] = "explicit kappa"
+                    with self._stage(tracer, "kappa") as sp:
+                        sp.meta["provided"] = True
                 else:
-                    scores = spam_resilient_sourcerank(
-                        source_graph,
-                        kappa,
-                        ranking_params,
-                        full_throttle=self.full_throttle,
-                        operator=shared.base,
-                    )
-                    self._save_stage_result(run_key, "rank", scores)
-                sp.meta["iterations"] = scores.convergence.iterations
+                    with self._stage(tracer, "proximity") as sp:
+                        if seeds is None or seeds.size == 0:
+                            proximity = None
+                            sp.meta["skipped"] = "no spam seeds"
+                        else:
+                            proximity = self._load_stage_result(
+                                run_key, "proximity", "spam-proximity"
+                            )
+                            if proximity is not None:
+                                sp.meta["resumed"] = True
+                            else:
+                                proximity = spam_proximity(
+                                    source_graph,
+                                    seeds,
+                                    proximity_params,
+                                    operator=shared.reversed,
+                                )
+                                self._save_stage_result(
+                                    run_key, "proximity", proximity
+                                )
+                            sp.meta["iterations"] = (
+                                proximity.convergence.iterations
+                            )
+                            if self._auditor.enabled:
+                                self._auditor.audit_result(
+                                    proximity, subject="spam-proximity"
+                                )
+                    with self._stage(tracer, "kappa") as sp:
+                        if proximity is None:
+                            kappa = ThrottleVector.zeros(
+                                source_graph.n_sources
+                            )
+                        else:
+                            kappa = assign_kappa(
+                                proximity.scores, self.throttle
+                            )
+                        sp.meta["throttled"] = int(
+                            kappa.fully_throttled().size
+                        )
                 if self._auditor.enabled:
-                    self._auditor.audit_result(scores, subject="sr-sourcerank")
-        timings = {child.name: child.duration for child in root.children}
-        self._record_run(root, timings, proximity, scores)
+                    # Audit the throttled walk the rank stage is about to
+                    # solve with — the exact diag(s)·T' + diag(c) algebra
+                    # the lazy operator applies, not a recomputation.
+                    with self._stage(tracer, "audit") as sp:
+                        self._auditor.audit_kappa(
+                            kappa, n=source_graph.n_sources
+                        )
+                        throttled = ThrottledOperator(
+                            shared.base, kappa, full_throttle=self.full_throttle
+                        )
+                        self._auditor.audit_throttled(throttled)
+                        sp.meta["checks"] = "kappa,throttled"
+                with self._stage(tracer, "rank") as sp:
+                    scores = self._load_stage_result(
+                        run_key, "rank", "sr-sourcerank"
+                    )
+                    if scores is not None:
+                        sp.meta["resumed"] = True
+                    else:
+                        scores = spam_resilient_sourcerank(
+                            source_graph,
+                            kappa,
+                            ranking_params,
+                            full_throttle=self.full_throttle,
+                            operator=shared.base,
+                        )
+                        self._save_stage_result(run_key, "rank", scores)
+                    sp.meta["iterations"] = scores.convergence.iterations
+                    if self._auditor.enabled:
+                        self._auditor.audit_result(
+                            scores, subject="sr-sourcerank"
+                        )
+            timings = {child.name: child.duration for child in root.children}
+            self._record_run(root, timings, proximity, scores)
+            emit_event(
+                "pipeline_end",
+                seconds=root.duration,
+                converged=bool(scores.convergence.converged),
+                iterations=int(scores.convergence.iterations),
+            )
         return PipelineResult(
             source_graph=source_graph,
             proximity=proximity,
@@ -511,6 +595,7 @@ class SpamResilientPipeline:
             scores=scores,
             trace=root,
             timings=timings,
+            run_id=run_id,
         )
 
     @staticmethod

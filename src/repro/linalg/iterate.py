@@ -38,6 +38,8 @@ import numpy as np
 
 from ..errors import ConfigError, ConvergenceError
 from ..logging_utils import get_logger
+from ..observability.events import emit as emit_event
+from ..observability.profiling import profile_block
 from ..observability.tracing import span
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -203,8 +205,74 @@ def iterate_to_fixpoint(
             x0 = state.x.copy()
             start_iteration = min(int(state.iteration), params.max_iter - 1)
             meta.setdefault("resumed_from", start_iteration)
+    # Event + profile hooks are per-solve (never per-iteration) and free
+    # when no ambient log/profiler is active.
+    emit_event(
+        "solve_start",
+        label=tag,
+        solver=solver,
+        n=n,
+        tolerance=params.tolerance,
+        max_iter=params.max_iter,
+        resumed_from=start_iteration or None,
+    )
+    try:
+        return _iterate_inner(
+            step,
+            x0,
+            params,
+            solver=solver,
+            tag=tag,
+            kernel=kernel,
+            dangling_mask=dangling_mask,
+            callback=callback,
+            meta=meta,
+            progress=progress,
+            guard=guard,
+            mass_auditor=mass_auditor,
+            audit=audit,
+            ckpt=ckpt,
+            ckpt_every=ckpt_every,
+            start_iteration=start_iteration,
+            n=n,
+        )
+    except ConvergenceError as exc:
+        # Guard trips (NaN, divergence, stagnation, deadline) and strict
+        # non-convergence leave through here; stamp the failure so the
+        # event log shows *why* a fallback or degradation followed.
+        emit_event(
+            "solve_failed",
+            label=tag,
+            solver=solver,
+            error=type(exc).__name__,
+            detail=str(exc),
+        )
+        raise
+
+
+def _iterate_inner(
+    step,
+    x0,
+    params,
+    *,
+    solver,
+    tag,
+    kernel,
+    dangling_mask,
+    callback,
+    meta,
+    progress,
+    guard,
+    mass_auditor,
+    audit,
+    ckpt,
+    ckpt_every,
+    start_iteration,
+    n,
+):
     track_dangling = 0
-    with span(f"solve:{tag}", solver=solver, n=n, **meta) as trace:
+    with span(f"solve:{tag}", solver=solver, n=n, **meta) as trace, \
+            profile_block(f"solve:{tag}", solver=solver):
         if progress is not None:
             start_kwargs: dict[str, object] = {}
             if kernel is not None:
@@ -265,6 +333,14 @@ def iterate_to_fixpoint(
     )
     if progress is not None:
         progress.on_solve_end(tag, info)
+    emit_event(
+        "solve_end",
+        label=tag,
+        solver=solver,
+        converged=converged,
+        iterations=iterations,
+        residual=float(residual),
+    )
     if not converged:
         if params.strict:
             err = ConvergenceError(iterations, residual, params.tolerance)

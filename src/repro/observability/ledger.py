@@ -1,0 +1,538 @@
+"""The perf-trajectory ledger: benchmark results as one trend table.
+
+Every benchmark under ``benchmarks/`` writes a ``BENCH_<name>.json``
+payload; each PR that touches performance regenerates one or more of
+them.  Individually those files answer "how fast is it now?" — the
+ledger answers "how fast has it *been*?" and, in CI, "did this change
+make it worse?".
+
+``benchmarks/results/LEDGER.json`` is a schema-validated, append-only
+trend table::
+
+    {"schema_version": 1,
+     "entries": [{"bench": "operator", "label": "PR2",
+                  "source": "BENCH_operator.json",
+                  "metrics": {"single_solve.lazy_seconds": 0.027, ...}},
+                 ...]}
+
+Entries are **flattened**: every numeric leaf of a benchmark payload
+becomes one dotted-path metric (booleans count as 1.0/0.0, so gates
+like ``all_recovered`` are trendable too).  The latest entry per bench
+is the reference :func:`compare` gates against.
+
+The gate itself is :data:`TRACKED_METRICS` — the explicit contract of
+what must not regress.  Each tracked metric has a direction
+(``lower``/``higher`` is better), a *relative* tolerance against the
+ledger's reference value (timings get a generous band, correctness
+gates get zero), and optionally an *absolute* bound that holds
+regardless of history (the telemetry-overhead budget).  ``repro ledger
+compare`` exits nonzero on any violation — a CI job fails the PR.
+
+All functions here are pure stdlib + in-repo imports; the thin
+``benchmarks/ledger.py`` wrapper and the ``repro ledger`` CLI
+subcommand both delegate to this module.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..errors import ObservabilityError
+from ..logging_utils import get_logger
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "BACKFILL_LABELS",
+    "TrackedMetric",
+    "TRACKED_METRICS",
+    "LedgerEntry",
+    "Ledger",
+    "Finding",
+    "flatten_metrics",
+    "compare_payload",
+    "compare_dir",
+    "discover_bench_files",
+    "ingest_file",
+    "backfill",
+    "format_findings",
+    "format_trend",
+]
+
+_logger = get_logger(__name__)
+
+LEDGER_SCHEMA_VERSION = 1
+
+#: Which PR originally produced each committed ``BENCH_*.json`` — the
+#: labels the backfill importer stamps on historical entries.
+BACKFILL_LABELS: dict[str, str] = {
+    "operator": "PR2",
+    "resilience": "PR4",
+    "audit": "PR4",
+    "serving": "PR5",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TrackedMetric:
+    """One metric the regression gate watches.
+
+    Attributes
+    ----------
+    bench:
+        Benchmark name (``BENCH_<bench>.json``).
+    metric:
+        Dotted path of the flattened metric.
+    direction:
+        ``"lower"`` or ``"higher"`` — which way is better.
+    rel_tolerance:
+        Allowed fractional slack against the ledger reference value
+        (``0.5`` = may be up to 50 % worse).  Zero means any worsening
+        fails.  Timings need a wide band (machines differ); correctness
+        gates get zero.
+    abs_limit:
+        Optional absolute bound on the *current* value that applies
+        regardless of history: for ``lower`` the value must be
+        ``<= abs_limit``, for ``higher`` it must be ``>= abs_limit``.
+    required:
+        When True, a payload missing the metric fails the gate (instead
+        of being skipped) — for metrics every future run must report.
+    """
+
+    bench: str
+    metric: str
+    direction: str
+    rel_tolerance: float = 0.0
+    abs_limit: float | None = None
+    required: bool = False
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("lower", "higher"):
+            raise ObservabilityError(
+                f"direction must be 'lower' or 'higher', got {self.direction!r}"
+            )
+        if self.rel_tolerance < 0:
+            raise ObservabilityError(
+                f"rel_tolerance must be >= 0, got {self.rel_tolerance!r}"
+            )
+
+
+#: The regression contract.  Timing metrics carry a wide relative band
+#: (CI boxes and laptops disagree by far more than a real regression
+#: needs to show); correctness/robustness gates are exact; the
+#: telemetry-overhead budget is an absolute bound.
+TRACKED_METRICS: tuple[TrackedMetric, ...] = (
+    TrackedMetric("operator", "single_solve.lazy_seconds", "lower", 0.5),
+    TrackedMetric("operator", "kappa_sweep.lazy_seconds", "lower", 0.5),
+    TrackedMetric("operator", "kappa_sweep.speedup", "higher", 0.25),
+    TrackedMetric(
+        "operator", "single_solve.max_score_diff", "lower", 0.0,
+        abs_limit=1e-9,
+    ),
+    TrackedMetric("operator", "equivalent", "higher", 0.0, abs_limit=1.0),
+    TrackedMetric(
+        "operator",
+        "telemetry_overhead.overhead_fraction",
+        "lower",
+        0.0,
+        abs_limit=0.05,
+        required=False,
+    ),
+    TrackedMetric("resilience", "all_recovered", "higher", 0.0, abs_limit=1.0),
+    TrackedMetric(
+        "resilience", "scenarios.nan_fallback.recovered", "higher", 0.0
+    ),
+    TrackedMetric("audit", "passed", "higher", 0.0, abs_limit=1.0),
+    TrackedMetric("audit", "parts.overhead.enabled_overhead", "lower", 0.0,
+                  abs_limit=0.05),
+    TrackedMetric("serving", "phases.soak.reads_failed", "lower", 0.0,
+                  abs_limit=0.0),
+    TrackedMetric("serving", "gates.chaos_ok", "higher", 0.0, abs_limit=1.0),
+    TrackedMetric("serving", "phases.soak.max_staleness_observed", "lower", 0.0,
+                  abs_limit=8.0),
+    # Telemetry v2 soak contract: the live endpoint answers every scrape
+    # (≥500 of them, across every degradation state) and every event
+    # carries the soak's run id.  Historical (PR5) entries predate these
+    # fields, so they are not ``required`` — but once present they gate.
+    TrackedMetric("serving", "telemetry.scrapes.failed", "lower", 0.0,
+                  abs_limit=0.0),
+    TrackedMetric("serving", "gates.scrapes_ok", "higher", 0.0, abs_limit=1.0),
+    TrackedMetric("serving", "gates.scraped_all_states", "higher", 0.0,
+                  abs_limit=1.0),
+    TrackedMetric("serving", "gates.events_correlated", "higher", 0.0,
+                  abs_limit=1.0),
+    TrackedMetric("serving", "gates.ladder_ok", "higher", 0.0, abs_limit=1.0),
+)
+
+
+def flatten_metrics(payload: Mapping, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested benchmark payload as dotted paths.
+
+    Booleans become 1.0/0.0; strings, lists, and ``None`` are skipped
+    (lists hold per-point curves — the scalars beside them carry the
+    trendable summary).
+    """
+    flat: dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            flat.update(flatten_metrics(value, path))
+        elif isinstance(value, bool):
+            flat[path] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            flat[path] = float(value)
+    return flat
+
+
+@dataclass(frozen=True, slots=True)
+class LedgerEntry:
+    """One benchmark run folded into the trend table."""
+
+    bench: str
+    label: str
+    source: str
+    metrics: dict[str, float]
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "bench": self.bench,
+            "label": self.label,
+            "source": self.source,
+            "metrics": dict(self.metrics),
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+    @staticmethod
+    def from_dict(raw: Mapping) -> "LedgerEntry":
+        _require(isinstance(raw, Mapping), f"entry must be an object, got {raw!r}")
+        for key in ("bench", "label", "source", "metrics"):
+            _require(key in raw, f"entry missing required key {key!r}")
+        _require(
+            isinstance(raw["metrics"], Mapping),
+            f"entry metrics must be an object, got {raw['metrics']!r}",
+        )
+        metrics: dict[str, float] = {}
+        for name, value in raw["metrics"].items():
+            _require(
+                isinstance(value, (int, float)) and not isinstance(value, str),
+                f"metric {name!r} must be numeric, got {value!r}",
+            )
+            metrics[str(name)] = float(value)
+        meta = raw.get("meta", {})
+        _require(
+            isinstance(meta, Mapping), f"entry meta must be an object, got {meta!r}"
+        )
+        return LedgerEntry(
+            bench=str(raw["bench"]),
+            label=str(raw["label"]),
+            source=str(raw["source"]),
+            metrics=metrics,
+            meta=dict(meta),
+        )
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ObservabilityError(f"invalid ledger: {message}")
+
+
+class Ledger:
+    """The trend table: ordered entries, newest last per bench."""
+
+    def __init__(self, entries: Iterable[LedgerEntry] = ()) -> None:
+        self.entries: list[LedgerEntry] = list(entries)
+
+    # -- persistence ---------------------------------------------------
+    @staticmethod
+    def load(path: str | Path) -> "Ledger":
+        """Parse and schema-validate a ``LEDGER.json``."""
+        path = Path(path)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ObservabilityError(f"cannot read ledger {path}: {exc}") from exc
+        _require(isinstance(raw, Mapping), "top level must be an object")
+        version = raw.get("schema_version")
+        _require(
+            version == LEDGER_SCHEMA_VERSION,
+            f"schema_version must be {LEDGER_SCHEMA_VERSION}, got {version!r}",
+        )
+        _require(isinstance(raw.get("entries"), list), "entries must be a list")
+        return Ledger(LedgerEntry.from_dict(e) for e in raw["entries"])
+
+    @staticmethod
+    def load_or_empty(path: str | Path) -> "Ledger":
+        """Load the ledger, or start a fresh one when the file is absent."""
+        if not Path(path).exists():
+            return Ledger()
+        return Ledger.load(path)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the ledger (stable key order, trailing newline)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "entries": [e.as_dict() for e in self.entries],
+        }
+        path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        return path
+
+    # -- queries and mutation ------------------------------------------
+    def latest(self, bench: str) -> LedgerEntry | None:
+        """The newest entry for one bench (None when untracked)."""
+        for entry in reversed(self.entries):
+            if entry.bench == bench:
+                return entry
+        return None
+
+    def history(self, bench: str) -> list[LedgerEntry]:
+        """All entries for one bench, oldest first."""
+        return [e for e in self.entries if e.bench == bench]
+
+    def benches(self) -> list[str]:
+        """Bench names present, in first-appearance order."""
+        seen: list[str] = []
+        for entry in self.entries:
+            if entry.bench not in seen:
+                seen.append(entry.bench)
+        return seen
+
+    def ingest(
+        self,
+        bench: str,
+        payload: Mapping,
+        *,
+        label: str,
+        source: str = "",
+        meta: Mapping[str, object] | None = None,
+    ) -> LedgerEntry:
+        """Fold one benchmark payload into the table (appended).
+
+        Re-ingesting the same ``(bench, label)`` replaces the earlier
+        entry instead of duplicating it — regenerating a PR's numbers
+        must not fork the trend.
+        """
+        entry = LedgerEntry(
+            bench=str(bench),
+            label=str(label),
+            source=source or f"BENCH_{bench}.json",
+            metrics=flatten_metrics(payload),
+            meta=dict(meta or {}),
+        )
+        self.entries = [
+            e
+            for e in self.entries
+            if not (e.bench == entry.bench and e.label == entry.label)
+        ]
+        self.entries.append(entry)
+        return entry
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One regression-gate verdict for a tracked metric."""
+
+    bench: str
+    metric: str
+    status: str  # "ok" | "regression" | "missing" | "no_reference"
+    current: float | None = None
+    reference: float | None = None
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regression", "missing")
+
+
+def compare_payload(
+    ledger: Ledger,
+    bench: str,
+    payload: Mapping,
+    *,
+    tracked: Iterable[TrackedMetric] = TRACKED_METRICS,
+) -> list[Finding]:
+    """Gate one current benchmark payload against the ledger.
+
+    Every tracked metric for ``bench`` is checked two ways: against the
+    newest ledger entry's value under the metric's relative tolerance,
+    and against its absolute bound when one is set.  Metrics absent
+    from both the payload and the tracking contract are ignored — the
+    gate is the explicit :data:`TRACKED_METRICS` list, nothing implicit.
+    """
+    flat = flatten_metrics(payload)
+    reference = ledger.latest(bench)
+    findings: list[Finding] = []
+    for tm in tracked:
+        if tm.bench != bench:
+            continue
+        current = flat.get(tm.metric)
+        if current is None:
+            if tm.required:
+                findings.append(
+                    Finding(bench, tm.metric, "missing",
+                            detail="required metric absent from payload")
+                )
+            continue
+        ref_value = None if reference is None else reference.metrics.get(tm.metric)
+        status = "ok"
+        detail = ""
+        if tm.abs_limit is not None:
+            if tm.direction == "lower" and current > tm.abs_limit:
+                status = "regression"
+                detail = f"{current:g} exceeds absolute limit {tm.abs_limit:g}"
+            elif tm.direction == "higher" and current < tm.abs_limit:
+                status = "regression"
+                detail = f"{current:g} below absolute floor {tm.abs_limit:g}"
+        if status == "ok" and ref_value is not None:
+            if tm.direction == "lower":
+                bound = ref_value * (1.0 + tm.rel_tolerance)
+                if current > bound:
+                    status = "regression"
+                    detail = (
+                        f"{current:g} worse than reference {ref_value:g} "
+                        f"(allowed up to {bound:g})"
+                    )
+            else:
+                bound = ref_value * (1.0 - tm.rel_tolerance)
+                if current < bound:
+                    status = "regression"
+                    detail = (
+                        f"{current:g} worse than reference {ref_value:g} "
+                        f"(allowed down to {bound:g})"
+                    )
+        if status == "ok" and ref_value is None and tm.abs_limit is None:
+            status = "no_reference"
+            detail = "no ledger entry to compare against"
+        findings.append(
+            Finding(bench, tm.metric, status, current, ref_value, detail)
+        )
+    return findings
+
+
+def _read_payload(path: Path) -> Mapping:
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ObservabilityError(
+            f"cannot read benchmark payload {path}: {exc}"
+        ) from exc
+    _require(isinstance(raw, Mapping), f"{path} top level must be an object")
+    return raw
+
+
+def discover_bench_files(results_dir: str | Path) -> dict[str, Path]:
+    """``BENCH_<name>.json`` files under a results directory, by name."""
+    found: dict[str, Path] = {}
+    for path in sorted(Path(results_dir).glob("BENCH_*.json")):
+        found[path.stem[len("BENCH_"):]] = path
+    return found
+
+
+def ingest_file(
+    ledger_path: str | Path,
+    bench: str,
+    payload_path: str | Path,
+    *,
+    label: str,
+    meta: Mapping[str, object] | None = None,
+) -> LedgerEntry:
+    """Ingest one benchmark file into the ledger on disk (load→fold→save)."""
+    ledger = Ledger.load_or_empty(ledger_path)
+    entry = ledger.ingest(
+        bench,
+        _read_payload(Path(payload_path)),
+        label=label,
+        source=Path(payload_path).name,
+        meta=meta,
+    )
+    ledger.save(ledger_path)
+    return entry
+
+
+def backfill(
+    results_dir: str | Path,
+    ledger_path: str | Path,
+    *,
+    labels: Mapping[str, str] | None = None,
+) -> Ledger:
+    """Fold every committed ``BENCH_*.json`` into the ledger.
+
+    Historical files are labeled by the PR that originally produced
+    them (:data:`BACKFILL_LABELS`); files the label map does not know
+    get ``"backfill"``.  Idempotent: re-running replaces rather than
+    duplicates (same bench+label).
+    """
+    labels = dict(BACKFILL_LABELS if labels is None else labels)
+    ledger = Ledger.load_or_empty(ledger_path)
+    for bench, path in discover_bench_files(results_dir).items():
+        label = labels.get(bench, "backfill")
+        ledger.ingest(
+            bench, _read_payload(path), label=label, source=path.name
+        )
+        _logger.info("backfilled %s as %s (%s)", path.name, bench, label)
+    ledger.save(ledger_path)
+    return ledger
+
+
+def compare_dir(
+    results_dir: str | Path,
+    ledger_path: str | Path,
+    *,
+    tracked: Iterable[TrackedMetric] = TRACKED_METRICS,
+) -> list[Finding]:
+    """Gate every benchmark file in a directory against the ledger."""
+    ledger = Ledger.load(ledger_path)
+    findings: list[Finding] = []
+    for bench, path in discover_bench_files(results_dir).items():
+        findings.extend(
+            compare_payload(
+                ledger, bench, _read_payload(path), tracked=tracked
+            )
+        )
+    return findings
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    """One line per verdict, regressions first."""
+    ordered = sorted(findings, key=lambda f: (not f.failed, f.bench, f.metric))
+    lines = []
+    for f in ordered:
+        mark = "FAIL" if f.failed else ("  ok" if f.status == "ok" else "  --")
+        value = "-" if f.current is None else f"{f.current:g}"
+        ref = "-" if f.reference is None else f"{f.reference:g}"
+        line = f"{mark}  {f.bench}:{f.metric}  current={value} reference={ref}"
+        if f.detail:
+            line += f"  ({f.detail})"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_trend(ledger: Ledger, *, bench: str | None = None) -> str:
+    """Render the tracked-metric trajectory as an aligned text table."""
+    lines: list[str] = []
+    for name in ledger.benches():
+        if bench is not None and name != bench:
+            continue
+        entries = ledger.history(name)
+        tracked = [tm for tm in TRACKED_METRICS if tm.bench == name]
+        metrics = [tm.metric for tm in tracked] or sorted(
+            entries[-1].metrics
+        )[:8]
+        lines.append(f"bench {name} ({len(entries)} entries)")
+        width = max((len(m) for m in metrics), default=10)
+        header = " ".join(f"{e.label:>12}" for e in entries)
+        lines.append(f"  {'metric':<{width}} {header}")
+        for metric in metrics:
+            cells = []
+            for entry in entries:
+                value = entry.metrics.get(metric)
+                cells.append("           -" if value is None else f"{value:>12.6g}")
+            lines.append(f"  {metric:<{width}} {' '.join(cells)}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

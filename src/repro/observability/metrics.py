@@ -85,7 +85,15 @@ def _check_labelnames(labelnames: Iterable[str]) -> tuple[str, ...]:
 
 
 def _escape_label_value(value: str) -> str:
+    # Exposition format: label values escape backslash, double-quote, and
+    # newline (backslash first — escaping must not double-process its own
+    # output).
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and newline only (quotes are legal there).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _render_labels(labels: Mapping[str, str], extra: str = "") -> str:
@@ -222,6 +230,31 @@ class Histogram(_Child):
         out.append((math.inf, running + self._counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float | None:
+        """Bucket-interpolated quantile estimate (``None`` when empty).
+
+        Linear interpolation inside the bucket holding the q-th
+        observation, the standard Prometheus ``histogram_quantile``
+        estimate.  Observations beyond the last finite bound clamp to
+        that bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must lie in [0, 1], got {q!r}")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return None
+            rank = q * total
+            running = 0
+            lower = 0.0
+            for bound, count in zip(self._bounds, self._counts[:-1]):
+                if running + count >= rank and count > 0:
+                    fraction = (rank - running) / count
+                    return lower + (bound - lower) * min(max(fraction, 0.0), 1.0)
+                running += count
+                lower = bound
+            return self._bounds[-1] if self._bounds else None
+
 
 class _Family:
     """A named metric family holding one child per label combination."""
@@ -322,6 +355,9 @@ class _HistogramFamily(_Family):
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         return self._solo().cumulative_buckets()  # type: ignore[union-attr]
+
+    def quantile(self, q: float) -> float | None:
+        return self._solo().quantile(q)  # type: ignore[union-attr]
 
 
 _FAMILY_CLASSES = {
@@ -439,7 +475,7 @@ class MetricsRegistry:
         lines: list[str] = []
         for family in self.families():
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             for child in family.children():
                 labels = child.label_values

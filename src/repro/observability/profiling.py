@@ -1,0 +1,203 @@
+"""Opt-in profiling hooks: per-stage cProfile plus wall/CPU accounting.
+
+A :class:`Profiler` collects one :class:`ProfileRecord` per profiled
+block.  The outermost block on each thread runs under :mod:`cProfile`
+(deterministic call counts and a cumulative-time top table); nested
+blocks — a solver inside an already-profiled pipeline stage — record
+wall and thread-CPU seconds only, because CPython allows a single active
+deterministic profiler per thread.
+
+Nothing here runs unless explicitly enabled
+(``ObservabilityParams(profile=True)`` or the CLI ``--profile`` flag):
+the pipeline, the solvers, and the serving updater call the ambient
+:func:`profile_block`, which is a context-variable lookup and a ``None``
+check when no profiler is active — the same zero-cost contract as
+:func:`repro.observability.tracing.span` and
+:func:`repro.observability.events.emit`.
+
+The wall-vs-CPU split is the useful signal for this library: a stage
+whose ``cpu_seconds`` is far below its ``wall_seconds`` is blocked on
+I/O or lock contention, not numerics.
+
+Examples
+--------
+>>> profiler = Profiler(top=3)
+>>> with profiler.profile("stage:rank"):
+...     _ = sum(range(1000))
+>>> record = profiler.records[0]
+>>> record.name
+'stage:rank'
+>>> record.wall_seconds >= record.cpu_seconds >= 0.0 or True
+True
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import ObservabilityError
+
+__all__ = ["ProfileRecord", "Profiler", "profile_block", "current_profiler"]
+
+
+@dataclass(slots=True)
+class ProfileRecord:
+    """Profile of one named block.
+
+    ``top`` holds the cumulative-time hottest functions (empty for
+    nested blocks, which run without a deterministic profiler);
+    ``calls`` is the total function-call count, ``None`` when unknown.
+    """
+
+    name: str
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    calls: int | None = None
+    top: list[dict] = field(default_factory=list)
+    meta: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Thread-CPU seconds per wall second (≈1 ⇒ compute-bound)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cpu_seconds / self.wall_seconds
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        out: dict[str, object] = {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "cpu_fraction": self.cpu_fraction,
+        }
+        if self.calls is not None:
+            out["calls"] = self.calls
+        if self.top:
+            out["top"] = [dict(entry) for entry in self.top]
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+
+def _top_functions(profile: cProfile.Profile, top: int) -> tuple[list[dict], int]:
+    """The ``top`` hottest rows (by cumulative time) plus total call count."""
+    stats = pstats.Stats(profile)
+    rows = []
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": f"{filename}:{line}({func})",
+                "calls": int(nc),
+                "tottime_seconds": float(tt),
+                "cumtime_seconds": float(ct),
+            }
+        )
+    rows.sort(key=lambda r: r["cumtime_seconds"], reverse=True)
+    return rows[:top], int(stats.total_calls)
+
+
+class Profiler:
+    """Thread-safe collector of :class:`ProfileRecord` blocks.
+
+    Parameters
+    ----------
+    top:
+        How many hottest functions each cProfile'd block retains.
+    """
+
+    def __init__(self, *, top: int = 10) -> None:
+        if int(top) < 1:
+            raise ObservabilityError(f"top must be >= 1, got {top!r}")
+        self.top = int(top)
+        self._records: list[ProfileRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def records(self) -> list[ProfileRecord]:
+        """Snapshot of the collected records, completion order."""
+        with self._lock:
+            return list(self._records)
+
+    @contextmanager
+    def profile(self, name: str, **meta: object) -> Iterator[ProfileRecord]:
+        """Profile one block; cProfile for the outermost block per thread."""
+        record = ProfileRecord(name=str(name))
+        if meta:
+            record.meta.update(meta)
+        nested = getattr(self._local, "active", False)
+        prof: cProfile.Profile | None = None
+        if not nested:
+            prof = cProfile.Profile()
+            self._local.active = True
+        wall0 = time.perf_counter()
+        cpu0 = time.thread_time()
+        if prof is not None:
+            prof.enable()
+        try:
+            yield record
+        finally:
+            if prof is not None:
+                prof.disable()
+                self._local.active = False
+            record.wall_seconds = time.perf_counter() - wall0
+            record.cpu_seconds = time.thread_time() - cpu0
+            if prof is not None:
+                record.top, record.calls = _top_functions(prof, self.top)
+            with self._lock:
+                self._records.append(record)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation of every collected record."""
+        return {"profiles": [r.as_dict() for r in self.records]}
+
+    def find(self, name: str) -> list[ProfileRecord]:
+        """Every record with the given name, completion order."""
+        return [r for r in self.records if r.name == name]
+
+    @contextmanager
+    def activate(self) -> Iterator["Profiler"]:
+        """Install this profiler as the ambient one for :func:`profile_block`.
+
+        Ambience is per-thread (a context variable): worker threads
+        re-activate inside the thread body.
+        """
+        token = _active_profiler.set(self)
+        try:
+            yield self
+        finally:
+            _active_profiler.reset(token)
+
+
+_active_profiler: ContextVar[Profiler | None] = ContextVar(
+    "repro_active_profiler", default=None
+)
+
+
+def current_profiler() -> Profiler | None:
+    """The ambient profiler installed by :meth:`Profiler.activate`, if any."""
+    return _active_profiler.get()
+
+
+@contextmanager
+def profile_block(name: str, **meta: object) -> Iterator[ProfileRecord | None]:
+    """Profile against the ambient profiler; a no-op when none is active.
+
+    >>> with profile_block("orphan") as record:    # no active profiler
+    ...     record is None
+    True
+    """
+    profiler = _active_profiler.get()
+    if profiler is None:
+        yield None
+        return
+    with profiler.profile(name, **meta) as record:
+        yield record

@@ -8,6 +8,15 @@ attach spans via the module-level :func:`span` helper without threading a
 tracer argument through every call — and at zero cost when no tracer is
 active (the helper yields ``None`` without touching the clock).
 
+A tracer may be shared across threads: the open-span stack is kept in
+thread-local storage, so spans opened by one thread (say, the serving
+updater) nest only under that thread's own open spans and can never
+interleave into another thread's trace.  Each thread's outermost spans
+become roots; the roots list itself is lock-protected, and every record
+carries the opening thread's ``tid``.  A ``max_roots`` bound turns the
+roots list into a ring buffer for long-lived tracers (a serving process
+tracing every update would otherwise grow without bound).
+
 Times come from :func:`time.perf_counter`; span ``start`` offsets are
 relative to the tracer's construction, which keeps the records portable.
 
@@ -25,6 +34,7 @@ Examples
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -39,7 +49,8 @@ class SpanRecord:
     """One timed span: a node of the trace tree.
 
     ``start`` is seconds since the owning tracer's epoch; ``duration`` is
-    filled in when the span exits (``-1.0`` while still open).
+    filled in when the span exits (``-1.0`` while still open).  ``tid``
+    is the identity of the thread that opened the span.
     """
 
     name: str
@@ -47,6 +58,7 @@ class SpanRecord:
     duration: float = -1.0
     meta: dict[str, object] = field(default_factory=dict)
     children: list["SpanRecord"] = field(default_factory=list)
+    tid: int = 0
 
     def walk(self) -> Iterator["SpanRecord"]:
         """This span followed by all descendants, depth-first."""
@@ -71,39 +83,69 @@ class SpanRecord:
 class Tracer:
     """Collects a tree of timed spans for one run.
 
-    Not thread-safe by design: a tracer belongs to the run that created
-    it.  Concurrent runs each use their own tracer (the activation
-    context variable is per-thread / per-task).
+    Safe to share across threads: each thread nests spans independently
+    (thread-local open-span stack) and finished outermost spans land in
+    the shared roots list under a lock.  ``max_roots`` (optional) caps
+    that list, dropping the oldest roots first.
     """
 
-    __slots__ = ("roots", "_stack", "_epoch")
+    __slots__ = ("_roots", "_local", "_lock", "_epoch", "max_roots")
 
-    def __init__(self) -> None:
-        self.roots: list[SpanRecord] = []
-        self._stack: list[SpanRecord] = []
+    def __init__(self, *, max_roots: int | None = None) -> None:
+        if max_roots is not None and int(max_roots) < 1:
+            raise ValueError(f"max_roots must be >= 1, got {max_roots!r}")
+        self._roots: list[SpanRecord] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._epoch = time.perf_counter()
+        self.max_roots = None if max_roots is None else int(max_roots)
+
+    @property
+    def roots(self) -> list[SpanRecord]:
+        """Snapshot of the root spans (oldest first)."""
+        with self._lock:
+            return list(self._roots)
+
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextmanager
     def span(self, name: str, **meta: object) -> Iterator[SpanRecord]:
-        """Open a child span under the innermost open span."""
-        record = SpanRecord(name=name, start=time.perf_counter() - self._epoch)
+        """Open a child span under this thread's innermost open span."""
+        record = SpanRecord(
+            name=name,
+            start=time.perf_counter() - self._epoch,
+            tid=threading.get_ident(),
+        )
         if meta:
             record.meta.update(meta)
-        if self._stack:
-            self._stack[-1].children.append(record)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(record)
         else:
-            self.roots.append(record)
-        self._stack.append(record)
+            with self._lock:
+                self._roots.append(record)
+                if self.max_roots is not None and len(self._roots) > self.max_roots:
+                    del self._roots[: len(self._roots) - self.max_roots]
+        stack.append(record)
         t0 = time.perf_counter()
         try:
             yield record
         finally:
             record.duration = time.perf_counter() - t0
-            self._stack.pop()
+            stack.pop()
 
     @contextmanager
     def activate(self) -> Iterator["Tracer"]:
-        """Install this tracer as the ambient one for :func:`span`."""
+        """Install this tracer as the ambient one for :func:`span`.
+
+        Ambience is per-thread/per-task (a context variable): a worker
+        thread that should feed the same tracer re-activates inside the
+        thread body.
+        """
         token = _active_tracer.set(self)
         try:
             yield self

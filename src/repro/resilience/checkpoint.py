@@ -32,6 +32,7 @@ from pathlib import Path
 import numpy as np
 
 from ..logging_utils import get_logger
+from ..observability.events import emit as emit_event
 from ..observability.metrics import get_registry
 
 __all__ = [
@@ -220,6 +221,10 @@ class SolveCheckpointer:
             iteration=np.int64(iteration),
             residual=np.float64(residual),
         )
+        emit_event(
+            "checkpoint_save", tag=tag, iteration=int(iteration),
+            residual=float(residual),
+        )
 
     def maybe_save(
         self, tag: str, x: np.ndarray, iteration: int, residual: float
@@ -243,6 +248,7 @@ class SolveCheckpointer:
             residual=float(data["residual"]),
         )
         _record_resume("solve")
+        emit_event("checkpoint_resume", tag=tag, iteration=state.iteration)
         _logger.info(
             "resuming solve %r from iteration %d (residual %.3e)",
             tag,
@@ -301,5 +307,6 @@ class PipelineCheckpointer:
         data = _load_npz(self._stage_path(key, stage), names)
         if data is not None:
             _record_resume("stage")
+            emit_event("stage_resume", stage=stage, key=key[:16])
             _logger.info("resuming pipeline stage %r from checkpoint", stage)
         return data

@@ -25,6 +25,7 @@ import numpy as np
 from ..errors import ConfigError, ConvergenceError
 from ..linalg.registry import solver_registry
 from ..logging_utils import get_logger
+from ..observability.events import emit as emit_event
 from ..observability.metrics import get_registry
 
 __all__ = ["SolveAttempt", "FallbackChain", "record_fallback"]
@@ -33,12 +34,18 @@ _logger = get_logger(__name__)
 
 
 def record_fallback(kind: str) -> None:
-    """Count one recovery action in the global metrics registry."""
+    """Count one recovery action in the global metrics registry.
+
+    Also lands a ``fallback`` event on the ambient event log, so the
+    recovery shows up in the run's correlated timeline, not just as an
+    aggregate counter.
+    """
     get_registry().counter(
         "repro_fallbacks_total",
         "Recovery actions by kind (solver/pool_rebuild/serial_degrade)",
         labelnames=("kind",),
     ).labels(kind=kind).inc()
+    emit_event("fallback", fallback_kind=kind)
 
 
 @dataclass(frozen=True, slots=True)

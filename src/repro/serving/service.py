@@ -50,17 +50,27 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
-from ..config import RankingParams, ResilienceParams, ServingParams
+from ..config import (
+    ObservabilityParams,
+    RankingParams,
+    ResilienceParams,
+    ServingParams,
+)
 from ..errors import AdmissionError, ServingError
 from ..graph.pagegraph import PageGraph
 from ..logging_utils import get_logger
+from ..observability.endpoint import TelemetryServer
+from ..observability.events import EventLog
 from ..observability.metrics import get_registry
+from ..observability.profiling import Profiler, profile_block
+from ..observability.tracing import Tracer, span
 from ..ranking.incremental import IncrementalSourceRank
 from ..ranking.sourcerank import sourcerank
 from ..resilience.checkpoint import content_key
@@ -77,6 +87,13 @@ _logger = get_logger(__name__)
 
 #: Serving states, index = the ``repro_serving_state`` gauge value.
 SERVING_STATES: tuple[str, ...] = ("healthy", "stale", "baseline", "read_only")
+
+#: Buckets for read latencies — reads are in-memory lookups, so the
+#: default seconds buckets would put every observation in the first one.
+READ_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 0.01, 0.05, 0.25, 1.0,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -162,8 +179,10 @@ class RankingService:
         full_throttle: str = "self",
         breaker: CircuitBreaker | None = None,
         clock: Callable[[], float] = time.time,
+        observability: ObservabilityParams | None = None,
     ) -> None:
         self.serving = serving or ServingParams()
+        self.observability = observability or ObservabilityParams()
         if not isinstance(store, SnapshotStore):
             store = SnapshotStore(store, keep=self.serving.snapshot_keep)
         self.store = store
@@ -203,8 +222,51 @@ class RankingService:
         self._consecutive_failures = 0
         self._thread: threading.Thread | None = None
         self._stop_event = threading.Event()
+        # --- telemetry v2: correlated events, tracing, live endpoint ---
+        obs = self.observability
+        self.events: EventLog | None = (
+            EventLog(
+                obs.events_path, run_id=obs.run_id, buffer=obs.events_buffer
+            )
+            if obs.events
+            else None
+        )
+        self.tracer: Tracer | None = (
+            Tracer(max_roots=obs.trace_buffer) if obs.endpoint else None
+        )
+        self.profiler: Profiler | None = (
+            Profiler(top=obs.profile_top) if obs.profile else None
+        )
+        self._state_since = self._clock()
+        self._read_seconds = get_registry().histogram(
+            "repro_serving_read_seconds",
+            "Read-path latency by operation",
+            labelnames=("op",),
+            buckets=READ_LATENCY_BUCKETS,
+        )
+        self.telemetry: TelemetryServer | None = None
+        if obs.endpoint:
+            self.telemetry = TelemetryServer(
+                health_fn=self.health,
+                tracer=self.tracer,
+                event_log=self.events,
+                host=obs.endpoint_host,
+                port=obs.endpoint_port,
+            ).start()
         self._recover()
         self._export_state()
+        self._emit(
+            "service_start",
+            state=self._state,
+            recovered_version=(
+                None if self._current is None else self._current.version
+            ),
+            endpoint=(
+                None
+                if self.telemetry is None
+                else "%s:%d" % self.telemetry.address
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Recovery and bootstrap
@@ -243,19 +305,29 @@ class RankingService:
         with an in-flight background update: the SR snapshot it adopts
         is always newer than anything the updater published before it.
         """
-        with self._run_lock:
+        with self._run_lock, self._observed():
+            self._emit(
+                "bootstrap_start",
+                pages=int(graph.n_nodes),
+                sources=int(assignment.n_sources),
+            )
             source_graph = SourceGraph.from_page_graph(
                 graph, assignment, weighting=self.weighting
             )
             n = source_graph.n_sources
             base = sourcerank(source_graph, self.params)
-            self.store.publish(
+            baseline = self.store.publish(
                 kind="baseline",
                 sigma=base.scores,
                 kappa=np.zeros(n),
                 key=self._input_key(graph, assignment, None),
                 solver=self.params.solver,
                 convergence=base.convergence,
+            )
+            self._emit(
+                "snapshot_published",
+                snapshot_kind="baseline",
+                version=baseline.version,
             )
             result = self._ranker.update(graph, assignment, kappa)
             snapshot = self.store.publish(
@@ -266,11 +338,15 @@ class RankingService:
                 solver=self.params.solver,
                 convergence=result.convergence,
             )
+            self._emit(
+                "snapshot_published", snapshot_kind="sr", version=snapshot.version
+            )
             with self._lock:
                 self._last_sr = snapshot
                 self._current = snapshot
                 self._consecutive_failures = 0
                 self._set_state("healthy")
+            self._emit("bootstrap_end", version=snapshot.version)
             return snapshot
 
     def _input_key(
@@ -290,6 +366,45 @@ class RankingService:
         )
 
     # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, **fields: object) -> None:
+        """Land one event on this service's log (no-op without one).
+
+        Goes straight to ``self.events`` rather than the ambient log so
+        events from *caller* threads (submissions, queries) correlate
+        under the service's ``run_id`` too — ambience only covers the
+        threads the service itself activates.
+        """
+        if self.events is not None:
+            self.events.emit(kind, **fields)
+
+    @contextmanager
+    def _observed(self) -> Iterator[None]:
+        """Make the service's log/tracer/profiler ambient for this thread.
+
+        Context variables do not propagate into threads, so every thread
+        that executes solves on the service's behalf — the background
+        updater, or a caller running ``run_pending``/``bootstrap``
+        directly — enters this context so the solver layer's
+        ``solve_*``/``fallback``/``checkpoint_*`` events and spans land
+        on the service's telemetry.
+        """
+        with ExitStack() as stack:
+            if self.events is not None:
+                stack.enter_context(self.events.activate())
+            if self.tracer is not None:
+                stack.enter_context(self.tracer.activate())
+            if self.profiler is not None:
+                stack.enter_context(self.profiler.activate())
+            yield
+
+    @property
+    def run_id(self) -> str | None:
+        """The correlation id stamped on this service's events, if any."""
+        return None if self.events is None else self.events.run_id
+
+    # ------------------------------------------------------------------
     # State machine
     # ------------------------------------------------------------------
     def _set_state(self, state: str) -> None:
@@ -303,7 +418,15 @@ class RankingService:
             "Serving state transitions",
             labelnames=("from_state", "to_state"),
         ).labels(from_state=self._state, to_state=state).inc()
+        now = self._clock()
+        get_registry().counter(
+            "repro_serving_state_seconds_total",
+            "Cumulative seconds spent in each serving state",
+            labelnames=("state",),
+        ).labels(state=self._state).inc(max(now - self._state_since, 0.0))
+        self._state_since = now
         _logger.info("serving state: %s -> %s", self._state, state)
+        self._emit("state_transition", from_state=self._state, to_state=state)
         self._state = state
         self._export_state()
 
@@ -369,6 +492,7 @@ class RankingService:
         with self._lock:
             if self._state == "read_only":
                 self._reject("read_only")
+                self._emit("admission_rejected", reason="read_only")
                 raise AdmissionError(
                     "read_only",
                     "service is read-only after repeated update failures; "
@@ -376,6 +500,7 @@ class RankingService:
                 )
             if len(self._queue) >= self.serving.max_pending:
                 self._reject("queue_full")
+                self._emit("admission_rejected", reason="queue_full")
                 raise AdmissionError(
                     "queue_full",
                     f"update queue is full ({self.serving.max_pending} "
@@ -391,6 +516,11 @@ class RankingService:
             )
             self._queue.append(request)
             self._export_state()
+            self._emit(
+                "update_submitted",
+                seq=request.seq,
+                queue_depth=len(self._queue),
+            )
             return request.seq
 
     @staticmethod
@@ -423,18 +553,19 @@ class RankingService:
         newer snapshot as "current".
         """
         applied = 0
-        while max_updates is None or applied < max_updates:
-            with self._run_lock:
-                with self._lock:
-                    if not self._queue:
-                        break
-                    if not self.breaker.allow():
-                        break
-                    request = self._queue.popleft()
-                    self._export_state()
-                ok = self._run_one(request)
-            if ok:
-                applied += 1
+        with self._observed():
+            while max_updates is None or applied < max_updates:
+                with self._run_lock:
+                    with self._lock:
+                        if not self._queue:
+                            break
+                        if not self.breaker.allow():
+                            break
+                        request = self._queue.popleft()
+                        self._export_state()
+                    ok = self._run_one(request)
+                if ok:
+                    applied += 1
         return applied
 
     def _run_one(self, request: _UpdateRequest) -> bool:
@@ -443,13 +574,17 @@ class RankingService:
             "Background update attempts, by outcome",
             ("status",),
         )
+        self._emit("update_start", seq=request.seq)
         try:
-            result = self._ranker.update(
-                request.graph,
-                request.assignment,
-                request.kappa,
-                **request.solve_kwargs,
-            )
+            with span("update", seq=request.seq), profile_block(
+                "update", seq=request.seq
+            ):
+                result = self._ranker.update(
+                    request.graph,
+                    request.assignment,
+                    request.kappa,
+                    **request.solve_kwargs,
+                )
             kappa = request.kappa
             n = result.n
             snapshot = self.store.publish(
@@ -461,6 +596,9 @@ class RankingService:
                 key=self._input_key(request.graph, request.assignment, kappa),
                 solver=self.params.solver,
                 convergence=result.convergence,
+            )
+            self._emit(
+                "snapshot_published", snapshot_kind="sr", version=snapshot.version
             )
         except Exception as exc:  # noqa: BLE001 - solve OR publish failure
             # The publish sits inside this try on purpose: a disk-full or
@@ -477,6 +615,13 @@ class RankingService:
             with self._lock:
                 self._consecutive_failures += 1
                 self._degrade(baseline)
+            self._emit(
+                "update_failed",
+                seq=request.seq,
+                error=type(exc).__name__,
+                detail=str(exc),
+                consecutive_failures=failures,
+            )
             _logger.warning(
                 "update %d failed and was dropped (%s: %s)",
                 request.seq,
@@ -494,6 +639,9 @@ class RankingService:
             self._consecutive_failures = 0
             self._set_state("healthy")
             self._export_state()
+        self._emit(
+            "update_applied", seq=request.seq, version=snapshot.version
+        )
         return True
 
     @staticmethod
@@ -525,7 +673,14 @@ class RankingService:
         return snapshot, state, staleness
 
     def _respond(
-        self, snapshot: RankingSnapshot, state: str, staleness: int, value: object
+        self,
+        snapshot: RankingSnapshot,
+        state: str,
+        staleness: int,
+        value: object,
+        *,
+        op: str = "read",
+        started: float | None = None,
     ) -> ServeResponse:
         age = snapshot.age(self._clock())
         registry = get_registry()
@@ -538,6 +693,10 @@ class RankingService:
             "Queries answered, by outcome",
             ("status",),
         ).labels(status="ok").inc()
+        if started is not None:
+            self._read_seconds.labels(op=op).observe(
+                time.perf_counter() - started
+            )
         return ServeResponse(
             value=value,
             state=state,
@@ -549,21 +708,38 @@ class RankingService:
 
     def score(self, source: int) -> ServeResponse:
         """The served σ value of one source."""
+        started = time.perf_counter()
         snapshot, state, staleness = self._snapshot_for_read()
         return self._respond(
-            snapshot, state, staleness, snapshot.result().score_of(source)
+            snapshot,
+            state,
+            staleness,
+            snapshot.result().score_of(source),
+            op="score",
+            started=started,
         )
 
     def top_k(self, k: int) -> ServeResponse:
         """Ids of the ``k`` best-ranked sources, best first."""
+        started = time.perf_counter()
         snapshot, state, staleness = self._snapshot_for_read()
-        return self._respond(snapshot, state, staleness, snapshot.result().top(k))
+        return self._respond(
+            snapshot,
+            state,
+            staleness,
+            snapshot.result().top(k),
+            op="top_k",
+            started=started,
+        )
 
     def percentile(self, source: int) -> ServeResponse:
         """The served ranking percentile (100 = best) of one source."""
+        started = time.perf_counter()
         snapshot, state, staleness = self._snapshot_for_read()
         value = float(snapshot.result().percentiles()[int(source)])
-        return self._respond(snapshot, state, staleness, value)
+        return self._respond(
+            snapshot, state, staleness, value, op="percentile", started=started
+        )
 
     # ------------------------------------------------------------------
     # Probes
@@ -574,10 +750,16 @@ class RankingService:
             return self._current is not None
 
     def health(self) -> dict:
-        """Structured health probe (JSON-ready)."""
+        """Structured health probe (JSON-ready).
+
+        Besides the degradation-ladder detail, reports the service's
+        correlation ``run_id``, how long it has sat in the current state,
+        and bucket-interpolated p50/p99 read latencies per operation —
+        the numbers an SLO dashboard scrapes from ``/health``.
+        """
         with self._lock:
             snapshot = self._current
-            return {
+            payload = {
                 "state": self._state,
                 "ready": snapshot is not None,
                 "snapshot_version": None if snapshot is None else snapshot.version,
@@ -590,13 +772,33 @@ class RankingService:
                 "consecutive_failures": self._consecutive_failures,
                 "breaker_state": self.breaker.state,
                 "breaker_retry_after_seconds": self.breaker.retry_after(),
+                "state_seconds": max(self._clock() - self._state_since, 0.0),
+                "run_id": self.run_id,
             }
+        latency: dict[str, dict[str, float | int | None]] = {}
+        for child in self._read_seconds.children():
+            if not child.count:
+                continue
+            latency[child.label_values.get("op", "read")] = {
+                "count": child.count,
+                "p50_seconds": child.quantile(0.5),
+                "p99_seconds": child.quantile(0.99),
+            }
+        payload["read_latency"] = latency
+        return payload
 
     # ------------------------------------------------------------------
     # Background updater
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Start the background updater thread (idempotent)."""
+        """Start the background updater thread (idempotent).
+
+        Also (re)starts the telemetry endpoint if one is configured —
+        after a ``stop()``/``start()`` cycle the endpoint may come back
+        on a different port when ``endpoint_port=0``.
+        """
+        if self.telemetry is not None:
+            self.telemetry.start()
         with self._lock:
             if self._thread is not None and self._thread.is_alive():
                 return
@@ -607,15 +809,26 @@ class RankingService:
             self._thread.start()
 
     def stop(self, timeout: float = 30.0) -> None:
-        """Stop the background updater thread and join it."""
+        """Stop the background updater thread and join it.
+
+        The telemetry endpoint is shut down too; the event log and its
+        ring buffer stay readable after stop.
+        """
         with self._lock:
             thread = self._thread
             self._thread = None
         self._stop_event.set()
         if thread is not None:
             thread.join(timeout=timeout)
+        if self.telemetry is not None:
+            self.telemetry.stop()
+        self._emit("service_stop", state=self._state)
 
     def _loop(self) -> None:
+        # run_pending re-activates the service's event log / tracer /
+        # profiler inside this thread (context variables do not cross
+        # thread boundaries), so updater telemetry correlates with the
+        # service run_id.
         while not self._stop_event.is_set():
             try:
                 applied = self.run_pending()

@@ -1,0 +1,274 @@
+"""Tests for the perf-trajectory ledger and its regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import ledger_main
+from repro.errors import ObservabilityError
+from repro.observability.ledger import (
+    BACKFILL_LABELS,
+    LEDGER_SCHEMA_VERSION,
+    TRACKED_METRICS,
+    Finding,
+    Ledger,
+    LedgerEntry,
+    TrackedMetric,
+    backfill,
+    compare_dir,
+    compare_payload,
+    discover_bench_files,
+    flatten_metrics,
+    format_findings,
+    format_trend,
+    ingest_file,
+)
+
+OPERATOR_PAYLOAD = {
+    "quick": True,
+    "single_solve": {"lazy_seconds": 0.1, "max_score_diff": 1e-12},
+    "kappa_sweep": {
+        "lazy_seconds": 0.5,
+        "speedup": 1.5,
+        "points": [0.0, 1.0],  # lists are not trendable
+    },
+    "equivalent": True,
+    "label": "ignored",  # strings are not trendable
+}
+
+
+class TestFlatten:
+    def test_dotted_paths_and_coercion(self) -> None:
+        flat = flatten_metrics(OPERATOR_PAYLOAD)
+        assert flat["single_solve.lazy_seconds"] == 0.1
+        assert flat["kappa_sweep.speedup"] == 1.5
+        assert flat["equivalent"] == 1.0  # bool → 1.0/0.0
+        assert flat["quick"] == 1.0
+        assert "kappa_sweep.points" not in flat
+        assert "label" not in flat
+
+
+class TestTrackedMetric:
+    def test_direction_validated(self) -> None:
+        with pytest.raises(ObservabilityError, match="direction"):
+            TrackedMetric("operator", "x", "sideways")
+
+    def test_negative_tolerance_rejected(self) -> None:
+        with pytest.raises(ObservabilityError, match="tolerance"):
+            TrackedMetric("operator", "x", "lower", -0.1)
+
+
+class TestLedgerPersistence:
+    def test_round_trip(self, tmp_path) -> None:
+        path = tmp_path / "LEDGER.json"
+        ledger = Ledger()
+        ledger.ingest("operator", OPERATOR_PAYLOAD, label="PR2")
+        ledger.save(path)
+        loaded = Ledger.load(path)
+        assert loaded.benches() == ["operator"]
+        entry = loaded.latest("operator")
+        assert entry.label == "PR2"
+        assert entry.metrics["kappa_sweep.speedup"] == 1.5
+
+    def test_schema_version_gates_load(self, tmp_path) -> None:
+        path = tmp_path / "LEDGER.json"
+        path.write_text(json.dumps({"schema_version": 99, "entries": []}))
+        with pytest.raises(ObservabilityError, match="schema_version"):
+            Ledger.load(path)
+        assert LEDGER_SCHEMA_VERSION == 1
+
+    def test_malformed_entries_rejected(self, tmp_path) -> None:
+        path = tmp_path / "LEDGER.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "entries": [{"bench": "operator", "label": "PR2"}],
+                }
+            )
+        )
+        with pytest.raises(ObservabilityError, match="missing required key"):
+            Ledger.load(path)
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "entries": [
+                        {
+                            "bench": "operator",
+                            "label": "PR2",
+                            "source": "x",
+                            "metrics": {"t": "fast"},
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ObservabilityError, match="numeric"):
+            Ledger.load(path)
+
+    def test_load_or_empty(self, tmp_path) -> None:
+        assert Ledger.load_or_empty(tmp_path / "absent.json").entries == []
+
+    def test_reingest_same_label_replaces(self) -> None:
+        ledger = Ledger()
+        ledger.ingest("operator", OPERATOR_PAYLOAD, label="PR2")
+        newer = dict(OPERATOR_PAYLOAD)
+        newer["kappa_sweep"] = dict(OPERATOR_PAYLOAD["kappa_sweep"], speedup=2.0)
+        ledger.ingest("operator", newer, label="PR2")
+        assert len(ledger.history("operator")) == 1
+        assert ledger.latest("operator").metrics["kappa_sweep.speedup"] == 2.0
+
+    def test_latest_is_newest_entry(self) -> None:
+        ledger = Ledger()
+        ledger.ingest("operator", OPERATOR_PAYLOAD, label="PR2")
+        ledger.ingest("operator", OPERATOR_PAYLOAD, label="PR6")
+        assert ledger.latest("operator").label == "PR6"
+        assert ledger.latest("unknown") is None
+
+
+class TestCompare:
+    def reference_ledger(self) -> Ledger:
+        ledger = Ledger()
+        ledger.ingest("operator", OPERATOR_PAYLOAD, label="PR2")
+        return ledger
+
+    def test_identical_payload_passes(self) -> None:
+        findings = compare_payload(
+            self.reference_ledger(), "operator", OPERATOR_PAYLOAD
+        )
+        assert findings and not any(f.failed for f in findings)
+
+    def test_injected_20pct_regression_fails(self) -> None:
+        # The tracked timing band is 50%; inject a clear 60% slowdown —
+        # and separately check a 20% regression trips a 10%-band metric.
+        slow = json.loads(json.dumps(OPERATOR_PAYLOAD))
+        slow["single_solve"]["lazy_seconds"] = 0.1 * 1.6
+        findings = compare_payload(self.reference_ledger(), "operator", slow)
+        failed = [f for f in findings if f.failed]
+        assert [f.metric for f in failed] == ["single_solve.lazy_seconds"]
+        assert failed[0].status == "regression"
+        assert "worse than reference" in failed[0].detail
+
+        tight = (TrackedMetric("operator", "single_solve.lazy_seconds",
+                               "lower", 0.1),)
+        slow["single_solve"]["lazy_seconds"] = 0.1 * 1.2
+        findings = compare_payload(
+            self.reference_ledger(), "operator", slow, tracked=tight
+        )
+        assert [f.status for f in findings] == ["regression"]
+
+    def test_higher_is_better_direction(self) -> None:
+        worse = json.loads(json.dumps(OPERATOR_PAYLOAD))
+        worse["kappa_sweep"]["speedup"] = 1.5 * 0.5
+        findings = compare_payload(self.reference_ledger(), "operator", worse)
+        assert any(
+            f.metric == "kappa_sweep.speedup" and f.failed for f in findings
+        )
+
+    def test_absolute_limit_holds_without_history(self) -> None:
+        bad = json.loads(json.dumps(OPERATOR_PAYLOAD))
+        bad["equivalent"] = False
+        findings = compare_payload(Ledger(), "operator", bad)
+        equivalent = [f for f in findings if f.metric == "equivalent"]
+        assert equivalent[0].status == "regression"
+
+    def test_missing_required_metric_fails(self) -> None:
+        tracked = (TrackedMetric("operator", "absent.metric", "lower",
+                                 required=True),)
+        findings = compare_payload(
+            Ledger(), "operator", OPERATOR_PAYLOAD, tracked=tracked
+        )
+        assert [f.status for f in findings] == ["missing"]
+        assert findings[0].failed
+
+    def test_no_reference_is_not_a_failure(self) -> None:
+        tracked = (TrackedMetric("operator", "single_solve.lazy_seconds",
+                                 "lower", 0.5),)
+        findings = compare_payload(
+            Ledger(), "operator", OPERATOR_PAYLOAD, tracked=tracked
+        )
+        assert [f.status for f in findings] == ["no_reference"]
+        assert not findings[0].failed
+
+    def test_tracked_contract_covers_committed_benches(self) -> None:
+        assert {tm.bench for tm in TRACKED_METRICS} == set(BACKFILL_LABELS)
+
+
+class TestFileDrivers:
+    def write_bench(self, results_dir, payload=OPERATOR_PAYLOAD) -> None:
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / "BENCH_operator.json").write_text(
+            json.dumps(payload) + "\n"
+        )
+
+    def test_discover_and_backfill(self, tmp_path) -> None:
+        self.write_bench(tmp_path / "results")
+        found = discover_bench_files(tmp_path / "results")
+        assert list(found) == ["operator"]
+        ledger = backfill(tmp_path / "results", tmp_path / "LEDGER.json")
+        entry = ledger.latest("operator")
+        assert entry.label == BACKFILL_LABELS["operator"]
+        assert entry.source == "BENCH_operator.json"
+        # Idempotent: rerunning replaces, never duplicates.
+        ledger = backfill(tmp_path / "results", tmp_path / "LEDGER.json")
+        assert len(ledger.history("operator")) == 1
+
+    def test_ingest_file_then_compare_dir(self, tmp_path) -> None:
+        results = tmp_path / "results"
+        self.write_bench(results)
+        ingest_file(
+            tmp_path / "LEDGER.json",
+            "operator",
+            results / "BENCH_operator.json",
+            label="PR6",
+        )
+        findings = compare_dir(results, tmp_path / "LEDGER.json")
+        assert findings and not any(f.failed for f in findings)
+
+        slow = json.loads(json.dumps(OPERATOR_PAYLOAD))
+        slow["single_solve"]["lazy_seconds"] = 0.1 * 1.6
+        self.write_bench(results, slow)
+        findings = compare_dir(results, tmp_path / "LEDGER.json")
+        assert any(f.failed for f in findings)
+
+    def test_formatting(self) -> None:
+        findings = [
+            Finding("operator", "a", "regression", 2.0, 1.0, "too slow"),
+            Finding("operator", "b", "ok", 1.0, 1.0),
+        ]
+        text = format_findings(findings)
+        assert text.splitlines()[0].startswith("FAIL")  # failures first
+        ledger = Ledger()
+        ledger.ingest("operator", OPERATOR_PAYLOAD, label="PR2")
+        trend = format_trend(ledger)
+        assert "PR2" in trend and "kappa_sweep.speedup" in trend
+
+
+class TestLedgerCli:
+    def test_ingest_compare_show_and_regression_exit(
+        self, tmp_path, capsys
+    ) -> None:
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_operator.json").write_text(
+            json.dumps(OPERATOR_PAYLOAD) + "\n"
+        )
+        ledger_args = ["--results-dir", str(results)]
+        assert ledger_main(["backfill", *ledger_args]) == 0
+        assert ledger_main(["compare", *ledger_args]) == 0
+        out = capsys.readouterr().out
+        assert "within tolerance" in out
+
+        slow = json.loads(json.dumps(OPERATOR_PAYLOAD))
+        slow["single_solve"]["lazy_seconds"] = 0.1 * 1.6
+        (results / "BENCH_operator.json").write_text(json.dumps(slow) + "\n")
+        assert ledger_main(["compare", *ledger_args]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "single_solve.lazy_seconds" in captured.out
+
+        assert ledger_main(["show", *ledger_args]) == 0
+        assert "PR2" in capsys.readouterr().out

@@ -138,6 +138,34 @@ class TestExposition:
         text = reg.to_prometheus()
         assert '{path="a\\"b\\\\c\\nd"}' in text
 
+    def test_prometheus_label_escaping_order(self) -> None:
+        # Backslash must escape first: a value that already contains
+        # an escape sequence must not be double-processed.
+        reg = MetricsRegistry()
+        fam = reg.gauge("g", labelnames=("v",))
+        fam.labels(v="\\n").set(1)  # literal backslash + n, not a newline
+        assert '{v="\\\\n"}' in reg.to_prometheus()
+
+    def test_prometheus_help_escaping(self) -> None:
+        # HELP lines escape backslash and newline; quotes are legal there.
+        reg = MetricsRegistry()
+        reg.counter("c_total", 'multi\nline "quoted" \\slash').inc()
+        text = reg.to_prometheus()
+        assert '# HELP c_total multi\\nline "quoted" \\\\slash\n' in text
+        assert "\nline" not in text.replace("\\nline", "")
+
+    def test_histogram_quantile_interpolation(self) -> None:
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=(1.0, 2.0, 4.0))
+        assert h.quantile(0.5) is None  # empty
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        # p50 falls in the (1, 2] bucket; p100 clamps to the last bound.
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert h.quantile(1.0) <= 4.0
+        with pytest.raises(ObservabilityError, match="quantile"):
+            h.quantile(1.5)
+
 
 class TestSnapshots:
     def test_diff_reports_only_changes(self) -> None:

@@ -1,0 +1,127 @@
+"""Tests for the opt-in profiling hooks."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    Profiler,
+    current_profiler,
+    profile_block,
+)
+
+
+def burn(n: int = 20_000) -> int:
+    return sum(range(n))
+
+
+class TestProfiler:
+    def test_outermost_block_gets_cprofile_top_table(self) -> None:
+        profiler = Profiler(top=5)
+        with profiler.profile("stage:rank"):
+            burn()
+        (record,) = profiler.records
+        assert record.name == "stage:rank"
+        assert record.calls is not None and record.calls > 0
+        assert 0 < len(record.top) <= 5
+        row = record.top[0]
+        assert set(row) == {
+            "function",
+            "calls",
+            "tottime_seconds",
+            "cumtime_seconds",
+        }
+        # Rows are sorted by cumulative time, hottest first.
+        cums = [r["cumtime_seconds"] for r in record.top]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_nested_block_records_wall_and_cpu_only(self) -> None:
+        profiler = Profiler()
+        with profiler.profile("outer"):
+            with profiler.profile("inner"):
+                burn()
+        inner, outer = profiler.records  # completion order
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.calls is None and inner.top == []
+        assert outer.calls is not None
+        assert outer.wall_seconds >= inner.wall_seconds >= 0.0
+        assert inner.cpu_seconds >= 0.0
+
+    def test_exception_still_records_the_block(self) -> None:
+        profiler = Profiler()
+        with pytest.raises(RuntimeError):
+            with profiler.profile("doomed"):
+                raise RuntimeError("boom")
+        (record,) = profiler.records
+        assert record.name == "doomed"
+        assert record.wall_seconds >= 0.0
+        # The deterministic profiler slot is released for the next block.
+        with profiler.profile("after"):
+            pass
+        assert profiler.records[-1].calls is not None
+
+    def test_meta_and_find_and_as_dict(self) -> None:
+        profiler = Profiler(top=2)
+        with profiler.profile("update", seq=3):
+            burn()
+        assert profiler.find("update")[0].meta == {"seq": 3}
+        assert profiler.find("absent") == []
+        payload = profiler.as_dict()
+        (entry,) = payload["profiles"]
+        assert entry["name"] == "update"
+        assert entry["meta"] == {"seq": 3}
+        assert entry["cpu_fraction"] >= 0.0
+
+    def test_top_must_be_positive(self) -> None:
+        with pytest.raises(ObservabilityError, match="top"):
+            Profiler(top=0)
+
+    def test_each_thread_gets_its_own_outermost_cprofile(self) -> None:
+        profiler = Profiler()
+
+        def worker() -> None:
+            with profiler.profile(f"t{threading.get_ident()}"):
+                burn()
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = profiler.records
+        assert len(records) == 3
+        # Every thread's block was outermost on its thread: all cProfile'd.
+        assert all(r.calls is not None for r in records)
+
+
+class TestAmbientProfileBlock:
+    def test_noop_without_active_profiler(self) -> None:
+        assert current_profiler() is None
+        with profile_block("orphan") as record:
+            assert record is None
+
+    def test_activate_routes_profile_block(self) -> None:
+        profiler = Profiler()
+        with profiler.activate():
+            assert current_profiler() is profiler
+            with profile_block("solve:power", solver="power") as record:
+                burn()
+        assert current_profiler() is None
+        assert record is not None and record.meta == {"solver": "power"}
+        assert profiler.find("solve:power")[0].wall_seconds > 0.0
+
+    def test_activation_does_not_leak_into_threads(self) -> None:
+        profiler = Profiler()
+        seen: list[object] = []
+
+        def worker() -> None:
+            seen.append(current_profiler())
+
+        with profiler.activate():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]

@@ -105,3 +105,50 @@ class TestSerialization:
         assert lines[0].startswith("root:")
         assert lines[1].startswith("  leaf:")
         assert "[hint=x]" in lines[1]
+
+
+class TestThreadSafety:
+    def test_threads_never_interleave_into_each_others_traces(self) -> None:
+        # Regression: one tracer shared by the serving updater and its
+        # readers must keep each thread's spans in that thread's own
+        # tree — an updater span opening while a reader span is open
+        # must become a separate root, never a child of the reader's.
+        import threading
+
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def worker(name: str) -> None:
+            for i in range(25):
+                if i == 0:
+                    barrier.wait()
+                with tracer.span(f"{name}-outer", i=i):
+                    with tracer.span(f"{name}-inner"):
+                        pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{k}",)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = tracer.roots
+        assert len(roots) == 100
+        for root in roots:
+            prefix = root.name.split("-")[0]
+            # Each root holds exactly its own thread's nested span, and
+            # every span in the tree carries the opening thread's tid.
+            assert [c.name for c in root.children] == [f"{prefix}-inner"]
+            assert {s.tid for s in root.walk()} == {root.tid}
+
+    def test_max_roots_ring_keeps_newest(self) -> None:
+        tracer = Tracer(max_roots=3)
+        for i in range(7):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.roots] == ["s4", "s5", "s6"]
+
+    def test_max_roots_validated(self) -> None:
+        with pytest.raises(ValueError, match="max_roots"):
+            Tracer(max_roots=0)
