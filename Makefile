@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain pytest / python underneath.
 
 .PHONY: install test bench figures examples metrics-demo obs-demo ledger \
-	resilience audit serving soak serve-demo clean
+	resilience audit serving soak serve-demo sharding shard-demo clean
 
 install:
 	pip install -e .
@@ -48,6 +48,18 @@ serving:
 
 soak:
 	PYTHONPATH=src python benchmarks/bench_serving.py
+
+sharding:
+	PYTHONPATH=src python -m pytest -q tests/webgraph tests/linalg
+	PYTHONPATH=src python benchmarks/bench_sharding.py --quick
+
+shard-demo:
+	rm -rf /tmp/repro-shard-demo
+	PYTHONPATH=src python -m repro shard create /tmp/repro-shard-demo \
+		--synthetic-sources 20000 --block-size 4096
+	PYTHONPATH=src python -m repro shard info /tmp/repro-shard-demo --verify
+	PYTHONPATH=src python -m repro rank --graph-store /tmp/repro-shard-demo \
+		--top 5
 
 serve-demo:
 	PYTHONPATH=src python -m repro serve --snapshot-dir /tmp/repro-serve \

@@ -7,7 +7,8 @@ Three complementary layers of cross-checking for the ranking stack:
   distribution), standalone or wired into the pipeline via
   :class:`~repro.config.AuditParams`;
 * :mod:`repro.audit.differential` — a seeded oracle running every
-  registered solver × kernel × {lazy, materialized} operator path and
+  registered solver × kernel × {lazy, materialized, blocked} operator
+  path (the blocked operand solves out-of-core from a sharded store) and
   flagging any pair that disagrees beyond 1e-9;
 * :mod:`repro.audit.metamorphic` — relabeling-permutation,
   edge-weight-scaling, and seed-bias-monotonicity relations for
@@ -31,9 +32,11 @@ from .invariants import (
     check_iterate_mass,
     check_kappa_vector,
     check_row_stochastic,
+    check_row_stochastic_blocks,
     check_score_distribution,
     check_throttled_matrix,
     check_throttled_operator,
+    check_throttled_operator_blocks,
     record_violations,
 )
 from .metamorphic import (
@@ -48,8 +51,10 @@ __all__ = [
     "InvariantViolation",
     "InvariantAuditor",
     "check_row_stochastic",
+    "check_row_stochastic_blocks",
     "check_throttled_matrix",
     "check_throttled_operator",
+    "check_throttled_operator_blocks",
     "check_score_distribution",
     "check_kappa_vector",
     "check_iterate_mass",

@@ -1,10 +1,15 @@
 """Differential oracle: every solver × kernel × operator path must agree.
 
 The stack offers three registered solvers (power, Jacobi, Gauss–Seidel),
-three transpose-matvec kernels, and two ways to apply the throttle
-transform (the lazy :class:`~repro.linalg.operator.ThrottledOperator`
-and the materialized :func:`~repro.throttle.transform.throttle_transform`
-matrix).  All of them solve the same Eq. 3 fixed point
+three transpose-matvec kernels, and three ways to present the throttled
+operand: the lazy :class:`~repro.linalg.operator.ThrottledOperator`, the
+materialized :func:`~repro.throttle.transform.throttle_transform`
+matrix, and — out-of-core — the lazy transform over a
+:class:`~repro.linalg.BlockedOperator` streaming row-block shards from a
+:class:`~repro.webgraph.store.ShardedGraphStore` (each case's matrix is
+round-tripped through an on-disk store built in a temp directory, so the
+oracle also proves the varint-gap codec path end to end).  All of them
+solve the same Eq. 3 fixed point
 
     σᵀ = α σᵀ T'' + (1 − α) cᵀ
 
@@ -24,6 +29,7 @@ Solves run at an inner tolerance of 1e-12 so the pairwise comparison at
 from __future__ import annotations
 
 import json
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -32,13 +38,21 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..config import RankingParams
-from ..linalg.operator import KERNELS, CsrOperator, ThrottledOperator
+from ..linalg.operator import (
+    KERNELS,
+    BlockedOperator,
+    CsrOperator,
+    ThrottledOperator,
+)
 from ..linalg.registry import solver_registry
 from ..throttle.transform import throttle_transform
+from ..webgraph.store import ShardedGraphStore
 from .invariants import (
     InvariantViolation,
+    check_row_stochastic_blocks,
     check_score_distribution,
     check_throttled_matrix,
+    check_throttled_operator_blocks,
     record_violations,
 )
 
@@ -92,7 +106,7 @@ class ComboResult:
 
     solver: str
     kernel: str
-    operand: str  # "lazy" | "materialized"
+    operand: str  # "lazy" | "materialized" | "blocked"
     scores: np.ndarray
     iterations: int
     converged: bool
@@ -280,13 +294,22 @@ def _run_combo(
     kernel: str,
     operand_mode: str,
     params: RankingParams,
+    *,
+    store: ShardedGraphStore | None = None,
 ) -> ComboResult:
     label = f"audit:{case.name}:{solver}/{kernel}/{operand_mode}"
+    blocked_base: BlockedOperator | None = None
     if operand_mode == "lazy":
         operand = ThrottledOperator(
             CsrOperator(case.matrix, kernel=kernel),
             case.kappa,
             full_throttle=case.full_throttle,
+        )
+    elif operand_mode == "blocked":
+        assert store is not None
+        blocked_base = BlockedOperator(store, cache_blocks=2)
+        operand = ThrottledOperator(
+            blocked_base, case.kappa, full_throttle=case.full_throttle
         )
     else:
         operand = throttle_transform(
@@ -294,12 +317,18 @@ def _run_combo(
         )
     try:
         result = solver_registry.solve(
-            operand, params, solver=solver, label=label, kernel=kernel
+            operand,
+            params,
+            solver=solver,
+            label=label,
+            kernel=None if operand_mode == "blocked" else kernel,
         )
     finally:
         close = getattr(operand, "close", None)
         if close is not None:
             close()
+        if blocked_base is not None:
+            blocked_base.close()
     return ComboResult(
         solver=solver,
         kernel=kernel,
@@ -361,29 +390,65 @@ def run_differential_oracle(
 
     for case in cases:
         combos: list[ComboResult] = []
-        for solver in solver_names:
-            for kernel in _solver_kernels(solver):
-                for operand_mode in ("lazy", "materialized"):
-                    combos.append(
-                        _run_combo(case, solver, kernel, operand_mode, params)
-                    )
-        report.n_combos += len(combos)
-
-        # Structural invariants on the materialized transform and on
-        # every path's score vector — the oracle doubles as an
-        # invariant sweep over the exact artifacts it solved with.
-        throttled = throttle_transform(
-            case.matrix, case.kappa, full_throttle=case.full_throttle
-        )
-        report.invariant_violations.extend(
-            check_throttled_matrix(
-                case.matrix,
-                case.kappa,
-                throttled,
-                full_throttle=case.full_throttle,
-                subject=f"{case.name}:T''",
+        with tempfile.TemporaryDirectory(prefix="repro-oracle-") as tmp:
+            # Round-trip the case matrix through an on-disk sharded store
+            # (several blocks, so block boundaries are exercised); the
+            # blocked operand solves out-of-core from this store.
+            store = ShardedGraphStore.from_matrix(
+                case.matrix, tmp, block_size=max(1, case.n // 3)
             )
-        )
+            for solver in solver_names:
+                for kernel in _solver_kernels(solver):
+                    for operand_mode in ("lazy", "materialized"):
+                        combos.append(
+                            _run_combo(
+                                case, solver, kernel, operand_mode, params
+                            )
+                        )
+                combos.append(
+                    _run_combo(
+                        case, solver, "blocked", "blocked", params, store=store
+                    )
+                )
+            report.n_combos += len(combos)
+
+            # Structural invariants on the materialized transform and on
+            # every path's score vector — the oracle doubles as an
+            # invariant sweep over the exact artifacts it solved with.
+            throttled = throttle_transform(
+                case.matrix, case.kappa, full_throttle=case.full_throttle
+            )
+            report.invariant_violations.extend(
+                check_throttled_matrix(
+                    case.matrix,
+                    case.kappa,
+                    throttled,
+                    full_throttle=case.full_throttle,
+                    subject=f"{case.name}:T''",
+                )
+            )
+            # Per-block sweep over the out-of-core path: the store's rows
+            # are stochastic block by block, and the throttle algebra the
+            # blocked solve applies matches the Section 3.3 transform on
+            # every block slice.
+            report.invariant_violations.extend(
+                check_row_stochastic_blocks(
+                    store, subject=f"{case.name}:T'(blocked)"
+                )
+            )
+            with BlockedOperator(store, cache_blocks=2) as blocked_base:
+                blocked_throttled = ThrottledOperator(
+                    blocked_base, case.kappa, full_throttle=case.full_throttle
+                )
+                try:
+                    report.invariant_violations.extend(
+                        check_throttled_operator_blocks(
+                            blocked_throttled,
+                            subject=f"{case.name}:T''(blocked)",
+                        )
+                    )
+                finally:
+                    blocked_throttled.close()
         for combo in combos:
             report.invariant_violations.extend(
                 check_score_distribution(

@@ -16,6 +16,12 @@ Subcommands
     Run the fault-tolerant ranking service demo: bootstrap a snapshot
     store, stream graph updates (optionally fault-injected) through the
     guarded updater, and answer queries with full provenance.
+``shard``
+    Create or inspect sharded on-disk graph stores: convert an edge list
+    (streamed, never materialized) or generate a synthetic source graph
+    shard-at-a-time; print manifest/compression stats and verify digests.
+    ``rank --graph-store DIR`` then ranks straight from such a store
+    out-of-core.
 """
 
 from __future__ import annotations
@@ -41,8 +47,27 @@ def build_parser() -> argparse.ArgumentParser:
     src = p_rank.add_mutually_exclusive_group(required=True)
     src.add_argument("--edges", type=Path, help="URL-pair edge list (src<TAB>dst)")
     src.add_argument("--dataset", help="named synthetic dataset (e.g. uk2002_like)")
+    src.add_argument(
+        "--graph-store",
+        type=Path,
+        help="sharded on-disk source-graph store (see 'repro shard'); "
+        "ranks out-of-core without materializing the matrix",
+    )
     p_rank.add_argument(
         "--blocklist", type=Path, help="file of known-spam hosts (or source ids), one per line"
+    )
+    p_rank.add_argument(
+        "--store-cache",
+        type=int,
+        default=4,
+        help="with --graph-store: decoded blocks to keep in memory",
+    )
+    p_rank.add_argument(
+        "--store-workers",
+        type=int,
+        default=0,
+        help="with --graph-store: block-parallel matvec workers "
+        "(0 = stream shards serially)",
     )
     p_rank.add_argument("--alpha", type=float, default=0.85)
     p_rank.add_argument(
@@ -218,6 +243,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="gap coding (default, saveable) or interval coding (report only)",
     )
 
+    p_shard = sub.add_parser(
+        "shard", help="create/inspect sharded on-disk graph stores"
+    )
+    shard_sub = p_shard.add_subparsers(dest="shard_command", required=True)
+
+    p_sc = shard_sub.add_parser(
+        "create",
+        help="build a store from an edge list (streamed) or a synthetic "
+        "generator (shard-at-a-time; never holds the edge list)",
+    )
+    p_sc.add_argument("out", type=Path, help="store directory to create")
+    sc_src = p_sc.add_mutually_exclusive_group(required=True)
+    sc_src.add_argument(
+        "--edges", type=Path, help="integer edge list file (two-pass stream)"
+    )
+    sc_src.add_argument(
+        "--synthetic-sources",
+        type=int,
+        help="generate a synthetic source graph with this many sources",
+    )
+    p_sc.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="rows per shard (default: store's DEFAULT_BLOCK_SIZE)",
+    )
+    p_sc.add_argument(
+        "--mean-degree",
+        type=float,
+        default=8.0,
+        help="with --synthetic-sources: mean out-degree",
+    )
+    p_sc.add_argument(
+        "--seed", type=int, default=2007, help="with --synthetic-sources"
+    )
+
+    p_si = shard_sub.add_parser(
+        "info", help="print a store's manifest and compression stats"
+    )
+    p_si.add_argument("store", type=Path, help="store directory")
+    p_si.add_argument(
+        "--verify",
+        action="store_true",
+        help="decode every shard and check its digest",
+    )
+
     p_led = sub.add_parser(
         "ledger",
         help="perf-trajectory ledger: fold benchmark results, gate regressions",
@@ -267,7 +338,71 @@ def build_parser() -> argparse.ArgumentParser:
 # Subcommand implementations
 # ----------------------------------------------------------------------
 
+def _rank_store(args: argparse.Namespace) -> int:
+    """The ``rank --graph-store`` path: out-of-core, explicit κ only."""
+    from .config import GraphStoreParams, RankingParams
+    from .core.pipeline import SpamResilientPipeline
+    from .errors import ConfigError
+    from .webgraph.store import ShardedGraphStore
+
+    store = ShardedGraphStore.open(args.graph_store)
+    print(
+        f"store {args.graph_store}: {store.n_sources:,} sources / "
+        f"{store.n_edges:,} edges in {store.n_blocks} blocks "
+        f"(block size {store.block_size:,})"
+    )
+    kappa = None
+    if args.blocklist:
+        lines = [
+            line.strip()
+            for line in args.blocklist.read_text().splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        try:
+            ids = np.asarray([int(line) for line in lines], dtype=np.int64)
+        except ValueError:
+            raise ConfigError(
+                "--graph-store stores are anonymous: --blocklist must hold "
+                "integer source ids, one per line"
+            ) from None
+        if ids.size and (ids.min() < 0 or ids.max() >= store.n_sources):
+            raise ConfigError(
+                f"blocklist source ids must be in [0, {store.n_sources})"
+            )
+        kappa = np.zeros(store.n_sources)
+        kappa[ids] = 1.0
+        print(f"throttling {ids.size} blocklisted sources (kappa = 1)")
+    params = GraphStoreParams(
+        cache_blocks=args.store_cache, workers=args.store_workers
+    )
+    with SpamResilientPipeline(
+        ranking=RankingParams(
+            alpha=args.alpha, solver=args.solver, kernel=args.kernel
+        )
+    ) as pipe:
+        result = pipe.rank_store(store, kappa=kappa, store_params=params)
+    top_k = min(args.top, store.n_sources)
+    order = result.top(top_k)
+    print(
+        f"\nconverged={result.convergence.converged} after "
+        f"{result.convergence.iterations} iterations "
+        f"(residual {result.convergence.residual:.2e})"
+    )
+    print(f"top {top_k} sources:")
+    for rank, s in enumerate(order, start=1):
+        marker = (
+            "  [throttled]" if kappa is not None and kappa[int(s)] >= 1 else ""
+        )
+        print(
+            f"  {rank:3d}. source-{int(s)}  "
+            f"score={result.score_of(int(s)):.6f}{marker}"
+        )
+    return 0
+
+
 def _cmd_rank(args: argparse.Namespace) -> int:
+    if args.graph_store:
+        return _rank_store(args)
     from .config import (
         AuditParams,
         RankingParams,
@@ -665,6 +800,75 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from .webgraph.store import ShardedGraphStore
+
+    if args.shard_command == "create":
+        if args.synthetic_sources is not None:
+            from .datasets.synthetic import (
+                SyntheticSourceConfig,
+                generate_source_store,
+            )
+
+            config = SyntheticSourceConfig(
+                n_sources=args.synthetic_sources,
+                mean_out_degree=args.mean_degree,
+                seed=args.seed,
+            )
+            store = generate_source_store(
+                config, args.out, block_size=args.block_size
+            )
+        else:
+            from .graph.streaming import StreamingBuilder, stream_edge_chunks
+
+            builder = StreamingBuilder()
+            for src, dst in stream_edge_chunks(args.edges):
+                builder.count(src, dst)
+            builder.finish_counting()
+            for src, dst in stream_edge_chunks(args.edges):
+                builder.fill(src, dst)
+            store = builder.build_store(
+                args.out,
+                block_size=args.block_size,
+                meta={"origin": str(args.edges)},
+            )
+        info = store.describe()
+        print(
+            f"wrote {info['n_sources']:,} sources / {info['n_edges']:,} edges "
+            f"as {info['n_blocks']} shards to {args.out} "
+            f"({info['payload_bytes']:,} payload bytes, "
+            f"{info['bits_per_edge']:.2f} bits/edge)"
+        )
+        return 0
+
+    store = ShardedGraphStore.open(args.store)
+    info = store.describe()
+    print(f"store {args.store}:")
+    for key in (
+        "format_version",
+        "n_sources",
+        "n_edges",
+        "n_blocks",
+        "block_size",
+        "weighted",
+        "payload_bytes",
+    ):
+        value = info[key]
+        formatted = (
+            f"{value:,}"
+            if isinstance(value, int) and not isinstance(value, bool)
+            else str(value)
+        )
+        print(f"  {key}: {formatted}")
+    print(f"  bits_per_edge: {info['bits_per_edge']:.2f}")
+    if store.meta:
+        print(f"  meta: {store.meta}")
+    if args.verify:
+        store.verify()
+        print(f"  verify: all {store.n_blocks} shard digests OK")
+    return 0
+
+
 def _cmd_ledger(args: argparse.Namespace) -> int:
     from .observability import ledger as ledger_mod
 
@@ -724,6 +928,7 @@ _COMMANDS = {
     "dataset": _cmd_dataset,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "shard": _cmd_shard,
     "compress": _cmd_compress,
     "ledger": _cmd_ledger,
 }

@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 __all__ = [
     "AuditParams",
+    "GraphStoreParams",
     "ObservabilityParams",
     "RankingParams",
     "ResilienceParams",
@@ -350,6 +351,63 @@ class ServingParams:
         object.__setattr__(self, "seed", int(self.seed))
 
     def with_(self, **overrides: object) -> "ServingParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class GraphStoreParams:
+    """Policy of the sharded on-disk graph substrate.
+
+    Accepted by :func:`repro.core.pipeline.operator_from_store` (and the
+    ``repro rank --graph-store`` / ``repro shard`` CLI paths) to control
+    how a :class:`~repro.webgraph.store.ShardedGraphStore` is turned into
+    a :class:`~repro.linalg.BlockedOperator`.
+
+    Parameters
+    ----------
+    block_size:
+        Rows per shard when *writing* a store (conversion/generation
+        paths); reading uses whatever the manifest declares.
+    cache_blocks:
+        Bound on decoded blocks held in memory by the blocked operator
+        (and, in the parallel path, per shm worker).  The out-of-core
+        memory guarantee is O(cache_blocks · block + iterate).
+    workers:
+        ``0`` streams shards serially in-process; ``> 0`` runs the
+        block-parallel shm evaluator with that many workers.
+    max_rebuilds:
+        Pool-rebuild budget of the parallel evaluator before it degrades
+        to serial shard streaming.
+    task_timeout:
+        Optional wall-clock bound (seconds) on one parallel matvec batch.
+    """
+
+    block_size: int = 65_536
+    cache_blocks: int = 4
+    workers: int = 0
+    max_rebuilds: int = 2
+    task_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("block_size", "cache_blocks"):
+            value = int(getattr(self, name))
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value!r}")
+            object.__setattr__(self, name, value)
+        workers = int(self.workers)
+        if workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {workers!r}")
+        object.__setattr__(self, "workers", workers)
+        rebuilds = int(self.max_rebuilds)
+        if rebuilds < 0:
+            raise ConfigError(f"max_rebuilds must be >= 0, got {rebuilds!r}")
+        object.__setattr__(self, "max_rebuilds", rebuilds)
+        if self.task_timeout is not None:
+            _check_positive("task_timeout", self.task_timeout)
+            object.__setattr__(self, "task_timeout", float(self.task_timeout))
+
+    def with_(self, **overrides: object) -> "GraphStoreParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)  # type: ignore[arg-type]
 

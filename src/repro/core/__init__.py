@@ -1,5 +1,5 @@
 """End-to-end pipeline: the paper's full system in one object."""
 
-from .pipeline import SpamResilientPipeline, PipelineResult
+from .pipeline import SpamResilientPipeline, PipelineResult, operator_from_store
 
-__all__ = ["SpamResilientPipeline", "PipelineResult"]
+__all__ = ["SpamResilientPipeline", "PipelineResult", "operator_from_store"]

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..audit.invariants import InvariantAuditor
 from ..config import (
+    GraphStoreParams,
     ObservabilityParams,
     RankingParams,
     SpamProximityParams,
@@ -32,7 +33,13 @@ from ..config import (
 from ..errors import ConfigError
 from ..graph.pagegraph import PageGraph
 from ..linalg.iterate import ConvergenceInfo
-from ..linalg.operator import CsrOperator, ReversedOperator, ThrottledOperator
+from ..linalg.operator import (
+    BlockedOperator,
+    CsrOperator,
+    ReversedOperator,
+    ThrottledOperator,
+)
+from ..linalg.registry import solver_registry
 from ..logging_utils import get_logger
 from ..observability.events import EventLog, current_run_id
 from ..observability.events import emit as emit_event
@@ -54,7 +61,12 @@ from ..throttle.spam_proximity import spam_proximity
 from ..throttle.strategies import assign_kappa
 from ..throttle.vector import ThrottleVector
 
-__all__ = ["SpamResilientPipeline", "PipelineResult", "PIPELINE_STAGES"]
+__all__ = [
+    "SpamResilientPipeline",
+    "PipelineResult",
+    "PIPELINE_STAGES",
+    "operator_from_store",
+]
 
 _logger = get_logger(__name__)
 
@@ -66,6 +78,28 @@ PIPELINE_STAGES: tuple[str, ...] = (
     "kappa",
     "rank",
 )
+
+
+def operator_from_store(
+    store: object,
+    params: GraphStoreParams | None = None,
+) -> BlockedOperator:
+    """Open a sharded graph store as an out-of-core transition operator.
+
+    ``store`` is a :class:`~repro.webgraph.store.ShardedGraphStore` or a
+    path to one on disk; ``params`` carries the cache/worker policy
+    (defaults when omitted).  The returned
+    :class:`~repro.linalg.BlockedOperator` owns any pool/cache resources
+    it sets up — close it (or use it as a context manager) when done.
+    """
+    params = params or GraphStoreParams()
+    return BlockedOperator(
+        store,
+        cache_blocks=params.cache_blocks,
+        workers=params.workers,
+        max_rebuilds=params.max_rebuilds,
+        task_timeout=params.task_timeout,
+    )
 
 
 class _SharedOperators:
@@ -637,6 +671,75 @@ class SpamResilientPipeline:
             root.duration,
             ", ".join(f"{k}={v * 1e3:.1f}ms" for k, v in timings.items()),
         )
+
+    # ------------------------------------------------------------------
+    # Out-of-core path
+    # ------------------------------------------------------------------
+    def rank_store(
+        self,
+        store: object,
+        *,
+        kappa: ThrottleVector | np.ndarray | None = None,
+        store_params: GraphStoreParams | None = None,
+    ) -> RankingResult:
+        """Rank straight from a sharded on-disk source graph.
+
+        The out-of-core sibling of :meth:`rank`: the source matrix is
+        never materialized — blocks stream from the
+        :class:`~repro.webgraph.store.ShardedGraphStore` through a
+        :class:`~repro.linalg.BlockedOperator`, the throttle transform
+        stays lazy on top of it, and peak memory is bounded by
+        O(cached blocks + iterate).
+
+        The store already *is* the source graph (rows row-normalized at
+        decode time), so the assignment/source-graph/proximity stages do
+        not apply; pass an explicit ``kappa`` (``None`` degrades to
+        baseline SourceRank, matching :meth:`compute_kappa`'s cold-start
+        behaviour).
+
+        Parameters
+        ----------
+        store:
+            A :class:`~repro.webgraph.store.ShardedGraphStore` or path to
+            one.  A store passed by object stays open and owned by the
+            caller; a path is opened and closed here.
+        kappa:
+            Explicit throttling vector over the store's sources.
+        store_params:
+            Cache/worker policy for the blocked operator
+            (:class:`~repro.config.GraphStoreParams` defaults when
+            omitted).
+        """
+        base = operator_from_store(store, store_params)
+        try:
+            if kappa is None:
+                kappa = ThrottleVector.zeros(base.n)
+            elif not isinstance(kappa, ThrottleVector):
+                kappa = ThrottleVector(kappa)
+            throttled = ThrottledOperator(
+                base, kappa, full_throttle=self.full_throttle
+            )
+            try:
+                with ExitStack() as stack:
+                    if self.events is not None:
+                        stack.enter_context(self.events.activate())
+                    emit_event(
+                        "pipeline_store_rank",
+                        sources=int(base.n),
+                        blocks=int(base.store.n_blocks),
+                        kernel=base.kernel,
+                        solver=self.ranking.solver,
+                    )
+                    return solver_registry.solve(
+                        throttled,
+                        self.ranking,
+                        solver=self.ranking.solver,
+                        label="sr-sourcerank:store",
+                    )
+            finally:
+                throttled.close()
+        finally:
+            base.close()
 
     # ------------------------------------------------------------------
     # Baselines for comparison

@@ -9,7 +9,12 @@ locality — plus planted spam communities standing in for the paper's
 manually-labeled pornography sources.
 """
 
-from .synthetic import SyntheticWebConfig, generate_web
+from .synthetic import (
+    SyntheticSourceConfig,
+    SyntheticWebConfig,
+    generate_source_store,
+    generate_web,
+)
 from .spam_labels import SpamPlantConfig, plant_spam_communities, sample_seed_set
 from .registry import DatasetSpec, DATASETS, load_dataset, LoadedDataset
 from .validation import CheckResult, ValidationReport, validate_dataset
@@ -20,6 +25,8 @@ __all__ = [
     "validate_dataset",
     "SyntheticWebConfig",
     "generate_web",
+    "SyntheticSourceConfig",
+    "generate_source_store",
     "SpamPlantConfig",
     "plant_spam_communities",
     "sample_seed_set",

@@ -16,11 +16,19 @@ experiments depend on (see DESIGN.md §2 for the substitution argument):
 
 Everything is vectorized: the generator draws all edges in bulk NumPy
 operations and lets :meth:`PageGraph.from_edges` de-duplicate.
+
+For graphs past laptop RAM, :func:`generate_source_store` generates the
+*source-level* row-stochastic matrix shard-at-a-time straight into a
+:class:`~repro.webgraph.store.ShardedGraphStore`: one O(n) popularity CDF
+is the only full-size allocation, every block's edges are drawn, deduped,
+weighted, and published independently, so multi-million-source graphs are
+produced without ever holding the edge list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -28,7 +36,12 @@ from ..errors import DatasetError
 from ..graph.pagegraph import PageGraph
 from ..sources.assignment import SourceAssignment
 
-__all__ = ["SyntheticWebConfig", "generate_web"]
+__all__ = [
+    "SyntheticWebConfig",
+    "generate_web",
+    "SyntheticSourceConfig",
+    "generate_source_store",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -221,3 +234,130 @@ def generate_web(
     )
     assignment = SourceAssignment(page_to_source)
     return graph, assignment
+
+
+# ----------------------------------------------------------------------
+# Shard-at-a-time source-matrix generation (out-of-core scale).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticSourceConfig:
+    """Parameters of the streamed source-matrix generator.
+
+    Generates the source-level weighted graph directly (the ``T'`` the
+    ranking layer consumes) rather than a page graph — at millions of
+    sources the page layer would be two orders of magnitude larger than
+    the object under study.  Popularity follows the same Pareto-perturbed
+    lognormal-size recipe as :class:`SyntheticWebConfig`.
+
+    Attributes
+    ----------
+    n_sources:
+        Number of sources (hosts).
+    mean_out_degree:
+        Mean number of distinct target sources per source (>= 1; every
+        source gets at least one target, so no dangling rows).
+    mean_size, size_sigma:
+        Lognormal pseudo-size distribution feeding popularity.
+    popularity_exponent, popularity_noise:
+        As in :class:`SyntheticWebConfig`.
+    seed:
+        Generator seed.  Same config + seed + block size ⇒ identical
+        store: each block draws from ``default_rng([seed, block_id])``,
+        so generation order (or parallel generation) cannot change the
+        graph.
+    """
+
+    n_sources: int = 1_000_000
+    mean_out_degree: float = 8.0
+    mean_size: float = 40.0
+    size_sigma: float = 1.2
+    popularity_exponent: float = 1.0
+    popularity_noise: float = 1.5
+    seed: int = 2007
+
+    def __post_init__(self) -> None:
+        if self.n_sources < 2:
+            raise DatasetError(f"n_sources must be >= 2, got {self.n_sources}")
+        if self.mean_out_degree < 1:
+            raise DatasetError(
+                f"mean_out_degree must be >= 1, got {self.mean_out_degree}"
+            )
+        if self.mean_size < 1:
+            raise DatasetError(f"mean_size must be >= 1, got {self.mean_size}")
+        if self.size_sigma <= 0:
+            raise DatasetError(f"size_sigma must be > 0, got {self.size_sigma}")
+        if self.popularity_noise <= 0:
+            raise DatasetError(
+                f"popularity_noise must be > 0, got {self.popularity_noise}"
+            )
+
+
+def generate_source_store(
+    config: SyntheticSourceConfig,
+    directory: str | Path,
+    *,
+    block_size: int | None = None,
+):
+    """Generate a row-stochastic source matrix shard-at-a-time.
+
+    Peak memory is O(n + block·degree): the popularity CDF is the only
+    full-size array; each row block's edges are drawn, de-duplicated,
+    weighted, row-normalized, and published to the
+    :class:`~repro.webgraph.store.ShardedGraphStore` before the next block
+    starts.  Returns the finalized store.
+    """
+    from ..webgraph.store import DEFAULT_BLOCK_SIZE, ShardedStoreWriter
+
+    block_size = int(block_size or DEFAULT_BLOCK_SIZE)
+    n = config.n_sources
+    master = np.random.default_rng(config.seed)
+    mu = np.log(config.mean_size) - 0.5 * config.size_sigma**2
+    sizes = np.maximum(
+        np.ceil(master.lognormal(mu, config.size_sigma, size=n)), 1.0
+    )
+    weights = sizes ** config.popularity_exponent
+    weights *= 1.0 + master.pareto(config.popularity_noise, size=n)
+    cdf = np.cumsum(weights / weights.sum())
+    cdf[-1] = 1.0  # guard against rounding
+    del sizes, weights
+
+    writer = ShardedStoreWriter(directory, n, block_size=block_size)
+    for block_id, lo in enumerate(range(0, n, block_size)):
+        hi = min(lo + block_size, n)
+        rows_in_block = hi - lo
+        # Per-block generator: the stream is a pure function of
+        # (seed, block_id), independent of generation order.
+        rng = np.random.default_rng([config.seed, block_id])
+        degrees = 1 + rng.poisson(config.mean_out_degree - 1.0, rows_in_block)
+        degrees = degrees.astype(np.int64)
+        row_of = np.repeat(np.arange(rows_in_block, dtype=np.int64), degrees)
+        targets = np.searchsorted(
+            cdf, rng.random(int(degrees.sum())), side="right"
+        ).astype(np.int64)
+        # Sort + dedup (row, target) pairs; >= 1 target survives per row.
+        order = np.lexsort((targets, row_of))
+        sorted_t = targets[order]
+        sorted_r = row_of[order]
+        keep = np.ones(sorted_t.size, dtype=bool)
+        keep[1:] = (sorted_r[1:] != sorted_r[:-1]) | (
+            sorted_t[1:] != sorted_t[:-1]
+        )
+        cols = sorted_t[keep]
+        kept_rows = sorted_r[keep]
+        counts = np.bincount(kept_rows, minlength=rows_in_block)
+        local_indptr = np.zeros(rows_in_block + 1, dtype=np.int64)
+        np.cumsum(counts, out=local_indptr[1:])
+        # Non-uniform edge weights, row-normalized to keep T' stochastic.
+        raw = rng.random(cols.size) + 0.5
+        row_mass = np.bincount(kept_rows, weights=raw, minlength=rows_in_block)
+        data = raw / row_mass[kept_rows]
+        writer.append_block(local_indptr, cols, data)
+    return writer.finalize(
+        meta={
+            "generator": "synthetic-source",
+            "seed": config.seed,
+            "mean_out_degree": config.mean_out_degree,
+        }
+    )

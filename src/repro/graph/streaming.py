@@ -12,10 +12,17 @@ processes the file in fixed-size chunks twice:
 Peak memory is ``O(n + chunk)`` instead of ``O(edges)`` for the text
 intermediates — the out-of-core streaming idiom from the HPC guides.
 Rows are sorted and de-duplicated in a final vectorized pass.
+
+For graphs that should never be materialized at all,
+:meth:`StreamingBuilder.build_store` finalizes straight into a
+:class:`~repro.webgraph.store.ShardedGraphStore`: rows are sorted,
+de-duplicated, and shard-encoded one block at a time, so the conversion
+adds only O(block) to the builder's own footprint.
 """
 
 from __future__ import annotations
 
+import operator
 from pathlib import Path
 from typing import Iterator, TextIO
 
@@ -27,6 +34,12 @@ from .pagegraph import PageGraph
 __all__ = ["StreamingBuilder", "stream_edge_chunks"]
 
 _DEFAULT_CHUNK = 262_144  # edges per chunk
+
+#: Hard ceiling on node counts: int64 CSR offsets and the O(n) count array
+#: stay well-defined below this; a hint (or node id) beyond it is almost
+#: certainly a corrupt input, and allocating for it would overflow memory
+#: long before the graph arrives.
+_MAX_NODES = 1 << 40
 
 
 def stream_edge_chunks(
@@ -105,7 +118,21 @@ class StreamingBuilder:
     """
 
     def __init__(self, n_nodes_hint: int = 0) -> None:
-        self._counts = np.zeros(max(int(n_nodes_hint), 1), dtype=np.int64)
+        try:
+            hint = int(operator.index(n_nodes_hint))
+        except TypeError as exc:
+            raise GraphError(
+                f"n_nodes_hint must be an integer, got "
+                f"{type(n_nodes_hint).__name__}"
+            ) from exc
+        if hint < 0:
+            raise GraphError(f"n_nodes_hint must be non-negative, got {hint}")
+        if hint > _MAX_NODES:
+            raise GraphError(
+                f"n_nodes_hint {hint} exceeds the supported maximum of "
+                f"{_MAX_NODES} nodes"
+            )
+        self._counts = np.zeros(max(hint, 1), dtype=np.int64)
         self._max_node = -1
         self._indptr: np.ndarray | None = None
         self._cursor: np.ndarray | None = None
@@ -133,6 +160,11 @@ class StreamingBuilder:
         if src.min() < 0 or dst.min() < 0:
             raise GraphError("node ids must be non-negative")
         hi = int(max(src.max(), dst.max()))
+        if hi >= _MAX_NODES:
+            raise GraphError(
+                f"node id {hi} exceeds the supported maximum of "
+                f"{_MAX_NODES} nodes"
+            )
         self._max_node = max(self._max_node, hi)
         self._grow(hi + 1)
         np.add.at(self._counts, src, 1)
@@ -158,6 +190,17 @@ class StreamingBuilder:
             raise GraphError("src and dst chunks must have equal length")
         if src.size == 0:
             return
+        # Misuse that used to corrupt silently: a negative id would
+        # wrap-index the cursor/indptr bookkeeping, and an out-of-range
+        # target would flow into the indices array unchecked (build() skips
+        # PageGraph validation).  Both are typed errors now.
+        if src.min() < 0 or dst.min() < 0:
+            raise GraphError("node ids must be non-negative")
+        if int(dst.max()) >= self._cursor.size:
+            raise GraphError(
+                f"fill saw target node {int(dst.max())} never seen during "
+                "counting"
+            )
         # Within the chunk, group by row to compute per-edge slots without
         # a Python loop: slot = cursor[row] + rank-within-row.
         order = np.argsort(src, kind="stable")
@@ -203,3 +246,51 @@ class StreamingBuilder:
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(dedup_counts, out=indptr[1:])
         return PageGraph(indptr, dedup_dst, n, validate=False)
+
+    def build_store(
+        self,
+        directory: str | Path,
+        *,
+        block_size: int | None = None,
+        meta: dict | None = None,
+    ):
+        """Finalize straight into a :class:`~repro.webgraph.store.ShardedGraphStore`.
+
+        The shard-at-a-time alternative to :meth:`build`: each row block is
+        sorted, de-duplicated, gap-encoded, and published independently, so
+        no full ``PageGraph`` (or scipy copy of it) is ever assembled.  The
+        store is unweighted — blocks decode with uniform ``1/outdeg``
+        weights, directly usable as a random-walk transition operand.
+        """
+        from ..webgraph.store import DEFAULT_BLOCK_SIZE, ShardedStoreWriter
+
+        if self._indices is None or self._indptr is None or self._cursor is None:
+            raise GraphError("build_store() requires both passes")
+        if not np.array_equal(self._cursor, self._indptr[1:]):
+            raise GraphError(
+                "fill incomplete: pass-2 edge multiset differs from pass 1"
+            )
+        block_size = int(block_size or DEFAULT_BLOCK_SIZE)
+        n = self._indptr.size - 1
+        writer = ShardedStoreWriter(directory, n, block_size=block_size)
+        for lo in range(0, n, block_size):
+            hi = min(lo + block_size, n)
+            edge_lo, edge_hi = int(self._indptr[lo]), int(self._indptr[hi])
+            dst = self._indices[edge_lo:edge_hi]
+            row_of = np.repeat(
+                np.arange(hi - lo, dtype=np.int64),
+                np.diff(self._indptr[lo : hi + 1]),
+            )
+            order = np.lexsort((dst, row_of))
+            sorted_dst = dst[order]
+            sorted_row = row_of[order]
+            keep = np.ones(sorted_dst.size, dtype=bool)
+            if sorted_dst.size > 1:
+                keep[1:] = (sorted_row[1:] != sorted_row[:-1]) | (
+                    sorted_dst[1:] != sorted_dst[:-1]
+                )
+            counts = np.bincount(sorted_row[keep], minlength=hi - lo)
+            local_indptr = np.zeros(hi - lo + 1, dtype=np.int64)
+            np.cumsum(counts, out=local_indptr[1:])
+            writer.append_block(local_indptr, sorted_dst[keep])
+        return writer.finalize(meta=meta)

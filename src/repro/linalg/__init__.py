@@ -23,6 +23,7 @@ kernels, observability).
 from .iterate import ConvergenceInfo, iterate_to_fixpoint, residual_norm
 from .operator import (
     KERNELS,
+    BlockedOperator,
     CsrOperator,
     ReversedOperator,
     ThrottledOperator,
@@ -47,6 +48,7 @@ __all__ = [
     "KERNELS",
     "TransitionOperator",
     "CsrOperator",
+    "BlockedOperator",
     "ThrottledOperator",
     "ReversedOperator",
     "as_operator",

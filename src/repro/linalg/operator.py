@@ -12,6 +12,11 @@ This module makes that operator explicit:
 * :class:`CsrOperator` — a concrete CSR matrix behind one of the three
   matvec kernels (``scipy`` / ``chunked`` / ``parallel``), absorbing the
   kernel dispatch that used to live inside the power solver;
+* :class:`BlockedOperator` — the out-of-core path: a
+  :class:`~repro.webgraph.store.ShardedGraphStore` behind a bounded cache
+  of decoded row blocks, so the fixpoint streams shards from disk and the
+  full matrix is never assembled (``blocked`` serial kernel or
+  ``blocked-parallel`` via the shm block workers);
 * :class:`ThrottledOperator` — the influence-throttle transform
   ``T' -> T''`` (Section 3.3) applied *lazily* as a per-row out-scale plus
   a diagonal self-edge term, so Spam-Resilient SourceRank never
@@ -33,6 +38,8 @@ The algebra behind the lazy forms:
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -45,6 +52,7 @@ __all__ = [
     "KERNELS",
     "TransitionOperator",
     "CsrOperator",
+    "BlockedOperator",
     "ThrottledOperator",
     "ReversedOperator",
     "as_operator",
@@ -210,6 +218,193 @@ class CsrOperator:
         )
 
 
+class BlockedOperator:
+    """A :class:`~repro.webgraph.store.ShardedGraphStore` as a transition operator.
+
+    The out-of-core half of the operator family: ``rmatvec`` streams the
+    store's row blocks, accumulating each block's transpose-matvec
+    contribution ``A_b^T x[rows_b]`` into the output via a ``bincount``
+    scatter, so peak memory stays O(block + iterate) regardless of graph
+    size.  Decoded blocks live in a bounded LRU cache keyed by block id —
+    graphs smaller than the cache behave like an in-memory operator,
+    larger graphs re-decode shards each sweep (the honest out-of-core
+    cost, measured by ``benchmarks/bench_sharding.py``).
+
+    With ``workers > 0`` the matvec runs block-parallel on the shm worker
+    pool (:class:`~repro.parallel.shared.SharedBlockedMatvec`): only the
+    iterate is published to shared memory, workers decode their own shards,
+    and the evaluator inherits the pool-rebuild/serial-degradation
+    resilience of the in-memory parallel kernel.
+
+    Composes under :class:`ThrottledOperator` — the store's one streaming
+    stats pass provides the base diagonal and row sums the throttle
+    algebra needs, so κ stays lazy on top of a lazy matrix.
+    """
+
+    __slots__ = (
+        "_store",
+        "_cache",
+        "_cache_blocks",
+        "_mask",
+        "_sums",
+        "_diag",
+        "_shared",
+        "_closed",
+    )
+
+    def __init__(
+        self,
+        store: object,
+        *,
+        cache_blocks: int = 4,
+        workers: int = 0,
+        max_rebuilds: int = 2,
+        task_timeout: float | None = None,
+    ) -> None:
+        from ..webgraph.store import ShardedGraphStore
+
+        if isinstance(store, (str, Path)):
+            store = ShardedGraphStore.open(store)
+        if not isinstance(store, ShardedGraphStore):
+            raise GraphError(
+                "BlockedOperator requires a ShardedGraphStore or a store "
+                f"path, got {type(store).__name__}"
+            )
+        cache_blocks = int(cache_blocks)
+        if cache_blocks < 1:
+            raise ConfigError(f"cache_blocks must be >= 1, got {cache_blocks}")
+        workers = int(workers or 0)
+        if workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {workers}")
+        self._store = store
+        self._cache: "OrderedDict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._cache_blocks = cache_blocks
+        # One streaming pass over the shards yields both stats vectors; the
+        # store caches them, so ThrottledOperator composition is free.
+        self._sums = store.row_sums()
+        self._diag = store.diagonal()
+        self._mask = self._sums <= _DANGLING_ATOL
+        self._closed = False
+        self._shared = None
+        if workers:
+            from ..parallel.shared import SharedBlockedMatvec
+
+            self._shared = SharedBlockedMatvec(
+                store,
+                n_workers=workers,
+                cache_blocks=cache_blocks,
+                max_rebuilds=max_rebuilds,
+                task_timeout=task_timeout,
+            )
+
+    @property
+    def n(self) -> int:
+        """Operator order."""
+        return self._store.n_sources
+
+    @property
+    def kernel(self) -> str:
+        """``blocked`` (serial streaming) or ``blocked-parallel`` (shm pool)."""
+        return "blocked" if self._shared is None else "blocked-parallel"
+
+    @property
+    def dangling_mask(self) -> np.ndarray:
+        """Rows with (numerically) zero mass across all blocks."""
+        return self._mask
+
+    @property
+    def store(self):
+        """The backing :class:`~repro.webgraph.store.ShardedGraphStore`."""
+        return self._store
+
+    @property
+    def cache_blocks(self) -> int:
+        """Maximum number of decoded blocks held in memory."""
+        return self._cache_blocks
+
+    @property
+    def cached_blocks(self) -> int:
+        """Number of blocks currently decoded in the cache."""
+        return len(self._cache)
+
+    def diagonal(self) -> np.ndarray:
+        """Main diagonal (from the store's streaming stats pass)."""
+        return self._diag.copy()
+
+    def row_sums(self) -> np.ndarray:
+        """Per-row sums (from the store's streaming stats pass)."""
+        return self._sums.copy()
+
+    def iter_blocks(self):
+        """Yield ``(ShardInfo, csr_block)`` pairs — per-block audit hook."""
+        return self._store.iter_blocks()
+
+    def _block_arrays(
+        self, block_id: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(global_rows, cols, vals)`` per edge of one block, LRU-cached."""
+        cached = self._cache.get(block_id)
+        if cached is not None:
+            self._cache.move_to_end(block_id)
+            return cached
+        info = self._store.shards[block_id]
+        block = self._store.load_block(block_id)
+        rows = info.row_start + np.repeat(
+            np.arange(info.n_rows, dtype=np.int64), np.diff(block.indptr)
+        )
+        entry = (rows, block.indices.astype(np.int64), block.data)
+        self._cache[block_id] = entry
+        while len(self._cache) > self._cache_blocks:
+            self._cache.popitem(last=False)
+        return entry
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``A^T @ x`` streamed over the row-block shards."""
+        if self._closed:
+            raise GraphError("BlockedOperator is closed")
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise GraphError(
+                f"vector has shape {x.shape}, operator expects ({self.n},)"
+            )
+        if self._shared is not None:
+            return self._shared.rmatvec(x)
+        y = np.zeros(self.n, dtype=np.float64)
+        for info in self._store.shards:
+            rows, cols, vals = self._block_arrays(info.block_id)
+            # Scatter the block's contribution: y[c] += v * x[r] for each
+            # edge (r, c).  bincount is the fast vectorized scatter-add.
+            y += np.bincount(cols, weights=vals * x[rows], minlength=self.n)
+        return y
+
+    def materialize(self) -> sp.csr_matrix:
+        """Assemble the full CSR from the store (O(matrix) — escape hatch
+        for the stationary linear solvers, not the streaming path)."""
+        return self._store.materialize()
+
+    def close(self) -> None:
+        """Drop the block cache and release the parallel evaluator."""
+        self._cache.clear()
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+        self._closed = True
+
+    def __enter__(self) -> "BlockedOperator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockedOperator(n={self.n}, blocks={self._store.n_blocks}, "
+            f"cache_blocks={self._cache_blocks}, kernel={self.kernel!r})"
+        )
+
+
 class ThrottledOperator:
     """The influence-throttled matrix ``T''`` (Section 3.3), applied lazily.
 
@@ -249,6 +444,8 @@ class ThrottledOperator:
         "_full_throttle",
         "_mask",
         "_identity",
+        "_base_diag",
+        "_base_sums",
     )
 
     def __init__(
@@ -266,17 +463,26 @@ class ThrottledOperator:
             )
         owns = sp.issparse(base)
         base_op = CsrOperator(base, kernel=kernel) if owns else base
-        # Duck-typed: any CsrOperator-protocol object exposing the explicit
-        # base matrix works — e.g. a FaultyOperator wrapping a CsrOperator
-        # in the fault-injection harness.
-        if not (hasattr(base_op, "matrix") and hasattr(base_op, "rmatvec")):
+        # Duck-typed: the transform needs the base diagonal and row sums —
+        # either from an explicit ``.matrix`` (CsrOperator, FaultyOperator)
+        # or from ``diagonal()``/``row_sums()`` methods (BlockedOperator,
+        # whose matrix never exists in memory).
+        has_matrix = hasattr(base_op, "matrix")
+        has_stats = hasattr(base_op, "diagonal") and hasattr(base_op, "row_sums")
+        if not (hasattr(base_op, "rmatvec") and (has_matrix or has_stats)):
             raise GraphError(
-                "ThrottledOperator needs a CsrOperator-protocol base with "
-                "a .matrix (the transform reads the base diagonal) or a "
-                f"CSR matrix, got {type(base).__name__}"
+                "ThrottledOperator needs a base exposing rmatvec plus either "
+                "a .matrix or diagonal()/row_sums() (the transform reads the "
+                f"base diagonal), got {type(base).__name__}"
             )
-        matrix = base_op.matrix
         n = base_op.n
+        if has_matrix:
+            matrix = base_op.matrix
+            base_diag = matrix.diagonal().astype(np.float64)
+            base_sums = np.asarray(matrix.sum(axis=1), dtype=np.float64).ravel()
+        else:
+            base_diag = np.asarray(base_op.diagonal(), dtype=np.float64).ravel()
+            base_sums = np.asarray(base_op.row_sums(), dtype=np.float64).ravel()
         if kappa is None:
             k = np.zeros(n, dtype=np.float64)
         else:
@@ -290,8 +496,8 @@ class ThrottledOperator:
         if k.size and ((k < 0.0).any() or (k > 1.0).any()):
             raise ThrottleError("throttle factors must lie in [0, 1]")
 
-        diag = matrix.diagonal()
-        off_mass = np.asarray(matrix.sum(axis=1)).ravel() - diag
+        diag = base_diag
+        off_mass = base_sums - diag
         full = (k >= 1.0) if full_throttle == "dangling" else np.zeros(n, dtype=bool)
         needs = (diag < k) & ~full
         bad = needs & (off_mass <= 0)
@@ -315,6 +521,8 @@ class ThrottledOperator:
         self._full_throttle = full_throttle
         self._mask = full | (base_op.dangling_mask & ~needs)
         self._identity = not needs.any() and not full.any()
+        self._base_diag = base_diag
+        self._base_sums = base_sums
 
     @property
     def n(self) -> int:
@@ -353,7 +561,7 @@ class ThrottledOperator:
         audit checks against the paper's ``T''_ii = κ_i`` invariant on
         boosted rows.
         """
-        return self._scale * self._base.matrix.diagonal() + self._shift
+        return self._scale * self._base_diag + self._shift
 
     def row_sums(self) -> np.ndarray:
         """Row sums of ``T''`` as this operator applies it.
@@ -361,8 +569,7 @@ class ThrottledOperator:
         Only the diagonal departs from the uniform per-row scale, so
         ``sum_j T''_ij = s_i · sum_j T'_ij + c_i``.
         """
-        base_sums = np.asarray(self._base.matrix.sum(axis=1)).ravel()
-        return self._scale * base_sums + self._shift
+        return self._scale * self._base_sums + self._shift
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         """``T''^T @ x`` without materializing ``T''``."""
@@ -382,8 +589,13 @@ class ThrottledOperator:
         from ..throttle.transform import throttle_transform
         from ..throttle.vector import ThrottleVector
 
+        base_matrix = (
+            self._base.matrix
+            if hasattr(self._base, "matrix")
+            else self._base.materialize()
+        )
         return throttle_transform(
-            self._base.matrix,
+            base_matrix,
             ThrottleVector(self._kappa),
             full_throttle=self._full_throttle,
         )

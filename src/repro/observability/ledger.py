@@ -72,6 +72,7 @@ BACKFILL_LABELS: dict[str, str] = {
     "resilience": "PR4",
     "audit": "PR4",
     "serving": "PR5",
+    "sharding": "PR7",
 }
 
 
@@ -164,6 +165,24 @@ TRACKED_METRICS: tuple[TrackedMetric, ...] = (
     TrackedMetric("serving", "gates.events_correlated", "higher", 0.0,
                   abs_limit=1.0),
     TrackedMetric("serving", "gates.ladder_ok", "higher", 0.0, abs_limit=1.0),
+    # Sharded out-of-core substrate (PR7): blocked==in-memory equivalence
+    # is exact-to-1e-9; solve time must stay near-flat across block
+    # counts (max/min ratio bounded); the sharded solve's peak RSS must
+    # stay below the materialized baseline's; decode throughput gets the
+    # usual wide timing band.
+    TrackedMetric(
+        "sharding", "equivalence.max_score_diff", "lower", 0.0,
+        abs_limit=1e-9, required=True,
+    ),
+    TrackedMetric(
+        "sharding", "scaling.max_over_min_ratio", "lower", 0.5,
+        abs_limit=2.5, required=True,
+    ),
+    TrackedMetric(
+        "sharding", "memory.sharded_over_baseline", "lower", 0.5,
+        abs_limit=0.9,
+    ),
+    TrackedMetric("sharding", "decode.edges_per_second", "higher", 0.5),
 )
 
 

@@ -11,18 +11,24 @@ three interchangeable kernels:
   over shared-memory CSR blocks (no pickling of matrix data per call);
 * plain ``scipy`` (``matrix.T @ x``) as the baseline.
 
+:class:`~repro.parallel.shared.SharedBlockedMatvec` extends the pool to
+out-of-core graphs: workers decode row-block shards from a
+:class:`~repro.webgraph.store.ShardedGraphStore` themselves, so only the
+iterate ever crosses the process boundary.
+
 ``benchmarks/bench_ablation_kernels.py`` compares the three, per the HPC
 guide's "no optimization without measuring" rule.
 """
 
 from .chunked import chunked_rmatvec, chunked_matvec
-from .shared import SharedCsrMatvec
+from .shared import SharedBlockedMatvec, SharedCsrMatvec
 from .executor import WorkerPool, effective_workers
 
 __all__ = [
     "chunked_rmatvec",
     "chunked_matvec",
     "SharedCsrMatvec",
+    "SharedBlockedMatvec",
     "WorkerPool",
     "effective_workers",
 ]

@@ -9,20 +9,39 @@ and ``n_workers`` accumulator reads — no matrix bytes ever cross the
 process boundary after setup (the Gleich et al. linear-system PageRank
 paper [18] the paper cites uses the same row-striping decomposition).
 
-Worker death does not fail the solve: the pool rebuilds itself up to its
-retry budget (see :class:`~repro.parallel.executor.WorkerPool.run`), and
-when that budget is exhausted the evaluator *degrades* — it rebuilds the
-transposed CSR in-process from the shared arrays and serves every further
-``rmatvec`` serially, recording
+:class:`SharedBlockedMatvec` is the out-of-core variant: the matrix never
+exists in the parent at all.  Only the iterate ``x`` is published to shared
+memory; each worker opens its own handle on the
+:class:`~repro.webgraph.store.ShardedGraphStore` and decodes the row-block
+shards assigned to it (a bounded per-worker LRU keeps hot blocks decoded),
+returning a per-group accumulator.  Per-iteration traffic is one
+input-vector write and ``n_groups`` accumulator reads — shard bytes are
+read from disk by the worker that needs them, never shipped between
+processes.
+
+Worker death does not fail the solve for either evaluator: the pool
+rebuilds itself up to its retry budget (see
+:class:`~repro.parallel.executor.WorkerPool.run`), and when that budget is
+exhausted the evaluator *degrades* — the CSR evaluator rebuilds the
+transposed matrix in-process from the shared arrays, the blocked evaluator
+streams shards serially in the parent — recording
 ``repro_fallbacks_total{kind="serial_degrade"}``.  The solve sees the
 same numbers either way, just slower.
+
+Both evaluators publish ``repro_parallel_*`` metrics and correlated
+events (``parallel_setup`` / ``parallel_rmatvec`` / ``parallel_degraded``)
+through the telemetry layer, so band counts, degraded state, and per-band
+timings show up in ``/trace``, ``/events``, and metric scrapes.
 """
 
 from __future__ import annotations
 
 import atexit
+import time
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, TimeoutError as FuturesTimeoutError
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -34,10 +53,85 @@ from .executor import WorkerPool, effective_workers
 
 _logger = get_logger(__name__)
 
-__all__ = ["SharedCsrMatvec"]
+__all__ = ["SharedCsrMatvec", "SharedBlockedMatvec"]
 
 # Module-level worker state, populated by the pool initializer after fork.
 _WORKER_STATE: dict[str, object] = {}
+
+
+# ----------------------------------------------------------------------
+# Telemetry: repro_parallel_* metrics + correlated events for both
+# evaluators, so block-parallel solves are visible in /trace and /events.
+# ----------------------------------------------------------------------
+
+def _emit_event(kind: str, **fields: object) -> None:
+    from ..observability.events import emit
+
+    emit(kind, **fields)
+
+
+def _record_setup(evaluator: str, *, bands: int, workers: int) -> None:
+    from ..observability.metrics import get_registry
+
+    get_registry().gauge(
+        "repro_parallel_bands",
+        "Row bands / block groups the parallel matvec fans out over.",
+        labelnames=("evaluator",),
+    ).labels(evaluator=evaluator).set(bands)
+    _emit_event(
+        "parallel_setup", evaluator=evaluator, bands=bands, workers=workers
+    )
+
+
+def _record_rmatvec(
+    evaluator: str,
+    *,
+    mode: str,
+    seconds: float,
+    band_seconds: Sequence[float],
+) -> None:
+    from ..observability.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter(
+        "repro_parallel_rmatvecs_total",
+        "Parallel transpose-matvec calls by evaluator and serving mode.",
+        labelnames=("evaluator", "mode"),
+    ).labels(evaluator=evaluator, mode=mode).inc()
+    if band_seconds:
+        hist = registry.histogram(
+            "repro_parallel_band_seconds",
+            "Per-band worker time of one parallel transpose matvec.",
+            labelnames=("evaluator",),
+        )
+        for value in band_seconds:
+            hist.labels(evaluator=evaluator).observe(float(value))
+    _emit_event(
+        "parallel_rmatvec",
+        evaluator=evaluator,
+        mode=mode,
+        seconds=round(float(seconds), 6),
+        bands=len(band_seconds),
+        band_seconds=[round(float(v), 6) for v in band_seconds],
+        degraded=mode == "serial",
+    )
+
+
+def _record_degrade(evaluator: str, reason: str) -> None:
+    from ..observability.metrics import get_registry
+
+    get_registry().counter(
+        "repro_fallbacks_total",
+        "Recovery actions by kind (solver/pool_rebuild/serial_degrade)",
+        labelnames=("kind",),
+    ).labels(kind="serial_degrade").inc()
+    _emit_event("parallel_degraded", evaluator=evaluator, reason=reason)
+    _logger.error(
+        "parallel matvec (%s) degraded to serial kernel after %s "
+        "(results unchanged, throughput reduced)",
+        evaluator,
+        reason,
+    )
 
 
 def _attach_shared(name: str, shape: tuple[int, ...], dtype: str) -> np.ndarray:
@@ -57,8 +151,9 @@ def _worker_init(meta: dict[str, object]) -> None:
     _WORKER_STATE["n_cols"] = meta["n_cols"]
 
 
-def _worker_band(band: tuple[int, int]) -> bytes:
-    """Compute one row band's contribution to ``A^T x``; returns raw bytes."""
+def _worker_band(band: tuple[int, int]) -> tuple[float, bytes]:
+    """One row band's contribution to ``A^T x``: ``(seconds, raw bytes)``."""
+    started = time.perf_counter()
     start, stop = band
     indptr: np.ndarray = _WORKER_STATE["indptr"]  # type: ignore[assignment]
     indices: np.ndarray = _WORKER_STATE["indices"]  # type: ignore[assignment]
@@ -73,7 +168,7 @@ def _worker_band(band: tuple[int, int]) -> bytes:
             np.diff(indptr[start : stop + 1]),
         )
         np.add.at(acc, indices[lo:hi], data[lo:hi] * x[rows])
-    return acc.tobytes()
+    return time.perf_counter() - started, acc.tobytes()
 
 
 class SharedCsrMatvec:
@@ -129,6 +224,7 @@ class SharedCsrMatvec:
             max_rebuilds=max_rebuilds,
             task_timeout=task_timeout,
         )
+        _record_setup("csr", bands=len(self._bands), workers=self.n_workers)
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
@@ -166,8 +262,6 @@ class SharedCsrMatvec:
 
     def _degrade(self, reason: str) -> None:
         """Switch permanently to a serial in-process transpose matvec."""
-        from ..observability.metrics import get_registry
-
         # Copy out of shared memory so close() can still unlink segments.
         self._serial_at = sp.csr_matrix(
             (
@@ -177,16 +271,7 @@ class SharedCsrMatvec:
             ),
             shape=self.shape,
         ).T.tocsr()
-        get_registry().counter(
-            "repro_fallbacks_total",
-            "Recovery actions by kind (solver/pool_rebuild/serial_degrade)",
-            labelnames=("kind",),
-        ).labels(kind="serial_degrade").inc()
-        _logger.error(
-            "parallel matvec degraded to serial kernel after %s "
-            "(results unchanged, throughput reduced)",
-            reason,
-        )
+        _record_degrade("csr", reason)
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         """Compute ``A^T @ x`` across the worker pool (serial once degraded)."""
@@ -197,17 +282,34 @@ class SharedCsrMatvec:
             raise GraphError(
                 f"rmatvec needs len(x) == {self.shape[0]}, got {x.size}"
             )
+        started = time.perf_counter()
         if self._serial_at is not None:
-            return self._serial_at @ x
+            out = self._serial_at @ x
+            _record_rmatvec(
+                "csr", mode="serial",
+                seconds=time.perf_counter() - started, band_seconds=(),
+            )
+            return out
         self._x[:] = x
         try:
-            chunks = self._pool.run(_worker_band, self._bands)
+            results = self._pool.run(_worker_band, self._bands)
         except (BrokenExecutor, FuturesTimeoutError) as exc:
             self._degrade(f"repeated pool failures ({type(exc).__name__})")
-            return self._serial_at @ x
+            out = self._serial_at @ x
+            _record_rmatvec(
+                "csr", mode="serial",
+                seconds=time.perf_counter() - started, band_seconds=(),
+            )
+            return out
         out = np.zeros(self.shape[1], dtype=np.float64)
-        for chunk in chunks:
+        band_seconds = []
+        for seconds, chunk in results:
+            band_seconds.append(seconds)
             out += np.frombuffer(chunk, dtype=np.float64)
+        _record_rmatvec(
+            "csr", mode="pool",
+            seconds=time.perf_counter() - started, band_seconds=band_seconds,
+        )
         return out
 
     def close(self) -> None:
@@ -225,6 +327,240 @@ class SharedCsrMatvec:
         self._segments.clear()
 
     def __enter__(self) -> "SharedCsrMatvec":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Block-parallel evaluator over a sharded on-disk store.
+# ----------------------------------------------------------------------
+
+def _blocked_worker_init(meta: dict[str, object]) -> None:
+    """Pool initializer: attach the iterate; store handles open lazily."""
+    _WORKER_STATE["blk_x"] = _attach_shared(*meta["x"])  # type: ignore[misc]
+    _WORKER_STATE["blk_store_dir"] = meta["store_dir"]
+    _WORKER_STATE["blk_n"] = meta["n"]
+    _WORKER_STATE["blk_cache_blocks"] = meta["cache_blocks"]
+    _WORKER_STATE["blk_store"] = None
+    _WORKER_STATE["blk_cache"] = OrderedDict()
+
+
+def _worker_block_group(block_ids: tuple[int, ...]) -> tuple[float, bytes]:
+    """Accumulate ``A_b^T x[rows_b]`` over one group of shards.
+
+    The worker owns its store handle and a bounded LRU of decoded blocks;
+    only the accumulator (``(seconds, bytes)``) crosses the process
+    boundary — never shard bytes or matrix arrays.
+    """
+    started = time.perf_counter()
+    from ..webgraph.store import ShardedGraphStore
+
+    store = _WORKER_STATE.get("blk_store")
+    if store is None:
+        store = ShardedGraphStore.open(_WORKER_STATE["blk_store_dir"])  # type: ignore[arg-type]
+        _WORKER_STATE["blk_store"] = store
+    x: np.ndarray = _WORKER_STATE["blk_x"]  # type: ignore[assignment]
+    n: int = _WORKER_STATE["blk_n"]  # type: ignore[assignment]
+    cache: OrderedDict = _WORKER_STATE["blk_cache"]  # type: ignore[assignment]
+    limit: int = _WORKER_STATE["blk_cache_blocks"]  # type: ignore[assignment]
+    acc = np.zeros(n, dtype=np.float64)
+    for block_id in block_ids:
+        entry = cache.get(block_id)
+        if entry is None:
+            info = store.shards[block_id]
+            block = store.load_block(block_id)
+            rows = info.row_start + np.repeat(
+                np.arange(info.n_rows, dtype=np.int64), np.diff(block.indptr)
+            )
+            entry = (rows, block.indices.astype(np.int64), block.data)
+            cache[block_id] = entry
+            while len(cache) > limit:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(block_id)
+        rows, cols, vals = entry
+        acc += np.bincount(cols, weights=vals * x[rows], minlength=n)
+    return time.perf_counter() - started, acc.tobytes()
+
+
+class SharedBlockedMatvec:
+    """Persistent block-parallel ``y = A^T x`` over a sharded graph store.
+
+    The dual of :class:`SharedCsrMatvec` for out-of-core graphs: the parent
+    never holds the matrix.  Only the iterate is published to shared
+    memory; shards are grouped by edge count into ``n_workers`` balanced
+    groups, and each task decodes (or reuses from its bounded worker-local
+    LRU) the blocks of one group.
+
+    Inherits the pool-rebuild resilience of :class:`WorkerPool`; once the
+    rebuild budget is exhausted the evaluator degrades to streaming the
+    shards serially in the parent — still never materializing the matrix.
+    """
+
+    def __init__(
+        self,
+        store: object,
+        n_workers: int | None = None,
+        *,
+        cache_blocks: int = 2,
+        max_rebuilds: int = 2,
+        task_timeout: float | None = None,
+    ) -> None:
+        from ..webgraph.store import ShardedGraphStore
+
+        if isinstance(store, (str, Path)):
+            store = ShardedGraphStore.open(store)
+        if not isinstance(store, ShardedGraphStore):
+            raise GraphError(
+                "SharedBlockedMatvec requires a ShardedGraphStore or a "
+                f"store path, got {type(store).__name__}"
+            )
+        self._store = store
+        self.n = store.n_sources
+        self.n_workers = effective_workers(n_workers)
+        self._cache_blocks = max(1, int(cache_blocks))
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        self._degraded = False
+        self._serial_cache: OrderedDict = OrderedDict()
+
+        self._x = self._publish(np.zeros(self.n, dtype=np.float64))
+        meta = {
+            "x": (self._segments[0].name, (self.n,), "float64"),
+            "store_dir": str(store.directory),
+            "n": self.n,
+            "cache_blocks": self._cache_blocks,
+        }
+        self._groups = self._make_groups(store.shards, self.n_workers)
+        self._pool: WorkerPool | None = WorkerPool(
+            self.n_workers,
+            initializer=_blocked_worker_init,
+            initargs=(meta,),
+            max_rebuilds=max_rebuilds,
+            task_timeout=task_timeout,
+        )
+        _record_setup(
+            "blocked", bands=len(self._groups), workers=self.n_workers
+        )
+        atexit.register(self.close)
+
+    def _publish(self, array: np.ndarray) -> np.ndarray:
+        shm = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[:] = array
+        self._segments.append(shm)
+        return view
+
+    @staticmethod
+    def _make_groups(shards: Sequence, n_groups: int) -> list[tuple[int, ...]]:
+        """Greedy longest-first balance of shards into edge-weighted groups."""
+        order = sorted(shards, key=lambda info: info.n_edges, reverse=True)
+        groups: list[list[int]] = [[] for _ in range(max(1, n_groups))]
+        loads = [0] * len(groups)
+        for info in order:
+            target = loads.index(min(loads))
+            groups[target].append(info.block_id)
+            loads[target] += max(info.n_edges, 1)
+        return [tuple(sorted(group)) for group in groups if group]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the evaluator has fallen back to serial shard streaming."""
+        return self._degraded
+
+    @property
+    def groups(self) -> list[tuple[int, ...]]:
+        """The block-id groups the matvec fans out over."""
+        return list(self._groups)
+
+    def _degrade(self, reason: str) -> None:
+        """Serve every further call by streaming shards in the parent."""
+        self._degraded = True
+        if self._pool is not None:
+            try:
+                self._pool.shutdown()
+            except Exception:  # noqa: BLE001 - broken pools can refuse
+                pass
+            self._pool = None
+        _record_degrade("blocked", reason)
+
+    def _serial_rmatvec(self, x: np.ndarray) -> np.ndarray:
+        acc = np.zeros(self.n, dtype=np.float64)
+        for info in self._store.shards:
+            entry = self._serial_cache.get(info.block_id)
+            if entry is None:
+                block = self._store.load_block(info.block_id)
+                rows = info.row_start + np.repeat(
+                    np.arange(info.n_rows, dtype=np.int64),
+                    np.diff(block.indptr),
+                )
+                entry = (rows, block.indices.astype(np.int64), block.data)
+                self._serial_cache[info.block_id] = entry
+                while len(self._serial_cache) > self._cache_blocks:
+                    self._serial_cache.popitem(last=False)
+            else:
+                self._serial_cache.move_to_end(info.block_id)
+            rows, cols, vals = entry
+            acc += np.bincount(cols, weights=vals * x[rows], minlength=self.n)
+        return acc
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``A^T @ x`` across the worker pool (serial once degraded)."""
+        if self._closed:
+            raise GraphError("SharedBlockedMatvec is closed")
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size != self.n:
+            raise GraphError(f"rmatvec needs len(x) == {self.n}, got {x.size}")
+        started = time.perf_counter()
+        if self._degraded:
+            out = self._serial_rmatvec(x)
+            _record_rmatvec(
+                "blocked", mode="serial",
+                seconds=time.perf_counter() - started, band_seconds=(),
+            )
+            return out
+        self._x[:] = x
+        try:
+            results = self._pool.run(_worker_block_group, self._groups)  # type: ignore[union-attr]
+        except (BrokenExecutor, FuturesTimeoutError) as exc:
+            self._degrade(f"repeated pool failures ({type(exc).__name__})")
+            out = self._serial_rmatvec(x)
+            _record_rmatvec(
+                "blocked", mode="serial",
+                seconds=time.perf_counter() - started, band_seconds=(),
+            )
+            return out
+        out = np.zeros(self.n, dtype=np.float64)
+        band_seconds = []
+        for seconds, chunk in results:
+            band_seconds.append(seconds)
+            out += np.frombuffer(chunk, dtype=np.float64)
+        _record_rmatvec(
+            "blocked", mode="pool",
+            seconds=time.perf_counter() - started, band_seconds=band_seconds,
+        )
+        return out
+
+    def close(self) -> None:
+        """Shut down the pool and release the shared iterate segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._segments.clear()
+        self._serial_cache.clear()
+
+    def __enter__(self) -> "SharedBlockedMatvec":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

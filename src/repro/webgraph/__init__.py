@@ -14,8 +14,12 @@ from .gaps import to_gaps, from_gaps
 from .intervals import split_intervals, merge_intervals, encode_row, decode_row
 from .compressed import CompressedGraph, CompressionStats
 from .interval_graph import IntervalCompressedGraph, compare_codecs
+from .store import ShardInfo, ShardedGraphStore, ShardedStoreWriter
 
 __all__ = [
+    "ShardInfo",
+    "ShardedGraphStore",
+    "ShardedStoreWriter",
     "encode_varints",
     "decode_varints",
     "varint_length",

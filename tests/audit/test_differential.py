@@ -54,8 +54,9 @@ class TestOracle:
         assert report.passed, report.to_json()
         assert report.disagreements == []
         assert report.invariant_violations == []
-        # power runs 3 kernels x 2 operands, each linear solver 1 x 2.
-        per_case = 3 * 2 + (len(BUILTIN_SOLVERS) - 1) * 2
+        # power runs 3 kernels x {lazy, materialized}, each linear solver
+        # 1 x 2, plus one blocked (out-of-core) combo per solver.
+        per_case = 3 * 2 + (len(BUILTIN_SOLVERS) - 1) * 2 + len(BUILTIN_SOLVERS)
         assert report.n_combos == per_case * len(report.cases)
         for case in report.cases:
             assert case["max_pairwise_diff"] <= AGREEMENT_ATOL
@@ -69,7 +70,8 @@ class TestOracle:
         loaded = json.loads(path.read_text())
         assert loaded["passed"] is True
         assert loaded["seed"] == 1
-        assert loaded["cases"][0]["n_combos"] == 6
+        # 3 kernels x {lazy, materialized} + 1 blocked combo for power.
+        assert loaded["cases"][0]["n_combos"] == 7
 
     def test_oracle_catches_a_broken_solver(self):
         """A solver with a perturbed score vector must be flagged against

@@ -224,3 +224,82 @@ class TestServeCommand:
     def test_serve_requires_snapshot_dir(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve"])
+
+
+class TestShard:
+    def test_create_synthetic_and_info(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        main(
+            [
+                "shard", "create", str(out),
+                "--synthetic-sources", "300",
+                "--block-size", "64",
+            ]
+        )
+        created = capsys.readouterr().out
+        assert "sources" in created
+        main(["shard", "info", str(out), "--verify"])
+        info = capsys.readouterr().out
+        assert "n_sources: 300" in info
+        assert "digests OK" in info
+
+    def test_create_from_edges(self, edge_file, tmp_path, capsys):
+        out = tmp_path / "store"
+        main(["shard", "create", str(out), "--edges", str(edge_file)])
+        main(["shard", "info", str(out)])
+        info = capsys.readouterr().out
+        assert "n_sources: 4" in info
+
+    def test_rank_graph_store(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        main(
+            [
+                "shard", "create", str(out),
+                "--synthetic-sources", "300",
+                "--block-size", "64",
+            ]
+        )
+        capsys.readouterr()
+        main(["rank", "--graph-store", str(out), "--top", "3"])
+        ranked = capsys.readouterr().out
+        assert "source-" in ranked
+
+    def test_rank_graph_store_integer_blocklist(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        main(
+            [
+                "shard", "create", str(out),
+                "--synthetic-sources", "300",
+                "--block-size", "64",
+            ]
+        )
+        blocklist = tmp_path / "bad.txt"
+        blocklist.write_text("3\n17\n")
+        main(
+            [
+                "rank", "--graph-store", str(out),
+                "--blocklist", str(blocklist), "--top", "3",
+            ]
+        )
+        assert "throttling 2 blocklisted" in capsys.readouterr().out
+
+    def test_rank_graph_store_rejects_host_blocklist(self, tmp_path):
+        from repro.errors import ConfigError
+
+        out = tmp_path / "store"
+        main(
+            [
+                "shard", "create", str(out),
+                "--synthetic-sources", "300",
+                "--block-size", "64",
+            ]
+        )
+        blocklist = tmp_path / "bad.txt"
+        blocklist.write_text("spam.example\n")
+        with pytest.raises(ConfigError, match="integer source ids"):
+            main(
+                [
+                    "rank", "--graph-store", str(out),
+                    "--blocklist", str(blocklist),
+                ]
+            )

@@ -117,3 +117,76 @@ class TestStreamingBuilder:
         b = StreamingBuilder()
         with pytest.raises(GraphError):
             b.count(np.array([-1]), np.array([0]))
+
+
+class TestHintValidation:
+    def test_non_integer_hint_rejected(self):
+        with pytest.raises(GraphError, match="integer"):
+            StreamingBuilder(n_nodes_hint=2.5)
+
+    def test_negative_hint_rejected(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            StreamingBuilder(n_nodes_hint=-1)
+
+    def test_oversized_hint_rejected(self):
+        with pytest.raises(GraphError, match="maximum"):
+            StreamingBuilder(n_nodes_hint=2**62)
+
+    def test_bool_like_integer_hint_accepted(self):
+        # Anything operator.index accepts (numpy ints included) is fine.
+        StreamingBuilder(n_nodes_hint=np.int64(16))
+
+
+class TestBuildStore:
+    def _feed(self, text: str) -> StreamingBuilder:
+        builder = StreamingBuilder()
+        for src, dst in stream_edge_chunks(io.StringIO(text), chunk_edges=4):
+            builder.count(src, dst)
+        builder.finish_counting()
+        for src, dst in stream_edge_chunks(io.StringIO(text), chunk_edges=4):
+            builder.fill(src, dst)
+        return builder
+
+    def test_store_matches_build(self, tmp_path):
+        gen = np.random.default_rng(21)
+        edges = "\n".join(
+            f"{int(s)} {int(d)}"
+            for s, d in zip(gen.integers(0, 50, 300), gen.integers(0, 50, 300))
+        )
+        graph = _build_from_text(edges)
+        store = self._feed(edges).build_store(tmp_path / "store", block_size=7)
+        assert not store.weighted
+        assert store.n_sources == graph.n_nodes
+        assert store.n_edges == graph.n_edges
+        back = store.materialize()
+        np.testing.assert_array_equal(
+            back.indptr.astype(np.int64), graph.indptr.astype(np.int64)
+        )
+        np.testing.assert_array_equal(back.indices, graph.indices)
+
+    def test_store_deduplicates_like_build(self, tmp_path):
+        text = "0 2\n0 2\n0 1\n1 0\n"
+        graph = _build_from_text(text)
+        store = self._feed(text).build_store(tmp_path / "store", block_size=2)
+        assert store.n_edges == graph.n_edges
+        np.testing.assert_array_equal(store.materialize().indices, graph.indices)
+
+    def test_store_requires_both_passes(self, tmp_path):
+        builder = StreamingBuilder()
+        builder.count(np.array([0]), np.array([1]))
+        with pytest.raises(GraphError, match="both passes"):
+            builder.build_store(tmp_path / "store")
+
+    def test_store_rejects_incomplete_fill(self, tmp_path):
+        builder = StreamingBuilder()
+        builder.count(np.array([0, 1]), np.array([1, 0]))
+        builder.finish_counting()
+        builder.fill(np.array([0]), np.array([1]))
+        with pytest.raises(GraphError, match="incomplete"):
+            builder.build_store(tmp_path / "store")
+
+    def test_store_meta_preserved(self, tmp_path):
+        store = self._feed("0 1\n1 0\n").build_store(
+            tmp_path / "store", meta={"origin": "unit"}
+        )
+        assert store.meta == {"origin": "unit"}

@@ -74,3 +74,80 @@ class TestPowerIterationParallelKernel:
         a = power_iteration(m, params, kernel="scipy")
         b = power_iteration(m, params, kernel="parallel")
         np.testing.assert_allclose(a.scores, b.scores, atol=1e-10)
+
+
+class TestSharedBlockedMatvec:
+    @pytest.fixture()
+    def store(self, matrix, tmp_path):
+        from repro.webgraph.store import ShardedGraphStore
+
+        return ShardedGraphStore.from_matrix(
+            matrix, tmp_path / "store", block_size=64
+        )
+
+    def test_matches_transpose_matvec(self, matrix, store, rng):
+        from repro.parallel.shared import SharedBlockedMatvec
+
+        x = rng.random(matrix.shape[0])
+        with SharedBlockedMatvec(store, n_workers=2) as mv:
+            np.testing.assert_allclose(mv.rmatvec(x), matrix.T @ x, atol=1e-12)
+            assert not mv.degraded
+
+    def test_repeated_calls(self, matrix, store, rng):
+        from repro.parallel.shared import SharedBlockedMatvec
+
+        with SharedBlockedMatvec(store, n_workers=2) as mv:
+            for _ in range(3):
+                x = rng.random(matrix.shape[0])
+                np.testing.assert_allclose(
+                    mv.rmatvec(x), matrix.T @ x, atol=1e-12
+                )
+
+    def test_degraded_serial_path_is_exact(self, matrix, store, rng):
+        from repro.parallel.shared import SharedBlockedMatvec
+
+        x = rng.random(matrix.shape[0])
+        with SharedBlockedMatvec(store, n_workers=2) as mv:
+            mv._degrade("test")
+            assert mv.degraded
+            np.testing.assert_allclose(mv.rmatvec(x), matrix.T @ x, atol=1e-12)
+
+    def test_closed_rejects_calls(self, store):
+        from repro.parallel.shared import SharedBlockedMatvec
+
+        mv = SharedBlockedMatvec(store, n_workers=1)
+        mv.close()
+        mv.close()  # double close is safe
+        with pytest.raises(GraphError, match="closed"):
+            mv.rmatvec(np.zeros(mv.n))
+
+    def test_rejects_non_store(self):
+        from repro.parallel.shared import SharedBlockedMatvec
+
+        with pytest.raises(GraphError, match="ShardedGraphStore"):
+            SharedBlockedMatvec(sp.eye(4, format="csr"))
+
+    def test_group_balancing_partitions_blocks(self, store):
+        from repro.parallel.shared import SharedBlockedMatvec
+
+        groups = SharedBlockedMatvec._make_groups(store.shards, 3)
+        covered = sorted(bid for group in groups for bid in group)
+        assert covered == list(range(store.n_blocks))
+        assert len(groups) <= 3
+
+    def test_telemetry_counts_blocked_rmatvecs(self, store, rng):
+        from repro.observability import get_registry, reset_registry
+        from repro.parallel.shared import SharedBlockedMatvec
+
+        reset_registry()
+        try:
+            with SharedBlockedMatvec(store, n_workers=1) as mv:
+                mv.rmatvec(rng.random(mv.n))
+            metrics = get_registry().as_dict()
+            samples = metrics["repro_parallel_rmatvecs_total"]["samples"]
+            assert any(
+                s["labels"].get("evaluator") == "blocked" and s["value"] >= 1
+                for s in samples
+            )
+        finally:
+            reset_registry()

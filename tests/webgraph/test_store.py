@@ -1,0 +1,210 @@
+"""Tests for the sharded on-disk graph store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import CodecError, GraphError
+from repro.graph import PageGraph
+from repro.webgraph.store import (
+    MANIFEST_NAME,
+    ShardedGraphStore,
+    ShardedStoreWriter,
+)
+
+
+def _stochastic(n: int, density: float, seed: int) -> sp.csr_matrix:
+    """A row-(sub)stochastic random CSR with some dangling rows."""
+    m = sp.random(n, n, density=density, random_state=seed, format="csr")
+    sums = np.asarray(m.sum(axis=1)).ravel()
+    scale = np.where(sums > 0, 1.0 / np.where(sums > 0, sums, 1.0), 0.0)
+    out = (sp.diags(scale) @ m).tocsr()
+    out.sort_indices()
+    return out
+
+
+@pytest.fixture(scope="module")
+def matrix() -> sp.csr_matrix:
+    return _stochastic(97, 0.05, seed=11)
+
+
+@pytest.fixture()
+def store(matrix, tmp_path) -> ShardedGraphStore:
+    return ShardedGraphStore.from_matrix(
+        matrix, tmp_path / "store", block_size=16, meta={"origin": "test"}
+    )
+
+
+class TestRoundtrip:
+    def test_materialize_is_exact(self, matrix, store):
+        back = store.materialize()
+        assert (back != matrix).nnz == 0
+        np.testing.assert_array_equal(back.indices, matrix.indices)
+        np.testing.assert_array_equal(back.data, matrix.data)
+
+    def test_blocks_partition_rows(self, matrix, store):
+        cursor = 0
+        for info in store.shards:
+            assert info.row_start == cursor
+            cursor = info.row_stop
+        assert cursor == matrix.shape[0]
+
+    def test_each_block_decodes_independently(self, matrix, store):
+        for info in store.shards:
+            block = store.load_block(info.block_id)
+            expected = matrix[info.row_start : info.row_stop]
+            assert (block != expected).nnz == 0
+
+    def test_streamed_stats_match(self, matrix, store):
+        np.testing.assert_allclose(
+            store.row_sums(), np.asarray(matrix.sum(axis=1)).ravel(), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            store.diagonal(), matrix.diagonal(), atol=1e-12
+        )
+
+    def test_describe_and_meta(self, matrix, store):
+        desc = store.describe()
+        assert desc["n_sources"] == matrix.shape[0]
+        assert desc["n_edges"] == matrix.nnz
+        assert desc["weighted"] is True
+        assert desc["bits_per_edge"] > 0
+        assert store.meta == {"origin": "test"}
+
+    def test_verify_clean_store(self, store):
+        store.verify()
+
+    def test_unweighted_pagegraph_store(self, tmp_path):
+        gen = np.random.default_rng(5)
+        n = 60
+        graph = PageGraph.from_edges(
+            gen.integers(0, n, 400), gen.integers(0, n, 400), n
+        )
+        st = ShardedGraphStore.from_pagegraph(
+            graph, tmp_path / "pg", block_size=13
+        )
+        assert not st.weighted
+        back = st.materialize()
+        # Uniform 1/outdeg rows; dangling rows stay all-zero.
+        outdeg = np.diff(graph.indptr)
+        sums = np.asarray(back.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums[outdeg > 0], 1.0, atol=1e-12)
+        np.testing.assert_array_equal(sums[outdeg == 0], 0.0)
+        np.testing.assert_array_equal(back.indices, graph.indices)
+
+
+class TestIntegrity:
+    def test_tampered_weights_fail_digest(self, store):
+        info = store.shards[0]
+        path = store.directory / info.filename
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["data"] = arrays["data"] * 1.01
+        np.savez(path, **arrays)
+        with pytest.raises(CodecError, match="digest"):
+            store.load_block(0)
+        # verify=False skips the digest check (content is still decodable).
+        store.load_block(0, verify=False)
+
+    def test_tampered_payload_fails_digest(self, store):
+        info = store.shards[1]
+        path = store.directory / info.filename
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        payload = arrays["payload"].copy()
+        payload[0] ^= 0x01
+        arrays["payload"] = payload
+        np.savez(path, **arrays)
+        with pytest.raises(CodecError):
+            store.load_block(1)
+
+    def test_missing_shard_file(self, store):
+        (store.directory / store.shards[0].filename).unlink()
+        with pytest.raises(CodecError, match="unreadable"):
+            store.load_block(0)
+
+    def test_bad_manifest_version(self, store):
+        path = store.directory / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["format_version"] = 999
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(CodecError, match="format_version"):
+            ShardedGraphStore.open(store.directory)
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(GraphError, match="manifest"):
+            ShardedGraphStore.open(tmp_path / "nope")
+
+    def test_block_id_out_of_range(self, store):
+        with pytest.raises(GraphError, match="out of range"):
+            store.load_block(store.n_blocks)
+
+
+class TestWriterValidation:
+    def test_indptr_must_be_local(self, tmp_path):
+        w = ShardedStoreWriter(tmp_path / "s", 10, block_size=4)
+        with pytest.raises(GraphError, match="local"):
+            w.append_block(np.array([3, 5]), np.array([1, 2]))
+
+    def test_indptr_must_be_nondecreasing(self, tmp_path):
+        w = ShardedStoreWriter(tmp_path / "s", 10, block_size=4)
+        with pytest.raises(GraphError, match="non-decreasing"):
+            w.append_block(np.array([0, 2, 1]), np.array([1, 2]))
+
+    def test_edge_count_mismatch(self, tmp_path):
+        w = ShardedStoreWriter(tmp_path / "s", 10, block_size=4)
+        with pytest.raises(GraphError, match="edges"):
+            w.append_block(np.array([0, 3]), np.array([1, 2]))
+
+    def test_columns_out_of_range(self, tmp_path):
+        w = ShardedStoreWriter(tmp_path / "s", 10, block_size=4)
+        with pytest.raises(GraphError, match="column"):
+            w.append_block(np.array([0, 1]), np.array([10]))
+
+    def test_row_overflow(self, tmp_path):
+        w = ShardedStoreWriter(tmp_path / "s", 2, block_size=4)
+        with pytest.raises(GraphError, match="overflow"):
+            w.append_block(np.array([0, 0, 0, 0]), np.array([], dtype=np.int64))
+
+    def test_cannot_mix_weighted_and_unweighted(self, tmp_path):
+        w = ShardedStoreWriter(tmp_path / "s", 10, block_size=4)
+        w.append_block(np.array([0, 1]), np.array([1]), np.array([1.0]))
+        with pytest.raises(GraphError, match="mix"):
+            w.append_block(np.array([0, 1]), np.array([2]))
+
+    def test_data_length_mismatch(self, tmp_path):
+        w = ShardedStoreWriter(tmp_path / "s", 10, block_size=4)
+        with pytest.raises(GraphError, match="data length"):
+            w.append_block(np.array([0, 2]), np.array([1, 2]), np.array([1.0]))
+
+    def test_finalize_requires_full_coverage(self, tmp_path):
+        w = ShardedStoreWriter(tmp_path / "s", 10, block_size=4)
+        w.append_block(np.array([0, 1]), np.array([1]))
+        with pytest.raises(GraphError, match="declares"):
+            w.finalize()
+
+    def test_finalized_writer_rejects_appends(self, tmp_path, matrix):
+        n = matrix.shape[0]
+        w = ShardedStoreWriter(tmp_path / "s", n, block_size=n)
+        w.append_matrix(matrix)
+        w.finalize()
+        with pytest.raises(GraphError, match="finalized"):
+            w.append_matrix(matrix)
+        with pytest.raises(GraphError, match="finalized"):
+            w.finalize()
+
+    def test_from_matrix_rejects_nonsquare(self, tmp_path):
+        with pytest.raises(GraphError, match="square"):
+            ShardedGraphStore.from_matrix(
+                sp.random(4, 5, format="csr"), tmp_path / "s"
+            )
+
+    def test_bad_construction(self, tmp_path):
+        with pytest.raises(GraphError):
+            ShardedStoreWriter(tmp_path / "s", 0)
+        with pytest.raises(GraphError):
+            ShardedStoreWriter(tmp_path / "s", 5, block_size=0)
