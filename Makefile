@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain pytest / python underneath.
 
 .PHONY: install test bench figures examples metrics-demo obs-demo ledger \
-	resilience audit serving soak serve-demo sharding shard-demo clean
+	resilience audit serving soak serve-demo sharding shard-demo \
+	fleet fleet-demo clean
 
 install:
 	pip install -e .
@@ -60,6 +61,16 @@ shard-demo:
 	PYTHONPATH=src python -m repro shard info /tmp/repro-shard-demo --verify
 	PYTHONPATH=src python -m repro rank --graph-store /tmp/repro-shard-demo \
 		--top 5
+
+fleet:
+	PYTHONPATH=src python -m pytest -q tests/serving/test_fleet.py \
+		tests/serving/test_frontend.py tests/serving/test_read_path.py
+	PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+
+fleet-demo:
+	rm -rf /tmp/repro-fleet-demo
+	PYTHONPATH=src python -m repro serve --snapshot-dir /tmp/repro-fleet-demo \
+		--replicas 3 --updates 3 --queries 20
 
 serve-demo:
 	PYTHONPATH=src python -m repro serve --snapshot-dir /tmp/repro-serve \

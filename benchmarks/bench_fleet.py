@@ -1,0 +1,515 @@
+#!/usr/bin/env python
+"""Open-loop load harness for the replicated serving fleet.
+
+One publisher (the existing :class:`RankingService` updater) feeds the
+snapshot store; N spawned read-only replicas adopt each publish; an
+asyncio front door balances batched σ/percentile/top-k reads across
+them.  The harness drives the whole stack the way the ISSUE demands:
+
+* **load** — ≥1M reads (batched requests, open-loop arrival schedule:
+  latency is completion − *scheduled* arrival, so a stalled server
+  pays for the queue it builds, not just its service time).
+* **chaos** — one replica is SIGKILLed mid-load and restarted while
+  the load keeps running; every read issued during the outage must
+  still succeed (the door evicts and retries), and after the restart
+  the replica must take reads again.
+* **updates** — the publisher applies evolving-graph updates mid-load;
+  afterwards every replica must converge to the newest snapshot and
+  serve a σ identical to the publisher's latest to 1e-9.
+* **singletons** — concurrent single-id reads must be coalesced by the
+  door's micro-batcher (strictly fewer flushes than reads).
+
+Writes ``benchmarks/results/BENCH_fleet.json``; exits non-zero when any
+gate fails: a failed or rejected read, a replica that never converged,
+σ drift past 1e-9, an outage that surfaced to a client, or a
+micro-batcher that never batched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_fleet.json"
+
+SIGMA_ATOL = 1e-9
+
+#: Share of the scheduled requests at which the chaos levers fire.
+KILL_AT = 0.35
+RESTART_AT = 0.60
+UPDATE_AT = (0.20, 0.45, 0.75)
+
+
+def quantile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    return float(np.quantile(np.asarray(samples), q))
+
+
+class GraphEvolver:
+    """Deterministic stream of growing page webs (bench_serving idiom)."""
+
+    def __init__(self, graph, seed: int) -> None:
+        from repro.graph import add_edges
+
+        self._add_edges = add_edges
+        self.graph = graph
+        self._gen = np.random.default_rng(seed)
+
+    def step(self):
+        src = self._gen.integers(0, self.graph.n_nodes, size=4)
+        dst = self._gen.integers(0, self.graph.n_nodes, size=4)
+        self.graph = self._add_edges(self.graph, src.tolist(), dst.tolist())
+        return self.graph
+
+
+def build_fleet(store_dir: Path, seed: int, replicas: int):
+    from repro.config import FleetParams, ServingParams
+    from repro.serving import RankingService, ServingFleet
+
+    serving = ServingParams(
+        max_pending=6,
+        backoff_base_seconds=0.02,
+        backoff_max_seconds=0.2,
+        poll_interval_seconds=0.005,
+        seed=seed,
+    )
+    service = RankingService(store_dir, serving=serving)
+    params = FleetParams(
+        replicas=replicas,
+        replica_poll_seconds=0.02,
+        probe_interval_seconds=0.1,
+        batch_linger_seconds=0.002,
+    )
+    return service, ServingFleet(service, params)
+
+
+# ----------------------------------------------------------------------
+# Open-loop load with mid-load chaos and publisher updates
+# ----------------------------------------------------------------------
+def run_load(
+    fleet,
+    service,
+    evolver,
+    assignment,
+    kappa,
+    *,
+    n_sources: int,
+    requests: int,
+    batch_ids: int,
+    seed: int,
+) -> dict:
+    """Drive the scheduled request stream through the front door.
+
+    Open-loop: request *i* is due at ``t0 + i·interval`` regardless of
+    how the server is doing; its latency is measured from that arrival,
+    so a backed-up door shows up as tail latency instead of silently
+    slowing the generator down (closed-loop coordination omission).
+    """
+    from repro.errors import AdmissionError
+
+    gen = np.random.default_rng(seed)
+    client = fleet.client()
+
+    # Calibrate the arrival rate against this machine: the open-loop
+    # schedule targets ~75% of the measured unloaded throughput so the
+    # queue drains between stalls instead of growing without bound.
+    warmup = []
+    for _ in range(20):
+        ids = gen.integers(0, n_sources, size=batch_ids).tolist()
+        t = time.perf_counter()
+        response = client.score(ids)
+        warmup.append(time.perf_counter() - t)
+        assert response["ok"], response
+    interval = max(float(np.median(warmup)) / 0.75, 1e-4)
+
+    kill_idx = int(requests * KILL_AT)
+    restart_idx = int(requests * RESTART_AT)
+    update_idx = {int(requests * frac) for frac in UPDATE_AT}
+
+    latencies: list[float] = []
+    outage = {"reads": 0, "failed": 0}
+    failures: list[str] = []
+    updates_accepted = 0
+    restart_thread: threading.Thread | None = None
+    restart_error: list[str] = []
+    in_outage = False
+
+    def restart() -> None:
+        try:
+            fleet.restart_replica(0)
+        except Exception as exc:  # noqa: BLE001 - gated below
+            restart_error.append(f"{type(exc).__name__}: {exc}")
+
+    t0 = time.perf_counter()
+    for i in range(requests):
+        if i == kill_idx:
+            fleet.kill_replica(0)
+            in_outage = True
+        if i == restart_idx:
+            restart_thread = threading.Thread(target=restart, name="restart")
+            restart_thread.start()
+        if i in update_idx:
+            try:
+                service.submit_update(evolver.step(), assignment, kappa)
+                updates_accepted += 1
+            except AdmissionError:
+                pass  # backpressure: the load does not stop for it
+        arrival = t0 + i * interval
+        now = time.perf_counter()
+        if now < arrival:
+            time.sleep(arrival - now)
+        ids = gen.integers(0, n_sources, size=batch_ids).tolist()
+        response = (
+            client.percentile(ids) if i % 7 == 6 else client.score(ids)
+        )
+        done = time.perf_counter()
+        # Open-loop latency: measured from the *scheduled* arrival, so
+        # time spent queued behind a stalled door counts against us.
+        latencies.append(done - arrival)
+        ok = bool(response.get("ok"))
+        if in_outage:
+            outage["reads"] += batch_ids
+            if not ok:
+                outage["failed"] += batch_ids
+        if not ok and len(failures) < 10:
+            failures.append(str(response))
+        if restart_thread is not None and not restart_thread.is_alive():
+            in_outage = False
+    elapsed = time.perf_counter() - t0
+
+    if restart_thread is not None:
+        restart_thread.join(timeout=120)
+
+    # Post-restart traffic: the restarted replica must take reads again.
+    deadline = time.monotonic() + 60
+    while (
+        fleet.frontdoor.stats()["replicas"]["0"]["state"] != "active"
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.05)
+    reads_before = fleet.frontdoor.stats()["replicas"]["0"]["reads"]
+    post_restart = 50
+    for i in range(post_restart):
+        ids = gen.integers(0, n_sources, size=batch_ids).tolist()
+        t = time.perf_counter()
+        response = client.score(ids)
+        latencies.append(time.perf_counter() - t)
+        if not response.get("ok") and len(failures) < 10:
+            failures.append(str(response))
+    reads_after = fleet.frontdoor.stats()["replicas"]["0"]["reads"]
+    client.close()
+
+    total_requests = requests + len(warmup) + post_restart
+    return {
+        "requests": total_requests,
+        "scheduled_requests": requests,
+        "batch_ids": batch_ids,
+        "interval_seconds": interval,
+        "target_rate_reads_per_second": batch_ids / interval,
+        "elapsed_seconds": elapsed,
+        "latency_overall": {
+            "count": len(latencies),
+            "p50_seconds": quantile(latencies, 0.50),
+            "p99_seconds": quantile(latencies, 0.99),
+            "max_seconds": max(latencies),
+        },
+        "chaos": {
+            "killed_at_request": kill_idx,
+            "restart_started_at_request": restart_idx,
+            "reads_during_outage": outage["reads"],
+            "failed_during_outage": outage["failed"],
+            "restart_error": restart_error,
+            "restarted_replica_state": fleet.frontdoor.stats()["replicas"][
+                "0"
+            ]["state"],
+            "restarted_replica_reads_delta": reads_after - reads_before,
+        },
+        "updates_accepted": updates_accepted,
+        "request_failures": failures,
+    }
+
+
+# ----------------------------------------------------------------------
+# Singleton micro-batching phase
+# ----------------------------------------------------------------------
+def run_singletons(fleet, n_sources: int, threads: int, rounds: int) -> dict:
+    """Concurrent single-id reads must coalesce inside the door."""
+    from repro.serving import FleetClient
+
+    stats_before = fleet.frontdoor.stats()["batching"]
+    results: list[bool] = []
+    lock = threading.Lock()
+
+    def reader(offset: int) -> None:
+        with FleetClient(fleet.frontdoor.address) as client:
+            ok = [
+                bool(client.score_one((offset + i) % n_sources).get("ok"))
+                for i in range(rounds)
+            ]
+        with lock:
+            results.extend(ok)
+
+    workers = [
+        threading.Thread(target=reader, args=(i * 17,), name=f"singleton-{i}")
+        for i in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=120)
+    stats_after = fleet.frontdoor.stats()["batching"]
+    reads = threads * rounds
+    flushes = stats_after["flushes"] - stats_before["flushes"]
+    return {
+        "reads": reads,
+        "ok": sum(results),
+        "flushes": flushes,
+        "coalesced": bool(flushes and flushes < reads),
+    }
+
+
+# ----------------------------------------------------------------------
+# Convergence + σ identity
+# ----------------------------------------------------------------------
+def run_convergence(fleet, service) -> dict:
+    """Every replica lands on the publisher's newest snapshot, exactly."""
+    from repro.serving import replica_request
+
+    deadline = time.monotonic() + 120
+    while (
+        service.health()["staleness_updates"] > 0
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.02)
+    published = service.health()["snapshot_version"]
+    versions: dict[str, int | None] = {}
+    while time.monotonic() < deadline:
+        versions = {
+            rid: entry.get("snapshot_version")
+            for rid, entry in fleet.frontdoor.health().items()
+        }
+        if versions and all(v == published for v in versions.values()):
+            break
+        time.sleep(0.05)
+
+    reference = service.store.latest(kind="sr").result().scores
+    per_replica: dict[str, float] = {}
+    for rid, handle in sorted(fleet.replicas.items()):
+        served = replica_request(handle.address, {"op": "sigma"})["sigma"]
+        per_replica[str(rid)] = float(
+            np.abs(np.asarray(served) - reference).max()
+        )
+    sigma_max_diff = max(per_replica.values())
+    return {
+        "published_version": published,
+        "replica_versions": versions,
+        "converged": bool(
+            versions and all(v == published for v in versions.values())
+        ),
+        "sigma_max_diff": sigma_max_diff,
+        "sigma_per_replica": per_replica,
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run(
+    quick: bool, seed: int, replicas: int, requests: int, batch_ids: int,
+    store_dir: Path,
+) -> dict:
+    from repro.datasets import load_dataset
+    from repro.observability.metrics import reset_registry
+    from repro.throttle.vector import ThrottleVector
+
+    reset_registry()
+    ds = load_dataset("tiny")
+    n = ds.assignment.n_sources
+    kappa = np.zeros(n)
+    kappa[np.asarray(ds.spam_sources, dtype=np.int64)] = 1.0
+    kappa = ThrottleVector(kappa)
+
+    service, fleet = build_fleet(store_dir, seed, replicas)
+    t0 = time.perf_counter()
+    service.bootstrap(ds.graph, ds.assignment, kappa)
+    bootstrap_seconds = time.perf_counter() - t0
+    evolver = GraphEvolver(ds.graph, seed)
+
+    t0 = time.perf_counter()
+    with fleet:
+        fleet_up_seconds = time.perf_counter() - t0
+        load = run_load(
+            fleet,
+            service,
+            evolver,
+            ds.assignment,
+            kappa,
+            n_sources=n,
+            requests=requests,
+            batch_ids=batch_ids,
+            seed=seed,
+        )
+        singletons = run_singletons(
+            fleet, n, threads=8, rounds=4 if quick else 16
+        )
+        convergence = run_convergence(fleet, service)
+        door = fleet.frontdoor.stats()
+        health = fleet.health()
+
+    reads = door["reads"]
+    per_replica = {
+        rid: {
+            "state": entry["state"],
+            "reads": entry["reads"],
+            "evictions": entry["evictions"],
+            "reinstatements": entry["reinstatements"],
+            "latency": entry["latency"],
+        }
+        for rid, entry in door["replicas"].items()
+    }
+    chaos = load["chaos"]
+    gates = {
+        "zero_failed_reads": bool(
+            reads["failed"] == 0
+            and reads["rejected"] == 0
+            and not load["request_failures"]
+        ),
+        "min_reads": reads["ok"] >= requests * batch_ids,
+        "chaos_recovered": bool(
+            not chaos["restart_error"]
+            and chaos["restarted_replica_state"] == "active"
+            and door["replicas"]["0"]["evictions"] >= 1
+            and door["replicas"]["0"]["reinstatements"] >= 1
+            and chaos["restarted_replica_reads_delta"] > 0
+        ),
+        "outage_survived": bool(
+            chaos["reads_during_outage"] > 0
+            and chaos["failed_during_outage"] == 0
+        ),
+        "updates_applied": load["updates_accepted"] >= len(UPDATE_AT),
+        "replicas_converged": convergence["converged"],
+        "sigma_identity": convergence["sigma_max_diff"] <= SIGMA_ATOL,
+        "singletons_coalesced": singletons["coalesced"],
+        "every_replica_served": all(
+            entry["reads"] > 0 for entry in per_replica.values()
+        ),
+        "publisher_healthy": health["publisher"]["state"] == "healthy",
+    }
+    return {
+        "quick": quick,
+        "seed": seed,
+        "replicas": replicas,
+        "n_sources": int(n),
+        "sigma_atol": SIGMA_ATOL,
+        "bootstrap_seconds": bootstrap_seconds,
+        "fleet_up_seconds": fleet_up_seconds,
+        "load": {
+            **{k: v for k, v in load.items() if k != "chaos"},
+            "reads": {
+                "total": reads["ok"] + reads["failed"] + reads["rejected"],
+                "ok": reads["ok"],
+                "failed": reads["failed"],
+                "rejected": reads["rejected"],
+            },
+            "latency": {
+                "overall": load["latency_overall"],
+                "per_replica": {
+                    rid: entry["latency"]
+                    for rid, entry in per_replica.items()
+                },
+            },
+        },
+        "chaos": chaos,
+        "adoption": {
+            "published_version": convergence["published_version"],
+            "replica_versions": convergence["replica_versions"],
+            "sigma_max_diff": convergence["sigma_max_diff"],
+            "sigma_per_replica": convergence["sigma_per_replica"],
+        },
+        "singletons": singletons,
+        "per_replica": per_replica,
+        "frontend": {
+            "requests_total": door["requests_total"],
+            "batching": door["batching"],
+        },
+        "gates": gates,
+        "all_passed": all(gates.values()),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small read count (CI mode; every gate still applies)",
+    )
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument(
+        "--replicas", type=int, default=3, help="fleet size (default 3)"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="scheduled batched requests (default 1500, or 100 with --quick)",
+    )
+    parser.add_argument(
+        "--batch-ids",
+        type=int,
+        default=None,
+        help="ids per batched request (default 700, or 500 with --quick)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RESULTS_PATH, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    requests = args.requests or (100 if args.quick else 1500)
+    batch_ids = args.batch_ids or (500 if args.quick else 700)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = run(
+            args.quick, args.seed, args.replicas, requests, batch_ids,
+            Path(tmp) / "snapshots",
+        )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    load, chaos = report["load"], report["chaos"]
+    print(
+        f"fleet load ({report['replicas']} replicas, "
+        f"{load['reads']['total']:,} reads in "
+        f"{load['elapsed_seconds']:.1f}s open-loop):"
+    )
+    print(
+        f"  latency p50 {load['latency']['overall']['p50_seconds'] * 1e3:.2f}ms "
+        f"p99 {load['latency']['overall']['p99_seconds'] * 1e3:.2f}ms; "
+        f"outage reads {chaos['reads_during_outage']:,} "
+        f"({chaos['failed_during_outage']} failed)"
+    )
+    print(
+        f"  adoption: publisher v{report['adoption']['published_version']}, "
+        f"replicas {report['adoption']['replica_versions']}, "
+        f"sigma max diff {report['adoption']['sigma_max_diff']:.2e}"
+    )
+    for gate, passed in report["gates"].items():
+        print(f"  {gate}: {'ok' if passed else 'FAILED'}")
+    print(f"  wrote {args.out}")
+    if not report["all_passed"]:
+        failed = [g for g, ok in report["gates"].items() if not ok]
+        print(f"FAIL: gates failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

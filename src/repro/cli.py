@@ -219,6 +219,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(admissions, updates, snapshots, state transitions) to this file",
     )
     p_serve.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="run the replicated fleet demo: spawn N read-only replica "
+        "processes that adopt published snapshots and answer queries "
+        "through the load-balancing asyncio front door (0 = "
+        "single-process service demo)",
+    )
+    p_serve.add_argument(
         "--endpoint",
         action="store_true",
         help="serve live telemetry over HTTP (/metrics /health /trace "
@@ -721,6 +730,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         print(f"recovered from snapshot store: {service.health()}")
 
+    if args.replicas:
+        code = _serve_fleet(args, service, ds, kappa, rng)
+        if args.metrics_out:
+            path = write_metrics(
+                args.metrics_out, events=service.events, meta={"command": "serve"}
+            )
+            print(f"wrote metrics to {path}")
+        if args.events_out and service.events is not None:
+            print(
+                f"wrote {len(service.events)} events "
+                f"(run_id {service.events.run_id}) to {args.events_out}"
+            )
+        return code
+
     graph = ds.graph
     for step in range(1, args.updates + 1):
         src = rng.integers(0, graph.n_nodes, size=4)
@@ -770,6 +793,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"(run_id {service.events.run_id}) to {args.events_out}"
         )
     service.stop()
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace, service, ds, kappa, rng) -> int:
+    """The ``serve --replicas N`` path: publisher + replicas + front door."""
+    import time
+
+    from .config import FleetParams
+    from .errors import AdmissionError
+    from .graph import add_edges
+    from .serving import ServingFleet
+
+    n = ds.assignment.n_sources
+    params = FleetParams(replicas=args.replicas)
+    with ServingFleet(service, params) as fleet:
+        host, port = fleet.frontdoor.address
+        print(f"fleet: {args.replicas} replicas behind {host}:{port}")
+        for rid, address in sorted(fleet.replica_addresses().items()):
+            print(f"  replica {rid}: {address[0]}:{address[1]}")
+        with fleet.client() as client:
+            graph = ds.graph
+            for step in range(1, args.updates + 1):
+                src = rng.integers(0, graph.n_nodes, size=4)
+                dst = rng.integers(0, graph.n_nodes, size=4)
+                graph = add_edges(graph, src.tolist(), dst.tolist())
+                try:
+                    seq = service.submit_update(graph, ds.assignment, kappa)
+                except AdmissionError as exc:
+                    print(f"update {step}: REFUSED ({exc.reason})")
+                    continue
+                # The fleet started the background updater; wait for the
+                # publish, then watch the replicas adopt it.
+                deadline = time.monotonic() + 120
+                while (
+                    service.health()["staleness_updates"] > 0
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.05)
+                published = service.health()["snapshot_version"]
+                versions: dict = {}
+                while time.monotonic() < deadline:
+                    versions = {
+                        rid: entry.get("snapshot_version")
+                        for rid, entry in client.health()["replicas"].items()
+                    }
+                    if all(v == published for v in versions.values()):
+                        break
+                    time.sleep(0.05)
+                for _ in range(args.queries):
+                    client.score([int(rng.integers(0, n))])
+                print(
+                    f"update {step} (seq {seq}): publisher at "
+                    f"v{published}, replicas at "
+                    f"{sorted(versions.items())}"
+                )
+            top = client.top_k(args.top)
+            print(
+                f"\ntop {args.top} sources via the front door "
+                f"(replica {top.get('replica')}, snapshot "
+                f"v{top.get('version')}/{top.get('kind')}, "
+                f"age {top.get('age', 0.0):.2f}s):"
+            )
+            for rank, s in enumerate(top["ids"], start=1):
+                print(f"  {rank:3d}. source-{int(s)}")
+            stats = client.stats()["stats"]
+            reads = stats["reads"]
+            print(
+                f"\nfront door: {reads['ok']:.0f} reads ok, "
+                f"{reads['failed']:.0f} failed, "
+                f"{reads['rejected']:.0f} rejected"
+            )
+            for rid, entry in sorted(stats["replicas"].items()):
+                latency = entry["latency"]
+                p99 = latency["p99_seconds"]
+                print(
+                    f"  replica {rid}: state={entry['state']} "
+                    f"reads={entry['reads']} "
+                    f"p99={'n/a' if p99 is None else f'{p99 * 1e3:.2f}ms'}"
+                )
     return 0
 
 

@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 __all__ = [
     "AuditParams",
+    "FleetParams",
     "GraphStoreParams",
     "ObservabilityParams",
     "RankingParams",
@@ -351,6 +352,94 @@ class ServingParams:
         object.__setattr__(self, "seed", int(self.seed))
 
     def with_(self, **overrides: object) -> "ServingParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class FleetParams:
+    """Topology and protocol knobs of the replicated serving fleet.
+
+    Consumed by :class:`~repro.serving.ServingFleet` (one publisher
+    process plus N read replicas behind an asyncio front door); see
+    ``docs/architecture.md`` ("Replicated serving fleet").
+
+    Parameters
+    ----------
+    replicas:
+        Number of read-only replica processes to spawn.
+    host:
+        Interface every fleet socket binds (replicas and front door).
+    frontend_port:
+        Port of the front door's listener; ``0`` picks a free port.
+    replica_poll_seconds:
+        How often each replica polls the snapshot store for a newer
+        version to adopt.
+    batch_max_ids:
+        Micro-batching: singleton ``score``/``percentile`` reads arriving
+        within one linger window coalesce into a single backend request
+        of at most this many ids.
+    batch_linger_seconds:
+        How long the front door holds an open micro-batch waiting for
+        more singleton reads before flushing it.
+    connect_timeout_seconds, request_timeout_seconds:
+        Transport deadlines; a replica that misses one is evicted from
+        rotation and the read is retried on another replica.
+    probe_interval_seconds:
+        How often the front door probes evicted replicas for
+        reinstatement.
+    max_retries:
+        Distinct replicas a single read may be attempted on before the
+        front door reports it failed.
+    spawn_timeout_seconds:
+        How long to wait for a freshly spawned replica to bind its
+        socket and adopt a first snapshot before giving up.
+    ready_requires_snapshot:
+        Whether replica readiness additionally demands an adopted
+        snapshot (on by default; the bench and CLI rely on it).
+    """
+
+    replicas: int = 3
+    host: str = "127.0.0.1"
+    frontend_port: int = 0
+    replica_poll_seconds: float = 0.05
+    batch_max_ids: int = 512
+    batch_linger_seconds: float = 0.002
+    connect_timeout_seconds: float = 5.0
+    request_timeout_seconds: float = 10.0
+    probe_interval_seconds: float = 0.25
+    max_retries: int = 3
+    spawn_timeout_seconds: float = 120.0
+    ready_requires_snapshot: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("replicas", "batch_max_ids", "max_retries"):
+            value = int(getattr(self, name))
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value!r}")
+            object.__setattr__(self, name, value)
+        port = int(self.frontend_port)
+        if not 0 <= port <= 65535:
+            raise ConfigError(f"frontend_port must lie in [0, 65535], got {port!r}")
+        object.__setattr__(self, "frontend_port", port)
+        if not str(self.host):
+            raise ConfigError("host must be non-empty")
+        for name in ("replica_poll_seconds", "connect_timeout_seconds",
+                     "request_timeout_seconds", "probe_interval_seconds",
+                     "spawn_timeout_seconds"):
+            _check_positive(name, getattr(self, name))
+            object.__setattr__(self, name, float(getattr(self, name)))
+        linger = float(self.batch_linger_seconds)
+        if linger < 0.0:
+            raise ConfigError(
+                f"batch_linger_seconds must be >= 0, got {linger!r}"
+            )
+        object.__setattr__(self, "batch_linger_seconds", linger)
+        object.__setattr__(
+            self, "ready_requires_snapshot", bool(self.ready_requires_snapshot)
+        )
+
+    def with_(self, **overrides: object) -> "FleetParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)  # type: ignore[arg-type]
 

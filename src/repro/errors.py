@@ -23,6 +23,7 @@ __all__ = [
     "AuditError",
     "ServingError",
     "AdmissionError",
+    "FleetError",
     "InjectedFaultError",
     "ConfigError",
     "DatasetError",
@@ -219,6 +220,21 @@ class AdmissionError(ServingError):
     def __init__(self, reason: str, message: str) -> None:
         super().__init__(message)
         self.reason = reason
+
+
+class FleetError(ServingError):
+    """Raised by the replicated serving fleet (spawn, transport, exhaustion).
+
+    Attributes
+    ----------
+    replica:
+        Id of the replica involved, or ``None`` when the failure is not
+        attributable to a single replica (e.g. every replica evicted).
+    """
+
+    def __init__(self, message: str, *, replica: int | None = None) -> None:
+        super().__init__(message)
+        self.replica = replica
 
 
 class InjectedFaultError(ReproError):

@@ -73,6 +73,7 @@ BACKFILL_LABELS: dict[str, str] = {
     "audit": "PR4",
     "serving": "PR5",
     "sharding": "PR7",
+    "fleet": "PR9",
 }
 
 
@@ -183,6 +184,46 @@ TRACKED_METRICS: tuple[TrackedMetric, ...] = (
         abs_limit=0.9,
     ),
     TrackedMetric("sharding", "decode.edges_per_second", "higher", 0.5),
+    # Replicated serving fleet (PR9): the committed full run must drive
+    # ≥1M reads across the fleet with not one failed read — including
+    # through a kill+restart — and every replica must converge to the
+    # publisher's newest σ exactly (1e-9).  The open-loop p99 gets a
+    # wide timing band plus a 1s absolute ceiling.
+    TrackedMetric(
+        "fleet", "load.reads.failed", "lower", 0.0,
+        abs_limit=0.0, required=True,
+    ),
+    TrackedMetric(
+        "fleet", "load.reads.total", "higher", 0.25,
+        abs_limit=1_000_000, required=True,
+    ),
+    TrackedMetric(
+        "fleet", "gates.zero_failed_reads", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "fleet", "gates.chaos_recovered", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "fleet", "gates.outage_survived", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "fleet", "gates.replicas_converged", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "fleet", "adoption.sigma_max_diff", "lower", 0.0,
+        abs_limit=1e-9, required=True,
+    ),
+    TrackedMetric(
+        "fleet", "gates.singletons_coalesced", "higher", 0.0, abs_limit=1.0,
+    ),
+    TrackedMetric(
+        "fleet", "load.latency.overall.p99_seconds", "lower", 1.0,
+        abs_limit=1.0,
+    ),
 )
 
 

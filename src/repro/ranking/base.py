@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import GraphError
+from ..errors import GraphError, NodeIndexError
 from ..linalg.iterate import ConvergenceInfo
 
 __all__ = ["ConvergenceInfo", "RankingResult", "check_scores"]
@@ -71,9 +71,24 @@ class RankingResult:
         """Number of ranked items."""
         return int(self._scores.size)
 
+    def _check_node(self, node: int) -> int:
+        """Validate an item id, refusing numpy's negative wraparound."""
+        node = int(node)
+        if not 0 <= node < self.n:
+            raise NodeIndexError(node, self.n)
+        return node
+
     def score_of(self, node: int) -> float:
-        """Score of one item."""
-        return float(self._scores[int(node)])
+        """Score of one item. Raises :class:`NodeIndexError` outside [0, n)."""
+        return float(self._scores[self._check_node(node)])
+
+    def percentile_of(self, node: int) -> float:
+        """Percentile of one item (see :meth:`percentiles`).
+
+        Raises :class:`NodeIndexError` outside [0, n) instead of letting a
+        negative id wrap around to the tail of the vector.
+        """
+        return float(self.percentiles()[self._check_node(node)])
 
     def order(self) -> np.ndarray:
         """Item ids sorted by decreasing score (ties broken by id).

@@ -8,12 +8,29 @@ while a circuit-breaker-guarded background updater re-solves the ranking
 as the web evolves, degrading explicitly (healthy → stale → baseline →
 read-only) instead of ever serving a wrong or partial σ.
 
-See ``docs/architecture.md`` ("Serving") for the state machine and
-``benchmarks/bench_serving.py`` for the chaos/soak harness that proves
-the degradation and recovery behavior under injected faults.
+Above the single process sits the replicated fleet: a
+:class:`ServingFleet` keeps one publisher (the service above) writing
+snapshots while N spawned read-only :class:`ReplicaService` processes
+adopt them through seq-guarded, digest-verified
+:class:`SnapshotFollower` polls, all behind the load-balancing,
+micro-batching, health-evicting asyncio :class:`FrontDoor` (clients use
+the blocking :class:`FleetClient`).
+
+See ``docs/architecture.md`` ("Serving" and "Replicated serving fleet")
+for the state machines, ``benchmarks/bench_serving.py`` for the
+single-process chaos/soak harness, and ``benchmarks/bench_fleet.py``
+for the fleet's open-loop load / kill-a-replica harness.
 """
 
 from .breaker import BREAKER_STATES, CircuitBreaker
+from .fleet import (
+    ReplicaHandle,
+    ReplicaService,
+    ServingFleet,
+    SnapshotFollower,
+    replica_request,
+)
+from .frontend import REPLICA_STATES, FleetClient, FrontDoor
 from .service import SERVING_STATES, RankingService, ServeResponse
 from .snapshot import SNAPSHOT_KINDS, RankingSnapshot, SnapshotStore
 
@@ -26,4 +43,12 @@ __all__ = [
     "SNAPSHOT_KINDS",
     "RankingSnapshot",
     "SnapshotStore",
+    "REPLICA_STATES",
+    "FleetClient",
+    "FrontDoor",
+    "ReplicaHandle",
+    "ReplicaService",
+    "ServingFleet",
+    "SnapshotFollower",
+    "replica_request",
 ]

@@ -1,0 +1,747 @@
+"""Asyncio front door for the replicated serving fleet.
+
+:class:`FrontDoor` is the single address clients talk to.  It runs an
+asyncio TCP server on a dedicated thread, speaks the same
+newline-delimited JSON protocol as the replicas, and per request:
+
+* **balances** — reads rotate round-robin over the ACTIVE replicas;
+* **batches** — singleton ``score``/``percentile`` reads arriving within
+  one linger window coalesce into a single backend request (pre-batched
+  ``ids`` requests pass straight through);
+* **evicts** — a replica that times out or drops its connection moves
+  ACTIVE → EVICTED, the read retries on another replica (so one dead
+  replica costs latency, never a failed read), and a background probe
+  loop reinstates the replica once it answers health checks again;
+* **fans out** — ``health`` aggregates per-replica state, which the
+  publisher's telemetry ``/health`` exposes while a fleet runs.
+
+:class:`FleetClient` is the blocking counterpart used by the CLI, the
+bench harness, and tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Callable, Mapping
+
+import socket
+
+from ..config import FleetParams
+from ..errors import FleetError
+from ..logging_utils import get_logger
+from ..observability.metrics import get_registry
+from .service import READ_LATENCY_BUCKETS
+
+__all__ = ["FrontDoor", "FleetClient", "REPLICA_STATES"]
+
+_logger = get_logger(__name__)
+
+#: Front-door view of one replica: in rotation, or awaiting reinstatement.
+REPLICA_STATES: tuple[str, ...] = ("active", "evicted")
+
+#: Ops whose singleton form (``{"id": i}``) the front door micro-batches.
+_BATCHED_OPS: tuple[str, ...] = ("score", "percentile")
+
+_STREAM_LIMIT = 2**22  # readline cap: a 100k-source σ dump fits
+
+
+def _encode(payload: dict) -> bytes:
+    return json.dumps(payload).encode("utf-8") + b"\n"
+
+
+class _Backend:
+    """Front-door-side record of one replica."""
+
+    __slots__ = (
+        "replica_id",
+        "address",
+        "state",
+        "reader",
+        "writer",
+        "lock",
+        "reads",
+        "errors",
+        "evictions",
+        "reinstatements",
+        "latency",
+        "last_version",
+        "last_error",
+    )
+
+    def __init__(
+        self, replica_id: int, address: tuple[str, int], latency
+    ) -> None:
+        self.replica_id = int(replica_id)
+        self.address = (str(address[0]), int(address[1]))
+        self.state = "active"
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.lock = asyncio.Lock()
+        self.reads = 0
+        self.errors = 0
+        self.evictions = 0
+        self.reinstatements = 0
+        self.latency = latency
+        self.last_version: int | None = None
+        self.last_error: str | None = None
+
+    def close_connection(self) -> None:
+        writer, self.writer, self.reader = self.writer, None, None
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - already broken is fine
+                pass
+
+
+class _Batcher:
+    """Micro-batches singleton reads of one op into backend requests."""
+
+    def __init__(self, door: "FrontDoor", op: str) -> None:
+        self._door = door
+        self.op = op
+        self._pending: list[tuple[int, asyncio.Future]] = []
+        self._flusher: asyncio.Task | None = None
+
+    async def submit(self, node: int) -> dict:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((int(node), future))
+        if len(self._pending) >= self._door.params.batch_max_ids:
+            if self._flusher is not None:
+                self._flusher.cancel()
+                self._flusher = None
+            self._flush()
+        elif self._flusher is None:
+            self._flusher = asyncio.create_task(self._linger())
+        return await future
+
+    async def _linger(self) -> None:
+        try:
+            await asyncio.sleep(self._door.params.batch_linger_seconds)
+        except asyncio.CancelledError:
+            return
+        self._flusher = None
+        self._flush()
+
+    def _flush(self) -> None:
+        batch, self._pending = self._pending, []
+        if batch:
+            asyncio.get_running_loop().create_task(self._send(batch))
+
+    async def _send(self, batch: list[tuple[int, asyncio.Future]]) -> None:
+        ids = [node for node, _ in batch]
+        response = await self._door.backend_read(
+            {"op": self.op, "ids": ids}, reads=len(ids)
+        )
+        self._door.record_batch(len(ids))
+        if response.get("ok"):
+            values = response.get("values", ())
+            meta = {
+                key: response.get(key)
+                for key in ("version", "kind", "age", "replica")
+            }
+            for (node, future), value in zip(batch, values):
+                if not future.done():
+                    future.set_result(
+                        {"ok": True, "value": value, "batch": len(ids), **meta}
+                    )
+            return
+        if len(batch) > 1 and response.get("error") in (
+            "NodeIndexError",
+            "GraphError",
+        ):
+            # One bad id must not poison its batch-mates: split and
+            # retry each id alone so only the culprit gets the error.
+            for node, future in batch:
+                single = await self._door.backend_read(
+                    {"op": self.op, "ids": [node]}, reads=1
+                )
+                if not future.done():
+                    if single.get("ok"):
+                        future.set_result(
+                            {
+                                "ok": True,
+                                "value": single["values"][0],
+                                "batch": 1,
+                                **{
+                                    key: single.get(key)
+                                    for key in ("version", "kind", "age", "replica")
+                                },
+                            }
+                        )
+                    else:
+                        future.set_result(single)
+            return
+        for _, future in batch:
+            if not future.done():
+                future.set_result(response)
+
+
+class FrontDoor:
+    """Load-balancing, batching, health-evicting fleet entry point.
+
+    Parameters
+    ----------
+    replicas:
+        Initial routing table: ``replica_id -> (host, port)``.
+    params:
+        Protocol knobs (:class:`~repro.config.FleetParams`); the
+        listener binds ``params.host``:``params.frontend_port``.
+
+    ``start()`` raises the asyncio loop on a daemon thread and blocks
+    until the listener is bound; every public method is safe to call
+    from any thread.
+    """
+
+    def __init__(
+        self,
+        replicas: Mapping[int, tuple[str, int]],
+        params: FleetParams | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.params = params or FleetParams()
+        self._clock = clock
+        registry = get_registry()
+        self._reads_total = registry.counter(
+            "repro_fleet_reads_total",
+            "Front-door reads, by outcome",
+            labelnames=("status",),
+        )
+        self._evictions_total = registry.counter(
+            "repro_fleet_evictions_total",
+            "Replicas evicted from rotation after transport errors",
+        )
+        self._reinstatements_total = registry.counter(
+            "repro_fleet_reinstatements_total",
+            "Evicted replicas returned to rotation",
+        )
+        self._retries_total = registry.counter(
+            "repro_fleet_retries_total",
+            "Reads re-attempted on another replica",
+        )
+        self._batch_flushes_total = registry.counter(
+            "repro_fleet_batch_flushes_total",
+            "Micro-batches flushed to replicas",
+        )
+        self._active_gauge = registry.gauge(
+            "repro_fleet_replicas_active",
+            "Replicas currently in rotation",
+        )
+        self._backend_seconds = registry.histogram(
+            "repro_fleet_backend_seconds",
+            "Per-replica backend round-trip latency",
+            labelnames=("replica",),
+            buckets=READ_LATENCY_BUCKETS,
+        )
+        self._backends: dict[int, _Backend] = {
+            rid: self._new_backend(rid, addr)
+            for rid, addr in sorted(replicas.items())
+        }
+        if not self._backends:
+            raise FleetError("front door needs at least one replica")
+        self._rr = 0
+        self._requests = 0
+        self._reads_ok = 0
+        self._reads_failed = 0
+        self._reads_rejected = 0
+        self._batched_reads = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._address: tuple[str, int] | None = None
+        self._batchers: dict[str, _Batcher] = {}
+        self._active_gauge.set(len(self._backends))
+
+    def _new_backend(self, replica_id: int, address: tuple[str, int]) -> _Backend:
+        return _Backend(
+            replica_id,
+            address,
+            self._backend_seconds.labels(replica=str(replica_id)),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle (called from the host thread)
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` of the listener."""
+        if self._address is None:
+            raise FleetError("front door is not started")
+        return self._address
+
+    def start(self) -> "FrontDoor":
+        """Raise the loop thread and bind the listener (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-front-door", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise FleetError("front door failed to start within 30s")
+        if self._startup_error is not None:
+            raise FleetError(
+                f"front door failed to bind: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and join the loop thread (idempotent)."""
+        loop, thread = self._loop, self._thread
+        if loop is not None and self._stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already closed
+                pass
+        if thread is not None:
+            thread.join(timeout=10)
+        self._thread = None
+        self._loop = None
+
+    def _run_loop(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        for op in _BATCHED_OPS:
+            self._batchers[op] = _Batcher(self, op)
+        try:
+            self._server = await asyncio.start_server(
+                self._serve_client,
+                self.params.host,
+                self.params.frontend_port,
+                limit=_STREAM_LIMIT,
+            )
+            self._address = self._server.sockets[0].getsockname()[:2]
+        except Exception as exc:  # noqa: BLE001 - surface to start()
+            self._startup_error = exc
+            self._started.set()
+            return
+        probe = asyncio.create_task(self._probe_loop())
+        self._started.set()
+        _logger.info("front door listening on %s:%d", *self._address)
+        try:
+            await self._stop_event.wait()
+        finally:
+            probe.cancel()
+            self._server.close()
+            await self._server.wait_closed()
+            for backend in self._backends.values():
+                backend.close_connection()
+
+    # ------------------------------------------------------------------
+    # Client protocol
+    # ------------------------------------------------------------------
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    message = json.loads(line)
+                except (ValueError, UnicodeDecodeError) as exc:
+                    response = {
+                        "ok": False,
+                        "error": "FleetError",
+                        "detail": f"malformed request: {exc}",
+                    }
+                else:
+                    response = await self._dispatch(message)
+                writer.write(_encode(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return
+        finally:
+            writer.close()
+
+    async def _dispatch(self, message: dict) -> dict:
+        self._requests += 1
+        op = message.get("op")
+        try:
+            if op in _BATCHED_OPS:
+                if "ids" in message:
+                    ids = [int(i) for i in message["ids"]]
+                    return await self.backend_read(
+                        {"op": op, "ids": ids}, reads=len(ids)
+                    )
+                return await self._batchers[op].submit(int(message["id"]))
+            if op == "top_k":
+                k = int(message.get("k", 0))
+                return await self.backend_read(
+                    {"op": "top_k", "k": k}, reads=max(k, 1)
+                )
+            if op == "health":
+                return await self._fanout_health()
+            if op == "stats":
+                return {"ok": True, "stats": self.stats()}
+            return {
+                "ok": False,
+                "error": "FleetError",
+                "detail": f"unknown op {op!r}",
+            }
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return {
+                "ok": False,
+                "error": type(exc).__name__,
+                "detail": str(exc),
+            }
+
+    # ------------------------------------------------------------------
+    # Backend routing
+    # ------------------------------------------------------------------
+    def _pick(self, exclude: set[int]) -> _Backend | None:
+        backends = sorted(self._backends)
+        for offset in range(len(backends)):
+            rid = backends[(self._rr + offset) % len(backends)]
+            backend = self._backends[rid]
+            if backend.state == "active" and rid not in exclude:
+                self._rr = (self._rr + offset + 1) % len(backends)
+                return backend
+        return None
+
+    async def backend_read(self, payload: dict, *, reads: int) -> dict:
+        """Send one read to some healthy replica, retrying across evictions.
+
+        A transport failure (timeout, refused/broken connection) evicts
+        the replica and retries elsewhere; a replica still waiting for
+        its first snapshot (``ServingError``) is retried elsewhere
+        without eviction; any other replica-reported error (e.g. an
+        out-of-range id) is the *request's* fault and is returned as-is.
+        """
+        line = _encode(payload)
+        tried: set[int] = set()
+        last_error: str | None = None
+        attempts = max(self.params.max_retries, len(self._backends))
+        for _ in range(attempts):
+            backend = self._pick(tried)
+            if backend is None:
+                break
+            started = self._clock()
+            try:
+                response = await asyncio.wait_for(
+                    self._roundtrip(backend, line),
+                    timeout=self.params.request_timeout_seconds,
+                )
+            except Exception as exc:  # noqa: BLE001 - transport failure
+                last_error = f"{type(exc).__name__}: {exc}"
+                self._evict(backend, last_error)
+                tried.add(backend.replica_id)
+                self._retries_total.inc()
+                continue
+            backend.latency.observe(self._clock() - started)
+            if response.get("ok"):
+                backend.reads += reads
+                backend.last_version = response.get(
+                    "version", backend.last_version
+                )
+                self._reads_ok += reads
+                self._reads_total.labels(status="ok").inc(reads)
+                response.setdefault("replica", backend.replica_id)
+                return response
+            if response.get("error") == "ServingError":
+                # Replica is up but empty (no snapshot adopted yet):
+                # another replica may well have adopted — retry there.
+                tried.add(backend.replica_id)
+                last_error = response.get("detail")
+                self._retries_total.inc()
+                continue
+            backend.errors += 1
+            self._reads_rejected += reads
+            self._reads_total.labels(status="rejected").inc(reads)
+            response.setdefault("replica", backend.replica_id)
+            return response
+        self._reads_failed += reads
+        self._reads_total.labels(status="error").inc(reads)
+        return {
+            "ok": False,
+            "error": "FleetError",
+            "detail": (
+                "read failed on every replica in rotation"
+                + (f" (last: {last_error})" if last_error else "")
+            ),
+        }
+
+    async def _roundtrip(self, backend: _Backend, line: bytes) -> dict:
+        async with backend.lock:
+            if backend.writer is None:
+                backend.reader, backend.writer = await asyncio.wait_for(
+                    asyncio.open_connection(
+                        *backend.address, limit=_STREAM_LIMIT
+                    ),
+                    timeout=self.params.connect_timeout_seconds,
+                )
+            backend.writer.write(line)
+            await backend.writer.drain()
+            raw = await backend.reader.readline()
+        if not raw:
+            raise FleetError(
+                "replica closed the connection", replica=backend.replica_id
+            )
+        return json.loads(raw)
+
+    def _evict(self, backend: _Backend, detail: str) -> None:
+        backend.close_connection()
+        if backend.state == "evicted":
+            return
+        backend.state = "evicted"
+        backend.evictions += 1
+        backend.errors += 1
+        backend.last_error = detail
+        self._evictions_total.inc()
+        self._active_gauge.set(
+            sum(1 for b in self._backends.values() if b.state == "active")
+        )
+        _logger.warning(
+            "evicted replica %d (%s:%d): %s",
+            backend.replica_id,
+            *backend.address,
+            detail,
+        )
+
+    def _reinstate(self, backend: _Backend) -> None:
+        if backend.state == "active":
+            return
+        backend.state = "active"
+        backend.reinstatements += 1
+        backend.last_error = None
+        self._reinstatements_total.inc()
+        self._active_gauge.set(
+            sum(1 for b in self._backends.values() if b.state == "active")
+        )
+        _logger.info(
+            "reinstated replica %d (%s:%d)",
+            backend.replica_id,
+            *backend.address,
+        )
+
+    async def _probe_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.params.probe_interval_seconds)
+            for backend in list(self._backends.values()):
+                if backend.state != "evicted":
+                    continue
+                try:
+                    response = await asyncio.wait_for(
+                        self._roundtrip(backend, _encode({"op": "health"})),
+                        timeout=self.params.request_timeout_seconds,
+                    )
+                except Exception:  # noqa: BLE001 - still down
+                    backend.close_connection()
+                    continue
+                if response.get("ok") and response.get("ready"):
+                    self._reinstate(backend)
+
+    async def _fanout_health(self) -> dict:
+        replicas: dict[str, dict] = {}
+        for rid in sorted(self._backends):
+            backend = self._backends[rid]
+            entry: dict = {
+                "state": backend.state,
+                "address": list(backend.address),
+                "reads": backend.reads,
+                "errors": backend.errors,
+                "evictions": backend.evictions,
+                "reinstatements": backend.reinstatements,
+            }
+            if backend.state == "active":
+                try:
+                    response = await asyncio.wait_for(
+                        self._roundtrip(backend, _encode({"op": "health"})),
+                        timeout=self.params.request_timeout_seconds,
+                    )
+                except Exception as exc:  # noqa: BLE001 - evict on probe
+                    self._evict(backend, f"{type(exc).__name__}: {exc}")
+                    entry["state"] = backend.state
+                    entry["error"] = str(exc)
+                else:
+                    if response.get("ok"):
+                        entry.update(
+                            {
+                                k: v
+                                for k, v in response.items()
+                                if k not in ("ok",)
+                            }
+                        )
+                    else:
+                        entry["error"] = response.get("detail")
+            elif backend.last_error:
+                entry["error"] = backend.last_error
+            replicas[str(rid)] = entry
+        return {"ok": True, "replicas": replicas}
+
+    def _update_replica_on_loop(
+        self, replica_id: int, address: tuple[str, int]
+    ) -> None:
+        old = self._backends.get(replica_id)
+        backend = self._new_backend(replica_id, address)
+        if old is not None:
+            old.close_connection()
+            backend.reads = old.reads
+            backend.errors = old.errors
+            backend.evictions = old.evictions
+            backend.reinstatements = old.reinstatements + (
+                1 if old.state == "evicted" else 0
+            )
+            if old.state == "evicted":
+                self._reinstatements_total.inc()
+        self._backends[replica_id] = backend
+        self._active_gauge.set(
+            sum(1 for b in self._backends.values() if b.state == "active")
+        )
+        _logger.info(
+            "routing replica %d to %s:%d", replica_id, *backend.address
+        )
+
+    # ------------------------------------------------------------------
+    # Thread-safe host surface
+    # ------------------------------------------------------------------
+    def _require_loop(self) -> asyncio.AbstractEventLoop:
+        loop = self._loop
+        if loop is None:
+            raise FleetError("front door is not started")
+        return loop
+
+    def request(self, payload: dict, *, timeout: float | None = None) -> dict:
+        """One request through the door's own dispatcher, from any thread."""
+        loop = self._require_loop()
+        future = asyncio.run_coroutine_threadsafe(
+            self._dispatch(dict(payload)), loop
+        )
+        budget = (
+            timeout
+            if timeout is not None
+            else self.params.request_timeout_seconds
+            * max(self.params.max_retries, len(self._backends))
+            + 5.0
+        )
+        return future.result(timeout=budget)
+
+    def update_replica(self, replica_id: int, address: tuple[str, int]) -> None:
+        """Re-route one replica id to a new address (after a restart)."""
+        self._require_loop().call_soon_threadsafe(
+            self._update_replica_on_loop, int(replica_id), tuple(address)
+        )
+
+    def health(self) -> dict:
+        """Per-replica fan-out health (the ``/health`` replica block)."""
+        return self.request({"op": "health"}).get("replicas", {})
+
+    def record_batch(self, size: int) -> None:
+        """Account one flushed micro-batch (called by the batchers)."""
+        self._batch_flushes_total.inc()
+        self._batched_reads += size
+
+    def stats(self) -> dict:
+        """Door-local counters and per-replica latency quantiles."""
+        replicas = {}
+        for rid in sorted(self._backends):
+            backend = self._backends[rid]
+            replicas[str(rid)] = {
+                "state": backend.state,
+                "address": list(backend.address),
+                "reads": backend.reads,
+                "errors": backend.errors,
+                "evictions": backend.evictions,
+                "reinstatements": backend.reinstatements,
+                "last_version": backend.last_version,
+                "latency": {
+                    "count": backend.latency.count,
+                    "p50_seconds": backend.latency.quantile(0.5),
+                    "p99_seconds": backend.latency.quantile(0.99),
+                },
+            }
+        return {
+            "address": list(self._address) if self._address else None,
+            "requests_total": self._requests,
+            "reads": {
+                "ok": self._reads_ok,
+                "failed": self._reads_failed,
+                "rejected": self._reads_rejected,
+            },
+            "batching": {
+                "flushes": int(self._batch_flushes_total.value),
+                "batched_reads": self._batched_reads,
+                "max_ids": self.params.batch_max_ids,
+                "linger_seconds": self.params.batch_linger_seconds,
+            },
+            "replicas": replicas,
+        }
+
+
+class FleetClient:
+    """Blocking newline-JSON client for the front door (or a replica).
+
+    One TCP connection, one in-flight request at a time — use one
+    client per thread.  Usable as a context manager.
+    """
+
+    def __init__(
+        self, address: tuple[str, int], *, timeout: float = 30.0
+    ) -> None:
+        self.address = (str(address[0]), int(address[1]))
+        self._sock = socket.create_connection(self.address, timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+
+    def request(self, payload: dict) -> dict:
+        """Send one request and block for its response."""
+        with self._lock:
+            self._sock.sendall(_encode(payload))
+            line = self._rfile.readline()
+        if not line:
+            raise FleetError(f"{self.address} closed the connection")
+        return json.loads(line)
+
+    # -- convenience wrappers ------------------------------------------------
+    def score(self, ids: list[int]) -> dict:
+        """Batched σ read."""
+        return self.request({"op": "score", "ids": [int(i) for i in ids]})
+
+    def score_one(self, node: int) -> dict:
+        """Singleton σ read (micro-batched by the front door)."""
+        return self.request({"op": "score", "id": int(node)})
+
+    def percentile(self, ids: list[int]) -> dict:
+        """Batched percentile read."""
+        return self.request({"op": "percentile", "ids": [int(i) for i in ids]})
+
+    def percentile_one(self, node: int) -> dict:
+        """Singleton percentile read (micro-batched)."""
+        return self.request({"op": "percentile", "id": int(node)})
+
+    def top_k(self, k: int) -> dict:
+        """Top-k read."""
+        return self.request({"op": "top_k", "k": int(k)})
+
+    def health(self) -> dict:
+        """Fan-out health document."""
+        return self.request({"op": "health"})
+
+    def stats(self) -> dict:
+        """Front-door counters."""
+        return self.request({"op": "stats"})
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -63,7 +63,7 @@ from ..config import (
     ResilienceParams,
     ServingParams,
 )
-from ..errors import AdmissionError, ServingError
+from ..errors import AdmissionError, ServingError, ThrottleError
 from ..graph.pagegraph import PageGraph
 from ..logging_utils import get_logger
 from ..observability.endpoint import TelemetryServer
@@ -333,7 +333,7 @@ class RankingService:
             snapshot = self.store.publish(
                 kind="sr",
                 sigma=result.scores,
-                kappa=np.zeros(n) if kappa is None else kappa.kappa,
+                kappa=np.zeros(n) if kappa is None else self._padded_kappa(kappa, n),
                 key=self._input_key(graph, assignment, kappa),
                 solver=self.params.solver,
                 convergence=result.convergence,
@@ -646,7 +646,16 @@ class RankingService:
 
     @staticmethod
     def _padded_kappa(kappa: ThrottleVector, n: int) -> np.ndarray:
-        if kappa.n >= n:
+        if kappa.n > n:
+            # Mirrors IncrementalSourceRank.update: a κ assigned on a larger
+            # web must never be published alongside a shorter σ — the extra
+            # entries would silently shift meaning on the next re-assignment.
+            raise ThrottleError(
+                f"throttle vector covers {kappa.n} sources but the source "
+                f"graph has only {n}; a κ assigned on a larger web cannot "
+                "be applied to a smaller one — recompute κ for this web"
+            )
+        if kappa.n == n:
             return kappa.kappa
         padded = np.zeros(n)
         padded[: kappa.n] = kappa.kappa
@@ -661,16 +670,38 @@ class RankingService:
             state = self._state
             staleness = self._submitted_seq - self._applied_seq
         if snapshot is None:
-            _labelled(
-                "repro_serving_reads_total",
-                "Queries answered, by outcome",
-                ("status",),
-            ).labels(status="error").inc()
             raise ServingError(
                 "no snapshot available; bootstrap the service or point it "
                 "at a store holding at least one healthy snapshot"
             )
         return snapshot, state, staleness
+
+    def _read(
+        self, op: str, fn: Callable[[RankingSnapshot], object]
+    ) -> ServeResponse:
+        """Answer one read, funnelling *every* failure — missing snapshot,
+        out-of-range id, anything ``fn`` raises — through a single
+        accounting path so ``repro_serving_reads_total{status="error"}``
+        and the latency histogram never under-count.
+        """
+        started = time.perf_counter()
+        try:
+            snapshot, state, staleness = self._snapshot_for_read()
+            value = fn(snapshot)
+        except Exception as exc:
+            _labelled(
+                "repro_serving_reads_total",
+                "Queries answered, by outcome",
+                ("status",),
+            ).labels(status="error").inc()
+            self._read_seconds.labels(op=op).observe(
+                time.perf_counter() - started
+            )
+            self._emit("read_failed", op=op, error=type(exc).__name__)
+            raise
+        return self._respond(
+            snapshot, state, staleness, value, op=op, started=started
+        )
 
     def _respond(
         self,
@@ -708,37 +739,16 @@ class RankingService:
 
     def score(self, source: int) -> ServeResponse:
         """The served σ value of one source."""
-        started = time.perf_counter()
-        snapshot, state, staleness = self._snapshot_for_read()
-        return self._respond(
-            snapshot,
-            state,
-            staleness,
-            snapshot.result().score_of(source),
-            op="score",
-            started=started,
-        )
+        return self._read("score", lambda s: s.result().score_of(source))
 
     def top_k(self, k: int) -> ServeResponse:
         """Ids of the ``k`` best-ranked sources, best first."""
-        started = time.perf_counter()
-        snapshot, state, staleness = self._snapshot_for_read()
-        return self._respond(
-            snapshot,
-            state,
-            staleness,
-            snapshot.result().top(k),
-            op="top_k",
-            started=started,
-        )
+        return self._read("top_k", lambda s: s.result().top(k))
 
     def percentile(self, source: int) -> ServeResponse:
         """The served ranking percentile (100 = best) of one source."""
-        started = time.perf_counter()
-        snapshot, state, staleness = self._snapshot_for_read()
-        value = float(snapshot.result().percentiles()[int(source)])
-        return self._respond(
-            snapshot, state, staleness, value, op="percentile", started=started
+        return self._read(
+            "percentile", lambda s: s.result().percentile_of(source)
         )
 
     # ------------------------------------------------------------------

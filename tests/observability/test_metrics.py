@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 import threading
 
 import pytest
@@ -165,6 +166,48 @@ class TestExposition:
         assert h.quantile(1.0) <= 4.0
         with pytest.raises(ObservabilityError, match="quantile"):
             h.quantile(1.5)
+
+    def test_histogram_quantile_overflow_bucket_clamps(self) -> None:
+        # Observations beyond the last finite bound land in +Inf; every
+        # quantile touching that bucket clamps to the last finite bound
+        # rather than reporting infinity.
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=(1.0, 2.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.quantile(0.9) == 2.0
+        assert h.quantile(1.0) == 2.0
+
+    def test_histogram_quantile_all_mass_in_overflow(self) -> None:
+        # Every observation beyond the last finite bound: the estimate
+        # degrades to the last finite bound for any q, including q=0.
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=(1.0, 2.0))
+        for _ in range(3):
+            h.observe(10.0)
+        assert h.quantile(0.0) == 2.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 2.0
+        assert h.cumulative_buckets()[-1] == (math.inf, 3)
+
+    def test_histogram_quantile_q1_within_finite_bucket(self) -> None:
+        # q=1.0 with all mass in finite buckets interpolates to the
+        # containing bucket's upper bound, never past it.
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=(1.0, 2.0, 4.0))
+        h.observe(0.25)
+        h.observe(0.75)
+        assert h.quantile(1.0) == 1.0
+
+    def test_histogram_quantile_boundary_observation(self) -> None:
+        # A value exactly on the last finite bound is *inside* that
+        # bucket (<= semantics), not overflow.
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=(1.0, 2.0))
+        h.observe(2.0)
+        assert h.cumulative_buckets()[-1] == (math.inf, 1)
+        assert h.cumulative_buckets()[-2] == (2.0, 1)
+        assert h.quantile(1.0) == 2.0
 
 
 class TestSnapshots:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import GraphError
+from repro.errors import GraphError, NodeIndexError
 from repro.ranking.base import ConvergenceInfo, RankingResult
 
 _INFO = ConvergenceInfo(converged=True, iterations=3, residual=1e-12, tolerance=1e-9)
@@ -69,6 +69,36 @@ class TestRankingResult:
     def test_score_of(self):
         r = RankingResult(np.array([1.0, 3.0]), _INFO)
         assert r.score_of(1) == pytest.approx(0.75)
+
+    def test_score_of_rejects_negative_id(self):
+        # Regression: numpy indexing wrapped -1 around to the last item.
+        r = RankingResult(np.array([1.0, 3.0]), _INFO)
+        with pytest.raises(NodeIndexError, match="out of range"):
+            r.score_of(-1)
+
+    def test_score_of_rejects_id_past_end(self):
+        r = RankingResult(np.array([1.0, 3.0]), _INFO)
+        with pytest.raises(NodeIndexError):
+            r.score_of(2)
+
+    def test_score_of_error_carries_node_and_size(self):
+        r = RankingResult(np.array([1.0, 3.0]), _INFO)
+        with pytest.raises(NodeIndexError) as err:
+            r.score_of(-5)
+        assert err.value.node == -5
+        assert err.value.n_nodes == 2
+
+    def test_percentile_of_matches_percentiles(self):
+        r = RankingResult(np.array([0.1, 0.5, 0.4]), _INFO)
+        for node in range(r.n):
+            assert r.percentile_of(node) == pytest.approx(r.percentiles()[node])
+
+    def test_percentile_of_rejects_out_of_range(self):
+        r = RankingResult(np.array([0.1, 0.5, 0.4]), _INFO)
+        with pytest.raises(NodeIndexError):
+            r.percentile_of(-1)
+        with pytest.raises(NodeIndexError):
+            r.percentile_of(3)
 
     def test_repr_mentions_convergence(self):
         r = RankingResult(np.array([1.0]), _INFO, label="x")

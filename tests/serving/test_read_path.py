@@ -1,0 +1,147 @@
+"""Regression tests for the serving read path.
+
+Three bugs are pinned here (each test failed before its fix):
+
+1. ``RankingResult.score_of`` / ``percentile`` accepted negative ids via
+   numpy wraparound — ``service.score(-1)`` returned the *last* source's
+   score instead of raising.
+2. ``RankingService._padded_kappa`` returned an unsliced vector when
+   ``kappa.n > n``, publishing a κ longer than σ into the snapshot.
+3. Read failures other than "no snapshot" escaped ``score``/``top_k``/
+   ``percentile`` without incrementing
+   ``repro_serving_reads_total{status="error"}`` or recording latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ServingParams
+from repro.errors import GraphError, NodeIndexError, ServingError, ThrottleError
+from repro.observability.metrics import get_registry
+from repro.serving import RankingService
+from repro.throttle.vector import ThrottleVector
+
+from .conftest import counter_value
+
+SERVING = ServingParams(backoff_base_seconds=0.01, backoff_max_seconds=0.05)
+
+
+def read_latency_count(op: str) -> int:
+    """Observations recorded for one op's read-latency histogram child."""
+    for family in get_registry().families():
+        if family.name == "repro_serving_read_seconds":
+            for child in family.children():
+                if child.label_values == {"op": op}:
+                    return child.count
+    return 0
+
+
+@pytest.fixture()
+def service(tmp_path, tiny, tiny_kappa) -> RankingService:
+    svc = RankingService(tmp_path / "snapshots", serving=SERVING)
+    svc.bootstrap(tiny.graph, tiny.assignment, tiny_kappa)
+    return svc
+
+
+class TestOutOfRangeIds:
+    """Bug 1: negative ids must raise, never wrap around."""
+
+    def test_score_negative_id_raises(self, service):
+        with pytest.raises(NodeIndexError, match="out of range"):
+            service.score(-1)
+
+    def test_score_negative_id_is_not_last_sources_score(self, service, tiny):
+        last = service.score(tiny.assignment.n_sources - 1).value
+        with pytest.raises(GraphError):
+            service.score(-1)
+        # The old wraparound behavior returned exactly `last`; pin that it
+        # now raises instead of silently aliasing.
+        assert last > 0.0
+
+    def test_score_id_past_end_raises(self, service, tiny):
+        with pytest.raises(NodeIndexError):
+            service.score(tiny.assignment.n_sources)
+
+    def test_percentile_out_of_range_raises(self, service, tiny):
+        with pytest.raises(NodeIndexError):
+            service.percentile(-1)
+        with pytest.raises(NodeIndexError):
+            service.percentile(tiny.assignment.n_sources + 7)
+
+    def test_in_range_ids_still_served(self, service, tiny):
+        n = tiny.assignment.n_sources
+        assert service.score(0).value > 0.0
+        assert service.score(n - 1).value > 0.0
+        assert 0.0 <= service.percentile(n - 1).value <= 100.0
+
+    def test_error_is_a_graph_error_and_an_index_error(self, service):
+        # NodeIndexError doubles as IndexError so generic callers that
+        # guard indexing keep working.
+        with pytest.raises(IndexError):
+            service.score(-3)
+
+
+class TestPaddedKappa:
+    """Bug 2: an oversized κ must never be published alongside a shorter σ."""
+
+    def test_oversized_kappa_raises_naming_both_sizes(self):
+        kappa = ThrottleVector(np.linspace(0.0, 1.0, 12))
+        with pytest.raises(ThrottleError, match=r"12 sources.*only 8"):
+            RankingService._padded_kappa(kappa, 8)
+
+    def test_exact_size_passes_through(self):
+        kappa = ThrottleVector(np.full(8, 0.5))
+        np.testing.assert_array_equal(
+            RankingService._padded_kappa(kappa, 8), kappa.kappa
+        )
+
+    def test_short_kappa_zero_padded(self):
+        kappa = ThrottleVector(np.ones(3))
+        padded = RankingService._padded_kappa(kappa, 5)
+        np.testing.assert_array_equal(padded, [1.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_bootstrap_rejects_oversized_kappa(self, tmp_path, tiny):
+        service = RankingService(tmp_path / "snapshots", serving=SERVING)
+        oversized = ThrottleVector(np.zeros(tiny.assignment.n_sources + 4))
+        with pytest.raises(ThrottleError):
+            service.bootstrap(tiny.graph, tiny.assignment, oversized)
+
+
+class TestReadErrorAccounting:
+    """Bug 3: every read failure lands in the error counter + latency."""
+
+    def test_out_of_range_score_counts_as_error(self, service):
+        before = counter_value("repro_serving_reads_total", status="error")
+        lat_before = read_latency_count("score")
+        with pytest.raises(NodeIndexError):
+            service.score(-1)
+        assert counter_value("repro_serving_reads_total", status="error") == before + 1
+        assert read_latency_count("score") == lat_before + 1
+
+    def test_out_of_range_percentile_counts_as_error(self, service):
+        with pytest.raises(NodeIndexError):
+            service.percentile(-2)
+        assert counter_value("repro_serving_reads_total", status="error") == 1
+        assert read_latency_count("percentile") == 1
+
+    def test_bad_top_k_counts_as_error(self, service, tiny):
+        with pytest.raises(GraphError):
+            service.top_k(tiny.assignment.n_sources + 1)
+        assert counter_value("repro_serving_reads_total", status="error") == 1
+        assert read_latency_count("top_k") == 1
+
+    def test_no_snapshot_still_counts_as_error(self, tmp_path):
+        empty = RankingService(tmp_path / "empty", serving=SERVING)
+        with pytest.raises(ServingError, match="no snapshot"):
+            empty.score(0)
+        assert counter_value("repro_serving_reads_total", status="error") == 1
+        assert read_latency_count("score") == 1
+
+    def test_ok_reads_unaffected(self, service):
+        service.score(0)
+        service.top_k(3)
+        service.percentile(1)
+        assert counter_value("repro_serving_reads_total", status="ok") == 3
+        assert counter_value("repro_serving_reads_total", status="error") == 0
