@@ -2,7 +2,7 @@
 
 .PHONY: install test bench figures examples metrics-demo obs-demo ledger \
 	resilience audit serving soak serve-demo sharding shard-demo \
-	fleet fleet-demo clean
+	fleet fleet-demo chaos chaos-soak clean
 
 install:
 	pip install -e .
@@ -66,6 +66,14 @@ fleet:
 	PYTHONPATH=src python -m pytest -q tests/serving/test_fleet.py \
 		tests/serving/test_frontend.py tests/serving/test_read_path.py
 	PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+
+chaos:
+	PYTHONPATH=src python -m pytest -q tests/serving/test_slo.py \
+		tests/resilience/test_faults.py
+	PYTHONPATH=src python benchmarks/bench_chaos.py --quick
+
+chaos-soak:
+	PYTHONPATH=src python benchmarks/bench_chaos.py
 
 fleet-demo:
 	rm -rf /tmp/repro-fleet-demo

@@ -1,0 +1,645 @@
+#!/usr/bin/env python
+"""Scripted-chaos harness for the fleet's SLO guardrails.
+
+Where ``bench_fleet.py`` proves the fleet survives a *dead* replica,
+this harness attacks it with the gray failures that actually hurt in
+production — slow-but-alive replicas, lossy links, a publisher disk
+that fills up — while an open-loop read load runs, and gates on the SLO
+machinery at the front door doing its job:
+
+* **slow replica** (at 20% of the schedule): replica 0 answers with
+  80–120ms of injected latency.  Hedged reads must win against it and
+  the latency-outlier detector must quarantine it (SLOW, not evicted);
+  after the fault lifts (32%) the probe loop must reinstate it — but
+  not before the backoff floor.
+* **lossy link** (at 45%): replica 1 resets connections and tears
+  response frames mid-line.  The door must evict/retry around it with
+  zero client-visible failures, and take it back once the link heals
+  (57%).
+* **publisher disk-full + overload** (at 70%): snapshot publishes fail
+  with ENOSPC while a burst of extra client threads saturates the door.
+  Admission control must shed with typed retry-after responses (and
+  stop shedding once the burst ends at 82%), the publisher must ride
+  out the failed publishes, and a post-chaos update must publish,
+  propagate, and serve a σ identical to the publisher's (1e-9).
+
+Every fault comes from a seeded, deterministic
+:class:`~repro.resilience.faults.FaultPlan`; the schedule flips named
+rules at fixed request-index fractions, so a run is replayable.
+
+Writes ``benchmarks/results/BENCH_chaos.json``; exits non-zero when any
+gate fails: a client-visible failed read, a hedge that never won, a
+slow replica never quarantined or never reinstated, shedding that never
+engaged (or never released), a deadline-burn p99 at or past budget, or
+σ drift after recovery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_chaos.json"
+
+SIGMA_ATOL = 1e-9
+
+#: Request-index fractions at which the scripted chaos levers flip.
+SLOW_ON, SLOW_OFF = 0.20, 0.32
+LOSSY_ON, LOSSY_OFF = 0.45, 0.57
+DISKFULL_ON, DISKFULL_OFF = 0.70, 0.82
+
+#: Max shed-retry attempts before a scheduled read counts as failed.
+SHED_RETRIES = 30
+
+
+def quantile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    return float(np.quantile(np.asarray(samples), q))
+
+
+def build_fleet(store_dir: Path, seed: int, replicas: int):
+    """Publisher (with a fault-wrapped store) + replicas + SLO'd door."""
+    from repro.config import FleetParams, ServingParams, SLOParams
+    from repro.resilience.faults import FaultPlan, FaultRule, FaultyStore
+    from repro.serving import RankingService, ServingFleet, SnapshotStore
+
+    serving = ServingParams(
+        max_pending=6,
+        backoff_base_seconds=0.02,
+        backoff_max_seconds=0.2,
+        poll_interval_seconds=0.005,
+        seed=seed,
+    )
+    pub_plan = FaultPlan(seed=seed)
+    pub_plan.add("enospc", FaultRule(kind="disk_full"))
+    store = FaultyStore(
+        SnapshotStore(store_dir, keep=serving.snapshot_keep), pub_plan
+    )
+    service = RankingService(store, serving=serving)
+    params = FleetParams(
+        replicas=replicas,
+        replica_poll_seconds=0.02,
+        probe_interval_seconds=0.1,
+        batch_linger_seconds=0.002,
+    )
+    slo = SLOParams(
+        deadline_seconds=5.0,
+        hedge_threshold_seconds=0.03,
+        hedge_min_samples=20,
+        retry_budget_per_second=200.0,
+        retry_budget_burst=400.0,
+        max_inflight=8,
+        shed_retry_after_seconds=0.02,
+        eject_latency_seconds=0.06,
+        eject_min_samples=4,
+        eject_window=16,
+        reinstate_backoff_seconds=0.5,
+        reinstate_backoff_max_seconds=2.0,
+    )
+    return service, ServingFleet(service, params, slo=slo), pub_plan
+
+
+def guarded_read(client, op: str, ids: list[int]) -> tuple[dict, int]:
+    """One read, honoring shed retry-after hints; returns (response, sheds)."""
+    sheds = 0
+    for _ in range(SHED_RETRIES):
+        response = client.percentile(ids) if op == "percentile" else (
+            client.score(ids)
+        )
+        if response.get("error") != "AdmissionError":
+            return response, sheds
+        sheds += 1
+        time.sleep(float(response.get("retry_after", 0.02)))
+    return response, sheds
+
+
+# ----------------------------------------------------------------------
+# Open-loop load through the scripted chaos schedule
+# ----------------------------------------------------------------------
+def run_chaos_load(
+    fleet,
+    service,
+    pub_plan,
+    evolver,
+    assignment,
+    kappa,
+    *,
+    n_sources: int,
+    requests: int,
+    batch_ids: int,
+    burst_threads: int,
+    seed: int,
+) -> dict:
+    from repro.errors import AdmissionError
+    from repro.serving import FleetClient
+
+    gen = np.random.default_rng(seed)
+    client = fleet.client()
+    door = fleet.frontdoor
+
+    warmup: list[float] = []
+    for _ in range(20):
+        ids = gen.integers(0, n_sources, size=batch_ids).tolist()
+        t = time.perf_counter()
+        response = client.score(ids)
+        warmup.append(time.perf_counter() - t)
+        assert response["ok"], response
+    interval = max(float(np.median(warmup)) / 0.75, 1e-4)
+
+    marks = {
+        "slow_on": int(requests * SLOW_ON),
+        "slow_off": int(requests * SLOW_OFF),
+        "lossy_on": int(requests * LOSSY_ON),
+        "lossy_off": int(requests * LOSSY_OFF),
+        "diskfull_on": int(requests * DISKFULL_ON),
+        "diskfull_off": int(requests * DISKFULL_OFF),
+    }
+    snapshots: dict[str, dict] = {}
+    replica_chaos: dict[str, dict] = {}
+    latencies: list[float] = []
+    failures: list[str] = []
+    sheds_seen = 0
+    updates = {"attempted": 0, "accepted": 0, "refused": 0}
+    burst_stop = threading.Event()
+    burst_stats = {"ok": 0, "shed": 0, "other": 0}
+    burst_lock = threading.Lock()
+    burst_pool: list[threading.Thread] = []
+
+    def door_slo_snapshot() -> dict:
+        stats = door.stats()
+        return {
+            "reads": stats["reads"],
+            "hedges": stats["slo"]["hedges"],
+            "replicas": {
+                rid: {
+                    k: entry[k]
+                    for k in (
+                        "state",
+                        "evictions",
+                        "quarantines",
+                        "reinstatements",
+                        "flaps",
+                    )
+                }
+                for rid, entry in stats["replicas"].items()
+            },
+        }
+
+    def submit_update() -> None:
+        updates["attempted"] += 1
+        try:
+            service.submit_update(evolver.step(), assignment, kappa)
+            updates["accepted"] += 1
+        except AdmissionError:
+            updates["refused"] += 1  # backpressure: the load rolls on
+
+    def burst_reader(worker: int) -> None:
+        burst_gen = np.random.default_rng(seed + 1000 + worker)
+        with FleetClient(door.address, timeout=30.0) as burst_client:
+            while not burst_stop.is_set():
+                ids = burst_gen.integers(0, n_sources, size=16).tolist()
+                response = burst_client.score(ids)
+                with burst_lock:
+                    if response.get("ok"):
+                        burst_stats["ok"] += 1
+                    elif response.get("error") == "AdmissionError":
+                        burst_stats["shed"] += 1
+                    else:
+                        burst_stats["other"] += 1
+                if response.get("error") == "AdmissionError":
+                    time.sleep(float(response.get("retry_after", 0.02)))
+
+    t0 = time.perf_counter()
+    for i in range(requests):
+        if i == marks["slow_on"]:
+            snapshots["slow_on"] = door_slo_snapshot()
+            fleet.set_replica_chaos(
+                0,
+                rules={
+                    "syrup": {
+                        "kind": "latency",
+                        "latency_seconds": 0.08,
+                        "jitter_seconds": 0.04,
+                    }
+                },
+                activate=["syrup"],
+            )
+            submit_update()
+        elif i == marks["slow_off"]:
+            replica_chaos["0"] = fleet.set_replica_chaos(
+                0, deactivate=["syrup"]
+            )
+            snapshots["slow_off"] = door_slo_snapshot()
+        elif i == marks["lossy_on"]:
+            snapshots["lossy_on"] = door_slo_snapshot()
+            fleet.set_replica_chaos(
+                1,
+                rules={
+                    "reset": {"kind": "reset", "probability": 0.25},
+                    "torn": {"kind": "torn", "probability": 0.25},
+                },
+                activate=["reset", "torn"],
+            )
+            submit_update()
+        elif i == marks["lossy_off"]:
+            replica_chaos["1"] = fleet.set_replica_chaos(
+                1, deactivate=["reset", "torn"]
+            )
+            snapshots["lossy_off"] = door_slo_snapshot()
+        elif i == marks["diskfull_on"]:
+            snapshots["diskfull_on"] = door_slo_snapshot()
+            pub_plan.activate("enospc")
+            submit_update()  # this publish must hit the full disk
+            burst_pool = [
+                threading.Thread(
+                    target=burst_reader, args=(w,), name=f"burst-{w}"
+                )
+                for w in range(burst_threads)
+            ]
+            for thread in burst_pool:
+                thread.start()
+        elif i == marks["diskfull_off"]:
+            burst_stop.set()
+            for thread in burst_pool:
+                thread.join(timeout=60)
+            pub_plan.deactivate("enospc")
+            snapshots["diskfull_off"] = door_slo_snapshot()
+
+        arrival = t0 + i * interval
+        now = time.perf_counter()
+        if now < arrival:
+            time.sleep(arrival - now)
+        ids = gen.integers(0, n_sources, size=batch_ids).tolist()
+        op = "percentile" if i % 7 == 6 else "score"
+        response, sheds = guarded_read(client, op, ids)
+        done = time.perf_counter()
+        latencies.append(done - arrival)
+        sheds_seen += sheds
+        if not response.get("ok") and len(failures) < 10:
+            failures.append(str(response))
+    elapsed = time.perf_counter() - t0
+
+    # Belt and braces: the burst must be gone even if the schedule's
+    # off-mark was never reached (tiny --requests values).
+    burst_stop.set()
+    for thread in burst_pool:
+        thread.join(timeout=60)
+
+    # Quiesce: every replica back in rotation once all faults are lifted.
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        states = {
+            rid: entry["state"]
+            for rid, entry in door.stats()["replicas"].items()
+        }
+        if all(state == "active" for state in states.values()):
+            break
+        time.sleep(0.1)
+
+    # Shedding must have *released*: with the burst gone, a clean read
+    # goes straight through.
+    shed_before = door.stats()["reads"]["shed"]
+    post_chaos, post_sheds = guarded_read(
+        client, "score", gen.integers(0, n_sources, size=batch_ids).tolist()
+    )
+    shed_released = bool(
+        post_chaos.get("ok")
+        and post_sheds == 0
+        and door.stats()["reads"]["shed"] == shed_before
+    )
+    client.close()
+
+    return {
+        "requests": requests + len(warmup) + 1,
+        "scheduled_requests": requests,
+        "batch_ids": batch_ids,
+        "interval_seconds": interval,
+        "target_rate_reads_per_second": batch_ids / interval,
+        "elapsed_seconds": elapsed,
+        "marks": marks,
+        "latency_overall": {
+            "count": len(latencies),
+            "p50_seconds": quantile(latencies, 0.50),
+            "p99_seconds": quantile(latencies, 0.99),
+            "max_seconds": max(latencies),
+        },
+        "snapshots": snapshots,
+        "replica_chaos": replica_chaos,
+        "sheds_during_main_stream": sheds_seen,
+        "burst": dict(burst_stats),
+        "shed_released": shed_released,
+        "updates": updates,
+        "request_failures": failures,
+    }
+
+
+# ----------------------------------------------------------------------
+# Post-chaos recovery: publish again, converge, σ identity
+# ----------------------------------------------------------------------
+def run_recovery(fleet, service, evolver, assignment, kappa) -> dict:
+    from repro.errors import AdmissionError
+    from repro.serving import replica_request
+
+    version_before = service.health()["snapshot_version"]
+    accepted = False
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        try:
+            service.submit_update(evolver.step(), assignment, kappa)
+            accepted = True
+            break
+        except AdmissionError:
+            time.sleep(0.1)  # breaker backoff from the ENOSPC phase
+
+    while (
+        service.health()["staleness_updates"] > 0
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.02)
+    published = service.health()["snapshot_version"]
+    versions: dict[str, int | None] = {}
+    while time.monotonic() < deadline:
+        versions = {
+            rid: entry.get("snapshot_version")
+            for rid, entry in fleet.frontdoor.health().items()
+        }
+        if versions and all(v == published for v in versions.values()):
+            break
+        time.sleep(0.05)
+
+    reference = service.store.latest(kind="sr").result().scores
+    per_replica: dict[str, float] = {}
+    for rid, handle in sorted(fleet.replicas.items()):
+        served = replica_request(handle.address, {"op": "sigma"})["sigma"]
+        per_replica[str(rid)] = float(
+            np.abs(np.asarray(served) - reference).max()
+        )
+    return {
+        "update_accepted": accepted,
+        "version_before": version_before,
+        "published_version": published,
+        "published_after_diskfull": published > version_before,
+        "replica_versions": versions,
+        "converged": bool(
+            versions and all(v == published for v in versions.values())
+        ),
+        "sigma_max_diff": max(per_replica.values()),
+        "sigma_per_replica": per_replica,
+    }
+
+
+def deadline_burn_p99() -> dict:
+    """Worst per-op p99 of elapsed/budget, from the door's histogram."""
+    from repro.observability import get_registry
+
+    family = get_registry().histogram(
+        "repro_fleet_deadline_burn_ratio", labelnames=("op",)
+    )
+    per_op: dict[str, float] = {}
+    for op in ("score", "percentile", "top_k"):
+        child = family.labels(op=op)
+        if child.count:
+            p99 = child.quantile(0.99)
+            if p99 is not None:
+                per_op[op] = float(p99)
+    return {
+        "per_op": per_op,
+        "worst": max(per_op.values()) if per_op else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run(
+    quick: bool, seed: int, replicas: int, requests: int, batch_ids: int,
+    burst_threads: int, store_dir: Path,
+) -> dict:
+    from bench_fleet import GraphEvolver
+
+    from repro.datasets import load_dataset
+    from repro.observability.metrics import reset_registry
+    from repro.throttle.vector import ThrottleVector
+
+    reset_registry()
+    ds = load_dataset("tiny")
+    n = ds.assignment.n_sources
+    kappa = np.zeros(n)
+    kappa[np.asarray(ds.spam_sources, dtype=np.int64)] = 1.0
+    kappa = ThrottleVector(kappa)
+
+    service, fleet, pub_plan = build_fleet(store_dir, seed, replicas)
+    service.bootstrap(ds.graph, ds.assignment, kappa)
+    evolver = GraphEvolver(ds.graph, seed)
+
+    with fleet:
+        load = run_chaos_load(
+            fleet,
+            service,
+            pub_plan,
+            evolver,
+            ds.assignment,
+            kappa,
+            n_sources=n,
+            requests=requests,
+            batch_ids=batch_ids,
+            burst_threads=burst_threads,
+            seed=seed,
+        )
+        recovery = run_recovery(fleet, service, evolver, ds.assignment, kappa)
+        door = fleet.frontdoor.stats()
+        health = fleet.health()
+    burn = deadline_burn_p99()
+
+    reads = door["reads"]
+    slo = door["slo"]
+    per_replica = {
+        rid: {
+            key: entry[key]
+            for key in (
+                "state",
+                "reads",
+                "errors",
+                "evictions",
+                "quarantines",
+                "reinstatements",
+                "flaps",
+                "latency",
+            )
+        }
+        for rid, entry in door["replicas"].items()
+    }
+    slow_snap = load["snapshots"].get("slow_off", {})
+    shed_on = load["snapshots"].get("diskfull_on", {}).get("reads", {})
+    shed_off = load["snapshots"].get("diskfull_off", {}).get("reads", {})
+    replica1_fired = load["replica_chaos"].get("1", {}).get("fired", {})
+    gates = {
+        "zero_failed_reads": bool(
+            reads["failed"] == 0
+            and reads["rejected"] == 0
+            and reads["deadline_missed"] == 0
+            and not load["request_failures"]
+            and load["burst"]["other"] == 0
+        ),
+        "min_reads": reads["ok"] >= requests * batch_ids,
+        "hedged_reads_won": slo["hedges"]["wins"] >= 1,
+        "slow_replica_quarantined": bool(
+            per_replica["0"]["quarantines"] >= 1
+            and slow_snap.get("replicas", {}).get("0", {}).get(
+                "quarantines", 0
+            )
+            >= 1
+        ),
+        "slow_replica_reinstated": bool(
+            per_replica["0"]["reinstatements"] >= 1
+            and per_replica["0"]["state"] == "active"
+        ),
+        "lossy_link_injected": bool(
+            replica1_fired.get("reset", 0) + replica1_fired.get("torn", 0)
+            >= 1
+        ),
+        "lossy_link_survived": bool(
+            per_replica["1"]["evictions"] >= 1
+            and per_replica["1"]["reinstatements"] >= 1
+            and per_replica["1"]["state"] == "active"
+        ),
+        "diskfull_injected": pub_plan.fired.get("enospc", 0) >= 1,
+        "shedding_engaged": bool(
+            load["burst"]["shed"] + load["sheds_during_main_stream"] >= 1
+            and shed_off.get("shed", 0) > shed_on.get("shed", 0)
+        ),
+        "shedding_released": load["shed_released"],
+        "deadline_burn_bounded": burn["worst"] < 1.0,
+        "published_after_diskfull": recovery["published_after_diskfull"],
+        "replicas_converged": recovery["converged"],
+        "sigma_identity": recovery["sigma_max_diff"] <= SIGMA_ATOL,
+        "publisher_healthy": health["publisher"]["state"] == "healthy",
+        "every_replica_served": all(
+            entry["reads"] > 0 for entry in per_replica.values()
+        ),
+    }
+    return {
+        "quick": quick,
+        "seed": seed,
+        "replicas": replicas,
+        "n_sources": int(n),
+        "sigma_atol": SIGMA_ATOL,
+        "schedule": {
+            "slow": [SLOW_ON, SLOW_OFF],
+            "lossy": [LOSSY_ON, LOSSY_OFF],
+            "diskfull": [DISKFULL_ON, DISKFULL_OFF],
+        },
+        "load": {
+            **{
+                k: v
+                for k, v in load.items()
+                if k not in ("snapshots", "replica_chaos")
+            },
+            "reads": {
+                "total": reads["ok"]
+                + reads["failed"]
+                + reads["rejected"]
+                + reads["shed"]
+                + reads["deadline_missed"],
+                **reads,
+            },
+        },
+        "phases": load["snapshots"],
+        "replica_chaos": load["replica_chaos"],
+        "publisher_faults": dict(pub_plan.fired),
+        "slo": {
+            **slo,
+            "deadline_burn_p99": burn,
+        },
+        "recovery": recovery,
+        "per_replica": per_replica,
+        "gates": gates,
+        "all_passed": all(gates.values()),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small read count (CI mode; every gate still applies)",
+    )
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument(
+        "--replicas", type=int, default=3, help="fleet size (default 3)"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="scheduled batched requests (default 1000, or 150 with --quick)",
+    )
+    parser.add_argument(
+        "--batch-ids",
+        type=int,
+        default=None,
+        help="ids per batched request (default 700, or 500 with --quick)",
+    )
+    parser.add_argument(
+        "--burst-threads",
+        type=int,
+        default=None,
+        help="extra client threads during the disk-full phase "
+        "(default 16, or 12 with --quick)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RESULTS_PATH, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    requests = args.requests or (150 if args.quick else 1000)
+    batch_ids = args.batch_ids or (500 if args.quick else 700)
+    burst_threads = args.burst_threads or (12 if args.quick else 16)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = run(
+            args.quick, args.seed, args.replicas, requests, batch_ids,
+            burst_threads, Path(tmp) / "snapshots",
+        )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    load, slo = report["load"], report["slo"]
+    print(
+        f"chaos load ({report['replicas']} replicas, "
+        f"{load['reads']['ok']:,} reads ok in "
+        f"{load['elapsed_seconds']:.1f}s open-loop):"
+    )
+    print(
+        f"  latency p50 {load['latency_overall']['p50_seconds'] * 1e3:.2f}ms "
+        f"p99 {load['latency_overall']['p99_seconds'] * 1e3:.2f}ms; "
+        f"hedges {slo['hedges']['fired']} fired / {slo['hedges']['wins']} won; "
+        f"shed {load['reads']['shed']:,}; "
+        f"deadline-burn p99 {slo['deadline_burn_p99']['worst']:.3f}"
+    )
+    print(
+        f"  recovery: publisher v{report['recovery']['published_version']}, "
+        f"replicas {report['recovery']['replica_versions']}, "
+        f"sigma max diff {report['recovery']['sigma_max_diff']:.2e}"
+    )
+    for gate, passed in report["gates"].items():
+        print(f"  {gate}: {'ok' if passed else 'FAILED'}")
+    print(f"  wrote {args.out}")
+    if not report["all_passed"]:
+        failed = [g for g, ok in report["gates"].items() if not ok]
+        print(f"FAIL: gates failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -228,6 +228,57 @@ def build_parser() -> argparse.ArgumentParser:
         "single-process service demo)",
     )
     p_serve.add_argument(
+        "--slo-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fleet only: per-read deadline budget at the front door "
+        "(reads that burn it get a typed DeadlineExceededError response)",
+    )
+    p_serve.add_argument(
+        "--slo-hedge-threshold",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fleet only: floor on the hedging trigger — a backup read "
+        "fires on a second replica once the first attempt has been "
+        "outstanding this long (or the tracked p95, whichever is larger)",
+    )
+    p_serve.add_argument(
+        "--slo-retry-budget",
+        type=float,
+        default=None,
+        metavar="PER_SECOND",
+        help="fleet only: token-bucket refill rate shared by retries and "
+        "hedges (burst = 2x the rate)",
+    )
+    p_serve.add_argument(
+        "--slo-max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet only: admission control — reads beyond this many in "
+        "flight are shed with a typed AdmissionError carrying retry_after",
+    )
+    p_serve.add_argument(
+        "--slo-eject-latency",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fleet only: quarantine a replica whose windowed p95 attempt "
+        "latency exceeds this (slow-but-alive ejection)",
+    )
+    p_serve.add_argument(
+        "--chaos",
+        action="append",
+        default=None,
+        metavar="REPLICA:KIND[:k=v,...]",
+        help="fleet only, repeatable: arm a seeded fault on one replica, "
+        "e.g. '0:latency:latency_seconds=0.05,probability=0.5' or "
+        "'1:reset:probability=0.2'; kinds: latency stall reset torn "
+        "slow_adopt torn_publish disk_full",
+    )
+    p_serve.add_argument(
         "--endpoint",
         action="store_true",
         help="serve live telemetry over HTTP (/metrics /health /trace "
@@ -796,6 +847,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_chaos_spec(spec: str) -> tuple[int, str, dict]:
+    """``REPLICA:KIND[:k=v,...]`` → ``(replica_id, kind, rule_config)``."""
+    from .errors import ConfigError
+
+    parts = spec.split(":", 2)
+    if len(parts) < 2:
+        raise ConfigError(
+            f"--chaos spec {spec!r} must look like "
+            "'REPLICA:KIND[:key=value,...]'"
+        )
+    try:
+        replica_id = int(parts[0])
+    except ValueError:
+        raise ConfigError(
+            f"--chaos spec {spec!r}: replica id {parts[0]!r} is not an int"
+        ) from None
+    kind = parts[1]
+    config: dict = {"kind": kind}
+    if len(parts) == 3 and parts[2]:
+        for pair in parts[2].split(","):
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise ConfigError(
+                    f"--chaos spec {spec!r}: {pair!r} is not 'key=value'"
+                )
+            config[key.strip()] = float(value)
+    return replica_id, kind, config
+
+
+def _slo_from_args(args: argparse.Namespace):
+    """SLOParams with only the provided ``--slo-*`` flags overridden."""
+    from .config import SLOParams
+
+    overrides: dict = {}
+    if args.slo_deadline is not None:
+        overrides["deadline_seconds"] = args.slo_deadline
+    if args.slo_hedge_threshold is not None:
+        overrides["hedge_threshold_seconds"] = args.slo_hedge_threshold
+    if args.slo_retry_budget is not None:
+        overrides["retry_budget_per_second"] = args.slo_retry_budget
+        overrides["retry_budget_burst"] = 2.0 * args.slo_retry_budget
+    if args.slo_max_inflight is not None:
+        overrides["max_inflight"] = args.slo_max_inflight
+    if args.slo_eject_latency is not None:
+        overrides["eject_latency_seconds"] = args.slo_eject_latency
+    return SLOParams(**overrides)
+
+
 def _serve_fleet(args: argparse.Namespace, service, ds, kappa, rng) -> int:
     """The ``serve --replicas N`` path: publisher + replicas + front door."""
     import time
@@ -807,11 +906,18 @@ def _serve_fleet(args: argparse.Namespace, service, ds, kappa, rng) -> int:
 
     n = ds.assignment.n_sources
     params = FleetParams(replicas=args.replicas)
-    with ServingFleet(service, params) as fleet:
+    chaos_specs = [_parse_chaos_spec(s) for s in (args.chaos or [])]
+    with ServingFleet(service, params, slo=_slo_from_args(args)) as fleet:
         host, port = fleet.frontdoor.address
         print(f"fleet: {args.replicas} replicas behind {host}:{port}")
         for rid, address in sorted(fleet.replica_addresses().items()):
             print(f"  replica {rid}: {address[0]}:{address[1]}")
+        for replica_id, kind, config in chaos_specs:
+            name = f"cli-{kind}"
+            fleet.set_replica_chaos(
+                replica_id, rules={name: config}, activate=[name]
+            )
+            print(f"  chaos: armed {kind!r} on replica {replica_id}")
         with fleet.client() as client:
             graph = ds.graph
             for step in range(1, args.updates + 1):

@@ -19,11 +19,13 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 __all__ = [
     "AuditParams",
+    "ChaosParams",
     "FleetParams",
     "GraphStoreParams",
     "ObservabilityParams",
     "RankingParams",
     "ResilienceParams",
+    "SLOParams",
     "ServingParams",
     "ThrottleParams",
     "SpamProximityParams",
@@ -440,6 +442,191 @@ class FleetParams:
         )
 
     def with_(self, **overrides: object) -> "FleetParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class SLOParams:
+    """Per-operation SLO budgets enforced by the fleet front door.
+
+    Consumed by :class:`~repro.serving.frontend.FrontDoor`; see
+    ``docs/architecture.md`` ("SLO guardrails & chaos testing").
+
+    Parameters
+    ----------
+    deadline_seconds:
+        Default per-request deadline budget.  A read that cannot be
+        answered inside its budget is refused with a typed
+        ``DeadlineExceededError`` response instead of hanging the
+        caller; its burn ratio (elapsed / budget) is recorded in the
+        ``repro_fleet_deadline_burn_ratio`` histogram either way.
+    score_deadline_seconds, percentile_deadline_seconds,
+    top_k_deadline_seconds:
+        Optional per-op overrides of ``deadline_seconds``.
+    hedge_threshold_seconds:
+        Floor of the hedge trigger: a backup request fires on a second
+        replica once the first attempt has been outstanding longer than
+        ``max(hedge_threshold_seconds, tracked p-``hedge_quantile``
+        attempt latency)``.  First response wins; the losing leg drains
+        in the background (its latency still feeds the outlier
+        detector and its response is consumed, keeping the per-replica
+        protocol in sync).
+    hedge_quantile:
+        Which attempt-latency quantile arms the hedge trigger once
+        ``hedge_min_samples`` attempts have been observed.
+    hedge_min_samples:
+        Attempts to observe before the quantile estimate participates
+        (before that, only the threshold floor applies).
+    retry_budget_per_second, retry_budget_burst:
+        Token bucket bounding retries *and* hedges: each re-attempt
+        takes one token; an empty bucket means fail fast instead of
+        amplifying an outage into a retry storm.
+    max_inflight:
+        Admission control at the door: reads beyond this many in flight
+        are shed with an ``AdmissionError``-typed response carrying
+        ``retry_after`` = ``shed_retry_after_seconds``.
+    shed_retry_after_seconds:
+        The retry-after hint stamped on shed responses.
+    eject_latency_seconds:
+        Latency-outlier ejection: a replica whose windowed p95 attempt
+        latency exceeds this is quarantined as SLOW (still alive, too
+        slow to serve) until a probe answers fast again.
+    eject_min_samples, eject_window:
+        How many recent attempts the per-replica latency window holds
+        and how many must be present before ejection can trigger.
+    reinstate_backoff_seconds, reinstate_backoff_max_seconds:
+        Flap damping: an ejected/quarantined replica is not reinstated
+        before ``floor * 2**(flaps-1)`` seconds (capped at the max)
+        have passed, no matter how quickly its probes recover.
+    """
+
+    deadline_seconds: float = 30.0
+    score_deadline_seconds: float | None = None
+    percentile_deadline_seconds: float | None = None
+    top_k_deadline_seconds: float | None = None
+    hedge_threshold_seconds: float = 0.05
+    hedge_quantile: float = 0.95
+    hedge_min_samples: int = 50
+    retry_budget_per_second: float = 20.0
+    retry_budget_burst: float = 40.0
+    max_inflight: int = 1024
+    shed_retry_after_seconds: float = 0.25
+    eject_latency_seconds: float = 1.0
+    eject_min_samples: int = 32
+    eject_window: int = 64
+    reinstate_backoff_seconds: float = 0.5
+    reinstate_backoff_max_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("deadline_seconds", "hedge_threshold_seconds",
+                     "retry_budget_per_second", "retry_budget_burst",
+                     "shed_retry_after_seconds", "eject_latency_seconds",
+                     "reinstate_backoff_seconds",
+                     "reinstate_backoff_max_seconds"):
+            _check_positive(name, getattr(self, name))
+            object.__setattr__(self, name, float(getattr(self, name)))
+        for name in ("score_deadline_seconds", "percentile_deadline_seconds",
+                     "top_k_deadline_seconds"):
+            value = getattr(self, name)
+            if value is not None:
+                _check_positive(name, value)
+                object.__setattr__(self, name, float(value))
+        quantile = float(self.hedge_quantile)
+        if not 0.0 < quantile < 1.0:
+            raise ConfigError(
+                f"hedge_quantile must lie in (0, 1), got {quantile!r}"
+            )
+        object.__setattr__(self, "hedge_quantile", quantile)
+        for name in ("hedge_min_samples", "max_inflight",
+                     "eject_min_samples", "eject_window"):
+            value = int(getattr(self, name))
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value!r}")
+            object.__setattr__(self, name, value)
+        if self.eject_window < self.eject_min_samples:
+            raise ConfigError(
+                f"eject_window ({self.eject_window}) must be >= "
+                f"eject_min_samples ({self.eject_min_samples})"
+            )
+        if self.reinstate_backoff_max_seconds < self.reinstate_backoff_seconds:
+            raise ConfigError(
+                f"reinstate_backoff_max_seconds "
+                f"({self.reinstate_backoff_max_seconds}) must be >= "
+                f"reinstate_backoff_seconds "
+                f"({self.reinstate_backoff_seconds})"
+            )
+
+    def deadline_for(self, op: str) -> float:
+        """The deadline budget (seconds) of one operation."""
+        override = getattr(self, f"{op}_deadline_seconds", None)
+        return self.deadline_seconds if override is None else override
+
+    def with_(self, **overrides: object) -> "SLOParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosParams:
+    """Numeric knobs of one injected fault rule (CLI / schedule facing).
+
+    The :class:`~repro.resilience.faults.FaultPlan` consumes validated
+    instances of this (via
+    :meth:`~repro.resilience.faults.FaultRule.from_params`); the
+    ``repro serve --chaos`` presets and the ``bench_chaos.py`` schedule
+    both build their rules through it so malformed schedules fail with
+    a :class:`~repro.errors.ConfigError` naming the bad field instead
+    of corrupting a run.
+
+    Parameters
+    ----------
+    latency_seconds, jitter_seconds:
+        Added response latency: fixed part plus a seeded uniform jitter.
+    stall_seconds:
+        Mid-frame stall — the response is cut in two and the second
+        half held back this long (a dribbling, not dead, socket).
+    reset_probability:
+        Per-response chance of a connection reset mid-response.
+    torn_probability:
+        Per-response chance of a torn frame (a truncated line followed
+        by a clean close).
+    adoption_delay_seconds:
+        Snapshot-store read delay (slow adoption at the replicas).
+    cut_fraction:
+        How much of the frame is written before a reset/tear cuts it.
+    seed:
+        Seed of the rule's fault rng (identical seeds fire identically).
+    """
+
+    latency_seconds: float = 0.0
+    jitter_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    reset_probability: float = 0.0
+    torn_probability: float = 0.0
+    adoption_delay_seconds: float = 0.0
+    cut_fraction: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("latency_seconds", "jitter_seconds", "stall_seconds",
+                     "adoption_delay_seconds"):
+            value = float(getattr(self, name))
+            if value < 0.0:
+                raise ConfigError(f"{name} must be >= 0, got {value!r}")
+            object.__setattr__(self, name, value)
+        for name in ("reset_probability", "torn_probability"):
+            _check_unit_interval(name, getattr(self, name))
+            object.__setattr__(self, name, float(getattr(self, name)))
+        cut = float(self.cut_fraction)
+        if not 0.0 < cut <= 1.0:
+            raise ConfigError(
+                f"cut_fraction must lie in (0, 1], got {cut!r}"
+            )
+        object.__setattr__(self, "cut_fraction", cut)
+        object.__setattr__(self, "seed", int(self.seed))
+
+    def with_(self, **overrides: object) -> "ChaosParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)  # type: ignore[arg-type]
 

@@ -23,6 +23,7 @@ __all__ = [
     "AuditError",
     "ServingError",
     "AdmissionError",
+    "DeadlineExceededError",
     "FleetError",
     "InjectedFaultError",
     "ConfigError",
@@ -207,19 +208,59 @@ class ServingError(ReproError):
 
 
 class AdmissionError(ServingError):
-    """Raised when the ranking service refuses a new update request.
+    """Raised when a serving component refuses to admit a request.
 
     Attributes
     ----------
     reason:
         Why admission was refused: ``"read_only"`` (the service has
-        degraded past its last fallback and accepts no writes) or
-        ``"queue_full"`` (bounded-queue admission control).
+        degraded past its last fallback and accepts no writes),
+        ``"queue_full"`` (bounded-queue admission control on the
+        updater), or ``"overload"`` (front-door load shedding while
+        deadlines are burning).
+    retry_after:
+        Suggested wait (seconds) before retrying, or ``None`` when the
+        refusal is not load-related (e.g. ``read_only``).
     """
 
-    def __init__(self, reason: str, message: str) -> None:
+    def __init__(
+        self, reason: str, message: str, *, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.reason = reason
+        self.retry_after = None if retry_after is None else float(retry_after)
+
+
+class DeadlineExceededError(ServingError):
+    """Raised when a read burns through its per-operation deadline budget.
+
+    Attributes
+    ----------
+    op:
+        The operation whose budget ran out (``"score"``, ``"top_k"``,
+        ...), or ``None`` when raised by the blocking client.
+    deadline_seconds:
+        The budget that was exceeded.
+    elapsed_seconds:
+        Wall-clock time actually spent before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str | None = None,
+        deadline_seconds: float | None = None,
+        elapsed_seconds: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.deadline_seconds = (
+            None if deadline_seconds is None else float(deadline_seconds)
+        )
+        self.elapsed_seconds = (
+            None if elapsed_seconds is None else float(elapsed_seconds)
+        )
 
 
 class FleetError(ServingError):

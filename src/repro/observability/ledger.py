@@ -74,6 +74,7 @@ BACKFILL_LABELS: dict[str, str] = {
     "serving": "PR5",
     "sharding": "PR7",
     "fleet": "PR9",
+    "chaos": "PR10",
 }
 
 
@@ -223,6 +224,62 @@ TRACKED_METRICS: tuple[TrackedMetric, ...] = (
     TrackedMetric(
         "fleet", "load.latency.overall.p99_seconds", "lower", 1.0,
         abs_limit=1.0,
+    ),
+    # SLO guardrails under scripted chaos (PR10): the committed full run
+    # drives ≥500k open-loop reads through a slow replica, a lossy link,
+    # and a publisher disk-full burst with not one client-visible failed
+    # read.  Each guardrail must demonstrably *cycle*: hedges win against
+    # the slow replica, which is quarantined and then reinstated; the
+    # lossy replica is evicted and taken back; shedding engages during
+    # the overload burst and releases after.  Deadline burn (elapsed over
+    # budget) stays under 1.0 at p99, and the post-chaos σ is exact.
+    TrackedMetric(
+        "chaos", "load.reads.failed", "lower", 0.0,
+        abs_limit=0.0, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "load.reads.ok", "higher", 0.25,
+        abs_limit=500_000, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "gates.zero_failed_reads", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "gates.hedged_reads_won", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "gates.slow_replica_quarantined", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "gates.slow_replica_reinstated", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "gates.lossy_link_survived", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "gates.shedding_engaged", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "gates.shedding_released", "higher", 0.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "slo.deadline_burn_p99.worst", "lower", 1.0,
+        abs_limit=1.0, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "recovery.sigma_max_diff", "lower", 0.0,
+        abs_limit=1e-9, required=True,
+    ),
+    TrackedMetric(
+        "chaos", "gates.publisher_healthy", "higher", 0.0,
+        abs_limit=1.0, required=True,
     ),
 )
 

@@ -41,9 +41,11 @@ from typing import Callable, Mapping
 
 import numpy as np
 
-from ..config import FleetParams
+from ..config import FleetParams, SLOParams
 from ..errors import FleetError, NodeIndexError, ServingError
 from ..logging_utils import get_logger
+from ..observability.metrics import get_registry
+from ..resilience.faults import FaultPlan, FaultyStore, SocketFaultInjector
 from .frontend import FleetClient, FrontDoor
 from .service import RankingService
 from .snapshot import RankingSnapshot, SnapshotStore
@@ -113,6 +115,21 @@ class SnapshotFollower:
         self._percentiles: np.ndarray | None = None
         self._adoptions = 0
         self._rejected_stale = 0
+        registry = get_registry()
+        self._adoptions_total = registry.counter(
+            "repro_fleet_adoptions_total",
+            "Snapshots adopted by this process's follower(s)",
+        )
+        # One labeled family for every way an adoption candidate can be
+        # refused: "stale" is counted here (the follower's monotonicity
+        # guard); store-level reasons ("unreadable", "digest",
+        # "format_version") are counted by the store itself under
+        # repro_snapshot_rejects_total — distinct labels per kind.
+        self._rejects_total = registry.counter(
+            "repro_fleet_adoption_rejects_total",
+            "Adoption candidates refused by the follower, by reason",
+            labelnames=("reason",),
+        )
 
     @property
     def current(self) -> RankingSnapshot | None:
@@ -141,10 +158,12 @@ class SnapshotFollower:
             ):
                 if snapshot.version < self._current.version:
                     self._rejected_stale += 1
+                    self._rejects_total.labels(reason="stale").inc()
                 return False
             self._current = snapshot
             self._percentiles = None
             self._adoptions += 1
+            self._adoptions_total.inc()
         _logger.info(
             "adopted snapshot %d (%s, n=%d)",
             snapshot.version,
@@ -194,6 +213,11 @@ class _ReplicaTCPServer(socketserver.ThreadingTCPServer):
     replica: "ReplicaService"
 
 
+#: Ops never subjected to socket fault injection: the control plane must
+#: stay reachable so a chaos phase can always be switched off again.
+_CHAOS_EXEMPT_OPS: tuple[str, ...] = ("chaos", "stop")
+
+
 class _ReplicaHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # noqa: D102 - socketserver contract
         replica = self.server.replica  # type: ignore[attr-defined]
@@ -215,8 +239,16 @@ class _ReplicaHandler(socketserver.StreamRequestHandler):
                 )
                 continue
             response = replica.handle(message)
-            self.wfile.write(_encode(response))
-            if message.get("op") == "stop":
+            op = message.get("op")
+            if op in _CHAOS_EXEMPT_OPS:
+                self.wfile.write(_encode(response))
+            elif not replica.injector.send(
+                self.wfile, _encode(response), self.connection
+            ):
+                # An injected reset/torn frame cut this client off —
+                # drop the connection like the fault it is simulating.
+                return
+            if op == "stop":
                 # shutdown() blocks until serve_forever returns, and we
                 # are running *inside* a handler thread — hand it off.
                 threading.Thread(
@@ -236,7 +268,8 @@ class ReplicaService:
 
     Supported ops: ``score`` / ``percentile`` (batched ``ids``),
     ``top_k``, ``health``, ``sigma`` (the full served vector, for
-    identity audits), and ``stop``.
+    identity audits), ``chaos`` (configure/toggle the replica's fault
+    plan — the control lever ``bench_chaos.py`` pulls), and ``stop``.
     """
 
     def __init__(
@@ -248,11 +281,19 @@ class ReplicaService:
         port: int = 0,
         poll_interval: float = 0.05,
         clock: Callable[[], float] = time.time,
+        chaos: FaultPlan | None = None,
     ) -> None:
-        if not isinstance(store, SnapshotStore):
+        if isinstance(store, (str, Path)):
             store = SnapshotStore(store)
         self.replica_id = int(replica_id)
-        self.follower = SnapshotFollower(store, clock=clock)
+        # Every replica carries an (initially empty) fault plan wrapping
+        # both its socket layer and its view of the snapshot store, so
+        # gray failures can be switched on over the wire at any moment.
+        self.chaos = chaos if chaos is not None else FaultPlan(seed=replica_id)
+        self.injector = SocketFaultInjector(self.chaos)
+        self.follower = SnapshotFollower(
+            FaultyStore(store, self.chaos), clock=clock
+        )
         self._host = host
         self._port = int(port)
         self._poll_interval = float(poll_interval)
@@ -284,6 +325,17 @@ class ReplicaService:
                     "ok": True,
                     "version": snapshot.version,
                     "sigma": snapshot.result().scores.tolist(),
+                }
+            if op == "chaos":
+                config = {
+                    key: value
+                    for key, value in message.items()
+                    if key != "op"
+                }
+                return {
+                    "ok": True,
+                    "replica": self.replica_id,
+                    "chaos": self.chaos.apply_config(config),
                 }
             if op == "stop":
                 return {"ok": True, "stopping": True}
@@ -355,6 +407,7 @@ class ReplicaService:
             "reads_ok": reads_ok,
             "reads_error": reads_error,
             "uptime_seconds": max(self._clock() - self._started_at, 0.0),
+            "chaos": self.chaos.describe(),
         }
 
     # -- serving ----------------------------------------------------------
@@ -595,10 +648,15 @@ class ServingFleet:
     """
 
     def __init__(
-        self, service: RankingService, params: FleetParams | None = None
+        self,
+        service: RankingService,
+        params: FleetParams | None = None,
+        *,
+        slo: SLOParams | None = None,
     ) -> None:
         self.service = service
         self.params = params or FleetParams()
+        self.slo = slo
         self.replicas: dict[int, ReplicaHandle] = {}
         self.frontdoor: FrontDoor | None = None
         self._prev_health_fn: Callable[[], dict] | None = None
@@ -618,6 +676,7 @@ class ServingFleet:
             self.frontdoor = FrontDoor(
                 {rid: h.address for rid, h in self.replicas.items()},
                 self.params,
+                slo=self.slo,
             ).start()
         except Exception:
             self._teardown_replicas()
@@ -684,6 +743,29 @@ class ServingFleet:
         if self.frontdoor is not None:
             self.frontdoor.update_replica(replica_id, handle.address)
         return handle
+
+    def set_replica_chaos(self, replica_id: int, **config) -> dict:
+        """Configure one replica's fault plan over its own socket.
+
+        Keyword form of the ``chaos`` op:
+        ``set_replica_chaos(0, rules={...}, activate=[...],
+        deactivate=[...], reset=True)``.  Returns the replica's plan
+        description after the change.  Bypasses the front door — chaos
+        control must reach a replica even while it is evicted.
+        """
+        handle = self._handle(replica_id)
+        response = replica_request(
+            handle.address,
+            {"op": "chaos", **config},
+            timeout=self.params.request_timeout_seconds,
+        )
+        if not response.get("ok"):
+            raise FleetError(
+                f"chaos config rejected by replica {replica_id}: "
+                f"{response.get('detail')}",
+                replica=replica_id,
+            )
+        return response["chaos"]
 
     def _handle(self, replica_id: int) -> ReplicaHandle:
         try:

@@ -183,7 +183,7 @@ class RankingService:
     ) -> None:
         self.serving = serving or ServingParams()
         self.observability = observability or ObservabilityParams()
-        if not isinstance(store, SnapshotStore):
+        if isinstance(store, (str, Path)):
             store = SnapshotStore(store, keep=self.serving.snapshot_keep)
         self.store = store
         if params is None:

@@ -89,3 +89,168 @@ class TestCrashAtIteration:
         with pytest.raises(SimulatedCrash):
             callback(1, 0.5)
         assert ran == [True]
+
+
+class TestFaultRule:
+    def test_validation_names_the_bad_field(self):
+        from repro.errors import ConfigError
+        from repro.resilience.faults import FaultRule
+
+        with pytest.raises(ConfigError, match="kind"):
+            FaultRule(kind="meteor-strike")
+        with pytest.raises(ConfigError, match="probability"):
+            FaultRule(kind="reset", probability=1.5)
+        with pytest.raises(ConfigError, match="latency_seconds"):
+            FaultRule(kind="latency", latency_seconds=-0.1)
+        with pytest.raises(ConfigError, match="cut_fraction"):
+            FaultRule(kind="torn", cut_fraction=0.0)
+
+    def test_config_roundtrip_and_unknown_key_rejected(self):
+        from repro.errors import ConfigError
+        from repro.resilience.faults import FaultRule
+
+        rule = FaultRule(
+            kind="stall", probability=0.25, stall_seconds=0.1
+        )
+        assert FaultRule.from_config(rule.to_config()) == rule
+        with pytest.raises(ConfigError, match="blast_radius"):
+            FaultRule.from_config({"kind": "stall", "blast_radius": 9})
+
+
+class TestFaultPlan:
+    def test_same_seed_same_call_sequence_fires_identically(self):
+        from repro.resilience.faults import FaultPlan, FaultRule
+
+        def run(seed):
+            plan = FaultPlan(seed=seed)
+            plan.add("flaky", FaultRule(kind="reset", probability=0.4))
+            plan.add("lag", FaultRule(kind="latency", probability=0.6,
+                                      latency_seconds=0.01,
+                                      jitter_seconds=0.02))
+            plan.activate("flaky", "lag")
+            trace = []
+            for _ in range(200):
+                rule = plan.draw("reset")
+                trace.append(rule is not None)
+                rule = plan.draw("latency")
+                trace.append(None if rule is None else plan.delay(rule))
+            return trace, dict(plan.fired)
+
+        trace_a, fired_a = run(11)
+        trace_b, fired_b = run(11)
+        trace_c, _ = run(12)
+        assert trace_a == trace_b
+        assert fired_a == fired_b
+        assert trace_a != trace_c
+        assert fired_a["flaky"] > 0 and fired_a["lag"] > 0
+
+    def test_inactive_rules_never_fire(self):
+        from repro.resilience.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan(seed=0)
+        plan.add("always", FaultRule(kind="reset", probability=1.0))
+        assert all(plan.draw("reset") is None for _ in range(20))
+        plan.activate("always")
+        assert plan.draw("reset") is not None
+        plan.deactivate("always")
+        assert plan.draw("reset") is None
+
+    def test_activate_unknown_rule_is_an_error(self):
+        from repro.errors import ConfigError
+        from repro.resilience.faults import FaultPlan
+
+        with pytest.raises(ConfigError, match="unknown fault rule"):
+            FaultPlan().activate("nope")
+
+    def test_apply_config_wire_roundtrip(self):
+        from repro.errors import ConfigError
+        from repro.resilience.faults import FaultPlan
+
+        plan = FaultPlan(seed=5)
+        described = plan.apply_config(
+            {
+                "rules": {"lossy": {"kind": "torn", "probability": 0.5}},
+                "activate": ["lossy"],
+            }
+        )
+        assert described["active"] == ["lossy"]
+        assert described["rules"]["lossy"]["kind"] == "torn"
+        described = plan.apply_config({"reset": True})
+        assert described["active"] == []
+        assert "lossy" in described["rules"]  # reset clears activation only
+        with pytest.raises(ConfigError, match="unknown chaos key"):
+            plan.apply_config({"frobnicate": 1})
+
+
+class _FakeWire:
+    """Captures writes like a socket makefile('wb') would."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(bytes(data))
+
+    def flush(self):
+        pass
+
+    @property
+    def data(self):
+        return b"".join(self.chunks)
+
+
+class TestSocketFaultInjector:
+    FRAME = b'{"ok": true, "values": [1.0, 2.0, 3.0]}\n'
+
+    def _injector(self, kind, **kwargs):
+        from repro.resilience.faults import (
+            FaultPlan,
+            FaultRule,
+            SocketFaultInjector,
+        )
+
+        plan = FaultPlan(seed=0)
+        plan.add("f", FaultRule(kind=kind, **kwargs))
+        plan.activate("f")
+        sleeps = []
+        injector = SocketFaultInjector(plan, sleep=sleeps.append)
+        return injector, sleeps
+
+    def test_clean_path_writes_whole_frame(self):
+        from repro.resilience.faults import FaultPlan, SocketFaultInjector
+
+        wire = _FakeWire()
+        injector = SocketFaultInjector(FaultPlan(), sleep=lambda s: None)
+        assert injector.send(wire, self.FRAME) is True
+        assert wire.data == self.FRAME
+
+    def test_latency_sleeps_then_delivers_intact(self):
+        injector, sleeps = self._injector(
+            "latency", latency_seconds=0.02, jitter_seconds=0.01
+        )
+        wire = _FakeWire()
+        assert injector.send(wire, self.FRAME) is True
+        assert wire.data == self.FRAME
+        assert len(sleeps) == 1 and 0.02 <= sleeps[0] <= 0.03
+
+    def test_stall_splits_frame_but_delivers_everything(self):
+        injector, sleeps = self._injector("stall", stall_seconds=0.25)
+        wire = _FakeWire()
+        assert injector.send(wire, self.FRAME) is True
+        assert wire.data == self.FRAME
+        assert len(wire.chunks) == 2, "the frame must go out in two writes"
+        assert sleeps == [0.25]
+
+    def test_torn_frame_truncates_and_drops_newline(self):
+        injector, _ = self._injector("torn", cut_fraction=0.5)
+        wire = _FakeWire()
+        assert injector.send(wire, self.FRAME) is False
+        assert 0 < len(wire.data) < len(self.FRAME)
+        assert not wire.data.endswith(b"\n")
+        assert self.FRAME.startswith(wire.data)
+
+    def test_reset_cuts_frame_and_reports_dropped_connection(self):
+        injector, _ = self._injector("reset", cut_fraction=0.25)
+        wire = _FakeWire()
+        assert injector.send(wire, self.FRAME, connection=None) is False
+        assert len(wire.data) < len(self.FRAME)

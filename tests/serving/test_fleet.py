@@ -114,6 +114,133 @@ class TestSnapshotFollower:
             follower.percentiles()
 
 
+class TestFollowerUnderChaos:
+    """SnapshotFollower driven through an injected-fault store: adoption
+    must stay atomic (never a partially-adopted snapshot) and every
+    rejection kind must land on its own counter label."""
+
+    def test_slow_adoption_never_exposes_partial_state(self, tmp_path):
+        from repro.resilience.faults import FaultPlan, FaultRule, FaultyStore
+
+        store = SnapshotStore(tmp_path)
+        plan = FaultPlan(seed=7)
+        plan.add(
+            "nfs", FaultRule(kind="slow_adopt", latency_seconds=0.05)
+        )
+        follower = SnapshotFollower(FaultyStore(store, plan))
+        v1 = publish(store)
+        assert follower.poll_once()
+        v2 = publish(store, scale=2.0)
+        plan.activate("nfs")
+        # sigma[1] is 2.0 under v1 and 4.0 under v2: a torn view would
+        # pair one version with the other's payload.
+        expected = {v1.version: 2.0, v2.version: 4.0}
+        observed: list[tuple[int, float]] = []
+        stop = threading.Event()
+
+        def watch() -> None:
+            while not stop.is_set():
+                snap = follower.current
+                if snap is not None:
+                    observed.append((snap.version, float(snap.sigma[1])))
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        try:
+            assert follower.poll_once()  # sleeps through the injected delay
+        finally:
+            stop.set()
+            watcher.join(timeout=10)
+        assert follower.current.version == v2.version
+        assert plan.fired["nfs"] > 0
+        assert observed, "the watcher must have seen the follower mid-adopt"
+        for version, sigma_1 in observed:
+            assert expected[version] == sigma_1, (
+                f"version {version} served with the wrong payload "
+                f"({sigma_1})"
+            )
+
+    def test_torn_adoption_and_staleness_reject_on_distinct_labels(
+        self, tmp_path
+    ):
+        from repro.observability import get_registry
+        from repro.resilience.faults import FaultPlan, FaultRule, FaultyStore
+
+        registry = get_registry()
+        store_rejects = registry.counter(
+            "repro_snapshot_rejects_total", labelnames=("reason",)
+        )
+        adopt_rejects = registry.counter(
+            "repro_fleet_adoption_rejects_total", labelnames=("reason",)
+        )
+
+        def totals() -> dict[str, float]:
+            return {
+                "unreadable": store_rejects.labels(reason="unreadable").value,
+                "digest": store_rejects.labels(reason="digest").value,
+                "stale": adopt_rejects.labels(reason="stale").value,
+            }
+
+        store = SnapshotStore(tmp_path)
+        plan = FaultPlan(seed=3)
+        plan.add("tear", FaultRule(kind="torn_publish"))
+        faulty = FaultyStore(store, plan)
+        follower = SnapshotFollower(faulty)
+        v1 = publish(store)
+        assert follower.poll_once()
+        before = totals()
+        plan.activate("tear")
+        v2 = publish(faulty, scale=2.0)  # truncated on disk after write
+        plan.deactivate("tear")
+        # The torn newest file must be rejected at load time and the
+        # follower must keep serving the intact v1 payload.
+        assert not follower.poll_once()
+        assert follower.current.version == v1.version
+        np.testing.assert_allclose(follower.current.sigma, v1.sigma)
+        after_torn = totals()
+        torn_kinds = (
+            after_torn["unreadable"]
+            - before["unreadable"]
+            + after_torn["digest"]
+            - before["digest"]
+        )
+        assert torn_kinds >= 1, "torn file must land on a storage label"
+        assert after_torn["stale"] == before["stale"]
+        # A stale adoption attempt lands on its own label, not storage's.
+        v3 = publish(store, scale=3.0)
+        assert follower.poll_once()
+        assert follower.current.version == v3.version
+        assert not follower.adopt(store.load(v1.version))
+        after_stale = totals()
+        assert after_stale["stale"] == after_torn["stale"] + 1
+        assert after_stale["unreadable"] == after_torn["unreadable"]
+        assert after_stale["digest"] == after_torn["digest"]
+        assert follower.rejected_stale == 1
+        assert v2.version < v3.version
+
+    def test_disk_full_publish_fails_cleanly_and_store_stays_healthy(
+        self, tmp_path
+    ):
+        import errno
+
+        from repro.resilience.faults import FaultPlan, FaultRule, FaultyStore
+
+        store = SnapshotStore(tmp_path)
+        plan = FaultPlan(seed=1)
+        plan.add("enospc", FaultRule(kind="disk_full"))
+        faulty = FaultyStore(store, plan)
+        v1 = publish(faulty)
+        plan.activate("enospc")
+        with pytest.raises(OSError) as err:
+            publish(faulty, scale=2.0)
+        assert err.value.errno == errno.ENOSPC
+        # Nothing was half-written: the newest healthy snapshot is v1.
+        assert store.latest(kind="sr").version == v1.version
+        plan.deactivate("enospc")
+        v3 = publish(faulty, scale=3.0)
+        assert store.latest(kind="sr").version == v3.version
+
+
 class TestReplicaServiceInProcess:
     """The request→response map, no sockets or processes involved."""
 

@@ -153,7 +153,9 @@ class TestReads:
         assert client.request({"op": "bogus"})["error"] == "FleetError"
         # A malformed line gets an error response, not a dropped socket.
         client._sock.sendall(b"not json\n")
-        line = client._rfile.readline()
+        line = client._read_line(
+            client._sock, time.monotonic() + 5.0, 5.0, None, time.monotonic()
+        )
         assert b"malformed" in line
 
     def test_health_fanout(self, client):

@@ -1,0 +1,553 @@
+"""SLO machinery at the front door: deadlines, hedged reads, retry
+budgets, load shedding, slow-replica quarantine, and reinstatement
+backoff — driven against in-process stub replicas so every latency and
+failure is scripted, no real fleet processes involved."""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+
+import pytest
+
+from repro.config import FleetParams, SLOParams
+from repro.errors import DeadlineExceededError, FleetError
+from repro.serving import FleetClient, FrontDoor
+
+
+class _StubHandler(socketserver.StreamRequestHandler):
+    def handle(self):
+        stub = self.server.stub
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            if stub.refuse:
+                return  # close without answering: a transport failure
+            message = json.loads(line)
+            delay = stub.delay
+            if delay:
+                time.sleep(delay)
+            response = stub.respond(message)
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.flush()
+
+
+class _StubServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class StubReplica:
+    """A scriptable replica: canned responses, mutable delay/refusal."""
+
+    def __init__(self, replica_id: int = 0) -> None:
+        self.replica_id = replica_id
+        self.delay = 0.0
+        self.refuse = False
+        self.override: dict | None = None
+        self.requests = 0
+        self._server = _StubServer(("127.0.0.1", 0), _StubHandler)
+        self._server.stub = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def respond(self, message: dict) -> dict:
+        self.requests += 1
+        if self.override is not None:
+            return dict(self.override)
+        op = message.get("op")
+        meta = {
+            "version": 1,
+            "kind": "sr",
+            "age": 0.0,
+            "replica": self.replica_id,
+        }
+        if op == "health":
+            return {
+                "ok": True,
+                "ready": True,
+                "replica": self.replica_id,
+                "snapshot_version": 1,
+            }
+        if op in ("score", "percentile"):
+            ids = message.get("ids", [message.get("id")])
+            return {"ok": True, "values": [float(i) for i in ids], **meta}
+        if op == "top_k":
+            k = int(message.get("k", 1))
+            return {"ok": True, "ids": list(range(k)), **meta}
+        return {"ok": False, "error": "ServingError", "detail": "stub"}
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+
+FAST = FleetParams(
+    replicas=2,
+    connect_timeout_seconds=2.0,
+    request_timeout_seconds=2.0,
+    probe_interval_seconds=0.02,
+    batch_linger_seconds=0.001,
+    max_retries=3,
+)
+
+
+@pytest.fixture()
+def stubs():
+    pair = (StubReplica(0), StubReplica(1))
+    yield pair
+    for stub in pair:
+        stub.stop()
+
+
+def make_door(stubs, slo: SLOParams, params: FleetParams = FAST) -> FrontDoor:
+    return FrontDoor(
+        {stub.replica_id: stub.address for stub in stubs},
+        params,
+        slo=slo,
+    ).start()
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestDeadlines:
+    def test_deadline_burn_returns_typed_error_without_eviction(self, stubs):
+        for stub in stubs:
+            stub.delay = 0.5
+        slo = SLOParams(
+            deadline_seconds=10.0,
+            score_deadline_seconds=0.15,
+            hedge_threshold_seconds=0.05,
+        )
+        door = make_door(stubs, slo)
+        try:
+            with FleetClient(door.address, timeout=10.0) as client:
+                started = time.monotonic()
+                response = client.score([1, 2, 3])
+                elapsed = time.monotonic() - started
+            assert response["ok"] is False
+            assert response["error"] == "DeadlineExceededError"
+            assert response["op"] == "score"
+            assert response["deadline_seconds"] == pytest.approx(0.15)
+            assert response["retry_after"] > 0
+            # The read came back roughly at the budget, nowhere near the
+            # 0.5s the replicas would have taken.
+            assert elapsed < 0.45
+            stats = door.stats()
+            assert stats["slo"]["deadline_misses"] == {"score": 1}
+            assert stats["reads"]["deadline_missed"] == 3
+            # Slow-but-within-transport-timeout legs are cancelled
+            # without blame: nobody gets evicted for a tight deadline.
+            for entry in stats["replicas"].values():
+                assert entry["state"] == "active"
+                assert entry["evictions"] == 0
+        finally:
+            door.stop()
+
+    def test_per_op_override_leaves_other_ops_alone(self, stubs):
+        stubs[0].delay = stubs[1].delay = 0.2
+        slo = SLOParams(
+            deadline_seconds=10.0,
+            top_k_deadline_seconds=0.05,
+            hedge_threshold_seconds=5.0,
+        )
+        door = make_door(stubs, slo)
+        try:
+            with FleetClient(door.address, timeout=10.0) as client:
+                assert client.top_k(3)["error"] == "DeadlineExceededError"
+                assert client.score([1])["ok"] is True
+        finally:
+            door.stop()
+
+
+class TestHedging:
+    def test_hedge_fires_on_slow_primary_and_backup_wins(self, stubs):
+        stubs[0].delay = 0.4  # primary: slow but alive
+        slo = SLOParams(
+            deadline_seconds=10.0,
+            hedge_threshold_seconds=0.03,
+            eject_latency_seconds=10.0,  # keep quarantine out of the way
+        )
+        door = make_door(stubs, slo)
+        try:
+            with FleetClient(door.address, timeout=10.0) as client:
+                started = time.monotonic()
+                response = client.score([4, 5])
+                elapsed = time.monotonic() - started
+            assert response["ok"] is True
+            assert response["replica"] == 1
+            assert response["values"] == [4.0, 5.0]
+            assert elapsed < 0.35  # won by the hedge, not the 0.4s primary
+            stats = door.stats()
+            assert stats["slo"]["hedges"]["fired"] == 1
+            assert stats["slo"]["hedges"]["wins"] == 1
+            # The cancelled primary leg must not desync its connection:
+            # the next read routed there still pairs request/response.
+            stubs[0].delay = 0.0
+            with FleetClient(door.address, timeout=10.0) as client:
+                for i in range(4):
+                    check = client.score([10 + i])
+                    assert check["ok"] and check["values"] == [10.0 + i]
+        finally:
+            door.stop()
+
+    def test_fast_fleet_never_hedges(self, stubs):
+        slo = SLOParams(hedge_threshold_seconds=0.5)
+        door = make_door(stubs, slo)
+        try:
+            with FleetClient(door.address, timeout=10.0) as client:
+                for i in range(8):
+                    assert client.score([i])["ok"]
+            assert door.stats()["slo"]["hedges"]["fired"] == 0
+        finally:
+            door.stop()
+
+
+class TestRetryBudget:
+    def test_empty_bucket_fails_fast_instead_of_retry_storm(self, stubs):
+        # Both replicas report ServingError forever: without a budget the
+        # door would ping-pong max_retries times per read.
+        for stub in stubs:
+            stub.override = {
+                "ok": False,
+                "error": "ServingError",
+                "detail": "no snapshot adopted yet",
+            }
+        slo = SLOParams(
+            deadline_seconds=10.0,
+            retry_budget_per_second=0.001,
+            retry_budget_burst=1.0,
+            hedge_threshold_seconds=5.0,
+        )
+        door = make_door(stubs, slo)
+        try:
+            with FleetClient(door.address, timeout=10.0) as client:
+                first = client.score([1])
+                second = client.score([2])
+            assert first["ok"] is False and second["ok"] is False
+            # First read: attempt 0 free, attempt 1 takes the only token.
+            # Second read: attempt 0 free, attempt 1 refused — budget dry.
+            assert "retry budget exhausted" in second["detail"]
+            stats = door.stats()
+            assert stats["slo"]["retry_budget"]["tokens"] < 1.0
+        finally:
+            door.stop()
+
+
+class TestLoadShedding:
+    def test_saturated_door_sheds_with_retry_after_then_recovers(self, stubs):
+        stubs[0].delay = stubs[1].delay = 0.3
+        slo = SLOParams(
+            deadline_seconds=10.0,
+            max_inflight=1,
+            shed_retry_after_seconds=0.05,
+            hedge_threshold_seconds=5.0,
+        )
+        door = make_door(stubs, slo)
+        try:
+            responses: list[dict] = []
+            lock = threading.Lock()
+
+            def read(i: int) -> None:
+                with FleetClient(door.address, timeout=10.0) as client:
+                    response = client.score([i])
+                with lock:
+                    responses.append(response)
+
+            threads = [
+                threading.Thread(target=read, args=(i,)) for i in range(5)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=15)
+            ok = [r for r in responses if r.get("ok")]
+            shed = [r for r in responses if r.get("error") == "AdmissionError"]
+            assert ok, "the admitted read must still succeed"
+            assert shed, "overload must shed, not queue without bound"
+            for response in shed:
+                assert response["reason"] == "overload"
+                assert response["retry_after"] == pytest.approx(0.05)
+            assert door.stats()["reads"]["shed"] == len(shed)
+            # Load gone: the door admits again.
+            stubs[0].delay = stubs[1].delay = 0.0
+            with FleetClient(door.address, timeout=10.0) as client:
+                assert client.score([9])["ok"] is True
+        finally:
+            door.stop()
+
+
+class TestSlowReplicaQuarantine:
+    def test_latency_outlier_ejected_then_reinstated_after_backoff(
+        self, stubs
+    ):
+        slo = SLOParams(
+            deadline_seconds=10.0,
+            hedge_threshold_seconds=5.0,
+            eject_latency_seconds=0.03,
+            eject_min_samples=3,
+            eject_window=8,
+            reinstate_backoff_seconds=0.3,
+        )
+        door = make_door(stubs, slo)
+        try:
+            stubs[0].delay = 0.08  # slow, NOT dead: still answers
+            with FleetClient(door.address, timeout=10.0) as client:
+                for i in range(10):
+                    assert client.score([i])["ok"]
+
+                def replica0():
+                    return door.stats()["replicas"]["0"]
+
+                assert wait_until(lambda: replica0()["state"] == "slow", 5)
+                ejected_at = time.monotonic()
+                entry = replica0()
+                assert entry["quarantines"] == 1
+                assert entry["evictions"] == 0  # slow is not dead
+                assert entry["flaps"] == 1
+                assert entry["eligible_in_seconds"] > 0.0
+                # Reads keep landing on the healthy replica meanwhile.
+                assert client.score([3])["ok"]
+                # Replica recovers instantly — reinstatement still waits
+                # out the backoff floor.
+                stubs[0].delay = 0.0
+                assert wait_until(lambda: replica0()["state"] == "active", 10)
+                waited = time.monotonic() - ejected_at
+                assert waited >= 0.2, f"reinstated after only {waited:.3f}s"
+                entry = replica0()
+                assert entry["reinstatements"] == 1
+                assert (
+                    entry["evictions"]
+                    + entry["quarantines"]
+                    - entry["reinstatements"]
+                    == 0
+                )
+                # ...and it serves again.
+                for i in range(4):
+                    assert client.score([i])["ok"]
+        finally:
+            door.stop()
+
+    def test_still_slow_probe_is_not_welcomed_back(self, stubs):
+        slo = SLOParams(
+            deadline_seconds=10.0,
+            hedge_threshold_seconds=5.0,
+            eject_latency_seconds=0.03,
+            eject_min_samples=3,
+            eject_window=8,
+            reinstate_backoff_seconds=0.05,
+        )
+        door = make_door(stubs, slo)
+        try:
+            stubs[0].delay = 0.08
+            with FleetClient(door.address, timeout=10.0) as client:
+                for i in range(10):
+                    assert client.score([i])["ok"]
+            assert wait_until(
+                lambda: door.stats()["replicas"]["0"]["state"] == "slow", 5
+            )
+            # Backoff floor long past, probes answering fine — but at
+            # 80ms a probe is still over the ejection threshold, so the
+            # replica stays quarantined.
+            time.sleep(0.5)
+            assert door.stats()["replicas"]["0"]["state"] == "slow"
+        finally:
+            door.stop()
+
+
+class TestFlapDamping:
+    def test_flapping_replica_waits_out_doubling_backoff(self, stubs):
+        slo = SLOParams(
+            deadline_seconds=10.0,
+            hedge_threshold_seconds=5.0,
+            reinstate_backoff_seconds=0.25,
+            reinstate_backoff_max_seconds=2.0,
+        )
+        door = make_door(stubs, slo)
+        try:
+            def replica0():
+                return door.stats()["replicas"]["0"]
+
+            def fail_then_recover() -> tuple[float, float]:
+                """Break replica 0, read through the door, let it
+                recover; returns (eviction backoff hint, reinstate wait)."""
+                stubs[0].refuse = True
+                with FleetClient(door.address, timeout=10.0) as client:
+                    for i in range(4):  # enough reads to hit replica 0
+                        assert client.score([i])["ok"]
+                assert wait_until(lambda: replica0()["state"] == "evicted", 5)
+                broke_at = time.monotonic()
+                hint = replica0()["eligible_in_seconds"]
+                stubs[0].refuse = False
+                assert wait_until(lambda: replica0()["state"] == "active", 15)
+                return hint, time.monotonic() - broke_at
+
+            hint1, wait1 = fail_then_recover()
+            hint2, wait2 = fail_then_recover()
+            entry = replica0()
+            assert entry["flaps"] == 2
+            assert entry["evictions"] == 2
+            assert entry["reinstatements"] == 2
+            assert (
+                entry["evictions"]
+                + entry["quarantines"]
+                - entry["reinstatements"]
+                == 0
+            )
+            # First outage sat out ~the floor; the repeat offender is
+            # held out roughly twice as long.
+            assert wait1 >= 0.15
+            assert hint2 > hint1 * 1.5
+            assert wait2 >= 0.35
+        finally:
+            door.stop()
+
+
+class _SilentServer:
+    """Accepts connections and follows a script: hang, dribble, or echo."""
+
+    def __init__(self, mode: str = "hang") -> None:
+        self.mode = mode
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(4)
+        self.address = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._listener.settimeout(0.1)
+                conn, _ = self._listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        with conn:
+            try:
+                conn.settimeout(5.0)
+                data = conn.recv(65536)
+                if not data:
+                    return
+                if self.mode == "hang":
+                    self._stop.wait(5.0)
+                elif self.mode == "dribble":
+                    # One byte per tick, never a complete frame.
+                    for _ in range(100):
+                        if self._stop.is_set():
+                            return
+                        conn.sendall(b"x")
+                        time.sleep(0.02)
+                else:  # echo: a valid response frame
+                    conn.sendall(b'{"ok": true}\n')
+                    self._handle(conn)
+            except OSError:
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._listener.close()
+
+
+class TestFleetClientDeadline:
+    def test_hung_server_raises_typed_deadline_error(self):
+        server = _SilentServer("hang")
+        try:
+            with FleetClient(
+                server.address, timeout=5.0, deadline_seconds=0.2
+            ) as client:
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceededError) as err:
+                    client.request({"op": "score", "ids": [1]})
+                elapsed = time.monotonic() - started
+            assert elapsed < 1.0, "deadline must bound the wait"
+            assert err.value.op == "score"
+            assert err.value.deadline_seconds == pytest.approx(0.2)
+            assert err.value.elapsed_seconds >= 0.2
+        finally:
+            server.stop()
+
+    def test_dribbling_server_cannot_extend_the_deadline(self):
+        # A server sending one byte per timeout window defeats naive
+        # per-recv timeouts; the overall deadline must still hold.
+        server = _SilentServer("dribble")
+        try:
+            with FleetClient(
+                server.address, timeout=5.0, deadline_seconds=0.3
+            ) as client:
+                started = time.monotonic()
+                with pytest.raises(DeadlineExceededError):
+                    client.request({"op": "health"})
+                elapsed = time.monotonic() - started
+            assert elapsed < 1.2
+        finally:
+            server.stop()
+
+    def test_client_reconnects_after_deadline_error(self):
+        server = _SilentServer("echo")
+        stub = StubReplica(0)
+        try:
+            client = FleetClient(
+                stub.address, timeout=5.0, deadline_seconds=1.0
+            )
+            stub.delay = 2.0  # slower than the deadline
+            with pytest.raises(DeadlineExceededError):
+                client.request({"op": "score", "ids": [1]})
+            # The poisoned connection was dropped: with the stub healthy
+            # again the same client must answer correctly — not read the
+            # late response of the timed-out request.
+            stub.delay = 0.0
+            time.sleep(2.1)  # let the stale response land on the old socket
+            response = client.request({"op": "score", "ids": [7]})
+            assert response["ok"] and response["values"] == [7.0]
+            client.close()
+        finally:
+            stub.stop()
+            server.stop()
+
+    def test_nonpositive_deadline_rejected(self):
+        stub = StubReplica(0)
+        try:
+            with pytest.raises(FleetError, match="deadline_seconds"):
+                FleetClient(stub.address, deadline_seconds=0.0)
+        finally:
+            stub.stop()
+
+    def test_per_request_deadline_override(self):
+        stub = StubReplica(0)
+        try:
+            stub.delay = 0.3
+            with FleetClient(
+                stub.address, timeout=5.0, deadline_seconds=5.0
+            ) as client:
+                with pytest.raises(DeadlineExceededError):
+                    client.request(
+                        {"op": "score", "ids": [1]}, deadline_seconds=0.05
+                    )
+        finally:
+            stub.stop()

@@ -159,3 +159,114 @@ class TestAuditParams:
         assert p.as_ranking_params().audit is audit
         with pytest.raises(ConfigError):
             SpamProximityParams(audit=42)
+
+
+class TestSLOParams:
+    def test_defaults_are_valid_and_generous(self):
+        from repro.config import SLOParams
+
+        slo = SLOParams()
+        assert slo.deadline_seconds == 30.0
+        assert slo.deadline_for("score") == 30.0
+        assert slo.max_inflight >= 1
+
+    def test_per_op_deadline_override(self):
+        from repro.config import SLOParams
+
+        slo = SLOParams(deadline_seconds=5.0, top_k_deadline_seconds=0.5)
+        assert slo.deadline_for("top_k") == 0.5
+        assert slo.deadline_for("score") == 5.0
+        assert slo.deadline_for("percentile") == 5.0
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("deadline_seconds", 0.0),
+            ("deadline_seconds", -1.0),
+            ("score_deadline_seconds", 0.0),
+            ("percentile_deadline_seconds", -2.0),
+            ("top_k_deadline_seconds", 0.0),
+            ("hedge_threshold_seconds", 0.0),
+            ("retry_budget_per_second", -5.0),
+            ("retry_budget_burst", 0.0),
+            ("shed_retry_after_seconds", 0.0),
+            ("eject_latency_seconds", -0.1),
+            ("reinstate_backoff_seconds", 0.0),
+            ("hedge_min_samples", 0),
+            ("max_inflight", 0),
+            ("eject_min_samples", -3),
+        ],
+    )
+    def test_nonpositive_knobs_rejected_naming_the_field(self, field, value):
+        from repro.config import SLOParams
+
+        with pytest.raises(ConfigError, match=field):
+            SLOParams(**{field: value})
+
+    def test_hedge_quantile_must_be_a_proper_quantile(self):
+        from repro.config import SLOParams
+
+        with pytest.raises(ConfigError, match="hedge_quantile"):
+            SLOParams(hedge_quantile=0.0)
+        with pytest.raises(ConfigError, match="hedge_quantile"):
+            SLOParams(hedge_quantile=1.0)
+
+    def test_cross_field_constraints(self):
+        from repro.config import SLOParams
+
+        with pytest.raises(ConfigError, match="eject_window"):
+            SLOParams(eject_min_samples=32, eject_window=8)
+        with pytest.raises(ConfigError, match="reinstate_backoff_max"):
+            SLOParams(
+                reinstate_backoff_seconds=5.0,
+                reinstate_backoff_max_seconds=1.0,
+            )
+
+    def test_with_revalidates(self):
+        from repro.config import SLOParams
+
+        slo = SLOParams().with_(deadline_seconds=2.0)
+        assert slo.deadline_seconds == 2.0
+        with pytest.raises(ConfigError, match="deadline_seconds"):
+            SLOParams().with_(deadline_seconds=-1.0)
+
+
+class TestChaosParams:
+    def test_defaults_are_inert(self):
+        from repro.config import ChaosParams
+
+        chaos = ChaosParams()
+        assert chaos.latency_seconds == 0.0
+        assert chaos.reset_probability == 0.0
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("latency_seconds", -0.1),
+            ("jitter_seconds", -1.0),
+            ("stall_seconds", -0.5),
+            ("adoption_delay_seconds", -0.01),
+            ("reset_probability", -0.1),
+            ("reset_probability", 1.5),
+            ("torn_probability", 2.0),
+            ("cut_fraction", 0.0),
+            ("cut_fraction", 1.5),
+        ],
+    )
+    def test_out_of_range_knobs_rejected_naming_the_field(self, field, value):
+        from repro.config import ChaosParams
+
+        with pytest.raises(ConfigError, match=field):
+            ChaosParams(**{field: value})
+
+    def test_feeds_fault_rules(self):
+        from repro.config import ChaosParams
+        from repro.resilience.faults import FaultRule
+
+        chaos = ChaosParams(
+            latency_seconds=0.05, jitter_seconds=0.02, reset_probability=0.3
+        )
+        lag = FaultRule.from_params("latency", chaos)
+        assert lag.latency_seconds == 0.05 and lag.probability == 1.0
+        reset = FaultRule.from_params("reset", chaos)
+        assert reset.probability == 0.3
